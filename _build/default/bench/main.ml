@@ -1,0 +1,339 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 6) and measures the optimization-runtime claim
+   with Bechamel.
+
+   Usage:  dune exec bench/main.exe [-- COMMAND]
+
+     table1   gesummv unrolled x75 vs the Kintex-7 device
+     table2   Naive / In-order / CRUSH on the 11 benchmarks
+     table3   fast-token circuits, without and with CRUSH
+     fig7     FF/DSP vs exec-time ratios, CRUSH vs Naive
+     fig8     same, CRUSH vs In-order
+     fig9     shared-fadd cost ratio vs group size
+     fig10    wrapper resource breakdown per component
+     fig11    FF/DSP vs exec-time ratios on fast-token circuits
+     opttime  Bechamel wall-clock benches of the two optimizers
+     ablation credit allocation / priority / R3 / access-order studies
+     all      everything above (default)
+
+   The simulated tables reuse one measurement set per strategy; figures 7
+   and 8 are derived from table 2, figure 11 from table 3. *)
+
+let speak fmt = Fmt.pr fmt
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel runner for the optimization-time comparison                *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let kernels = [ "atax"; "gsumif"; "2mm"; "symm"; "syr2k" ] in
+  let crush_test name =
+    Test.make ~name:(Fmt.str "crush-opt/%s" name)
+      (Staged.stage (fun () ->
+           let b = Kernels.Registry.find name in
+           let c = Minic.Codegen.compile_source b.Kernels.Registry.source in
+           ignore
+             (Crush.Share.crush c.Minic.Codegen.graph
+                ~critical_loops:c.Minic.Codegen.critical_loops)))
+  in
+  let inorder_test name =
+    Test.make ~name:(Fmt.str "inorder-opt/%s" name)
+      (Staged.stage (fun () ->
+           let b = Kernels.Registry.find name in
+           let c = Minic.Codegen.compile_source b.Kernels.Registry.source in
+           ignore
+             (Crush.Inorder.share c.Minic.Codegen.graph
+                ~critical_loops:c.Minic.Codegen.critical_loops
+                ~conditional_bbs:c.Minic.Codegen.conditional_bbs)))
+  in
+  List.concat_map (fun k -> [ crush_test k; inorder_test k ]) kernels
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 2.0) ~kde:(Some 10) ()
+  in
+  let tests = bechamel_tests () in
+  speak "Optimization runtime (Bechamel, monotonic clock):@.";
+  List.iter
+    (fun test ->
+      List.iter
+        (fun t ->
+          let results = Benchmark.run cfg instances t in
+          let ols =
+            Analyze.ols ~bootstrap:0 ~r_square:false
+              ~predictors:[| Measure.run |]
+          in
+          let est = Analyze.one ols Instance.monotonic_clock results in
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] ->
+              speak "  %-24s %10.3f ms/run@." (Test.Elt.name t) (ns /. 1e6)
+          | _ -> speak "  %-24s (no estimate)@." (Test.Elt.name t))
+        (Test.elements test))
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Printed tables and figures                                          *)
+
+let cached_table2 = ref None
+
+let table2_rows () =
+  match !cached_table2 with
+  | Some rows -> rows
+  | None ->
+      let rows = Report.Experiments.table2 () in
+      cached_table2 := Some rows;
+      rows
+
+let cached_table3 = ref None
+
+let table3_rows () =
+  match !cached_table3 with
+  | Some rows -> rows
+  | None ->
+      let rows = Report.Experiments.table3 () in
+      cached_table3 := Some rows;
+      rows
+
+let table1 () =
+  speak "@.== Table 1: gesummv unrolled x75 on Kintex-7 xc7k160t ==@.";
+  speak "%a@." Report.Experiments.pp_table1 (Report.Experiments.table1 ())
+
+let table2 () =
+  speak "@.== Table 2: Naive vs In-order vs CRUSH (BB-ordered circuits) ==@.";
+  speak "%a@." Report.Experiments.pp_table (table2_rows ());
+  speak "%a@." Report.Experiments.pp_opt_times (Report.Experiments.opt_times ())
+
+let table3 () =
+  speak "@.== Table 3: fast-token circuits, without and with CRUSH ==@.";
+  speak "%a@." Report.Experiments.pp_table (table3_rows ())
+
+let fig7 () =
+  speak "@.== Figure 7: CRUSH vs Naive trade-off ==@.";
+  let pts = Report.Experiments.tradeoff (table2_rows ()) ~num:"CRUSH" ~den:"Naive" in
+  speak "%a@." (Report.Experiments.pp_tradeoff ~title:"ratios (CRUSH / Naive)") pts
+
+let fig8 () =
+  speak "@.== Figure 8: CRUSH vs In-order trade-off ==@.";
+  let pts =
+    Report.Experiments.tradeoff (table2_rows ()) ~num:"CRUSH" ~den:"In-order"
+  in
+  speak "%a@." (Report.Experiments.pp_tradeoff ~title:"ratios (CRUSH / In-order)") pts
+
+let fig9 () =
+  speak "@.== Figure 9: shared-fadd cost ratio vs group size ==@.";
+  speak "%a@." Report.Experiments.pp_fig9 (Report.Experiments.fig9 ());
+  (* Section 4.3: the same Equation 2 characterizes other platforms. *)
+  speak "Sharing crossover (smallest beneficial group) per platform:@.";
+  List.iter
+    (fun op ->
+      let cross p =
+        match Crush.Cost.crossover_on p ~op ~credit:2 with
+        | Some n -> string_of_int n
+        | None -> "never"
+      in
+      speak "  %-5s FPGA: %-6s ASIC: %s@."
+        (Dataflow.Types.string_of_opcode op)
+        (cross Crush.Cost.Fpga) (cross Crush.Cost.Asic))
+    Dataflow.Types.[ Fadd; Fmul; Fdiv; Iadd; Imul ]
+
+let fig10 () =
+  speak "@.== Figure 10: sharing-wrapper resource breakdown ==@.";
+  speak "%a@." Report.Experiments.pp_fig10 (Report.Experiments.fig10 ())
+
+let fig11 () =
+  speak "@.== Figure 11: CRUSH vs fast-token trade-off ==@.";
+  let pts =
+    Report.Experiments.tradeoff (table3_rows ()) ~num:"CRUSH" ~den:"Fast tok"
+  in
+  speak "%a@."
+    (Report.Experiments.pp_tradeoff ~title:"ratios (CRUSH / Fast token)")
+    pts
+
+(* ------------------------------------------------------------------ *)
+(* Ablations of the design choices DESIGN.md calls out                 *)
+
+let ablation_credits () =
+  speak "@.-- Ablation: credit allocation (Equation 3) on 2mm --@.";
+  let run name credit_fn =
+    let b = Kernels.Registry.find "2mm" in
+    let c = Minic.Codegen.compile_source b.Kernels.Registry.source in
+    ignore
+      (Crush.Share.crush ?credit_fn c.Minic.Codegen.graph
+         ~critical_loops:c.Minic.Codegen.critical_loops);
+    let v = Kernels.Harness.run_circuit b c.Minic.Codegen.graph in
+    let area = Analysis.Area.total c.Minic.Codegen.graph in
+    speak "  %-28s %7d cycles  %5d FFs  %s@." name v.Kernels.Harness.cycles
+      area.Analysis.Area.ffs
+      (if v.Kernels.Harness.functionally_correct then "correct" else "WRONG")
+  in
+  let phi ctx uid =
+    max 1 (int_of_float (Float.ceil (Crush.Context.max_occupancy ctx uid)))
+  in
+  run "phi+1 (paper Eq. 3)" None;
+  run "phi (one too few)" (Some (fun ctx uid -> phi ctx uid));
+  run "2*phi+2 (overallocated)" (Some (fun ctx uid -> (2 * phi ctx uid) + 2));
+  speak "@.-- Ablation: credit count on the Figure 1 circuit (II = 2) --@.";
+  List.iter
+    (fun n ->
+      let open Crush.Paper_examples in
+      let b = fig1 () in
+      let g = share_pair b ~ops:[ b.m2; b.m3 ] (`Credits_n n) in
+      let out = Sim.Engine.run g in
+      speak "  credits=%d: %a@." n Sim.Engine.pp_status
+        out.Sim.Engine.stats.Sim.Engine.status)
+    [ 1; 2; 3; 4 ]
+
+let ablation_priority () =
+  speak "@.-- Ablation: access priority (Algorithm 2) on gemm --@.";
+  let run name reverse =
+    let b = Kernels.Registry.find "gemm" in
+    let c = Minic.Codegen.compile_source b.Kernels.Registry.source in
+    ignore
+      (Crush.Share.crush ~reverse_priority:reverse c.Minic.Codegen.graph
+         ~critical_loops:c.Minic.Codegen.critical_loops);
+    let v = Kernels.Harness.run_circuit b c.Minic.Codegen.graph in
+    speak "  %-28s %7d cycles  %s@." name v.Kernels.Harness.cycles
+      (if v.Kernels.Harness.functionally_correct then "correct" else "WRONG")
+  in
+  run "SCC topological order" false;
+  run "reversed priority" true
+
+let ablation_r3 () =
+  speak "@.-- Ablation: rule R3 on gsumif --@.";
+  let run name enforce =
+    let b = Kernels.Registry.find "gsumif" in
+    let c = Minic.Codegen.compile_source b.Kernels.Registry.source in
+    let r =
+      Crush.Share.crush ~enforce_r3:enforce c.Minic.Codegen.graph
+        ~critical_loops:c.Minic.Codegen.critical_loops
+    in
+    let v = Kernels.Harness.run_circuit b c.Minic.Codegen.graph in
+    speak "  %-28s %7d cycles  %d groups  %s@." name v.Kernels.Harness.cycles
+      (List.length r.Crush.Share.groups)
+      (match v.Kernels.Harness.status with
+      | Sim.Engine.Completed _ ->
+          if v.Kernels.Harness.functionally_correct then "correct" else "WRONG"
+      | Sim.Engine.Deadlock _ -> "DEADLOCK"
+      | Sim.Engine.Out_of_fuel -> "timeout")
+  in
+  run "R3 enforced (paper)" true;
+  run "R3 disabled" false;
+  speak "@.-- Ablation: sharing one SCC's operations (Figure 5) --@.";
+  let open Crush.Paper_examples in
+  let b = fig5 () in
+  let _, cyc = run b in
+  speak "  unshared:             %d cycles@." cyc;
+  let b = fig5 () in
+  let g = share_pair b ~ops:[ b.m1; b.m2 ] `Credits in
+  let out = Sim.Engine.run g in
+  speak "  M1/M2 share one unit: %d cycles (II penalized)@."
+    out.Sim.Engine.stats.Sim.Engine.cycles;
+  let b = fig5 () in
+  let r =
+    Crush.Share.crush b.graph ~critical_loops:[ 0 ]
+      ~shareable:[ Dataflow.Types.Imul ]
+  in
+  speak "  CRUSH refuses the merge: %d sharing groups@."
+    (List.length r.Crush.Share.groups);
+  let mg, m1, m2 = fig5_minimal () in
+  let ctx = Crush.Context.make mg ~critical_loops:[ 0 ] in
+  speak "  rule R3 verdict on the minimal Figure 5 pair: %s@."
+    (if Crush.Groups.check_r3 ctx [ m1; m2 ] then "allowed (unexpected)"
+     else "refused")
+
+let ablation_order () =
+  speak "@.-- Ablation: access order on the Figure 1/2 circuit --@.";
+  let t name built =
+    let st, cyc = Crush.Paper_examples.run built in
+    speak "  %-28s %a (%d cycles)@." name Sim.Engine.pp_status st cyc
+  in
+  let open Crush.Paper_examples in
+  let b = fig1 () in
+  let _, cyc, ok = run_and_check b in
+  speak "  %-28s completed (%d cycles, %s)@." "unshared (Figure 1a)" cyc
+    (if ok then "correct" else "WRONG");
+  let b = fig1 () in
+  t "naive sharing (Figure 1b)"
+    { b with graph = share_pair b ~ops:[ b.m2; b.m3 ] `Naive };
+  let b = fig1 () in
+  t "credit sharing (Figure 1c)"
+    { b with graph = share_pair b ~ops:[ b.m2; b.m3 ] `Credits };
+  let b = fig1 () in
+  t "fixed order (Figure 1d)"
+    { b with graph = share_pair b ~ops:[ b.m3; b.m1 ] (`Rotation [ 0; 1 ]) };
+  let b = fig1 () in
+  t "priority (Figure 1e)"
+    { b with graph = share_pair b ~ops:[ b.m3; b.m1 ] (`Priority [ 0; 1 ]) };
+  let b = fig1 () in
+  t "total order M1,M3 (Fig. 2a)"
+    { b with graph = share_pair b ~ops:[ b.m1; b.m3 ] (`Rotation [ 0; 1 ]) };
+  let b = fig1 () in
+  t "out-of-order M1,M3 (Fig. 2b)"
+    { b with graph = share_pair b ~ops:[ b.m1; b.m3 ] (`Priority [ 0; 1 ]) }
+
+let ablation_elide () =
+  speak "@.-- Extension: profile-guided output-buffer shrinking (Sec. 6.4) --@.";
+  List.iter
+    (fun name ->
+      let b = Kernels.Registry.find name in
+      let c = Minic.Codegen.compile_source b.Kernels.Registry.source in
+      let g = c.Minic.Codegen.graph in
+      ignore
+        (Crush.Share.crush g ~critical_loops:c.Minic.Codegen.critical_loops);
+      let before = Analysis.Area.total g in
+      let profile () =
+        let inputs = Kernels.Registry.fresh_inputs b in
+        let memory = Sim.Memory.of_graph g in
+        Hashtbl.iter (fun n d -> Sim.Memory.set_floats memory n d) inputs;
+        let out = Sim.Engine.run ~memory g in
+        (out.Sim.Engine.sim, Sim.Engine.is_completed out)
+      in
+      let resizes = Crush.Elide.optimize g ~profile in
+      let after = Analysis.Area.total g in
+      let v = Kernels.Harness.run_circuit b g in
+      speak "  %-10s %2d slots elided, FFs %5d -> %5d, %s@." name
+        (Crush.Elide.saved_slots resizes) before.Analysis.Area.ffs
+        after.Analysis.Area.ffs
+        (if v.Kernels.Harness.functionally_correct then "still correct"
+         else "REGRESSED"))
+    [ "atax"; "gsum"; "gsumif"; "symm" ]
+
+let ablation () =
+  ablation_order ();
+  ablation_credits ();
+  ablation_priority ();
+  ablation_r3 ();
+  ablation_elide ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let cmd = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match cmd with
+  | "table1" -> table1 ()
+  | "table2" -> table2 ()
+  | "table3" -> table3 ()
+  | "fig7" -> fig7 ()
+  | "fig8" -> fig8 ()
+  | "fig9" -> fig9 ()
+  | "fig10" -> fig10 ()
+  | "fig11" -> fig11 ()
+  | "opttime" -> run_bechamel ()
+  | "ablation" -> ablation ()
+  | "all" ->
+      table1 ();
+      table2 ();
+      fig7 ();
+      fig8 ();
+      table3 ();
+      fig11 ();
+      fig9 ();
+      fig10 ();
+      ablation ();
+      run_bechamel ()
+  | other ->
+      Fmt.epr "unknown command %s@." other;
+      exit 2

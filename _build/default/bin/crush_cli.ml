@@ -1,0 +1,217 @@
+(** [crush] — command-line driver for the CRUSH resource-sharing flow.
+
+    Subcommands mirror the toolflow of Section 6: compile a benchmark
+    kernel to a dataflow circuit, analyze its performance-critical CFCs,
+    apply a sharing technique, simulate and verify, or export Graphviz.
+
+    Examples:
+      crush list
+      crush compile atax --dot atax.dot
+      crush analyze gemm
+      crush run gsumif --technique crush
+      crush run symm --technique inorder --strategy bb
+*)
+
+open Cmdliner
+
+let strategy_conv =
+  let parse = function
+    | "bb" | "bb-ordered" -> Ok Minic.Codegen.Bb_ordered
+    | "fast" | "fast-token" -> Ok Minic.Codegen.Fast_token
+    | s -> Error (`Msg (Fmt.str "unknown strategy %s (use bb | fast)" s))
+  in
+  let print ppf s = Fmt.string ppf (Minic.Codegen.string_of_strategy s) in
+  Arg.conv (parse, print)
+
+type technique = T_naive | T_crush | T_inorder
+
+let technique_conv =
+  let parse = function
+    | "naive" | "none" -> Ok T_naive
+    | "crush" -> Ok T_crush
+    | "inorder" | "in-order" -> Ok T_inorder
+    | s -> Error (`Msg (Fmt.str "unknown technique %s (naive | crush | inorder)" s))
+  in
+  let print ppf = function
+    | T_naive -> Fmt.string ppf "naive"
+    | T_crush -> Fmt.string ppf "crush"
+    | T_inorder -> Fmt.string ppf "inorder"
+  in
+  Arg.conv (parse, print)
+
+let bench_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"BENCH" ~doc:"Benchmark name (see $(b,crush list)).")
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt strategy_conv Minic.Codegen.Bb_ordered
+    & info [ "strategy" ] ~docv:"S" ~doc:"HLS strategy: bb or fast.")
+
+let technique_arg =
+  Arg.(
+    value
+    & opt technique_conv T_crush
+    & info [ "technique" ] ~docv:"T" ~doc:"Sharing technique: naive, crush or inorder.")
+
+let dot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"FILE" ~doc:"Write the circuit as Graphviz to $(docv).")
+
+let compile_bench name strategy =
+  let b = Kernels.Registry.find name in
+  (b, Minic.Codegen.compile_source ~strategy b.Kernels.Registry.source)
+
+let apply_technique technique (c : Minic.Codegen.compiled) =
+  match technique with
+  | T_naive -> ()
+  | T_crush ->
+      let r =
+        Crush.Share.crush c.Minic.Codegen.graph
+          ~critical_loops:c.Minic.Codegen.critical_loops
+      in
+      Fmt.pr "%a@." Crush.Share.pp_report r
+  | T_inorder ->
+      let r =
+        Crush.Inorder.share c.Minic.Codegen.graph
+          ~critical_loops:c.Minic.Codegen.critical_loops
+          ~conditional_bbs:c.Minic.Codegen.conditional_bbs
+      in
+      Fmt.pr "In-order: %d groups, %d evaluations, %.3fs@."
+        (List.length r.Crush.Inorder.groups)
+        r.Crush.Inorder.evaluations r.Crush.Inorder.opt_time_s
+
+let list_cmd =
+  let doc = "List the available benchmarks." in
+  let run () =
+    List.iter
+      (fun (b : Kernels.Registry.bench) ->
+        Fmt.pr "%-10s arrays: %a@." b.Kernels.Registry.name
+          Fmt.(list ~sep:sp (pair ~sep:(any "[") string (int ++ any "]")))
+          b.Kernels.Registry.arrays)
+      Kernels.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let compile_cmd =
+  let doc = "Compile a benchmark to a dataflow circuit and print statistics." in
+  let run name strategy dot =
+    let _, c = compile_bench name strategy in
+    let g = c.Minic.Codegen.graph in
+    let area = Analysis.Area.total g in
+    Fmt.pr "%s (%s): %d units, %d channels@." name
+      (Minic.Codegen.string_of_strategy strategy)
+      (Dataflow.Graph.live_unit_count g)
+      (List.length (Dataflow.Graph.channels g));
+    Fmt.pr "area: %a (%d slices), CP %.2f ns@." Analysis.Area.pp_cost area
+      (Analysis.Area.slices area)
+      (Analysis.Timing.critical_path g);
+    (match dot with
+    | Some path ->
+        Dataflow.Dot.to_file g path;
+        Fmt.pr "wrote %s@." path
+    | None -> ())
+  in
+  Cmd.v (Cmd.info "compile" ~doc)
+    Term.(const run $ bench_arg $ strategy_arg $ dot_arg)
+
+let analyze_cmd =
+  let doc = "Print the performance-critical CFCs, IIs and occupancies." in
+  let run name strategy =
+    let _, c = compile_bench name strategy in
+    let g = c.Minic.Codegen.graph in
+    let cfcs =
+      Analysis.Cfc.critical g ~critical_loops:c.Minic.Codegen.critical_loops
+    in
+    List.iter
+      (fun (cfc : Analysis.Cfc.t) ->
+        Fmt.pr "loop %d: %a (memory-port bound %d), %d units@." cfc.loop_id
+          Analysis.Cycle_ratio.pp cfc.ii cfc.mem_ii
+          (List.length cfc.units);
+        List.iter
+          (fun uid ->
+            match Dataflow.Graph.kind_of g uid with
+            | Dataflow.Types.Operator { op = (Fadd | Fsub | Fmul | Fdiv) as op; _ }
+              ->
+                Fmt.pr "  %s (%s): occupancy %.2f@."
+                  (Dataflow.Graph.label_of g uid)
+                  (Dataflow.Types.string_of_opcode op)
+                  (Analysis.Cfc.occupancy g cfc uid)
+            | _ -> ())
+          cfc.units)
+      cfcs
+  in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ bench_arg $ strategy_arg)
+
+let run_cmd =
+  let doc = "Compile, optionally share, simulate and verify a benchmark." in
+  let run name strategy technique dot =
+    let b, c = compile_bench name strategy in
+    apply_technique technique c;
+    let g = c.Minic.Codegen.graph in
+    let v = Kernels.Harness.run_circuit b g in
+    Fmt.pr "%s: %a@." name Kernels.Harness.pp_verdict v;
+    List.iter
+      (fun (a, i, want, got) ->
+        Fmt.pr "  mismatch %s[%d]: expected %g, got %g@." a i want got)
+      v.Kernels.Harness.mismatches;
+    Fmt.pr "fp units: %a; area: %a; CP %.2f ns@."
+      Fmt.(list ~sep:(any " ") (pair ~sep:(any ":") string int))
+      (Analysis.Area.fp_unit_counts g)
+      Analysis.Area.pp_cost (Analysis.Area.total g)
+      (Analysis.Timing.critical_path g);
+    (match dot with
+    | Some path ->
+        Dataflow.Dot.to_file g path;
+        Fmt.pr "wrote %s@." path
+    | None -> ());
+    if not v.Kernels.Harness.functionally_correct then exit 1
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ bench_arg $ strategy_arg $ technique_arg $ dot_arg)
+
+let stats_cmd =
+  let doc =
+    "Simulate a benchmark and report dynamic statistics: achieved II per \
+     loop and floating-point unit utilization."
+  in
+  let run name strategy technique =
+    let b, c = compile_bench name strategy in
+    apply_technique technique c;
+    let g = c.Minic.Codegen.graph in
+    let inputs = Kernels.Registry.fresh_inputs b in
+    let memory = Sim.Memory.of_graph g in
+    Hashtbl.iter (fun n d -> Sim.Memory.set_floats memory n d) inputs;
+    let out, stats = Sim.Stats.collect ~memory g in
+    Fmt.pr "%s: %a@." name Sim.Engine.pp_status
+      out.Sim.Engine.stats.Sim.Engine.status;
+    List.iter
+      (fun loop ->
+        match Sim.Stats.loop_ii g stats loop with
+        | Some ii -> Fmt.pr "loop %d: achieved II %.2f@." loop ii
+        | None -> ())
+      c.Minic.Codegen.all_loops;
+    Dataflow.Graph.iter_units g (fun u ->
+        match u.Dataflow.Graph.kind with
+        | Dataflow.Types.Operator
+            { op = Dataflow.Types.(Fadd | Fsub | Fmul | Fdiv); _ } ->
+            Fmt.pr "%-14s fires %6d, utilization %4.0f%%@." u.Dataflow.Graph.label
+              (Sim.Stats.fires stats u.Dataflow.Graph.uid)
+              (100.0 *. Sim.Stats.utilization g stats u.Dataflow.Graph.uid)
+        | _ -> ())
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(const run $ bench_arg $ strategy_arg $ technique_arg)
+
+let main =
+  let doc = "CRUSH: credit-based functional-unit sharing for dataflow circuits" in
+  Cmd.group
+    (Cmd.info "crush" ~version:"1.0.0" ~doc)
+    [ list_cmd; compile_cmd; analyze_cmd; run_cmd; stats_cmd ]
+
+let () = exit (Cmd.eval main)

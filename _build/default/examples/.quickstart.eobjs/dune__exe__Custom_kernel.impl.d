@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Analysis Array Crush Float Fmt Kernels List Minic Sim

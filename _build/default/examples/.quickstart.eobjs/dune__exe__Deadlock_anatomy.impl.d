@@ -1,0 +1,1 @@
+examples/deadlock_anatomy.ml: Crush Dataflow Fmt List Sim

@@ -1,0 +1,1 @@
+examples/fit_on_device.ml: Analysis Crush Fmt Kernels List Minic

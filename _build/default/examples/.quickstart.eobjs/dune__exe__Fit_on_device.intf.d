@@ -1,0 +1,1 @@
+examples/fit_on_device.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Crush Fmt Kernels Minic

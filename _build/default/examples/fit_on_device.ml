@@ -1,0 +1,47 @@
+(* Fitting an unrolled kernel on the FPGA (paper Table 1, Section 6.2).
+
+   Unrolling is the standard HLS lever for parallelism, but a modest
+   unroll factor already exceeds a mid-range device's DSP budget.  This
+   example unrolls gesummv's inner loop at growing factors and reports
+   when the design stops fitting on a Kintex-7 — and how CRUSH brings it
+   back under budget.  A small configuration is also simulated end to end
+   to show the unrolled circuit still computes the right result.
+
+   Run with:  dune exec examples/fit_on_device.exe *)
+
+let device = Analysis.Area.kintex7
+
+let report_fit name area =
+  Fmt.pr "  %-22s %6d LUT %7d FF %5d DSP  %s@." name area.Analysis.Area.luts
+    area.Analysis.Area.ffs area.Analysis.Area.dsps
+    (if Analysis.Area.fits_on device area then "fits"
+     else "does NOT fit (DSPs are the wall)")
+
+let study n =
+  Fmt.pr "@.gesummv, inner loop fully unrolled x%d:@." n;
+  let _bench, ast = Kernels.Registry.gesummv_unrolled ~n ~factor:n in
+  let naive = Minic.Codegen.compile ast in
+  report_fit "no sharing" (Analysis.Area.total naive.Minic.Codegen.graph);
+  let crush = Minic.Codegen.compile ast in
+  let r =
+    Crush.Share.crush crush.Minic.Codegen.graph
+      ~critical_loops:crush.Minic.Codegen.critical_loops
+  in
+  report_fit
+    (Fmt.str "CRUSH (%d groups)" (List.length r.Crush.Share.groups))
+    (Analysis.Area.total crush.Minic.Codegen.graph)
+
+let () =
+  Fmt.pr "Device: Kintex-7 xc7k160t (%d LUT / %d FF / %d DSP)@."
+    device.Analysis.Area.luts device.Analysis.Area.ffs device.Analysis.Area.dsps;
+  List.iter study [ 15; 40; 75 ];
+
+  (* End-to-end check at a size the simulator chews through quickly. *)
+  Fmt.pr "@.functional check at x15: ";
+  let bench, ast = Kernels.Registry.gesummv_unrolled ~n:15 ~factor:15 in
+  let c = Minic.Codegen.compile ast in
+  ignore
+    (Crush.Share.crush c.Minic.Codegen.graph
+       ~critical_loops:c.Minic.Codegen.critical_loops);
+  let v = Kernels.Harness.run_circuit bench c.Minic.Codegen.graph in
+  Fmt.pr "%a@." Kernels.Harness.pp_verdict v

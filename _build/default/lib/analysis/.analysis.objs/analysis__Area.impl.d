@@ -1,0 +1,1 @@
+lib/analysis/area.ml: Dataflow Fmt Graph Hashtbl List Option Types

@@ -1,0 +1,1 @@
+lib/analysis/area.mli: Dataflow Fmt

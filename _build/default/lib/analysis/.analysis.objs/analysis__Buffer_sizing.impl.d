@@ -1,0 +1,1 @@
+lib/analysis/buffer_sizing.ml: Cfc Dataflow Float Graph Hashtbl Option Types

@@ -1,0 +1,1 @@
+lib/analysis/buffer_sizing.mli: Dataflow

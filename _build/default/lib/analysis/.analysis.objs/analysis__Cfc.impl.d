@@ -1,0 +1,1 @@
+lib/analysis/cfc.ml: Cycle_ratio Dataflow Float Graph Hashtbl List Option Timed_graph Types

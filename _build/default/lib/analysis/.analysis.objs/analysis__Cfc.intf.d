@@ -1,0 +1,1 @@
+lib/analysis/cfc.mli: Cycle_ratio Dataflow Hashtbl

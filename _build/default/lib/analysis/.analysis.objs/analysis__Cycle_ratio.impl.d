@@ -1,0 +1,1 @@
+lib/analysis/cycle_ratio.ml: Array Fmt Hashtbl List Timed_graph

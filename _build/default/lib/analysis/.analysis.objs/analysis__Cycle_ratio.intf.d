@@ -1,0 +1,1 @@
+lib/analysis/cycle_ratio.mli: Fmt Timed_graph

@@ -1,0 +1,1 @@
+lib/analysis/retime.ml: Dataflow Graph Hashtbl List Scc Timing Types

@@ -1,0 +1,1 @@
+lib/analysis/timed_graph.ml: Dataflow Graph List Types

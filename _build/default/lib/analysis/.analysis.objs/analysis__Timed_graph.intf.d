@@ -1,0 +1,1 @@
+lib/analysis/timed_graph.mli: Dataflow

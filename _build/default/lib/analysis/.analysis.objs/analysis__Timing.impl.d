@@ -1,0 +1,1 @@
+lib/analysis/timing.ml: Dataflow Float Graph Hashtbl List Types

@@ -1,0 +1,1 @@
+lib/analysis/timing.mli: Dataflow Hashtbl

@@ -1,0 +1,109 @@
+(** FPGA resource model.
+
+    Replaces the Vivado post-place-and-route reports of the paper's
+    evaluation with an additive cost model calibrated to Xilinx 7-series
+    primitives.  The paper's resource claims are relative (ratios between
+    sharing strategies), so a consistent additive model preserves the
+    comparison shape: floating-point units dominate DSPs and FFs, the
+    sharing-wrapper cost grows with group size, and output buffers
+    dominate the wrapper's LUTs (Figures 9 and 10). *)
+
+open Dataflow
+open Types
+
+type cost = { luts : int; ffs : int; dsps : int }
+
+let zero = { luts = 0; ffs = 0; dsps = 0 }
+
+let ( ++ ) a b =
+  { luts = a.luts + b.luts; ffs = a.ffs + b.ffs; dsps = a.dsps + b.dsps }
+
+let scale k a = { luts = k * a.luts; ffs = k * a.ffs; dsps = k * a.dsps }
+
+(** Datapath width in bits; all costs assume this width. *)
+let width = 32
+
+(** Latency (pipeline stages) of a functional unit, shared with the
+    frontend so that circuits and analysis agree. *)
+let op_latency = function
+  | Fadd | Fsub -> 8
+  | Fmul -> 6
+  | Fdiv -> 18
+  | Imul -> 0
+  | Idiv -> 12
+  | Fcmp _ -> 2
+  | Iadd | Isub | Icmp _ | Band | Bor | Bnot | Select | Pass -> 0
+
+(** Resource cost of one functional unit of a given opcode. *)
+let op_cost = function
+  | Fadd | Fsub -> { luts = 220; ffs = 340; dsps = 2 }
+  | Fmul -> { luts = 90; ffs = 250; dsps = 3 }
+  | Fdiv -> { luts = 800; ffs = 620; dsps = 0 }
+  | Imul -> { luts = 120; ffs = 0; dsps = 0 }
+  | Idiv -> { luts = 650; ffs = 500; dsps = 0 }
+  | Fcmp _ -> { luts = 80; ffs = 66; dsps = 0 }
+  | Iadd | Isub -> { luts = 32; ffs = 0; dsps = 0 }
+  | Icmp _ -> { luts = 20; ffs = 0; dsps = 0 }
+  | Band | Bor -> { luts = 8; ffs = 0; dsps = 0 }
+  | Bnot -> { luts = 2; ffs = 0; dsps = 0 }
+  | Select -> { luts = 20; ffs = 0; dsps = 0 }
+  | Pass -> zero
+
+(** Cost of one dataflow unit (sharing-wrapper components included: the
+    breakdown of Figure 10 is obtained by summing these per kind). *)
+let unit_cost (k : kind) =
+  match k with
+  | Entry _ | Exit | Sink -> zero
+  | Const _ -> { luts = 2; ffs = 0; dsps = 0 }
+  | Fork { outputs; lazy_ = false } -> { luts = 2 * outputs; ffs = outputs; dsps = 0 }
+  | Fork { outputs; lazy_ = true } -> { luts = 3 * outputs; ffs = 0; dsps = 0 }
+  | Join { inputs; _ } -> { luts = 2 * inputs; ffs = 0; dsps = 0 }
+  | Merge { inputs } -> { luts = (width / 2 * (inputs - 1)) + 6; ffs = 0; dsps = 0 }
+  | Arbiter { inputs; _ } ->
+      { luts = (20 * inputs) + 16; ffs = 8; dsps = 0 }
+  | Mux { inputs } -> { luts = (width / 2 * (inputs - 1)) + 10; ffs = 0; dsps = 0 }
+  | Branch { outputs } -> { luts = 12 + (6 * outputs); ffs = 0; dsps = 0 }
+  | Buffer { slots; transparent; narrow; _ } ->
+      (* Slot registers plus FIFO control; transparent buffers pay extra
+         bypass logic, which is why output buffers dominate the sharing
+         wrapper's LUTs (Section 6.4).  Narrow buffers hold a condition or
+         index token of a few bits. *)
+      let bits = if narrow then 4 else width in
+      let per_slot = { luts = (bits / 4) + 2; ffs = bits + 2; dsps = 0 } in
+      let control =
+        if transparent then { luts = (if narrow then 8 else 24); ffs = 0; dsps = 0 }
+        else { luts = (if narrow then 4 else 10); ffs = 0; dsps = 0 }
+      in
+      scale slots per_slot ++ control
+  | Operator { op; _ } -> op_cost op
+  | Load _ -> { luts = 40; ffs = 50; dsps = 0 }
+  | Store _ -> { luts = 30; ffs = 20; dsps = 0 }
+  | Credit_counter _ -> { luts = 12; ffs = 6; dsps = 0 }
+
+(** Total circuit cost. *)
+let total g =
+  Graph.fold_units g (fun acc u -> acc ++ unit_cost u.Graph.kind) zero
+
+(** Slice estimate: a 7-series slice packs 4 LUTs and 8 FFs. *)
+let slices c = max ((c.luts + 3) / 4) ((c.ffs + 7) / 8)
+
+(** Counts of floating-point functional units by opcode name, e.g.
+    [("fadd", 1); ("fmul", 2)] — the "Functional units" column. *)
+let fp_unit_counts g =
+  let tbl = Hashtbl.create 7 in
+  Graph.iter_units g (fun u ->
+      match u.Graph.kind with
+      | Operator { op = (Fadd | Fsub | Fmul | Fdiv) as op; _ } ->
+          let name = string_of_opcode op in
+          Hashtbl.replace tbl name
+            (1 + Option.value (Hashtbl.find_opt tbl name) ~default:0)
+      | _ -> ());
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let pp_cost ppf c = Fmt.pf ppf "%d LUT / %d FF / %d DSP" c.luts c.ffs c.dsps
+
+(** Capacity of the paper's target device (Kintex-7 xc7k160t). *)
+let kintex7 = { luts = 101_000; ffs = 202_000; dsps = 600 }
+
+let fits_on device c =
+  c.luts <= device.luts && c.ffs <= device.ffs && c.dsps <= device.dsps

@@ -1,0 +1,41 @@
+(** FPGA resource model: additive per-unit LUT/FF/DSP costs calibrated to
+    Xilinx 7-series primitives.  Replaces the paper's Vivado reports; the
+    paper's resource claims are relative, which an additive model
+    preserves (see DESIGN.md). *)
+
+type cost = { luts : int; ffs : int; dsps : int }
+
+val zero : cost
+val ( ++ ) : cost -> cost -> cost
+val scale : int -> cost -> cost
+
+(** Datapath width (bits) assumed by the unit costs. *)
+val width : int
+
+(** Pipeline latency of a functional unit, shared with the frontend so
+    circuits and analysis agree (e.g. fadd 8, fmul 6). *)
+val op_latency : Dataflow.Types.opcode -> int
+
+(** Resource cost of one functional unit. *)
+val op_cost : Dataflow.Types.opcode -> cost
+
+(** Resource cost of one dataflow unit of any kind (sharing-wrapper
+    components included; narrow buffers are priced at condition width). *)
+val unit_cost : Dataflow.Types.kind -> cost
+
+(** Total circuit cost. *)
+val total : Dataflow.Graph.t -> cost
+
+(** Slice estimate: a 7-series slice packs 4 LUTs and 8 FFs. *)
+val slices : cost -> int
+
+(** Floating-point unit inventory by opcode name, e.g.
+    [("fadd", 1); ("fmul", 2)]. *)
+val fp_unit_counts : Dataflow.Graph.t -> (string * int) list
+
+val pp_cost : cost Fmt.t
+
+(** Capacity of the paper's target device (Kintex-7 xc7k160t). *)
+val kintex7 : cost
+
+val fits_on : cost -> cost -> bool

@@ -1,0 +1,13 @@
+(** Throughput-aware buffer rightsizing — the buffer-sizing role of
+    Dynamatic's MILP [34].  The builder sizes slack FIFOs for II = 1; at
+    the loop's achievable II, the fast paths only need to run ahead of
+    the slowest one by about max-imbalance / II iterations, so every
+    transparent FIFO shrinks to that run-ahead depth plus an elasticity
+    margin.  Never causes deadlock (slack is a performance device). *)
+
+(** Slots a loop's FIFOs need at the given II and maximum imbalance. *)
+val runahead_slots : ii:float -> max_imbalance:int -> int
+
+(** Rightsize every non-pinned transparent FIFO; returns the number of
+    slots removed. *)
+val rightsize : Dataflow.Graph.t -> int

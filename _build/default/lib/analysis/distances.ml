@@ -1,0 +1,61 @@
+(** Maximum distances inside an SCC.
+
+    Rule R3 of the sharing-group heuristic compares, for two candidate
+    operations op_i and op_j of the same SCC, the maximum distance from
+    every other SCC member to each of them: if some member is equidistant,
+    the two operations always become ready simultaneously and sharing them
+    penalizes the II (Figure 5).  SCCs of dataflow circuits are sparse
+    rings, so enumerating simple paths with a budget is exact in practice
+    and cheap; when the budget is exhausted we fall back conservatively
+    (treating the distances as equal forbids the merge, which can only
+    cost area, never correctness or II). *)
+
+(** Length (in hops, counting intermediate units) of the longest simple
+    path from [src] to [dst] using only nodes for which [in_scope] holds.
+    Returns [None] when no path exists or the enumeration budget blows. *)
+let max_distance ~succ ~in_scope ~budget src dst =
+  let explored = ref 0 in
+  let best = ref None in
+  let exception Budget in
+  let rec go node len on_path =
+    incr explored;
+    if !explored > budget then raise Budget;
+    if node = dst && len > 0 then begin
+      let d = len - 1 in
+      match !best with
+      | Some b when b >= d -> ()
+      | _ -> best := Some d
+    end
+    else
+      List.iter
+        (fun m ->
+          if in_scope m && not (List.mem m on_path) && not (m = src && len > 0)
+          then go m (len + 1) (m :: on_path))
+        (succ node)
+  in
+  match go src 0 [ src ] with
+  | () -> Ok !best
+  | exception Budget -> Error `Budget_exhausted
+
+(** R3 test for a pair of operations in one SCC: true when every other SCC
+    member has distinct maximum distances to the two operations, i.e. the
+    pair never becomes ready simultaneously and may share a unit. *)
+let distinct_distances ~succ ~members op_i op_j =
+  let in_scope n = List.mem n members in
+  let budget = 20_000 in
+  List.for_all
+    (fun u ->
+      if u = op_i || u = op_j then true
+      else begin
+        match
+          ( max_distance ~succ ~in_scope ~budget u op_i,
+            max_distance ~succ ~in_scope ~budget u op_j )
+        with
+        | Ok (Some di), Ok (Some dj) -> di <> dj
+        | Ok None, Ok (Some _) | Ok (Some _), Ok None -> true
+        | Ok None, Ok None -> true
+        | Error `Budget_exhausted, _ | _, Error `Budget_exhausted ->
+            (* Conservative: treat as equidistant, forbidding the merge. *)
+            false
+      end)
+    members

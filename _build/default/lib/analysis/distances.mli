@@ -1,0 +1,21 @@
+(** Maximum distances inside an SCC, for rule R3 of the sharing-group
+    heuristic (paper Section 5.2): operations of one SCC that are
+    equidistant from every other member always become ready
+    simultaneously and must not share a unit (Figure 5). *)
+
+(** Longest simple path length (intermediate hops) from [src] to [dst]
+    within [in_scope], by bounded enumeration.  [Ok None] when no path
+    exists; [Error `Budget_exhausted] when the enumeration budget blows. *)
+val max_distance :
+  succ:(int -> int list) ->
+  in_scope:(int -> bool) ->
+  budget:int ->
+  int ->
+  int ->
+  (int option, [ `Budget_exhausted ]) result
+
+(** R3 test for two operations of one SCC: true when every other member
+    has distinct maximum distances to the two (sharing allowed).  Budget
+    exhaustion conservatively forbids the merge. *)
+val distinct_distances :
+  succ:(int -> int list) -> members:int list -> int -> int -> bool

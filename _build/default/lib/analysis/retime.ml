@@ -1,0 +1,50 @@
+(** Timing-driven pipelining of long combinational paths.
+
+    Dynamatic's buffer placement targets a clock period by inserting
+    registered buffers on slow combinational chains; this pass plays the
+    same role against our timing model.  Registers may only go where they
+    cannot change a loop's II: on channels that connect two different
+    SCCs of the circuit graph (loop entries/exits, address arithmetic
+    feeding loads, inter-nest plumbing).  Such feed-forward connections
+    just gain a pipeline stage, which elastic circuits absorb. *)
+
+open Dataflow
+
+(** Component id per unit in the whole circuit graph. *)
+let components g =
+  let nodes = List.map (fun u -> u.Graph.uid) (Graph.units g) in
+  let scc = Scc.compute ~nodes ~succ:(Graph.successors g) in
+  fun uid -> Scc.component_of scc uid
+
+(** Insert registered buffers on inter-SCC channels until no such channel
+    launches a signal later than [target_ns] (best effort, bounded
+    rounds).  Returns the number of registers inserted. *)
+let cut ?(target_ns = 4.5) ?(max_rounds = 12) g =
+  let inserted = ref 0 in
+  let round () =
+    let comp = components g in
+    let arrival = Timing.arrivals g in
+    let offenders =
+      let acc = ref [] in
+      Graph.iter_channels g (fun c ->
+          let s = c.Graph.src.unit_id and d = c.Graph.dst.unit_id in
+          if
+            comp s <> comp d
+            && Hashtbl.find arrival s > target_ns
+            && not (Timing.is_sequential (Graph.kind_of g s))
+          then acc := c.Graph.id :: !acc);
+      !acc
+    in
+    List.iter
+      (fun cid ->
+        ignore
+          (Graph.insert_on_channel g cid
+             (Types.Buffer
+                { slots = 2; transparent = false; init = []; narrow = false }));
+        incr inserted)
+      offenders;
+    offenders <> []
+  in
+  let rec go n = if n > 0 && round () then go (n - 1) in
+  go max_rounds;
+  !inserted

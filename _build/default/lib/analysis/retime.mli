@@ -1,0 +1,13 @@
+(** Timing-driven pipelining of long combinational paths (optional pass).
+    Registers may only go on channels connecting two different SCCs of
+    the circuit graph — loop entries/exits and other feed-forward
+    plumbing — where an extra pipeline stage cannot change any loop's II;
+    elastic circuits absorb the added latency. *)
+
+(** Component id per unit of the whole circuit graph. *)
+val components : Dataflow.Graph.t -> int -> int option
+
+(** Insert registered buffers on inter-SCC channels until no such channel
+    launches later than [target_ns] (best effort, bounded rounds).
+    Returns the number of registers inserted. *)
+val cut : ?target_ns:float -> ?max_rounds:int -> Dataflow.Graph.t -> int

@@ -1,0 +1,145 @@
+(** Strongly connected components (Tarjan, iterative) and SCC condensation
+    graphs.  Both sharing heuristics of the paper rest on this analysis:
+    rule R3 forbids sharing operations of one SCC that always start
+    simultaneously, and the access-priority heuristic follows a
+    topological order of the SCC graph (Sections 5.2 and 5.3). *)
+
+type t = {
+  component : (int, int) Hashtbl.t;  (** node -> component id *)
+  members : int list array;          (** component id -> nodes *)
+}
+
+(** [compute ~nodes ~succ] returns the SCCs of the directed graph induced
+    by [nodes]; [succ n] lists the successors of [n] (successors outside
+    [nodes] are ignored).  Component ids are in reverse topological order
+    of the condensation (id 0 has no predecessors among later ids). *)
+let compute ~nodes ~succ =
+  let in_scope = Hashtbl.create 97 in
+  List.iter (fun n -> Hashtbl.replace in_scope n ()) nodes;
+  let index = Hashtbl.create 97 in
+  let lowlink = Hashtbl.create 97 in
+  let on_stack = Hashtbl.create 97 in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let component = Hashtbl.create 97 in
+  let comps = ref [] in
+  let n_comps = ref 0 in
+  (* Explicit DFS stack of (node, remaining successors). *)
+  let visit v0 =
+    let call_stack = ref [ (v0, ref (List.filter (Hashtbl.mem in_scope) (succ v0))) ] in
+    Hashtbl.replace index v0 !next_index;
+    Hashtbl.replace lowlink v0 !next_index;
+    incr next_index;
+    stack := v0 :: !stack;
+    Hashtbl.replace on_stack v0 ();
+    while !call_stack <> [] do
+      match !call_stack with
+      | [] -> ()
+      | (v, rest) :: tl -> (
+          match !rest with
+          | w :: ws ->
+              rest := ws;
+              if not (Hashtbl.mem index w) then begin
+                Hashtbl.replace index w !next_index;
+                Hashtbl.replace lowlink w !next_index;
+                incr next_index;
+                stack := w :: !stack;
+                Hashtbl.replace on_stack w ();
+                call_stack :=
+                  (w, ref (List.filter (Hashtbl.mem in_scope) (succ w)))
+                  :: !call_stack
+              end
+              else if Hashtbl.mem on_stack w then
+                Hashtbl.replace lowlink v
+                  (min (Hashtbl.find lowlink v) (Hashtbl.find index w))
+          | [] ->
+              call_stack := tl;
+              if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+                let cid = !n_comps in
+                incr n_comps;
+                let members = ref [] in
+                let continue_ = ref true in
+                while !continue_ do
+                  match !stack with
+                  | [] -> continue_ := false
+                  | w :: rest ->
+                      stack := rest;
+                      Hashtbl.remove on_stack w;
+                      Hashtbl.replace component w cid;
+                      members := w :: !members;
+                      if w = v then continue_ := false
+                done;
+                comps := !members :: !comps
+              end;
+              (match tl with
+              | (parent, _) :: _ ->
+                  Hashtbl.replace lowlink parent
+                    (min (Hashtbl.find lowlink parent) (Hashtbl.find lowlink v))
+              | [] -> ()))
+    done
+  in
+  List.iter (fun n -> if not (Hashtbl.mem index n) then visit n) nodes;
+  let members = Array.make !n_comps [] in
+  List.iteri (fun i ms -> members.(!n_comps - 1 - i) <- ms) (List.rev !comps);
+  (* Renumber so that component ids follow discovery; rebuild mapping. *)
+  let component' = Hashtbl.create 97 in
+  Array.iteri
+    (fun cid ms -> List.iter (fun n -> Hashtbl.replace component' n cid) ms)
+    members;
+  ignore component;
+  { component = component'; members }
+
+let component_of t n = Hashtbl.find_opt t.component n
+
+let same_component t a b =
+  match (component_of t a, component_of t b) with
+  | Some x, Some y -> x = y
+  | _ -> false
+
+let n_components t = Array.length t.members
+
+let members t cid = t.members.(cid)
+
+(** Condensation: edges between distinct components, deduplicated. *)
+let condensation t ~nodes ~succ =
+  let edges = Hashtbl.create 97 in
+  List.iter
+    (fun n ->
+      match component_of t n with
+      | None -> ()
+      | Some cn ->
+          List.iter
+            (fun m ->
+              match component_of t m with
+              | Some cm when cm <> cn -> Hashtbl.replace edges (cn, cm) ()
+              | _ -> ())
+            (succ n))
+    nodes;
+  Hashtbl.fold (fun e () acc -> e :: acc) edges []
+
+(** Topological order of the condensation: maps component id to rank.
+    The condensation is acyclic by construction. *)
+let topological_order t ~nodes ~succ =
+  let n = n_components t in
+  let adj = Array.make n [] in
+  let indeg = Array.make n 0 in
+  List.iter
+    (fun (a, b) ->
+      adj.(a) <- b :: adj.(a);
+      indeg.(b) <- indeg.(b) + 1)
+    (condensation t ~nodes ~succ);
+  let rank = Array.make n (-1) in
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let next = ref 0 in
+  while not (Queue.is_empty queue) do
+    let c = Queue.pop queue in
+    rank.(c) <- !next;
+    incr next;
+    List.iter
+      (fun d ->
+        indeg.(d) <- indeg.(d) - 1;
+        if indeg.(d) = 0 then Queue.add d queue)
+      adj.(c)
+  done;
+  rank

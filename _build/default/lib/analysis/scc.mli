@@ -1,0 +1,22 @@
+(** Strongly connected components (iterative Tarjan) and condensation
+    graphs — the backbone of both sharing heuristics (rule R3 and the
+    priority order, paper Sections 5.2–5.3). *)
+
+type t
+
+(** SCCs of the directed graph induced by [nodes]; successors outside
+    [nodes] are ignored.  Iterative: safe on very deep graphs. *)
+val compute : nodes:int list -> succ:(int -> int list) -> t
+
+val component_of : t -> int -> int option
+val same_component : t -> int -> int -> bool
+val n_components : t -> int
+val members : t -> int -> int list
+
+(** Deduplicated edges between distinct components. *)
+val condensation :
+  t -> nodes:int list -> succ:(int -> int list) -> (int * int) list
+
+(** Topological rank per component id (the condensation is acyclic). *)
+val topological_order :
+  t -> nodes:int list -> succ:(int -> int list) -> int array

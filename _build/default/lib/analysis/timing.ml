@@ -1,0 +1,136 @@
+(** Combinational timing model.
+
+    Replaces Vivado's post-route timing with a per-unit delay model.  The
+    clock period (CP) is the longest register-to-register combinational
+    path: sequential units (opaque buffers, pipelined operators, loads,
+    stores, credit counters) launch and capture paths; all other units
+    propagate combinationally.  Sharing increases the CP by adding
+    arbitration and multiplexing logic in front of the shared unit
+    (Section 6.4), which this model reproduces: arbiter and mux delays
+    grow with group size. *)
+
+open Dataflow
+open Types
+
+(** Combinational propagation delay (ns) through one unit.  Calibrated
+    so that kernel CPs land in the paper's 5-7 ns band on the 6 ns-target
+    Kintex-7 flow; the group-size-dependent terms (mux, merge, arbiter)
+    reproduce the CP growth of wide sharing wrappers (Section 6.4). *)
+let unit_delay (k : kind) =
+  match k with
+  | Entry _ | Exit | Sink -> 0.0
+  | Const _ -> 0.02
+  | Fork { lazy_ = false; _ } -> 0.05
+  | Fork { lazy_ = true; outputs } -> 0.08 +. (0.02 *. float_of_int outputs)
+  | Join { inputs; _ } -> 0.06 +. (0.01 *. float_of_int inputs)
+  | Merge { inputs } -> 0.12 +. (0.03 *. float_of_int inputs)
+  | Arbiter { inputs; _ } -> 0.25 +. (0.12 *. float_of_int inputs)
+  | Mux { inputs } -> 0.12 +. (0.03 *. float_of_int inputs)
+  | Branch { outputs } -> 0.1 +. (0.02 *. float_of_int outputs)
+  | Buffer { transparent = true; _ } -> 0.1
+  | Buffer _ -> 0.0 (* registered output: starts a new path *)
+  | Operator { op; latency; _ } ->
+      if latency > 0 then 0.0
+      else begin
+        match op with
+        | Iadd | Isub -> 0.6
+        | Icmp _ -> 0.45
+        | Imul -> 1.0
+        | Band | Bor | Bnot -> 0.15
+        | Select -> 0.2
+        | Pass -> 0.02
+        | _ -> 0.4
+      end
+  | Load _ | Store _ -> 0.0
+  | Credit_counter _ -> 0.0
+
+(** Clock-to-output delay (ns) of a sequential unit. *)
+let launch_delay (k : kind) =
+  match k with
+  | Buffer { transparent = false; _ } -> 0.45
+  | Operator { latency; _ } when latency > 0 -> 1.1
+  | Load _ -> 0.9
+  | Store _ -> 0.4
+  | Credit_counter _ -> 0.35
+  | Entry _ -> 0.3
+  | _ -> 0.0
+
+(** Setup margin (ns) at the capturing register. *)
+let setup_delay (k : kind) =
+  match k with
+  | Buffer { transparent = false; _ } -> 0.1
+  | Operator { latency; _ } when latency > 0 -> 0.5
+  | Load _ | Store _ -> 0.4
+  | Credit_counter _ -> 0.1
+  | Exit | Sink -> 0.1
+  | _ -> 0.0
+
+let is_sequential (k : kind) =
+  match k with
+  | Buffer { transparent = false; _ } -> true
+  | Operator { latency; _ } -> latency > 0
+  | Load _ | Store _ | Credit_counter _ -> true
+  | Entry _ -> true
+  | _ -> false
+
+exception Combinational_cycle of int list
+
+(** Arrival time (ns) at each unit's output, by memoized DFS over the
+    combinational subgraph.  Raises {!Combinational_cycle} on a cycle
+    that never crosses a sequential element. *)
+let arrivals g =
+  let arrival = Hashtbl.create 97 in
+  let visiting = Hashtbl.create 97 in
+  let rec arrive uid =
+    match Hashtbl.find_opt arrival uid with
+    | Some a -> a
+    | None ->
+        if Hashtbl.mem visiting uid then
+          raise
+            (Combinational_cycle (Hashtbl.fold (fun u () l -> u :: l) visiting []));
+        Hashtbl.replace visiting uid ();
+        let k = Graph.kind_of g uid in
+        let a =
+          if is_sequential k then launch_delay k
+          else begin
+            let worst =
+              List.fold_left
+                (fun m p -> Float.max m (arrive p))
+                0.0
+                (Graph.predecessors g uid)
+            in
+            worst +. unit_delay k
+          end
+        in
+        Hashtbl.remove visiting uid;
+        Hashtbl.replace arrival uid a;
+        a
+  in
+  Graph.iter_units g (fun u -> ignore (arrive u.Graph.uid));
+  arrival
+
+(** Critical path of the circuit (ns).
+
+    The longest combinational arrival time is computed by memoized DFS
+    over the combinational subgraph; a cycle that never crosses a
+    sequential element raises {!Combinational_cycle} (such circuits are
+    not implementable — the builder's registered backedges prevent it). *)
+let critical_path g =
+  let arrival = arrivals g in
+  let arrive uid = Hashtbl.find arrival uid in
+  let cp = ref 0.0 in
+  Graph.iter_units g (fun u ->
+      let k = u.Graph.kind in
+      (* Paths end where a register captures. *)
+      if is_sequential k || k = Exit || k = Sink then begin
+        let input_arrival =
+          List.fold_left
+            (fun m p -> Float.max m (arrive p))
+            0.0
+            (Graph.predecessors g u.Graph.uid)
+        in
+        cp := Float.max !cp (input_arrival +. setup_delay k)
+      end;
+      (* Also account for purely combinational endpoints. *)
+      cp := Float.max !cp (arrive u.Graph.uid));
+  !cp

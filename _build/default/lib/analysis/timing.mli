@@ -1,0 +1,22 @@
+(** Combinational timing model: per-unit propagation delays, sequential
+    launch/setup margins, and the register-to-register critical path.
+    Replaces the paper's post-route Vivado timing; sharing's CP overhead
+    (arbiter and mux delays growing with group size, Section 6.4) is
+    reproduced by the group-size-dependent terms. *)
+
+val unit_delay : Dataflow.Types.kind -> float
+val launch_delay : Dataflow.Types.kind -> float
+val setup_delay : Dataflow.Types.kind -> float
+
+(** Does this unit register its output (i.e. start a fresh path)? *)
+val is_sequential : Dataflow.Types.kind -> bool
+
+(** Raised when a cycle never crosses a sequential element; the payload
+    lists the units under visit. *)
+exception Combinational_cycle of int list
+
+(** Arrival time (ns) at each unit's output, by memoized DFS. *)
+val arrivals : Dataflow.Graph.t -> (int, float) Hashtbl.t
+
+(** Critical path of the circuit (ns). *)
+val critical_path : Dataflow.Graph.t -> float

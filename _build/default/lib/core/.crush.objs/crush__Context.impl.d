@@ -1,0 +1,1 @@
+lib/core/context.ml: Analysis Dataflow Float Graph Hashtbl List Types

@@ -1,0 +1,1 @@
+lib/core/elide.ml: Dataflow Graph List Sim String Types

@@ -1,0 +1,1 @@
+lib/core/elide.mli: Dataflow Sim

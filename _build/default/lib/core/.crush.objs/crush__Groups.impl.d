@@ -1,0 +1,1 @@
+lib/core/groups.ml: Analysis Array Context Cost Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/core/inorder.ml: Analysis Array Context Cost Dataflow Graph Groups Hashtbl List Option Share Sys Types Validate Wrapper

@@ -1,0 +1,1 @@
+lib/core/inorder.mli: Context Dataflow Share

@@ -1,0 +1,1 @@
+lib/core/paper_examples.ml: Array Builder Dataflow Float Graph Sim Types Wrapper

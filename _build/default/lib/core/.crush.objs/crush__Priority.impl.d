@@ -1,0 +1,1 @@
+lib/core/priority.ml: Analysis Array Context Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/share.ml: Context Dataflow Fmt Fun Groups List Option Priority Sys Types Validate Wrapper

@@ -1,0 +1,1 @@
+lib/core/share.mli: Context Dataflow Fmt

@@ -1,0 +1,1 @@
+lib/core/wrapper.ml: Dataflow Fmt Graph List Types

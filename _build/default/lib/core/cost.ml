@@ -1,0 +1,120 @@
+(** Cost model of sharing (Equation 2 of the paper):
+
+      C_T * |groups|  +  sum over groups of C_WP(|G_i|)
+
+    The first term is the shared units themselves (decreases as groups
+    merge), the second the sharing wrappers (grows with group size).  The
+    grouping heuristic merges two groups only when the merged wrapper
+    costs less than the saved unit.  Costs are scalarized with a weight
+    that reflects DSP scarcity on FPGAs (Section 6: devices have hundreds
+    of thousands of LUTs/FFs but only 1–2k DSPs). *)
+
+open Dataflow
+open Analysis
+
+(** Equation 2 "can be used to model different resources and
+    characterize different platforms (e.g. FPGAs and ASICs)"
+    (Section 4.3).  The FPGA scalarization prices the scarce DSP blocks
+    heavily; the ASIC scalarization converts everything to gate
+    equivalents, where a hard multiplier macro is a large block of
+    standard cells and sharing pays off even sooner. *)
+type platform = Fpga | Asic
+
+(** Scalarization: one DSP is worth ~150 LUT-equivalents. *)
+let dsp_weight = 150
+
+let weight_on platform (c : Area.cost) =
+  match platform with
+  | Fpga -> c.Area.luts + c.Area.ffs + (dsp_weight * c.Area.dsps)
+  | Asic ->
+      (* Gate equivalents: a LUT's logic ~6 GE, a flip-flop ~8 GE, a DSP
+         block's function as standard cells ~2000 GE. *)
+      (6 * c.Area.luts) + (8 * c.Area.ffs) + (2000 * c.Area.dsps)
+
+let weight c = weight_on Fpga c
+
+(** Cost of one functional unit of opcode [op]. *)
+let unit_cost op = weight (Area.op_cost op)
+
+(** Components of a credit-based sharing wrapper for a group of [n]
+    operations with per-member credit counts [credits] (paper Figure 3).
+    Returned as labelled costs so Figure 10's breakdown falls out. *)
+let wrapper_components ~op ~n ~credits : (string * Area.cost) list =
+  ignore op;
+  if n <= 1 then []
+  else begin
+    let ( ++ ) = Area.( ++ ) in
+    let sum_credits = List.fold_left ( + ) 0 credits in
+    let buffer ?(narrow = false) slots transparent =
+      Area.unit_cost (Types.Buffer { slots; transparent; init = []; narrow })
+    in
+    [
+      ( "credit counters",
+        List.fold_left
+          (fun acc _ ->
+            acc
+            ++ Area.unit_cost (Types.Credit_counter { init = 1 })
+            ++ Area.unit_cost (Types.Fork { outputs = 2; lazy_ = true }))
+          Area.zero credits );
+      ( "joins",
+        Area.scale n
+          (Area.unit_cost (Types.Join { inputs = 3; keep = [| true; true; false |] }))
+      );
+      ("branch", Area.unit_cost (Types.Branch { outputs = n }));
+      ("condition buffer", buffer ~narrow:true (max 2 sum_credits) true);
+      ( "merges and muxes",
+        Area.unit_cost
+          (Types.Arbiter { inputs = n; policy = Types.Priority (List.init n Fun.id) })
+      );
+      ( "output buffers",
+        List.fold_left (fun acc c -> acc ++ buffer (max 1 c) true) Area.zero credits
+      );
+    ]
+  end
+
+let wrapper_cost ~op ~n ~credits =
+  List.fold_left
+    (fun acc (_, c) -> Area.( ++ ) acc c)
+    Area.zero
+    (wrapper_components ~op ~n ~credits)
+
+(** Scalar wrapper cost for group size [n], uniform [credit] per member. *)
+let cwp_on platform ~op ~n ~credit =
+  weight_on platform (wrapper_cost ~op ~n ~credits:(List.init n (fun _ -> credit)))
+
+let cwp ~op ~n ~credit = cwp_on Fpga ~op ~n ~credit
+
+(** Would merging groups of sizes [a] and [b] (same type [op]) reduce the
+    total cost on [platform]?  Merging removes one shared unit and
+    replaces two small wrappers by one larger one. *)
+let merge_profitable_on platform ~op ~credit ~a ~b =
+  cwp_on platform ~op ~n:(a + b) ~credit
+  - cwp_on platform ~op ~n:a ~credit
+  - cwp_on platform ~op ~n:b ~credit
+  < weight_on platform (Area.op_cost op)
+
+let merge_profitable ~op ~credit ~a ~b =
+  merge_profitable_on Fpga ~op ~credit ~a ~b
+
+(** Equation 2 evaluated for a set of group sizes of one type — used by
+    the Figure 9 study (cost of sharing n units vs n separate units). *)
+let total_on platform ~op ~credit sizes =
+  let shared_units = List.length (List.filter (fun s -> s > 0) sizes) in
+  (shared_units * weight_on platform (Area.op_cost op))
+  + List.fold_left (fun acc n -> acc + cwp_on platform ~op ~n ~credit) 0 sizes
+
+let total ~op ~credit sizes = total_on Fpga ~op ~credit sizes
+
+(** The smallest group size from which sharing beats unshared units on
+    the platform — where the Equation-2 curve crosses 1.0 (the Figure 9
+    "is sharing beneficial at all" question, asked per platform). *)
+let crossover_on platform ~op ~credit =
+  let rec go n =
+    if n > 64 then None
+    else if
+      total_on platform ~op ~credit [ n ]
+      < n * weight_on platform (Area.op_cost op)
+    then Some n
+    else go (n + 1)
+  in
+  go 2

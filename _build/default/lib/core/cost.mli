@@ -1,0 +1,58 @@
+(** Cost model of sharing (Equation 2 of the paper):
+    [C_T * |groups| + sum of C_WP(|G_i|)] — shared units get cheaper as
+    groups merge, wrappers get dearer as they grow.  Costs are scalarized
+    with a weight reflecting DSP scarcity on FPGAs. *)
+
+(** Section 4.3: Equation 2 characterizes different platforms.  [Fpga]
+    prices scarce DSP blocks heavily; [Asic] converts to gate
+    equivalents, where a multiplier macro is large and sharing pays off
+    even sooner. *)
+type platform = Fpga | Asic
+
+(** LUT-equivalents per DSP block in the FPGA scalarization. *)
+val dsp_weight : int
+
+val weight_on : platform -> Analysis.Area.cost -> int
+
+(** FPGA scalarization ([weight_on Fpga]). *)
+val weight : Analysis.Area.cost -> int
+
+(** Scalar cost of one functional unit of the given opcode. *)
+val unit_cost : Dataflow.Types.opcode -> int
+
+(** Labelled per-component costs of a sharing wrapper for a group of [n]
+    operations with the given per-member credits — the breakdown behind
+    paper Figure 10.  Empty for [n <= 1]. *)
+val wrapper_components :
+  op:Dataflow.Types.opcode ->
+  n:int ->
+  credits:int list ->
+  (string * Analysis.Area.cost) list
+
+val wrapper_cost :
+  op:Dataflow.Types.opcode -> n:int -> credits:int list -> Analysis.Area.cost
+
+val cwp_on :
+  platform -> op:Dataflow.Types.opcode -> n:int -> credit:int -> int
+
+(** Scalar wrapper cost at uniform credits (FPGA). *)
+val cwp : op:Dataflow.Types.opcode -> n:int -> credit:int -> int
+
+val merge_profitable_on :
+  platform -> op:Dataflow.Types.opcode -> credit:int -> a:int -> b:int -> bool
+
+(** Does merging groups of sizes [a] and [b] reduce Equation 2 (FPGA)? *)
+val merge_profitable :
+  op:Dataflow.Types.opcode -> credit:int -> a:int -> b:int -> bool
+
+val total_on :
+  platform -> op:Dataflow.Types.opcode -> credit:int -> int list -> int
+
+(** Equation 2 evaluated for a set of group sizes of one type (the
+    Figure 9 study; FPGA). *)
+val total : op:Dataflow.Types.opcode -> credit:int -> int list -> int
+
+(** Smallest group size from which sharing beats unshared units on the
+    platform; [None] when sharing never pays (e.g. integer adders). *)
+val crossover_on :
+  platform -> op:Dataflow.Types.opcode -> credit:int -> int option

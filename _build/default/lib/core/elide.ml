@@ -1,0 +1,76 @@
+(** Profile-guided output-buffer shrinking (paper Section 6.4).
+
+    The output buffers dominate the sharing wrapper's LUT cost (their
+    bypass + FIFO logic); the paper observes that when the consumer can
+    be proven always ready, the buffer is redundant and can be removed
+    (they suggest model checking [50]).  This pass takes the cheaper
+    profiling route: simulate a representative run, record each output
+    buffer's high-water occupancy, shrink every wrapper buffer to what
+    was actually used — then re-validate with a second simulation, since
+    a profile is not a proof.  [restore] reverts the resizing, which the
+    caller uses when validation fails. *)
+
+open Dataflow
+
+type resize = { uid : int; old_slots : int; new_slots : int }
+
+(** Wrapper output buffers: transparent, labelled by the wrapper
+    constructor. *)
+let is_output_buffer g uid =
+  match Graph.kind_of g uid with
+  | Types.Buffer { transparent = true; _ } ->
+      let l = Graph.label_of g uid in
+      String.length l >= 3 && String.sub l 0 3 = "ob_"
+  | _ -> false
+
+let resize g uid slots =
+  match Graph.kind_of g uid with
+  | Types.Buffer b ->
+      (Graph.unit_exn g uid).Graph.kind <- Types.Buffer { b with slots }
+  | _ -> invalid_arg "Elide.resize: not a buffer"
+
+(** Shrink wrapper output buffers of [g] according to the high-water
+    profile of a completed run [sim].  Returns the performed resizes
+    (empty when nothing was shrinkable). *)
+let shrink_output_buffers g (sim : Sim.Engine.t) =
+  let resizes = ref [] in
+  Graph.iter_units g (fun u ->
+      if is_output_buffer g u.Graph.uid then begin
+        match u.Graph.kind with
+        | Types.Buffer { slots; _ } ->
+            let hw = max 1 (Sim.Engine.buffer_high_water sim u.Graph.uid) in
+            if hw < slots then begin
+              resizes := { uid = u.Graph.uid; old_slots = slots; new_slots = hw } :: !resizes;
+              resize g u.Graph.uid hw
+            end
+        | _ -> ()
+      end);
+  !resizes
+
+(** Undo a set of resizes. *)
+let restore g resizes =
+  List.iter (fun r -> resize g r.uid r.old_slots) resizes
+
+(** Full profile–shrink–revalidate loop: [profile ()] must simulate the
+    circuit and return [(sim, ok)]; the pass shrinks according to the
+    first run and keeps the result only if a second run still completes
+    correctly.  Returns the retained resizes (slots saved can be summed
+    by the caller). *)
+let optimize g ~profile =
+  let sim, ok = profile () in
+  if not ok then []
+  else begin
+    let resizes = shrink_output_buffers g sim in
+    if resizes = [] then []
+    else begin
+      let _, ok' = profile () in
+      if ok' then resizes
+      else begin
+        restore g resizes;
+        []
+      end
+    end
+  end
+
+let saved_slots resizes =
+  List.fold_left (fun acc r -> acc + (r.old_slots - r.new_slots)) 0 resizes

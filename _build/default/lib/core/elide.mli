@@ -1,0 +1,27 @@
+(** Profile-guided output-buffer shrinking (paper Section 6.4): the
+    wrapper's output buffers dominate its LUT cost and are redundant when
+    the consumer is always ready.  Instead of the model-checking proof
+    the paper suggests, this pass profiles a run, shrinks each wrapper
+    buffer to its observed high-water occupancy, and keeps the result
+    only if a re-simulation still completes — a profile is not a proof. *)
+
+type resize = { uid : int; old_slots : int; new_slots : int }
+
+(** Is this unit a sharing-wrapper output buffer? *)
+val is_output_buffer : Dataflow.Graph.t -> int -> bool
+
+(** Shrink wrapper output buffers according to the high-water profile of
+    a completed run; returns the performed resizes. *)
+val shrink_output_buffers : Dataflow.Graph.t -> Sim.Engine.t -> resize list
+
+(** Undo a set of resizes exactly. *)
+val restore : Dataflow.Graph.t -> resize list -> unit
+
+(** Full profile–shrink–revalidate loop.  [profile ()] must simulate the
+    circuit and return the simulator state and whether the run verified;
+    on a failed revalidation all resizes are reverted and [] returned. *)
+val optimize :
+  Dataflow.Graph.t -> profile:(unit -> Sim.Engine.t * bool) -> resize list
+
+(** Buffer slots saved by a set of resizes. *)
+val saved_slots : resize list -> int

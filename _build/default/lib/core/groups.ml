@@ -1,0 +1,120 @@
+(** Sharing-group heuristic (Algorithm 1 of the paper).
+
+    Starting from singleton groups over the sharing candidates, greedily
+    merge pairs until fixpoint.  A merge must pass:
+
+    - R1: all operations have the same type (opcode and latency);
+    - R2: in every performance-critical CFC, the summed token occupancy
+      of the group's members stays within the unit capacity (its pipeline
+      depth) — otherwise the shared unit cannot sustain the II;
+    - R3: two members in the same SCC of a critical CFC must have
+      distinct maximum distances from every other SCC member — members
+      that always become ready simultaneously would serialize and
+      penalize the II (paper Figure 5);
+    - the cost model (Equation 2): the bigger wrapper must cost less than
+      the unit it saves. *)
+
+
+type group = { ops : int list }
+
+let check_r1 ctx ops =
+  match ops with
+  | [] -> true
+  | o :: rest ->
+      let op0 = Context.opcode_of ctx o and l0 = Context.latency_of ctx o in
+      List.for_all
+        (fun o' -> Context.opcode_of ctx o' = op0 && Context.latency_of ctx o' = l0)
+        rest
+
+let capacity ctx ops =
+  match ops with [] -> 0 | o :: _ -> Context.latency_of ctx o
+
+let check_r2 ctx ops =
+  let cap = float_of_int (capacity ctx ops) in
+  List.for_all
+    (fun cfc ->
+      let sum =
+        List.fold_left (fun acc o -> acc +. Context.occupancy ctx cfc o) 0.0 ops
+      in
+      sum <= cap +. 1e-9)
+    ctx.Context.critical
+
+let check_r3 ctx ops =
+  List.for_all
+    (fun (cfc : Analysis.Cfc.t) ->
+      let scc = Context.sccs_of ctx cfc.loop_id in
+      let in_cfc = List.filter (fun o -> Analysis.Cfc.mem cfc o) ops in
+      (* Every pair of group members in the same SCC must be
+         distance-distinguishable from every other SCC member. *)
+      let rec pairs = function
+        | [] -> true
+        | o :: rest ->
+            List.for_all
+              (fun o' ->
+                if not (Analysis.Scc.same_component scc o o') then true
+                else begin
+                  match Analysis.Scc.component_of scc o with
+                  | None -> true
+                  | Some cid ->
+                      let members = Analysis.Scc.members scc cid in
+                      let scope = Hashtbl.create 17 in
+                      List.iter (fun u -> Hashtbl.replace scope u ()) members;
+                      Analysis.Distances.distinct_distances
+                        ~succ:(Context.succ_in ctx.Context.graph scope)
+                        ~members o o'
+                end)
+              rest
+            && pairs rest
+      in
+      pairs in_cfc)
+    ctx.Context.critical
+
+(** One grouping step: try to merge any two groups; [true] if merged. *)
+let try_merge ?(enforce_r3 = true) ctx groups =
+  let arr = Array.of_list groups in
+  let n = Array.length arr in
+  let result = ref None in
+  (try
+     for i = 0 to n - 1 do
+       for j = i + 1 to n - 1 do
+         let merged = arr.(i).ops @ arr.(j).ops in
+         if
+           check_r1 ctx merged && check_r2 ctx merged
+           && ((not enforce_r3) || check_r3 ctx merged)
+         then begin
+           let op = Option.get (Context.opcode_of ctx (List.hd merged)) in
+           let credit =
+             List.fold_left (fun m o -> max m (Context.credits_for ctx o)) 1 merged
+           in
+           if
+             Cost.merge_profitable ~op ~credit ~a:(List.length arr.(i).ops)
+               ~b:(List.length arr.(j).ops)
+           then begin
+             let rest =
+               Array.to_list arr
+               |> List.filteri (fun k _ -> k <> i && k <> j)
+             in
+             result := Some ({ ops = merged } :: rest);
+             raise Exit
+           end
+         end
+       done
+     done
+   with Exit -> ());
+  !result
+
+(** Algorithm 1: greedy merging until no change can be made.
+    [enforce_r3] exists for the ablation study of rule R3 only. *)
+let infer ?shareable ?enforce_r3 ctx =
+  let candidates = Context.candidates ?shareable ctx in
+  let groups = ref (List.map (fun o -> { ops = [ o ] }) candidates) in
+  let continue_ = ref true in
+  while !continue_ do
+    match try_merge ?enforce_r3 ctx !groups with
+    | Some gs -> groups := gs
+    | None -> continue_ := false
+  done;
+  !groups
+
+(** Groups that actually share (size >= 2). *)
+let sharing_groups groups = List.filter (fun g -> List.length g.ops >= 2) groups

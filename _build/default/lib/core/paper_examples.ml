@@ -1,0 +1,214 @@
+(** Hand-built circuits reproducing the paper's motivating examples
+    (Figures 1, 2, 4, 5).  Used by the test suite and the ablation
+    benchmarks to demonstrate, in simulation:
+
+    - Figure 1b: naive sharing deadlocks through head-of-line blocking;
+    - Figure 1c: credit-based sharing of the same circuit completes;
+    - Figure 1d: a strict rotation between dependent operations
+      deadlocks; Figure 1e: priority arbitration completes;
+    - Figure 2: sharing dependent M1/M3 under a total order degrades the
+      II to ~4, while CRUSH's out-of-order access sustains ~2;
+    - Figure 5: operations of one SCC that always start together should
+      not share (the II degrades no matter the priority). *)
+
+open Dataflow
+open Types
+
+(** Latency of the multiplier units in the figures (3 pipeline stages). *)
+let lat = 3
+
+type built = {
+  graph : Graph.t;
+  iterations : int;
+  (* Unit ids of the named operations, for sharing transformations. *)
+  m1 : int;
+  m2 : int;
+  m3 : int;
+}
+
+(** The circuit of Figure 1a: [for i { a[i] = i*i*C2 + i*C1 }], with an
+    II-2 input stream.  M1 = i*C1, M2 = i*i, M3 = M2*C2 (M3 consumes
+    M1's... in the paper M3 consumes M1's result; we follow the figure:
+    M1 = i*i, M3 = M1*C2, M2 = i*C1, and a join (+) combines M2 and M3).
+    Token occupancies leave all three multipliers underutilized. *)
+let fig1 ?(iterations = 64) () =
+  let b = Builder.create () in
+  Graph.declare_memory (Builder.graph b) "a" iterations;
+  let ctrl = Builder.entry b VUnit in
+  let i0 = Builder.const b ~ctrl (VInt 0) in
+  let n = Builder.const b ~ctrl (VInt iterations) in
+  (* Captured unit ids of the three multipliers. *)
+  let m1 = ref (-1) and m2 = ref (-1) and m3 = ref (-1) in
+  let exits =
+    Builder.counted_loop b ~loop:0 ~inits:[ ctrl; i0; n ]
+      ~cond:(fun hs ->
+        match hs with
+        | [ _; i; nn ] -> Builder.operator b (Icmp Lt) ~latency:0 [ i; nn ] ~loop:0
+        | _ -> assert false)
+      ~body:(fun hs ->
+        match hs with
+        | [ c; i; nn ] ->
+            (* An extra registered stage on the induction ring sets the
+               input stream's II to 2, as in the figure. *)
+            let fi = Builder.operator b Pass ~latency:0 [ i ] ~loop:0 in
+            let w_m1 =
+              Builder.operator b Imul ~latency:lat ~label:"M1" [ fi; fi ] ~loop:0
+            in
+            m1 := w_m1.Builder.uid;
+            let c1 = Builder.const b ~ctrl:i (VInt 3) ~loop:0 in
+            let w_m2 =
+              Builder.operator b Imul ~latency:lat ~label:"M2" [ fi; c1 ] ~loop:0
+            in
+            m2 := w_m2.Builder.uid;
+            let c2 = Builder.const b ~ctrl:i (VInt 5) ~loop:0 in
+            let w_m3 =
+              Builder.operator b Imul ~latency:lat ~label:"M3" [ w_m1; c2 ]
+                ~loop:0
+            in
+            m3 := w_m3.Builder.uid;
+            (* The join (+) is deliberately unbuffered, as in Figure 1:
+               the head-of-line-blocking deadlock of naive sharing needs
+               the single-slot output buffer to be the only elasticity. *)
+            let sum =
+              Builder.operator ~balanced:false b Iadd ~latency:0
+                [ w_m2; w_m3 ] ~loop:0
+            in
+            ignore (Builder.store b ~memory:"a" i sum ~loop:0);
+            let one = Builder.const b ~ctrl:i (VInt 1) ~loop:0 in
+            let i1 = Builder.operator b Iadd ~latency:0 [ i; one ] ~loop:0 in
+            let i1 = Builder.reg b i1 ~loop:0 in
+            [ c; i1; nn ]
+        | _ -> assert false)
+  in
+  (match exits with
+  | [ c; _; _ ] -> ignore (Builder.exit_ b c)
+  | _ -> assert false);
+  let graph = Builder.finalize b in
+  { graph; iterations; m1 = !m1; m2 = !m2; m3 = !m3 }
+
+(** Expected memory contents after fig1 runs: a[i] = i*i*5 + i*3. *)
+let fig1_expected iterations =
+  Array.init iterations (fun i -> (i * i * 5) + (i * 3))
+
+(** Share two operations of a built fig1 circuit.
+
+    [`Naive] reproduces Figure 1b: no credit gating (a large credit pool)
+    but single-slot output buffers, violating Equation 1 — vulnerable to
+    head-of-line-blocking deadlock.
+    [`Credits] is the CRUSH wrapper of Figure 1c/3.
+    [`Rotation order] is the fixed access order of Figure 1d.
+    [`Priority order] is the priority arbitration of Figure 1e. *)
+let share_pair built ~ops scheme =
+  let credits, policy, ob_slots =
+    match scheme with
+    | `Naive -> ([ lat + 1; lat + 1 ], Priority [ 0; 1 ], Some [ 1; 1 ])
+    | `Credits -> ([ 2; 2 ], Priority [ 0; 1 ], None)
+    | `Credits_n n -> ([ n; n ], Priority [ 0; 1 ], None)
+    | `Rotation order -> ([ 2; 2 ], Rotation order, None)
+    | `Priority order -> ([ 2; 2 ], Priority order, None)
+  in
+  ignore (Wrapper.apply built.graph { Wrapper.ops; credits; policy; ob_slots });
+  built.graph
+
+(** The circuit of Figure 5: M1 and M2 are cross-coupled loop-carried
+    multiplications (x' from x*y, y' from y*x), so they belong to one SCC
+    and always become ready simultaneously.  Sharing them penalizes the
+    II whatever the priority — rule R3 exists to forbid exactly this
+    merge. *)
+let fig5 ?(iterations = 64) () =
+  let b = Builder.create () in
+  let ctrl = Builder.entry b VUnit in
+  let i0 = Builder.const b ~ctrl (VInt 0) in
+  let n = Builder.const b ~ctrl (VInt iterations) in
+  let x0 = Builder.const b ~ctrl (VInt 1) in
+  let y0 = Builder.const b ~ctrl (VInt 1) in
+  let m1 = ref (-1) and m2 = ref (-1) in
+  let exits =
+    Builder.counted_loop b ~loop:0 ~inits:[ ctrl; i0; n; x0; y0 ]
+      ~cond:(fun hs ->
+        match hs with
+        | [ _; i; nn; _; _ ] ->
+            Builder.operator b (Icmp Lt) ~latency:0 [ i; nn ] ~loop:0
+        | _ -> assert false)
+      ~body:(fun hs ->
+        match hs with
+        | [ c; i; nn; x; y ] ->
+            let w_m1 =
+              Builder.operator b Imul ~latency:2 ~label:"M1" [ x; y ] ~loop:0
+            in
+            m1 := w_m1.Builder.uid;
+            let w_m2 =
+              Builder.operator b Imul ~latency:2 ~label:"M2" [ y; x ] ~loop:0
+            in
+            m2 := w_m2.Builder.uid;
+            (* Renormalize to 1 so the rings carry a fresh mutual
+               dependency each iteration without numeric growth. *)
+            let x' = Builder.operator b Idiv ~latency:0 [ w_m1; w_m1 ] ~loop:0 in
+            let y' = Builder.operator b Idiv ~latency:0 [ w_m2; w_m2 ] ~loop:0 in
+            let one = Builder.const b ~ctrl:i (VInt 1) ~loop:0 in
+            let i1 = Builder.operator b Iadd ~latency:0 [ i; one ] ~loop:0 in
+            [ c; i1; nn; x'; y' ]
+        | _ -> assert false)
+  in
+  (match exits with
+  | c :: _ -> ignore (Builder.exit_ b c)
+  | [] -> assert false);
+  let graph = Builder.finalize b in
+  { graph; iterations; m1 = !m1; m2 = !m2; m3 = -1 }
+
+(** The minimal circuit of Figure 5, built unit by unit: a fork feeds M1
+    and M2, a join combines their results, a buffer closes the ring.
+    Every SCC member is exactly equidistant from M1 and M2, which is the
+    configuration rule R3 must refuse (the frontend-generated fig5 has
+    asymmetric plumbing that can break such ties).  The circuit exists
+    for the R3 analysis only and is not meant to be simulated. *)
+let fig5_minimal () =
+  let g = Graph.create () in
+  let buf =
+    Graph.add_unit g
+      (Buffer { slots = 2; transparent = false; init = [ VInt 1 ]; narrow = false })
+      ~label:"Buf1" ~loop:0
+  in
+  let fork = Graph.add_unit g (Fork { outputs = 4; lazy_ = false }) ~loop:0 in
+  let m1 =
+    Graph.add_unit g (Operator { op = Imul; latency = 2; ports = 2 })
+      ~label:"M1" ~loop:0
+  in
+  let m2 =
+    Graph.add_unit g (Operator { op = Imul; latency = 2; ports = 2 })
+      ~label:"M2" ~loop:0
+  in
+  let join =
+    Graph.add_unit g (Operator { op = Iadd; latency = 0; ports = 2 })
+      ~label:"join" ~loop:0
+  in
+  ignore (Graph.connect g (buf, 0) (fork, 0));
+  ignore (Graph.connect g (fork, 0) (m1, 0));
+  ignore (Graph.connect g (fork, 1) (m1, 1));
+  ignore (Graph.connect g (fork, 2) (m2, 0));
+  ignore (Graph.connect g (fork, 3) (m2, 1));
+  ignore (Graph.connect g (m1, 0) (join, 0));
+  ignore (Graph.connect g (m2, 0) (join, 1));
+  ignore (Graph.connect g (join, 0) (buf, 0));
+  (g, m1, m2)
+
+(** Run a built circuit; returns (status, cycles). *)
+let run built =
+  let out = Sim.Engine.run built.graph in
+  (out.Sim.Engine.stats.Sim.Engine.status, out.Sim.Engine.stats.Sim.Engine.cycles)
+
+(** Verify the memory contents of a fig1 run. *)
+let run_and_check built =
+  let memory = Sim.Memory.of_graph built.graph in
+  let out = Sim.Engine.run ~memory built.graph in
+  let ok =
+    Sim.Engine.is_completed out
+    && begin
+         let got = Sim.Memory.get_floats memory "a" in
+         let want = fig1_expected built.iterations in
+         Array.for_all2
+           (fun g w -> Float.abs (g -. float_of_int w) < 0.5)
+           got want
+       end
+  in
+  (out.Sim.Engine.stats.Sim.Engine.status, out.Sim.Engine.stats.Sim.Engine.cycles, ok)

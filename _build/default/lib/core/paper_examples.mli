@@ -1,0 +1,55 @@
+(** Hand-built circuits reproducing the paper's motivating examples
+    (Figures 1, 2 and 5), used by the test suite, the ablation benchmarks
+    and the deadlock-anatomy example. *)
+
+(** Pipeline depth of the example multipliers (3 stages, as in Fig. 1). *)
+val lat : int
+
+type built = {
+  graph : Dataflow.Graph.t;
+  iterations : int;
+  m1 : int;  (** unit id of M1 *)
+  m2 : int;  (** unit id of M2 *)
+  m3 : int;  (** unit id of M3 (-1 when the figure has no M3) *)
+}
+
+(** The circuit of Figure 1a: [for i { a[i] = (i*i)*C2 + i*C1 }] with an
+    II-2 input stream and an unbuffered join, leaving all three
+    multipliers underutilized. *)
+val fig1 : ?iterations:int -> unit -> built
+
+(** Expected memory contents after fig1 runs: a[i] = i*i*5 + i*3. *)
+val fig1_expected : int -> int array
+
+(** Share two of the built circuit's operations on one unit.
+    [`Naive] is Figure 1b (no credit gating, single-slot output buffers —
+    vulnerable to head-of-line-blocking deadlock); [`Credits] the CRUSH
+    wrapper of Figures 1c/3; [`Credits_n n] the same with [n] credits per
+    member (the Equation-3 ablation); [`Rotation] the fixed access order
+    of Figure 1d; [`Priority] the arbitration of Figure 1e. *)
+val share_pair :
+  built ->
+  ops:int list ->
+  [ `Naive
+  | `Credits
+  | `Credits_n of int
+  | `Rotation of int list
+  | `Priority of int list ] ->
+  Dataflow.Graph.t
+
+(** Figure 5 via the circuit builder: M1 and M2 cross-coupled through two
+    loop-carried rings, hence in one SCC and always simultaneously ready. *)
+val fig5 : ?iterations:int -> unit -> built
+
+(** The paper's minimal Figure 5, built unit by unit so that every SCC
+    member is exactly equidistant from M1 and M2 — the configuration rule
+    R3 must refuse.  Returns (graph, m1, m2); analysis-only, not meant to
+    be simulated. *)
+val fig5_minimal : unit -> Dataflow.Graph.t * int * int
+
+(** Simulate; returns (status, cycles). *)
+val run : built -> Sim.Engine.status * int
+
+(** Simulate a fig1 circuit and verify its memory against
+    {!fig1_expected}; returns (status, cycles, correct). *)
+val run_and_check : built -> Sim.Engine.status * int * bool

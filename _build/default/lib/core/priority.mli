@@ -1,0 +1,9 @@
+(** Access-priority heuristic (Algorithm 2 of the paper): bubble-sort the
+    group by the topological rank of each member's SCC in its critical
+    CFC's SCC graph, so producers outrank their consumers and arbitration
+    never delays a value another member is waiting for (Figure 4). *)
+
+(** [infer ctx ops] orders the group members by access priority, highest
+    first.  Always returns a permutation of [ops]; members of one SCC or
+    of unrelated CFCs keep their relative order. *)
+val infer : Context.t -> int list -> int list

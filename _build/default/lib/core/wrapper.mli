@@ -1,0 +1,25 @@
+(** Construction of the credit-based sharing wrapper (Section 4.3,
+    Figure 3 of the paper): credit counters, synchronizing joins, an
+    arbiter, the shared pipelined unit, a condition buffer, a dispatch
+    branch, per-operation output buffers, and lazy credit-return forks. *)
+
+type spec = {
+  ops : int list;       (** unit ids to share, highest priority first *)
+  credits : int list;   (** N_CC per op, same order *)
+  policy : Dataflow.Types.arbiter_policy;
+  ob_slots : int list option;
+      (** output-buffer slots per op; defaults to the credit counts,
+          honouring Equation 1 (N_CC,i <= N_OB,i).  Overriding it with
+          fewer slots than credits reconstructs the naive sharing of
+          Figure 1b, whose head-of-line-blocking deadlock the tests
+          demonstrate. *)
+}
+
+(** [apply g spec] replaces the operations of [spec] by one shared unit
+    behind a sharing wrapper, rewiring their operand and result channels.
+    Each op must be a 2-input pipelined operator of one opcode and
+    latency.  Returns the shared unit's id.
+
+    @raise Invalid_argument on groups of fewer than 2 operations or
+    mismatched credit/buffer lists. *)
+val apply : Dataflow.Graph.t -> spec -> int

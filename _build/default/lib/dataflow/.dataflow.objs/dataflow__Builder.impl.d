@@ -1,0 +1,1 @@
+lib/dataflow/builder.ml: Array Fmt Graph Hashtbl List Types Validate

@@ -1,0 +1,1 @@
+lib/dataflow/dot.ml: Buffer Fmt Graph String Types

@@ -1,0 +1,1 @@
+lib/dataflow/graph.ml: Array Fmt List Option Types

@@ -1,0 +1,1 @@
+lib/dataflow/types.ml: Float Fmt List

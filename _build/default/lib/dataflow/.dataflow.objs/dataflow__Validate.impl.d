@@ -1,0 +1,1 @@
+lib/dataflow/validate.ml: Array Fmt Graph List Types

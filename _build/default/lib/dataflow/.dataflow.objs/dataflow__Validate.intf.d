@@ -1,0 +1,1 @@
+lib/dataflow/validate.mli: Fmt Graph

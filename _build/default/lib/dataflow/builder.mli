@@ -1,0 +1,116 @@
+(** Structured construction of dataflow circuits.
+
+    The builder exposes [wire]s — output ports annotated with the
+    accumulated pipeline latency since a reference point — and defers
+    all connections: a wire may be attached to any number of input ports,
+    and {!finalize} materializes the fan-out with fork units and sinks
+    unconsumed outputs.  Latency bookkeeping drives structural slack
+    matching: reconvergent paths receive transparent FIFOs sized to the
+    latency difference, so circuits reach the II dictated by their
+    loop-carried dependencies and sharing needs no extra buffering
+    afterwards (paper Section 5.4). *)
+
+type wire = { uid : int; port : int; lat : int }
+
+type t
+
+val create : unit -> t
+
+(** Extra slots granted by every balancing FIFO (the fast-token strategy
+    uses a deeper slack budget than the BB-ordered one). *)
+val set_slack_bonus : t -> int -> unit
+
+(** The underlying graph (mutable; owned by the builder until finalize). *)
+val graph : t -> Graph.t
+
+val wire : ?lat:int -> int -> int -> wire
+val out_wire : ?lat:int -> int -> wire
+
+(** Largest FIFO the balancing inserts. *)
+val max_slack : int
+
+(** Record that [wire] feeds the given input port (fan-out resolved at
+    finalize). *)
+val attach : t -> wire -> int * int -> unit
+
+val add_unit :
+  ?label:string -> ?bb:int -> ?loop:int -> t -> Types.kind -> int
+
+val entry : ?label:string -> t -> Types.value -> wire
+val sink : t -> wire -> unit
+val exit_ : t -> wire -> int
+
+(** Transparent FIFO ([pin] exempts it from later rightsizing; [narrow]
+    marks condition-width payloads for the area model). *)
+val slack : ?bb:int -> ?loop:int -> ?pin:bool -> ?narrow:bool -> t -> wire -> int -> wire
+
+(** Registered buffer: one cycle of latency, cuts combinational paths;
+    two slots by default so simultaneous push/pop sustains II 1. *)
+val reg :
+  ?bb:int -> ?loop:int -> ?slots:int -> ?init:Types.value list ->
+  ?narrow:bool -> t -> wire -> wire
+
+(** Buffer a wire up to a target latency. *)
+val pad : ?bb:int -> ?loop:int -> t -> wire -> int -> wire
+
+(** Equalize the latencies of a list of wires. *)
+val balance : ?bb:int -> ?loop:int -> t -> wire list -> wire list
+
+val const :
+  ?bb:int -> ?loop:int -> ?label:string -> t -> ctrl:wire ->
+  Types.value -> wire
+
+(** Operator applied to balanced operands ([balanced:false] skips the
+    slack matching, for reconstructing the paper's unbuffered examples). *)
+val operator :
+  ?bb:int -> ?loop:int -> ?label:string -> ?balanced:bool -> t ->
+  Types.opcode -> latency:int -> wire list -> wire
+
+val join :
+  ?bb:int -> ?loop:int -> ?label:string -> ?keep:bool array -> t ->
+  wire list -> wire
+
+(** [mux b ~sel [a; c]] selects [a] when the select token is [true]. *)
+val mux : ?bb:int -> ?loop:int -> ?label:string -> t -> sel:wire -> wire list -> wire
+
+(** [branch b ~cond w] returns (true side, false side).  [cond_slack]
+    decouples a late-data branch from the condition fork's other
+    consumers. *)
+val branch :
+  ?bb:int -> ?loop:int -> ?label:string -> ?cond_slack:int -> t ->
+  cond:wire -> wire -> wire * wire
+
+val merge : ?bb:int -> ?loop:int -> ?label:string -> t -> wire list -> wire
+
+val load :
+  ?bb:int -> ?loop:int -> ?label:string -> t -> memory:string ->
+  latency:int -> wire -> wire
+
+val store :
+  ?bb:int -> ?loop:int -> ?label:string -> t -> memory:string -> wire ->
+  wire -> wire
+
+val declare_memory : t -> string -> int -> unit
+
+(** The standard elastic loop: header muxes fed by [inits], a steering
+    branch per value on the condition from [cond], [body] on the continue
+    side, registered backedges, and the init-token select ring.
+    [control_overhead] models the BB-ordered strategy's control network
+    (extra registered stages on the select path).  Returns the exit-side
+    values in init order. *)
+val counted_loop :
+  ?bb:int -> ?loop:int -> ?control_overhead:int -> t -> inits:wire list ->
+  cond:(wire list -> wire) -> body:(wire list -> wire list) -> wire list
+
+(** Speculative-free conditional: every live value branched on the
+    condition, each side transforms its copies, per-value muxes
+    reconverge (with per-mux select FIFOs to keep the sides pipelined
+    across iterations). *)
+val if_diamond :
+  ?bb:int -> ?loop:int -> t -> cond:wire -> vals:wire list ->
+  then_:(wire list -> wire list) -> else_:(wire list -> wire list) ->
+  wire list
+
+(** Materialize fan-out and sinks, validate, and return the finished
+    circuit.  The builder cannot be used afterwards. *)
+val finalize : t -> Graph.t

@@ -1,0 +1,48 @@
+(** Graphviz export of dataflow circuits, for debugging and documentation.
+    Unit shapes loosely follow the Dynamatic visualizer conventions. *)
+
+open Types
+
+let shape_of = function
+  | Entry _ | Exit -> "doublecircle"
+  | Fork _ -> "triangle"
+  | Join _ -> "invtriangle"
+  | Merge _ | Arbiter _ -> "trapezium"
+  | Mux _ -> "invtrapezium"
+  | Branch _ -> "diamond"
+  | Buffer _ -> "box"
+  | Operator _ -> "oval"
+  | Load _ | Store _ -> "house"
+  | Credit_counter _ -> "octagon"
+  | Const _ -> "plaintext"
+  | Sink -> "point"
+
+let color_of = function
+  | Operator { op = Fadd | Fsub | Fmul | Fdiv; _ } -> "lightsalmon"
+  | Buffer { transparent = false; _ } -> "lightblue"
+  | Buffer _ -> "azure"
+  | Credit_counter _ -> "gold"
+  | Arbiter _ -> "plum"
+  | _ -> "white"
+
+let escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let to_string ?(name = "circuit") g =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Fmt.str "digraph %s {\n  rankdir=TB;\n" name);
+  Graph.iter_units g (fun u ->
+      Buffer.add_string buf
+        (Fmt.str
+           "  n%d [label=\"%s\" shape=%s style=filled fillcolor=%s];\n"
+           u.uid (escape u.label) (shape_of u.kind) (color_of u.kind)));
+  Graph.iter_channels g (fun c ->
+      Buffer.add_string buf
+        (Fmt.str "  n%d -> n%d [taillabel=\"%d\" headlabel=\"%d\"];\n"
+           c.src.unit_id c.dst.unit_id c.src.port c.dst.port));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_file ?name g path =
+  let oc = open_out path in
+  output_string oc (to_string ?name g);
+  close_out oc

@@ -1,0 +1,187 @@
+(** Core types of the dataflow-circuit IR.
+
+    Dataflow circuits (as produced by dynamically scheduled HLS such as
+    Dynamatic) are networks of units connected by channels.  A channel
+    carries a data payload and a pair of valid/ready handshake signals; a
+    token is transferred on a channel in a cycle where both valid and ready
+    are asserted.  This module defines the token payloads, the unit kinds,
+    and the comparison/opcode vocabulary shared by the whole repository. *)
+
+(** Token payloads.  [VUnit] is a dataless (control or credit) token.
+    [VTuple] bundles the operands presented to a shared functional unit
+    through the sharing wrapper's single input channel. *)
+type value =
+  | VInt of int
+  | VFloat of float
+  | VBool of bool
+  | VUnit
+  | VTuple of value list
+
+(** Comparison predicates usable on both integer and float operands. *)
+type cmp = Lt | Le | Gt | Ge | Eq | Ne
+
+(** Opcodes of functional units.  Integer and floating-point arithmetic are
+    kept distinct because resource sharing only groups operations of the
+    same type (rule R1 of the sharing-group heuristic). *)
+type opcode =
+  | Iadd | Isub | Imul | Idiv
+  | Fadd | Fsub | Fmul | Fdiv
+  | Icmp of cmp
+  | Fcmp of cmp
+  | Band | Bor | Bnot
+  | Select  (** ternary: cond, a, b -> if cond then a else b *)
+  | Pass    (** identity; used for explicit wires in tests *)
+
+(** Arbitration policy of a sharing wrapper's input arbiter.
+
+    [Priority order] grants the request of the earliest operation in
+    [order] among those currently requesting — an absent request never
+    keeps another request out of the shared unit (Section 4.2 of the
+    paper).  [Rotation order] is the total-token-order policy of the
+    In-order baseline: requests must be granted exactly in the cyclic
+    sequence [order], so an absent request blocks all later ones.
+    [Phased clusters] models the total-token-order baseline [33] on real
+    programs: clusters (one per loop nest, ordered by program order) are
+    arbitrated by priority — an idle nest never blocks another — while
+    accesses within one cluster follow strict rotation, the per-iteration
+    total order that Section 3 shows is deadlock-free but conservative. *)
+type arbiter_policy =
+  | Priority of int list
+  | Rotation of int list
+  | Phased of int list list
+
+(** Unit kinds.  Port counts are fixed by the kind (see {!val:arity}).
+
+    - [Entry]: emits one initial token carrying [value]; circuit input.
+    - [Exit]: absorbs the final token; circuit completion marker.
+    - [Const v]: converts each incoming (control) token into a token
+      carrying [v].
+    - [Fork]: replicates its input token to every output.  An eager fork
+      sends to each successor as soon as that successor is ready; a lazy
+      fork waits until all successors are ready and fires them together
+      (required on the credit-return path, Section 4.3).
+    - [Join]: synchronizes all inputs and emits one token whose payload is
+      the tuple of the inputs selected by [keep] (a single kept input is
+      passed through unwrapped; no kept input yields [VUnit]).
+    - [Merge]: propagates a token from any one valid input (inputs are
+      mutually exclusive by construction in control-flow merges).
+    - [Arbiter]: the sharing wrapper's entrance: picks one request
+      according to [policy]; output 0 carries the granted payload, output 1
+      carries the granted input index (to the condition buffer).
+    - [Mux]: input 0 is the select; propagates data input [1 + sel].
+    - [Branch]: input 0 is data, input 1 the condition; sends the data
+      token to output [index-of cond] ([VBool true] -> output 0).
+    - [Buffer]: FIFO with [slots] capacity; opaque buffers register their
+      output (one cycle of latency, cuts combinational paths), transparent
+      buffers bypass combinationally.  [init] pre-populates the FIFO.
+    - [Operator]: pipelined functional unit computing [op]; [latency]
+      pipeline stages with a single enable signal — if the token in the
+      head stage cannot leave, the whole pipeline stalls (Dynamatic
+      behaviour, Section 6.3).  [latency = 0] is combinational.
+    - [Load]/[Store]: memory ports on the named array.
+    - [Credit_counter]: holds [init] dataless credits; output valid while
+      credits remain, each grant consumes one, each input token returns
+      one.  A credit returned in cycle [t] is usable from [t+1] only.
+    - [Sink]: always-ready token consumer. *)
+type kind =
+  | Entry of value
+  | Exit
+  | Const of value
+  | Fork of { outputs : int; lazy_ : bool }
+  | Join of { inputs : int; keep : bool array }
+  | Merge of { inputs : int }
+  | Arbiter of { inputs : int; policy : arbiter_policy }
+  | Mux of { inputs : int }
+  | Branch of { outputs : int }
+  | Buffer of {
+      slots : int;
+      transparent : bool;
+      init : value list;
+      narrow : bool;
+          (** token payload is a condition/index/control, a few bits wide,
+              not a full datapath word — matters to the area model only *)
+    }
+  | Operator of { op : opcode; latency : int; ports : int }
+  | Load of { memory : string; latency : int }
+  | Store of { memory : string }
+  | Credit_counter of { init : int }
+  | Sink
+
+(** Number of (input, output) ports of a unit kind. *)
+let arity = function
+  | Entry _ -> (0, 1)
+  | Exit -> (1, 0)
+  | Const _ -> (1, 1)
+  | Fork { outputs; _ } -> (1, outputs)
+  | Join { inputs; _ } -> (inputs, 1)
+  | Merge { inputs } -> (inputs, 1)
+  | Arbiter { inputs; _ } -> (inputs, 2)
+  | Mux { inputs } -> (1 + inputs, 1)
+  | Branch { outputs } -> (2, outputs)
+  | Buffer _ -> (1, 1)
+  | Operator { ports; _ } -> (ports, 1)
+  | Load _ -> (1, 1)
+  | Store _ -> (2, 1)
+  | Credit_counter _ -> (1, 1)
+  | Sink -> (1, 0)
+
+let op_arity = function
+  | Iadd | Isub | Imul | Idiv | Fadd | Fsub | Fmul | Fdiv -> 2
+  | Icmp _ | Fcmp _ -> 2
+  | Band | Bor -> 2
+  | Bnot | Pass -> 1
+  | Select -> 3
+
+let string_of_cmp = function
+  | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge" | Eq -> "eq" | Ne -> "ne"
+
+let string_of_opcode = function
+  | Iadd -> "iadd" | Isub -> "isub" | Imul -> "imul" | Idiv -> "idiv"
+  | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+  | Icmp c -> "icmp_" ^ string_of_cmp c
+  | Fcmp c -> "fcmp_" ^ string_of_cmp c
+  | Band -> "and" | Bor -> "or" | Bnot -> "not"
+  | Select -> "select" | Pass -> "pass"
+
+let rec pp_value ppf = function
+  | VInt i -> Fmt.int ppf i
+  | VFloat f -> Fmt.float ppf f
+  | VBool b -> Fmt.bool ppf b
+  | VUnit -> Fmt.string ppf "()"
+  | VTuple vs -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:comma pp_value) vs
+
+let value_to_string v = Fmt.str "%a" pp_value v
+
+(** Structural equality on payloads with float tolerance used by the
+    functional-verification path of the simulator. *)
+let rec value_close ?(eps = 1e-6) a b =
+  match (a, b) with
+  | VInt x, VInt y -> x = y
+  | VBool x, VBool y -> x = y
+  | VUnit, VUnit -> true
+  | VFloat x, VFloat y ->
+      let d = Float.abs (x -. y) in
+      d <= eps *. Float.max 1.0 (Float.max (Float.abs x) (Float.abs y))
+  | VTuple xs, VTuple ys ->
+      List.length xs = List.length ys
+      && List.for_all2 (value_close ~eps) xs ys
+  | _ -> false
+
+let kind_name = function
+  | Entry _ -> "entry"
+  | Exit -> "exit"
+  | Const _ -> "const"
+  | Fork { lazy_ = true; _ } -> "lfork"
+  | Fork _ -> "fork"
+  | Join _ -> "join"
+  | Merge _ -> "merge"
+  | Arbiter _ -> "arbiter"
+  | Mux _ -> "mux"
+  | Branch _ -> "branch"
+  | Buffer { transparent = true; _ } -> "tbuf"
+  | Buffer _ -> "obuf"
+  | Operator { op; _ } -> string_of_opcode op
+  | Load _ -> "load"
+  | Store _ -> "store"
+  | Credit_counter _ -> "credits"
+  | Sink -> "sink"

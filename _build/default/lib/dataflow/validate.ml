@@ -1,0 +1,71 @@
+(** Structural validation of dataflow circuits.
+
+    A well-formed circuit has every port of every live unit connected,
+    consistent arbiter policies, legal buffer parameters, and credit
+    counters that honour the deadlock-freedom constraint
+    [N_CC,i <= N_OB,i] (Equation 1 of the paper) — the latter is checked
+    by the sharing wrapper construction itself; here we check purely
+    structural properties. *)
+
+open Types
+
+type issue = { unit_id : int; message : string }
+
+let pp_issue g ppf { unit_id; message } =
+  Fmt.pf ppf "%s (unit %d): %s" (Graph.label_of g unit_id) unit_id message
+
+let check_unit g (u : Graph.unit_node) acc =
+  let n_in, n_out = arity u.kind in
+  let acc = ref acc in
+  let add message = acc := { unit_id = u.uid; message } :: !acc in
+  for p = 0 to n_in - 1 do
+    if Graph.in_channel g u.uid p = None then
+      add (Fmt.str "input port %d unconnected" p)
+  done;
+  for p = 0 to n_out - 1 do
+    if Graph.out_channel g u.uid p = None then
+      add (Fmt.str "output port %d unconnected" p)
+  done;
+  (match u.kind with
+  | Fork { outputs; _ } when outputs < 1 -> add "fork with no outputs"
+  | Join { inputs; keep } ->
+      if Array.length keep <> inputs then add "join keep mask arity mismatch"
+  | Buffer { slots; init; _ } ->
+      if slots < 1 then add "buffer with no slots";
+      if List.length init > slots then add "buffer initial tokens exceed slots"
+  | Arbiter { inputs; policy } ->
+      let order =
+        match policy with
+        | Priority o | Rotation o -> o
+        | Phased clusters -> List.concat clusters
+      in
+      if List.sort compare order <> List.init inputs (fun i -> i) then
+        add "arbiter policy is not a permutation of its inputs"
+  | Operator { latency; ports; op } ->
+      if latency < 0 then add "negative latency";
+      if ports <> op_arity op && ports <> 1 then
+        add
+          (Fmt.str "operator %s has %d ports, expected %d or 1 (tuple)"
+             (string_of_opcode op) ports (op_arity op))
+  | Credit_counter { init } when init < 1 -> add "credit counter with no credits"
+  | Load { memory; _ } | Store { memory } ->
+      if not (List.mem_assoc memory (Graph.memories g)) then
+        add (Fmt.str "references undeclared memory %s" memory)
+  | _ -> ());
+  !acc
+
+(** All structural issues of the circuit; empty means well-formed. *)
+let issues g = Graph.fold_units g (fun acc u -> check_unit g u acc) []
+
+let is_valid g = issues g = []
+
+(** Raise [Invalid_argument] with a readable report when the circuit is
+    malformed.  Used by tests and by the sharing passes after rewriting. *)
+let check_exn g =
+  match issues g with
+  | [] -> ()
+  | is ->
+      invalid_arg
+        (Fmt.str "@[<v>invalid circuit:@,%a@]"
+           (Fmt.list ~sep:Fmt.cut (pp_issue g))
+           is)

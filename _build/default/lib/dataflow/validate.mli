@@ -1,0 +1,16 @@
+(** Structural validation of dataflow circuits: every port of every live
+    unit connected, arbiter policies that are permutations, legal buffer
+    parameters, declared memories. *)
+
+type issue = { unit_id : int; message : string }
+
+val pp_issue : Graph.t -> issue Fmt.t
+
+(** All structural issues; empty means well-formed. *)
+val issues : Graph.t -> issue list
+
+val is_valid : Graph.t -> bool
+
+(** @raise Invalid_argument with a readable report on malformed
+    circuits.  Run after every rewriting pass. *)
+val check_exn : Graph.t -> unit

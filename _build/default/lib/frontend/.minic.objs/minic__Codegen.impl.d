@@ -1,0 +1,1 @@
+lib/frontend/codegen.ml: Analysis Ast Builder Dataflow Fmt Graph List Parser Sema

@@ -1,0 +1,1 @@
+lib/frontend/interp.ml: Array Ast Fmt Hashtbl List

@@ -1,0 +1,1 @@
+lib/frontend/lexer.ml: Fmt List String

@@ -1,0 +1,1 @@
+lib/frontend/print.ml: Ast Float Fmt String

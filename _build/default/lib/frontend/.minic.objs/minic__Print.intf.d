@@ -1,0 +1,1 @@
+lib/frontend/print.mli: Ast Fmt

@@ -1,0 +1,123 @@
+(** Abstract syntax of the mini-C kernel dialect.
+
+    The dialect covers the benchmark programs of the paper's evaluation
+    (a PolyBench subset plus the irregular gsum/gsumif kernels): scalar
+    int/float variables, statically sized arrays, counted [for] loops
+    (with affine bounds that may reference outer induction variables, for
+    triangular iteration spaces), and [if]/[else].  Kernels communicate
+    through their array parameters; scalars like [alpha] are local
+    declarations. *)
+
+type ty = Tint | Tfloat | Tbool
+
+type binop =
+  | Add | Sub | Mul | Div
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+
+type expr =
+  | Int_lit of int
+  | Float_lit of float
+  | Var of string
+  | Index of string * expr list    (** array element access *)
+  | Bin of binop * expr * expr
+  | Not of expr
+  | Neg of expr
+
+type lvalue =
+  | Lv_var of string
+  | Lv_index of string * expr list
+
+(** Loop comparison in [for (i = init; i OP limit; i += step)]. *)
+type loop_cmp = Cmp_lt | Cmp_le
+
+type stmt =
+  | Decl of ty * string * expr option
+  | Assign of lvalue * expr
+  | If of expr * stmt list * stmt list
+  | For of for_loop
+
+and for_loop = {
+  var : string;
+  init : expr;
+  cmp : loop_cmp;
+  limit : expr;
+  step : int;
+  body : stmt list;
+}
+
+type param = { p_name : string; p_ty : ty; p_dims : int list }
+(** [p_dims = []] denotes a scalar parameter; otherwise an array. *)
+
+type kernel = { k_name : string; k_params : param list; k_body : stmt list }
+
+let string_of_ty = function Tint -> "int" | Tfloat -> "float" | Tbool -> "bool"
+
+let string_of_binop = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | And -> "&&" | Or -> "||"
+
+(** Variables read by an expression. *)
+let rec expr_vars acc = function
+  | Int_lit _ | Float_lit _ -> acc
+  | Var x -> x :: acc
+  | Index (_, es) -> List.fold_left expr_vars acc es
+  | Bin (_, a, b) -> expr_vars (expr_vars acc a) b
+  | Not e | Neg e -> expr_vars acc e
+
+(** Variables referenced (read or written as scalars) by a statement
+    list; array names are not included. *)
+let rec stmts_vars acc stmts = List.fold_left stmt_vars acc stmts
+
+and stmt_vars acc = function
+  | Decl (_, _, e) -> (match e with Some e -> expr_vars acc e | None -> acc)
+  | Assign (Lv_var x, e) -> expr_vars (x :: acc) e
+  | Assign (Lv_index (_, idxs), e) ->
+      expr_vars (List.fold_left expr_vars acc idxs) e
+  | If (c, s1, s2) -> stmts_vars (stmts_vars (expr_vars acc c) s1) s2
+  | For f ->
+      let acc = expr_vars (expr_vars acc f.init) f.limit in
+      stmts_vars acc f.body
+
+(** Scalar variables assigned by a statement list (arrays excluded). *)
+let rec stmts_assigned acc stmts = List.fold_left stmt_assigned acc stmts
+
+and stmt_assigned acc = function
+  | Decl (_, x, _) -> x :: acc
+  | Assign (Lv_var x, _) -> x :: acc
+  | Assign (Lv_index _, _) -> acc
+  | If (_, s1, s2) -> stmts_assigned (stmts_assigned acc s1) s2
+  | For f -> f.var :: stmts_assigned acc f.body
+
+(** Substitute [Var x] by [e] everywhere in an expression. *)
+let rec subst_expr x e = function
+  | Int_lit _ | Float_lit _ as lit -> lit
+  | Var y -> if y = x then e else Var y
+  | Index (a, es) -> Index (a, List.map (subst_expr x e) es)
+  | Bin (op, a, b) -> Bin (op, subst_expr x e a, subst_expr x e b)
+  | Not a -> Not (subst_expr x e a)
+  | Neg a -> Neg (subst_expr x e a)
+
+let rec subst_stmt x e = function
+  | Decl (ty, y, init) -> Decl (ty, y, Option.map (subst_expr x e) init)
+  | Assign (lv, rhs) ->
+      let lv =
+        match lv with
+        | Lv_var y -> Lv_var y
+        | Lv_index (a, idxs) -> Lv_index (a, List.map (subst_expr x e) idxs)
+      in
+      Assign (lv, subst_expr x e rhs)
+  | If (c, s1, s2) ->
+      If (subst_expr x e c, List.map (subst_stmt x e) s1, List.map (subst_stmt x e) s2)
+  | For f ->
+      (* The induction variable of a nested loop shadows [x]. *)
+      if f.var = x then For { f with init = subst_expr x e f.init; limit = subst_expr x e f.limit }
+      else
+        For
+          {
+            f with
+            init = subst_expr x e f.init;
+            limit = subst_expr x e f.limit;
+            body = List.map (subst_stmt x e) f.body;
+          }

@@ -1,0 +1,150 @@
+(** Direct interpreter for mini-C kernels.
+
+    An independent executable semantics: the same kernel can be run by
+    this interpreter and by the compiled dataflow circuit, and the two
+    must agree — the differential oracle behind the property tests (the
+    per-benchmark OCaml references cover the fixed suite; the interpreter
+    covers arbitrary generated programs, including unrolled ones). *)
+
+open Ast
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+type value = I of int | F of float | B of bool
+
+type state = {
+  mutable scalars : (string * value ref) list;
+  arrays : (string, float array) Hashtbl.t;
+  dims : (string, int list) Hashtbl.t;
+}
+
+let as_f = function F f -> f | I i -> float_of_int i | B _ -> error "bool as number"
+let as_i = function I i -> i | F _ -> error "float as int" | B _ -> error "bool as int"
+let as_b = function B b -> b | _ -> error "number as bool"
+
+let scalar_ref st x =
+  match List.assoc_opt x st.scalars with
+  | Some r -> r
+  | None -> error "unbound scalar %s" x
+
+let flat_index st a idxs =
+  match Hashtbl.find_opt st.dims a with
+  | None -> error "unbound array %s" a
+  | Some dims ->
+      if List.length dims <> List.length idxs then
+        error "dimension mismatch on %s" a;
+      let rec go dims idxs =
+        match (dims, idxs) with
+        | [ _ ], [ i ] -> i
+        | _ :: rest, i :: is ->
+            (i * List.fold_left ( * ) 1 rest) + go rest is
+        | _ -> assert false
+      in
+      let i = go dims idxs in
+      let arr = Hashtbl.find st.arrays a in
+      if i < 0 || i >= Array.length arr then
+        error "%s index %d out of bounds" a i;
+      i
+
+let num_binop op a b =
+  match (op, a, b) with
+  | Add, I x, I y -> I (x + y)
+  | Sub, I x, I y -> I (x - y)
+  | Mul, I x, I y -> I (x * y)
+  | Div, I x, I y -> if y = 0 then error "division by zero" else I (x / y)
+  | Add, _, _ -> F (as_f a +. as_f b)
+  | Sub, _, _ -> F (as_f a -. as_f b)
+  | Mul, _, _ -> F (as_f a *. as_f b)
+  | Div, _, _ -> F (as_f a /. as_f b)
+  | _ -> assert false
+
+let cmp_binop op a b =
+  let c =
+    match (a, b) with
+    | I x, I y -> compare x y
+    | _ -> compare (as_f a) (as_f b)
+  in
+  B
+    (match op with
+    | Lt -> c < 0 | Le -> c <= 0 | Gt -> c > 0 | Ge -> c >= 0
+    | Eq -> c = 0 | Ne -> c <> 0
+    | _ -> assert false)
+
+let rec eval st = function
+  | Int_lit i -> I i
+  | Float_lit f -> F f
+  | Var x -> !(scalar_ref st x)
+  | Index (a, idxs) ->
+      let idxs = List.map (fun e -> as_i (eval st e)) idxs in
+      F (Hashtbl.find st.arrays a).(flat_index st a idxs)
+  | Bin ((Add | Sub | Mul | Div) as op, ea, eb) ->
+      num_binop op (eval st ea) (eval st eb)
+  | Bin ((Lt | Le | Gt | Ge | Eq | Ne) as op, ea, eb) ->
+      cmp_binop op (eval st ea) (eval st eb)
+  | Bin (And, ea, eb) -> B (as_b (eval st ea) && as_b (eval st eb))
+  | Bin (Or, ea, eb) -> B (as_b (eval st ea) || as_b (eval st eb))
+  | Not e -> B (not (as_b (eval st e)))
+  | Neg e -> (
+      match eval st e with
+      | I i -> I (-i)
+      | F f -> F (-.f)
+      | B _ -> error "unary - on bool")
+
+let default_of = function Tint -> I 0 | Tfloat -> F 0.0 | Tbool -> B false
+
+let coerce ty v =
+  match (ty, v) with
+  | Tfloat, I i -> F (float_of_int i)
+  | Tint, I _ | Tfloat, F _ | Tbool, B _ -> v
+  | _ -> error "type mismatch in assignment"
+
+let rec exec st = function
+  | Decl (ty, x, init) ->
+      let v = match init with Some e -> coerce ty (eval st e) | None -> default_of ty in
+      st.scalars <- (x, ref v) :: st.scalars
+  | Assign (Lv_var x, e) ->
+      let r = scalar_ref st x in
+      let ty = match !r with I _ -> Tint | F _ -> Tfloat | B _ -> Tbool in
+      r := coerce ty (eval st e)
+  | Assign (Lv_index (a, idxs), e) ->
+      let idxs = List.map (fun i -> as_i (eval st i)) idxs in
+      (Hashtbl.find st.arrays a).(flat_index st a idxs) <- as_f (eval st e)
+  | If (c, s1, s2) ->
+      let saved = st.scalars in
+      List.iter (exec st) (if as_b (eval st c) then s1 else s2);
+      st.scalars <- saved
+  | For f ->
+      let saved = st.scalars in
+      let i = ref (I (as_i (eval st f.init))) in
+      st.scalars <- (f.var, i) :: st.scalars;
+      let continue_ () =
+        let limit = as_i (eval st f.limit) in
+        match f.cmp with
+        | Cmp_lt -> as_i !i < limit
+        | Cmp_le -> as_i !i <= limit
+      in
+      while continue_ () do
+        let body_saved = st.scalars in
+        List.iter (exec st) f.body;
+        st.scalars <- body_saved;
+        i := I (as_i !i + f.step)
+      done;
+      st.scalars <- saved
+
+(** Run [kernel] on the given array contents, mutating them in place
+    (same convention as the benchmark references). *)
+let run (k : kernel) (arrays : (string, float array) Hashtbl.t) =
+  let dims = Hashtbl.create 7 in
+  List.iter
+    (fun p ->
+      if p.p_dims = [] then error "scalar parameter %s unsupported" p.p_name
+      else begin
+        if not (Hashtbl.mem arrays p.p_name) then
+          error "missing array %s" p.p_name;
+        Hashtbl.replace dims p.p_name p.p_dims
+      end)
+    k.k_params;
+  let st = { scalars = []; arrays; dims } in
+  List.iter (exec st) k.k_body

@@ -1,0 +1,11 @@
+(** Direct interpreter for mini-C kernels: an independent executable
+    semantics used as the differential oracle against the compiled
+    dataflow circuits in the property tests. *)
+
+exception Error of string
+
+(** Run a kernel on the given array contents, mutating them in place
+    (the same convention as the benchmark references).
+    @raise Error on missing arrays, scalar parameters, out-of-bounds
+    accesses, division by zero, or type confusion. *)
+val run : Ast.kernel -> (string, float array) Hashtbl.t -> unit

@@ -1,0 +1,252 @@
+(** Recursive-descent parser for the mini-C dialect (grammar in ast.ml). *)
+
+open Ast
+open Lexer
+
+exception Error of string
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with t :: _ -> t | [] -> EOF
+
+let advance st =
+  match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect st t =
+  if peek st = t then advance st
+  else raise (Error (Fmt.str "expected %a, found %a" pp_token t pp_token (peek st)))
+
+let expect_ident st =
+  match peek st with
+  | IDENT s ->
+      advance st;
+      s
+  | t -> raise (Error (Fmt.str "expected identifier, found %a" pp_token t))
+
+let parse_ty st =
+  match peek st with
+  | KW_int -> advance st; Tint
+  | KW_float -> advance st; Tfloat
+  | t -> raise (Error (Fmt.str "expected type, found %a" pp_token t))
+
+(* --- expressions, classic precedence climbing ------------------------ *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let a = ref (parse_and st) in
+  while peek st = OROR do
+    advance st;
+    a := Bin (Or, !a, parse_and st)
+  done;
+  !a
+
+and parse_and st =
+  let a = ref (parse_cmp st) in
+  while peek st = ANDAND do
+    advance st;
+    a := Bin (And, !a, parse_cmp st)
+  done;
+  !a
+
+and parse_cmp st =
+  let a = parse_add st in
+  let op =
+    match peek st with
+    | LT -> Some Lt | LE -> Some Le | GT -> Some Gt | GE -> Some Ge
+    | EQEQ -> Some Eq | NEQ -> Some Ne
+    | _ -> None
+  in
+  match op with
+  | None -> a
+  | Some op ->
+      advance st;
+      Bin (op, a, parse_add st)
+
+and parse_add st =
+  let a = ref (parse_mul st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | PLUS -> advance st; a := Bin (Add, !a, parse_mul st)
+    | MINUS -> advance st; a := Bin (Sub, !a, parse_mul st)
+    | _ -> continue_ := false
+  done;
+  !a
+
+and parse_mul st =
+  let a = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | STAR -> advance st; a := Bin (Mul, !a, parse_unary st)
+    | SLASH -> advance st; a := Bin (Div, !a, parse_unary st)
+    | _ -> continue_ := false
+  done;
+  !a
+
+and parse_unary st =
+  match peek st with
+  | MINUS -> advance st; Neg (parse_unary st)
+  | BANG -> advance st; Not (parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | INT v -> advance st; Int_lit v
+  | FLOAT f -> advance st; Float_lit f
+  | LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st RPAREN;
+      e
+  | IDENT x ->
+      advance st;
+      let idxs = ref [] in
+      while peek st = LBRACKET do
+        advance st;
+        idxs := parse_expr st :: !idxs;
+        expect st RBRACKET
+      done;
+      if !idxs = [] then Var x else Index (x, List.rev !idxs)
+  | t -> raise (Error (Fmt.str "unexpected token %a in expression" pp_token t))
+
+(* --- statements ------------------------------------------------------- *)
+
+let parse_lvalue_tail st x =
+  let idxs = ref [] in
+  while peek st = LBRACKET do
+    advance st;
+    idxs := parse_expr st :: !idxs;
+    expect st RBRACKET
+  done;
+  if !idxs = [] then Lv_var x else Lv_index (x, List.rev !idxs)
+
+let expand_compound lv op rhs =
+  let read =
+    match lv with
+    | Lv_var x -> Var x
+    | Lv_index (a, idxs) -> Index (a, idxs)
+  in
+  Assign (lv, Bin (op, read, rhs))
+
+let rec parse_stmt st =
+  match peek st with
+  | KW_int | KW_float ->
+      let ty = parse_ty st in
+      let x = expect_ident st in
+      let init =
+        if peek st = ASSIGN then begin
+          advance st;
+          Some (parse_expr st)
+        end
+        else None
+      in
+      expect st SEMI;
+      Decl (ty, x, init)
+  | KW_if ->
+      advance st;
+      expect st LPAREN;
+      let c = parse_expr st in
+      expect st RPAREN;
+      let s1 = parse_block st in
+      let s2 =
+        if peek st = KW_else then begin
+          advance st;
+          parse_block st
+        end
+        else []
+      in
+      If (c, s1, s2)
+  | KW_for ->
+      advance st;
+      expect st LPAREN;
+      (* optional 'int' in the init clause *)
+      if peek st = KW_int then advance st;
+      let var = expect_ident st in
+      expect st ASSIGN;
+      let init = parse_expr st in
+      expect st SEMI;
+      let var2 = expect_ident st in
+      if var2 <> var then
+        raise (Error (Fmt.str "loop condition must test %s" var));
+      let cmp =
+        match peek st with
+        | LT -> advance st; Cmp_lt
+        | LE -> advance st; Cmp_le
+        | t -> raise (Error (Fmt.str "expected < or <= in loop, found %a" pp_token t))
+      in
+      let limit = parse_expr st in
+      expect st SEMI;
+      let var3 = expect_ident st in
+      if var3 <> var then
+        raise (Error (Fmt.str "loop increment must update %s" var));
+      let step =
+        match peek st with
+        | PLUSPLUS -> advance st; 1
+        | PLUSEQ -> (
+            advance st;
+            match peek st with
+            | INT s -> advance st; s
+            | t -> raise (Error (Fmt.str "expected step constant, found %a" pp_token t)))
+        | t -> raise (Error (Fmt.str "expected ++ or +=, found %a" pp_token t))
+      in
+      expect st RPAREN;
+      let body = parse_block st in
+      For { var; init; cmp; limit; step; body }
+  | IDENT x ->
+      advance st;
+      let lv = parse_lvalue_tail st x in
+      let s =
+        match peek st with
+        | ASSIGN -> advance st; Assign (lv, parse_expr st)
+        | PLUSEQ -> advance st; expand_compound lv Add (parse_expr st)
+        | MINUSEQ -> advance st; expand_compound lv Sub (parse_expr st)
+        | STAREQ -> advance st; expand_compound lv Mul (parse_expr st)
+        | t -> raise (Error (Fmt.str "expected assignment, found %a" pp_token t))
+      in
+      expect st SEMI;
+      s
+  | t -> raise (Error (Fmt.str "unexpected token %a at statement start" pp_token t))
+
+and parse_block st =
+  expect st LBRACE;
+  let stmts = ref [] in
+  while peek st <> RBRACE do
+    stmts := parse_stmt st :: !stmts
+  done;
+  expect st RBRACE;
+  List.rev !stmts
+
+let parse_param st =
+  let ty = parse_ty st in
+  let name = expect_ident st in
+  let dims = ref [] in
+  while peek st = LBRACKET do
+    advance st;
+    (match peek st with
+    | INT d -> advance st; dims := d :: !dims
+    | t -> raise (Error (Fmt.str "array dimension must be a constant, found %a" pp_token t)));
+    expect st RBRACKET
+  done;
+  { p_name = name; p_ty = ty; p_dims = List.rev !dims }
+
+(** Parse one kernel definition from source text. *)
+let parse_kernel src =
+  let st = { toks = Lexer.tokenize src } in
+  expect st KW_void;
+  let name = expect_ident st in
+  expect st LPAREN;
+  let params = ref [] in
+  if peek st <> RPAREN then begin
+    params := [ parse_param st ];
+    while peek st = COMMA do
+      advance st;
+      params := parse_param st :: !params
+    done
+  end;
+  expect st RPAREN;
+  let body = parse_block st in
+  if peek st <> EOF then
+    raise (Error (Fmt.str "trailing input after kernel: %a" pp_token (peek st)));
+  { k_name = name; k_params = List.rev !params; k_body = body }

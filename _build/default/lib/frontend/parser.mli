@@ -1,0 +1,9 @@
+(** Recursive-descent parser for the mini-C dialect (grammar documented
+    in {!Ast}): one kernel per source text, classic expression
+    precedence, counted [for] loops with [<]/[<=] bounds and constant
+    steps, compound assignments expanded to plain ones. *)
+
+exception Error of string
+
+(** @raise Error (or {!Lexer.Error}) on malformed input. *)
+val parse_kernel : string -> Ast.kernel

@@ -1,0 +1,68 @@
+(** Pretty-printer from the AST back to mini-C source.
+
+    Useful for inspecting unrolled kernels and for round-trip testing:
+    [Parser.parse_kernel (to_string k)] yields [k] back (modulo float
+    literal formatting, which prints with enough digits to round-trip). *)
+
+open Ast
+
+let rec pp_expr ppf = function
+  | Int_lit i -> Fmt.int ppf i
+  | Float_lit f ->
+      (* Print with a decimal point so the lexer reads a float back. *)
+      if Float.is_integer f && Float.abs f < 1e15 then Fmt.pf ppf "%.1f" f
+      else Fmt.pf ppf "%.17g" f
+  | Var x -> Fmt.string ppf x
+  | Index (a, idxs) ->
+      Fmt.pf ppf "%s%a" a
+        (Fmt.list ~sep:Fmt.nop (fun ppf e -> Fmt.pf ppf "[%a]" pp_expr e))
+        idxs
+  | Bin (op, a, b) ->
+      Fmt.pf ppf "(%a %s %a)" pp_expr a (string_of_binop op) pp_expr b
+  | Not e -> Fmt.pf ppf "(!%a)" pp_expr e
+  | Neg e -> Fmt.pf ppf "(-%a)" pp_expr e
+
+let pp_lvalue ppf = function
+  | Lv_var x -> Fmt.string ppf x
+  | Lv_index (a, idxs) ->
+      Fmt.pf ppf "%s%a" a
+        (Fmt.list ~sep:Fmt.nop (fun ppf e -> Fmt.pf ppf "[%a]" pp_expr e))
+        idxs
+
+let rec pp_stmt ~indent ppf stmt =
+  let pad = String.make indent ' ' in
+  match stmt with
+  | Decl (ty, x, None) -> Fmt.pf ppf "%s%s %s;" pad (string_of_ty ty) x
+  | Decl (ty, x, Some e) ->
+      Fmt.pf ppf "%s%s %s = %a;" pad (string_of_ty ty) x pp_expr e
+  | Assign (lv, e) -> Fmt.pf ppf "%s%a = %a;" pad pp_lvalue lv pp_expr e
+  | If (c, s1, s2) ->
+      Fmt.pf ppf "%sif (%a) {@\n%a@\n%s}" pad pp_expr c
+        (pp_stmts ~indent:(indent + 2))
+        s1 pad;
+      if s2 <> [] then
+        Fmt.pf ppf " else {@\n%a@\n%s}" (pp_stmts ~indent:(indent + 2)) s2 pad
+  | For f ->
+      Fmt.pf ppf "%sfor (int %s = %a; %s %s %a; %s += %d) {@\n%a@\n%s}" pad
+        f.var pp_expr f.init f.var
+        (match f.cmp with Cmp_lt -> "<" | Cmp_le -> "<=")
+        pp_expr f.limit f.var f.step
+        (pp_stmts ~indent:(indent + 2))
+        f.body pad
+
+and pp_stmts ~indent ppf stmts =
+  Fmt.list ~sep:(Fmt.any "@\n") (pp_stmt ~indent) ppf stmts
+
+let pp_param ppf p =
+  Fmt.pf ppf "%s %s%a" (string_of_ty p.p_ty) p.p_name
+    (Fmt.list ~sep:Fmt.nop (fun ppf d -> Fmt.pf ppf "[%d]" d))
+    p.p_dims
+
+let pp_kernel ppf k =
+  Fmt.pf ppf "void %s(%a) {@\n%a@\n}@\n" k.k_name
+    (Fmt.list ~sep:(Fmt.any ", ") pp_param)
+    k.k_params
+    (pp_stmts ~indent:2)
+    k.k_body
+
+let to_string k = Fmt.str "%a" pp_kernel k

@@ -1,0 +1,6 @@
+(** Pretty-printer from the AST back to mini-C source: parsing the
+    printed form yields an equivalent kernel (round-trip tested). *)
+
+val pp_expr : Ast.expr Fmt.t
+val pp_kernel : Ast.kernel Fmt.t
+val to_string : Ast.kernel -> string

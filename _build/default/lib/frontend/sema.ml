@@ -1,0 +1,136 @@
+(** Semantic analysis of mini-C kernels: name resolution, type checking,
+    and the typing queries the circuit generator needs (operand types
+    select integer vs floating-point functional units, which matters for
+    sharing rule R1). *)
+
+open Ast
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+type array_info = { a_ty : ty; a_dims : int list }
+
+type env = {
+  scalars : (string * ty) list;
+  arrays : (string * array_info) list;
+}
+
+let empty_env = { scalars = []; arrays = [] }
+
+let lookup_scalar env x =
+  match List.assoc_opt x env.scalars with
+  | Some ty -> ty
+  | None ->
+      if List.mem_assoc x env.arrays then
+        error "array %s used as a scalar" x
+      else error "undeclared variable %s" x
+
+let lookup_array env x =
+  match List.assoc_opt x env.arrays with
+  | Some info -> info
+  | None -> error "undeclared array %s" x
+
+let join_num a b =
+  match (a, b) with
+  | Tfloat, _ | _, Tfloat -> Tfloat
+  | Tint, Tint -> Tint
+  | _ -> error "boolean operand in arithmetic"
+
+let rec type_of env = function
+  | Int_lit _ -> Tint
+  | Float_lit _ -> Tfloat
+  | Var x -> lookup_scalar env x
+  | Index (a, idxs) ->
+      let info = lookup_array env a in
+      if List.length idxs <> List.length info.a_dims then
+        error "array %s has %d dimensions, indexed with %d" a
+          (List.length info.a_dims) (List.length idxs);
+      List.iter
+        (fun e ->
+          if type_of env e <> Tint then error "non-integer index into %s" a)
+        idxs;
+      info.a_ty
+  | Bin ((Add | Sub | Mul | Div), a, b) -> join_num (type_of env a) (type_of env b)
+  | Bin ((Lt | Le | Gt | Ge | Eq | Ne), a, b) ->
+      ignore (join_num (type_of env a) (type_of env b));
+      Tbool
+  | Bin ((And | Or), a, b) ->
+      if type_of env a <> Tbool || type_of env b <> Tbool then
+        error "&&/|| on non-boolean operands";
+      Tbool
+  | Not e ->
+      if type_of env e <> Tbool then error "! on non-boolean operand";
+      Tbool
+  | Neg e -> (
+      match type_of env e with
+      | (Tint | Tfloat) as t -> t
+      | Tbool -> error "unary - on boolean")
+
+let assignable ~dst ~src =
+  match (dst, src) with
+  | Tfloat, (Tfloat | Tint) -> true  (* implicit int-to-float promotion *)
+  | Tint, Tint -> true
+  | Tbool, Tbool -> true
+  | _ -> false
+
+let rec check_stmts env stmts =
+  List.fold_left check_stmt env stmts
+
+and check_stmt env = function
+  | Decl (ty, x, init) ->
+      if List.mem_assoc x env.scalars || List.mem_assoc x env.arrays then
+        error "redeclaration of %s" x;
+      (match init with
+      | Some e ->
+          let te = type_of env e in
+          if not (assignable ~dst:ty ~src:te) then
+            error "cannot initialize %s %s with %s" (string_of_ty ty) x
+              (string_of_ty te)
+      | None -> ());
+      { env with scalars = (x, ty) :: env.scalars }
+  | Assign (Lv_var x, e) ->
+      let tx = lookup_scalar env x and te = type_of env e in
+      if not (assignable ~dst:tx ~src:te) then
+        error "cannot assign %s to %s %s" (string_of_ty te) (string_of_ty tx) x;
+      env
+  | Assign (Lv_index (a, idxs), e) ->
+      let ta = type_of env (Index (a, idxs)) and te = type_of env e in
+      if not (assignable ~dst:ta ~src:te) then
+        error "cannot store %s into %s array %s" (string_of_ty te)
+          (string_of_ty ta) a;
+      env
+  | If (c, s1, s2) ->
+      if type_of env c <> Tbool then error "if condition must be boolean";
+      ignore (check_stmts env s1);
+      ignore (check_stmts env s2);
+      env
+  | For f ->
+      if List.mem_assoc f.var env.scalars then
+        error "loop variable %s shadows an existing scalar" f.var;
+      if type_of env f.init <> Tint then error "loop init must be int";
+      if f.step = 0 then error "loop step must be non-zero";
+      let env' = { env with scalars = (f.var, Tint) :: env.scalars } in
+      if type_of env' f.limit <> Tint then error "loop limit must be int";
+      ignore (check_stmts env' f.body);
+      env
+
+(** Check a kernel; returns the parameter environment for codegen. *)
+let check (k : kernel) =
+  let env =
+    List.fold_left
+      (fun env p ->
+        if p.p_dims = [] then
+          { env with scalars = (p.p_name, p.p_ty) :: env.scalars }
+        else begin
+          if List.exists (fun d -> d <= 0) p.p_dims then
+            error "array %s has a non-positive dimension" p.p_name;
+          {
+            env with
+            arrays = (p.p_name, { a_ty = p.p_ty; a_dims = p.p_dims }) :: env.arrays;
+          }
+        end)
+      empty_env k.k_params
+  in
+  ignore (check_stmts env k.k_body);
+  env

@@ -1,0 +1,28 @@
+(** Semantic analysis of mini-C kernels: name resolution and type
+    checking, plus the typing queries the circuit generator needs
+    (operand types select integer vs floating-point units — sharing rule
+    R1 depends on the distinction). *)
+
+exception Error of string
+
+type array_info = { a_ty : Ast.ty; a_dims : int list }
+
+type env = {
+  scalars : (string * Ast.ty) list;
+  arrays : (string * array_info) list;
+}
+
+val empty_env : env
+
+(** @raise Error on unknown names (all lookups and checks below). *)
+val lookup_scalar : env -> string -> Ast.ty
+
+val lookup_array : env -> string -> array_info
+val type_of : env -> Ast.expr -> Ast.ty
+
+(** May a [src]-typed value be assigned to a [dst]-typed location?
+    (int-to-float promotion is implicit.) *)
+val assignable : dst:Ast.ty -> src:Ast.ty -> bool
+
+(** Check a kernel; returns the parameter environment for codegen. *)
+val check : Ast.kernel -> env

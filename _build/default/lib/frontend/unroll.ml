@@ -1,0 +1,86 @@
+(** Loop unrolling at the AST level.
+
+    Unrolling is the standard HLS parallelism lever the paper uses in
+    Section 6.2: the inner loop of gesummv is unrolled by 75, which blows
+    the design past the target device's DSP capacity unless functional
+    units are shared.  Full unrolling replaces the loop by [trip] copies
+    of its body with the induction variable substituted by constants;
+    partial unrolling widens the step and replicates the body with
+    offsets. *)
+
+open Ast
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+let rec has_decl_or_loop stmts =
+  List.exists
+    (function
+      | Decl _ | For _ -> true
+      | If (_, s1, s2) -> has_decl_or_loop s1 || has_decl_or_loop s2
+      | Assign _ -> false)
+    stmts
+
+let trip_count f =
+  match (f.init, f.limit) with
+  | Int_lit a, Int_lit b ->
+      let upper = match f.cmp with Cmp_lt -> b | Cmp_le -> b + 1 in
+      if upper <= a then 0 else ((upper - a) + f.step - 1) / f.step
+  | _ -> error "unroll: loop bounds of %s are not static" f.var
+
+(** Replace the loop by [trip] copies of its body, each with the
+    induction variable substituted by its constant value. *)
+let fully_unroll f =
+  if has_decl_or_loop f.body then
+    error "unroll: body of %s declares locals or nests loops" f.var;
+  let trip = trip_count f in
+  let init = match f.init with Int_lit a -> a | _ -> assert false in
+  List.concat
+    (List.init trip (fun j ->
+         let v = init + (j * f.step) in
+         List.map (subst_stmt f.var (Int_lit v)) f.body))
+
+(** Replicate the body [factor] times with offsets and widen the step.
+    The trip count must divide evenly. *)
+let partially_unroll f ~factor =
+  if factor <= 1 then For f
+  else begin
+    if has_decl_or_loop f.body then
+      error "unroll: body of %s declares locals or nests loops" f.var;
+    let trip = trip_count f in
+    if trip mod factor <> 0 then
+      error "unroll: trip count %d of %s not divisible by %d" trip f.var factor;
+    let copies =
+      List.concat
+        (List.init factor (fun j ->
+             let off = j * f.step in
+             if off = 0 then f.body
+             else
+               List.map
+                 (subst_stmt f.var (Bin (Add, Var f.var, Int_lit off)))
+                 f.body))
+    in
+    For { f with step = f.step * factor; body = copies }
+  end
+
+(** Unroll every innermost loop of the kernel by [factor]; [factor] equal
+    to the trip count removes the loop entirely (full unrolling). *)
+let unroll_innermost ~factor (k : kernel) =
+  let rec on_stmt = function
+    | For f when not (has_loop f.body) ->
+        if factor >= trip_count f then fully_unroll f
+        else [ partially_unroll f ~factor ]
+    | For f -> [ For { f with body = on_stmts f.body } ]
+    | If (c, s1, s2) -> [ If (c, on_stmts s1, on_stmts s2) ]
+    | s -> [ s ]
+  and on_stmts stmts = List.concat_map on_stmt stmts
+  and has_loop stmts =
+    List.exists
+      (function
+        | For _ -> true
+        | If (_, s1, s2) -> has_loop s1 || has_loop s2
+        | _ -> false)
+      stmts
+  in
+  { k with k_body = on_stmts k.k_body }

@@ -1,0 +1,22 @@
+(** Loop unrolling at the AST level — the standard HLS parallelism lever
+    of the paper's Table 1 study (gesummv's inner loop unrolled by 75,
+    overflowing the device's DSPs unless units are shared). *)
+
+exception Error of string
+
+(** Static trip count of a loop.
+    @raise Error when the bounds are not integer literals. *)
+val trip_count : Ast.for_loop -> int
+
+(** Replace the loop by [trip] copies of its body, the induction variable
+    substituted by constants.
+    @raise Error on bodies with local declarations or nested loops. *)
+val fully_unroll : Ast.for_loop -> Ast.stmt list
+
+(** Replicate the body [factor] times with offsets and widen the step.
+    @raise Error unless the trip count divides evenly. *)
+val partially_unroll : Ast.for_loop -> factor:int -> Ast.stmt
+
+(** Unroll every innermost loop by [factor] ([factor >= trip] removes the
+    loop entirely). *)
+val unroll_innermost : factor:int -> Ast.kernel -> Ast.kernel

@@ -1,0 +1,1 @@
+lib/kernels/harness.ml: Array Dataflow Float Fmt Graph Hashtbl List Minic Reference Registry Sim

@@ -1,0 +1,1 @@
+lib/kernels/harness.mli: Dataflow Fmt Minic Registry Sim

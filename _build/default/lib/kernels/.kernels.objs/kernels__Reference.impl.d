@@ -1,0 +1,1 @@
+lib/kernels/reference.ml: Array Fmt Hashtbl Sources

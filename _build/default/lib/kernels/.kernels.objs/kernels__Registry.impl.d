@@ -1,0 +1,1 @@
+lib/kernels/registry.ml: Array Data Fmt Hashtbl List Minic Reference Sources

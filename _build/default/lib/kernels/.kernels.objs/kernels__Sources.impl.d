@@ -1,0 +1,1 @@
+lib/kernels/sources.ml: Fmt

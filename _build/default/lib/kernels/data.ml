@@ -1,0 +1,24 @@
+(** Deterministic input data for the benchmark kernels.
+
+    A small linear congruential generator keeps runs reproducible across
+    machines and independent of OCaml's global [Random] state. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int (0x9E3779B9 lxor seed) }
+
+let next t =
+  (* Numerical Recipes LCG constants. *)
+  t.state <- Int64.add (Int64.mul t.state 6364136223846793005L) 1442695040888963407L;
+  let bits = Int64.to_int (Int64.shift_right_logical t.state 17) land 0x3FFFFFFF in
+  float_of_int bits /. float_of_int 0x3FFFFFFF
+
+(** Uniform in [lo, hi). *)
+let uniform t ~lo ~hi = lo +. ((hi -. lo) *. next t)
+
+(** Array of [n] uniform values in [-1, 1); about half are negative,
+    which is what makes the guarded kernels (gsum/gsumif) irregular. *)
+let signed_array t n = Array.init n (fun _ -> uniform t ~lo:(-1.0) ~hi:1.0)
+
+(** Array of [n] uniform values in [0.1, 1.1). *)
+let positive_array t n = Array.init n (fun _ -> uniform t ~lo:0.1 ~hi:1.1)

@@ -1,0 +1,19 @@
+(** Deterministic input data: a small linear congruential generator keeps
+    runs reproducible across machines, independent of OCaml's global
+    [Random] state. *)
+
+type t
+
+val create : int -> t
+
+(** Next value in [0, 1). *)
+val next : t -> float
+
+val uniform : t -> lo:float -> hi:float -> float
+
+(** [n] values in [-1, 1): about half negative, which is what makes the
+    guarded kernels (gsum/gsumif) irregular. *)
+val signed_array : t -> int -> float array
+
+(** [n] values in [0.1, 1.1). *)
+val positive_array : t -> int -> float array

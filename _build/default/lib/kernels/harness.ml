@@ -1,0 +1,69 @@
+(** Compile–simulate–verify harness: the replacement for the paper's
+    ModelSim flow.  It runs a benchmark circuit on deterministic inputs
+    and checks every array against the software reference ("we confirm
+    that the circuit produces the same result as the C code and the
+    circuit does not deadlock", Section 6.1). *)
+
+open Dataflow
+
+type verdict = {
+  status : Sim.Engine.status;
+  cycles : int;
+  functionally_correct : bool;
+  mismatches : (string * int * float * float) list;
+      (** array, index, expected, got (at most a handful reported) *)
+}
+
+let close a b =
+  let d = Float.abs (a -. b) in
+  d <= 1e-6 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+(** Compare simulated memories against reference arrays. *)
+let compare_arrays (bench : Registry.bench) (expected : Reference.arrays)
+    (memory : Sim.Memory.t) =
+  List.concat_map
+    (fun (name, _) ->
+      let want = Reference.get expected name in
+      let got = Sim.Memory.get_floats memory name in
+      let bad = ref [] in
+      Array.iteri
+        (fun i w ->
+          if List.length !bad < 5 && not (close w got.(i)) then
+            bad := (name, i, w, got.(i)) :: !bad)
+        want;
+      List.rev !bad)
+    bench.Registry.arrays
+
+(** Simulate [graph] on fresh inputs for [bench] and verify the results.
+    [max_cycles] bounds runaway simulations. *)
+let run_circuit ?(seed = 42) ?(max_cycles = 2_000_000) (bench : Registry.bench)
+    (graph : Graph.t) =
+  let inputs = Registry.fresh_inputs ~seed bench in
+  let expected = Registry.copy_arrays inputs in
+  bench.reference expected;
+  let memory = Sim.Memory.of_graph graph in
+  Hashtbl.iter (fun name data -> Sim.Memory.set_floats memory name data) inputs;
+  let out = Sim.Engine.run ~max_cycles ~memory graph in
+  let mismatches =
+    if Sim.Engine.is_completed out then compare_arrays bench expected memory
+    else []
+  in
+  {
+    status = out.stats.status;
+    cycles = out.stats.cycles;
+    functionally_correct = Sim.Engine.is_completed out && mismatches = [];
+    mismatches;
+  }
+
+(** Compile [bench] with [strategy], optionally post-process the circuit
+    with [transform] (e.g. a sharing pass), then simulate and verify. *)
+let compile_and_run ?seed ?max_cycles ?(strategy = Minic.Codegen.Bb_ordered)
+    ?(transform = fun (c : Minic.Codegen.compiled) -> c) bench =
+  let compiled = Minic.Codegen.compile_source ~strategy bench.Registry.source in
+  let compiled = transform compiled in
+  (compiled, run_circuit ?seed ?max_cycles bench compiled.Minic.Codegen.graph)
+
+let pp_verdict ppf v =
+  Fmt.pf ppf "%a, %s (%d cycles)" Sim.Engine.pp_status v.status
+    (if v.functionally_correct then "correct" else "WRONG RESULTS")
+    v.cycles

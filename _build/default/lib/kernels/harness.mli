@@ -1,0 +1,32 @@
+(** Compile–simulate–verify harness: the ModelSim role in the paper's
+    methodology.  Runs a circuit on deterministic inputs and checks every
+    array against the software reference — confirming both functional
+    correctness and deadlock freedom (Section 6.1). *)
+
+type verdict = {
+  status : Sim.Engine.status;
+  cycles : int;
+  functionally_correct : bool;
+  mismatches : (string * int * float * float) list;
+      (** array, index, expected, got (first few only) *)
+}
+
+(** Simulate [graph] on fresh inputs for the benchmark and verify. *)
+val run_circuit :
+  ?seed:int ->
+  ?max_cycles:int ->
+  Registry.bench ->
+  Dataflow.Graph.t ->
+  verdict
+
+(** Compile the benchmark, post-process with [transform] (e.g. a sharing
+    pass mutating the graph), then simulate and verify. *)
+val compile_and_run :
+  ?seed:int ->
+  ?max_cycles:int ->
+  ?strategy:Minic.Codegen.strategy ->
+  ?transform:(Minic.Codegen.compiled -> Minic.Codegen.compiled) ->
+  Registry.bench ->
+  Minic.Codegen.compiled * verdict
+
+val pp_verdict : verdict Fmt.t

@@ -1,0 +1,217 @@
+(** Software reference implementations of the benchmark kernels.
+
+    Each reference mirrors its mini-C source operation for operation
+    (same accumulation order), so a correct circuit matches it to within
+    floating-point tolerance.  References mutate a name-indexed set of
+    flat float arrays, the same layout the circuit's memories use. *)
+
+type arrays = (string, float array) Hashtbl.t
+
+let get (a : arrays) name =
+  match Hashtbl.find_opt a name with
+  | Some arr -> arr
+  | None -> invalid_arg (Fmt.str "Reference: missing array %s" name)
+
+(* Row-major 2D access into a flat array. *)
+let at2 arr n i j = arr.((i * n) + j)
+let set2 arr n i j v = arr.((i * n) + j) <- v
+
+let atax (m : arrays) =
+  let n = Sources.atax_n in
+  let a = get m "A" and x = get m "x" and y = get m "y" and tmp = get m "tmp" in
+  for i = 0 to n - 1 do
+    let s = ref 0.0 in
+    for j = 0 to n - 1 do
+      s := !s +. (at2 a n i j *. x.(j))
+    done;
+    tmp.(i) <- !s
+  done;
+  for j = 0 to n - 1 do
+    let t = ref 0.0 in
+    for i = 0 to n - 1 do
+      t := !t +. (at2 a n i j *. tmp.(i))
+    done;
+    y.(j) <- !t
+  done
+
+let bicg (m : arrays) =
+  let n = Sources.bicg_n in
+  let a = get m "A" and p = get m "p" and r = get m "r" in
+  let q = get m "q" and s = get m "s" in
+  for j = 0 to n - 1 do
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. (r.(i) *. at2 a n i j)
+    done;
+    s.(j) <- !acc
+  done;
+  for i = 0 to n - 1 do
+    let acc = ref 0.0 in
+    for j = 0 to n - 1 do
+      acc := !acc +. (at2 a n i j *. p.(j))
+    done;
+    q.(i) <- !acc
+  done
+
+let mm2 (m : arrays) =
+  let n = Sources.mm2_n in
+  let a = get m "A" and b = get m "B" and c = get m "C" in
+  let tmp = get m "tmp" and d = get m "D" in
+  let alpha = 1.5 and beta = 1.2 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let s = ref 0.0 in
+      for k = 0 to n - 1 do
+        s := !s +. (alpha *. at2 a n i k *. at2 b n k j)
+      done;
+      set2 tmp n i j !s
+    done
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let s = ref (at2 d n i j *. beta) in
+      for k = 0 to n - 1 do
+        s := !s +. (at2 tmp n i k *. at2 c n k j)
+      done;
+      set2 d n i j !s
+    done
+  done
+
+let mm3 (m : arrays) =
+  let n = Sources.mm3_n in
+  let a = get m "A" and b = get m "B" and c = get m "C" and d = get m "D" in
+  let e = get m "E" and f = get m "F" and g = get m "G" in
+  let matmul x y z =
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let s = ref 0.0 in
+        for k = 0 to n - 1 do
+          s := !s +. (at2 x n i k *. at2 y n k j)
+        done;
+        set2 z n i j !s
+      done
+    done
+  in
+  matmul a b e;
+  matmul c d f;
+  matmul e f g
+
+(* Owner-computes symm; see the note on the kernel source. *)
+let symm (m : arrays) =
+  let n = Sources.symm_n in
+  let a = get m "A" and b = get m "B" and c = get m "C" in
+  let alpha = 1.5 and beta = 1.2 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let temp2 = ref 0.0 in
+      for k = 0 to i - 1 do
+        temp2 := !temp2 +. (at2 b n k j *. at2 a n i k)
+      done;
+      let temp3 = ref 0.0 in
+      for k = i + 1 to n - 1 do
+        temp3 := !temp3 +. (at2 b n k j *. at2 a n k i)
+      done;
+      set2 c n i j
+        ((beta *. at2 c n i j)
+        +. (alpha *. at2 b n i j *. at2 a n i i)
+        +. (alpha *. !temp2)
+        +. (alpha *. !temp3))
+    done
+  done
+
+let gemm (m : arrays) =
+  let n = Sources.gemm_n in
+  let a = get m "A" and b = get m "B" and c = get m "C" in
+  let alpha = 1.5 and beta = 1.2 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let s = ref (at2 c n i j *. beta) in
+      for k = 0 to n - 1 do
+        s := !s +. (alpha *. at2 a n i k *. at2 b n k j)
+      done;
+      set2 c n i j !s
+    done
+  done
+
+let gesummv_sized n (m : arrays) =
+  let a = get m "A" and b = get m "B" and x = get m "x" and y = get m "y" in
+  let alpha = 1.5 and beta = 1.2 in
+  for i = 0 to n - 1 do
+    let t1 = ref 0.0 and t2 = ref 0.0 in
+    for j = 0 to n - 1 do
+      t1 := !t1 +. (at2 a n i j *. x.(j));
+      t2 := !t2 +. (at2 b n i j *. x.(j))
+    done;
+    y.(i) <- (alpha *. !t1) +. (beta *. !t2)
+  done
+
+let gesummv m = gesummv_sized Sources.gesummv_n m
+
+let mvt (m : arrays) =
+  let n = Sources.mvt_n in
+  let a = get m "A" in
+  let x1 = get m "x1" and x2 = get m "x2" in
+  let y1 = get m "y1" and y2 = get m "y2" in
+  for i = 0 to n - 1 do
+    let s = ref x1.(i) in
+    for j = 0 to n - 1 do
+      s := !s +. (at2 a n i j *. y1.(j))
+    done;
+    x1.(i) <- !s
+  done;
+  for i = 0 to n - 1 do
+    let s = ref x2.(i) in
+    for j = 0 to n - 1 do
+      s := !s +. (at2 a n j i *. y2.(j))
+    done;
+    x2.(i) <- !s
+  done
+
+let syr2k (m : arrays) =
+  let n = Sources.syr2k_n in
+  let a = get m "A" and b = get m "B" and c = get m "C" in
+  let alpha = 1.5 and beta = 1.2 in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let s = ref (at2 c n i j *. beta) in
+      for k = 0 to n - 1 do
+        s :=
+          !s
+          +. (alpha *. at2 a n j k *. at2 b n i k)
+          +. (alpha *. at2 b n j k *. at2 a n i k)
+      done;
+      set2 c n i j !s
+    done
+  done
+
+let gsum (m : arrays) =
+  let n = Sources.gsum_n in
+  let a = get m "a" and out = get m "out" in
+  let s = ref 0.0 in
+  for i = 0 to n - 1 do
+    let d = a.(i) in
+    if d >= 0.0 then begin
+      let p = (((d *. d) +. 1.9) *. d) +. 2.3 in
+      let q = (p *. d) +. 0.7 in
+      s := !s +. ((q *. 0.5) +. 0.1)
+    end
+  done;
+  out.(0) <- !s
+
+let gsumif (m : arrays) =
+  let n = Sources.gsumif_n in
+  let a = get m "a" and out = get m "out" in
+  let s = ref 0.0 in
+  for i = 0 to n - 1 do
+    let d = a.(i) in
+    if d >= 0.0 then begin
+      let p = (((d *. d) +. 1.9) *. d) +. 2.3 in
+      let q = (p *. d) +. 0.7 in
+      s := !s +. ((q *. 0.5) +. 0.1)
+    end
+    else begin
+      let p = (d *. 0.5) +. 0.3 in
+      s := !s +. (p *. 0.25)
+    end
+  done;
+  out.(0) <- !s

@@ -1,0 +1,147 @@
+(** Benchmark registry: kernel sources, array shapes, input generation,
+    and software references, tied together for the experiment drivers. *)
+
+type bench = {
+  name : string;
+  source : string;
+  arrays : (string * int) list;  (** array name, flat element count *)
+  reference : Reference.arrays -> unit;
+}
+
+let sq n = n * n
+
+let atax =
+  let n = Sources.atax_n in
+  {
+    name = "atax";
+    source = Sources.atax;
+    arrays = [ ("A", sq n); ("x", n); ("y", n); ("tmp", n) ];
+    reference = Reference.atax;
+  }
+
+let bicg =
+  let n = Sources.bicg_n in
+  {
+    name = "bicg";
+    source = Sources.bicg;
+    arrays = [ ("A", sq n); ("p", n); ("r", n); ("q", n); ("s", n) ];
+    reference = Reference.bicg;
+  }
+
+let mm2 =
+  let n = Sources.mm2_n in
+  {
+    name = "2mm";
+    source = Sources.mm2;
+    arrays = [ ("A", sq n); ("B", sq n); ("C", sq n); ("tmp", sq n); ("D", sq n) ];
+    reference = Reference.mm2;
+  }
+
+let mm3 =
+  let n = Sources.mm3_n in
+  {
+    name = "3mm";
+    source = Sources.mm3;
+    arrays =
+      [ ("A", sq n); ("B", sq n); ("C", sq n); ("D", sq n); ("E", sq n);
+        ("F", sq n); ("G", sq n) ];
+    reference = Reference.mm3;
+  }
+
+let symm =
+  let n = Sources.symm_n in
+  {
+    name = "symm";
+    source = Sources.symm;
+    arrays = [ ("A", sq n); ("B", sq n); ("C", sq n) ];
+    reference = Reference.symm;
+  }
+
+let gemm =
+  let n = Sources.gemm_n in
+  {
+    name = "gemm";
+    source = Sources.gemm;
+    arrays = [ ("A", sq n); ("B", sq n); ("C", sq n) ];
+    reference = Reference.gemm;
+  }
+
+let gesummv =
+  let n = Sources.gesummv_n in
+  {
+    name = "gesummv";
+    source = Sources.gesummv;
+    arrays = [ ("A", sq n); ("B", sq n); ("x", n); ("y", n) ];
+    reference = Reference.gesummv;
+  }
+
+(** gesummv at size [n] with its inner loop unrolled by [factor]
+    (Table 1 uses n = factor = 75: full unrolling). *)
+let gesummv_unrolled ~n ~factor =
+  let k = Minic.Parser.parse_kernel (Sources.gesummv_sized n) in
+  let k = Minic.Unroll.unroll_innermost ~factor k in
+  let bench =
+    {
+      name = Fmt.str "gesummv_u%d" factor;
+      source = Sources.gesummv_sized n;  (* pre-unroll source, for reference *)
+      arrays = [ ("A", sq n); ("B", sq n); ("x", n); ("y", n) ];
+      reference = Reference.gesummv_sized n;
+    }
+  in
+  (bench, k)
+
+let mvt =
+  let n = Sources.mvt_n in
+  {
+    name = "mvt";
+    source = Sources.mvt;
+    arrays = [ ("A", sq n); ("x1", n); ("x2", n); ("y1", n); ("y2", n) ];
+    reference = Reference.mvt;
+  }
+
+let syr2k =
+  let n = Sources.syr2k_n in
+  {
+    name = "syr2k";
+    source = Sources.syr2k;
+    arrays = [ ("A", sq n); ("B", sq n); ("C", sq n) ];
+    reference = Reference.syr2k;
+  }
+
+let gsum =
+  {
+    name = "gsum";
+    source = Sources.gsum;
+    arrays = [ ("a", Sources.gsum_n); ("out", 1) ];
+    reference = Reference.gsum;
+  }
+
+let gsumif =
+  {
+    name = "gsumif";
+    source = Sources.gsumif;
+    arrays = [ ("a", Sources.gsumif_n); ("out", 1) ];
+    reference = Reference.gsumif;
+  }
+
+(** The eleven benchmarks of Tables 2 and 3, in the paper's order. *)
+let all = [ atax; bicg; gsum; gsumif; mm2; mm3; symm; gemm; gesummv; mvt; syr2k ]
+
+let find name =
+  match List.find_opt (fun b -> b.name = name) all with
+  | Some b -> b
+  | None -> invalid_arg (Fmt.str "unknown benchmark %s" name)
+
+(** Fresh deterministic input data for a benchmark. *)
+let fresh_inputs ?(seed = 42) bench : Reference.arrays =
+  let rng = Data.create (seed + Hashtbl.hash bench.name) in
+  let t = Hashtbl.create 7 in
+  List.iter
+    (fun (name, size) -> Hashtbl.replace t name (Data.signed_array rng size))
+    bench.arrays;
+  t
+
+let copy_arrays (t : Reference.arrays) : Reference.arrays =
+  let t' = Hashtbl.create 7 in
+  Hashtbl.iter (fun k v -> Hashtbl.replace t' k (Array.copy v)) t;
+  t'

@@ -1,0 +1,38 @@
+(** Benchmark registry: the 11 kernels of the paper's evaluation
+    (Section 6.1) with their array shapes, input generation and software
+    references. *)
+
+type bench = {
+  name : string;
+  source : string;                         (** mini-C text *)
+  arrays : (string * int) list;            (** array name, flat size *)
+  reference : Reference.arrays -> unit;    (** mutates arrays in place *)
+}
+
+val atax : bench
+val bicg : bench
+val mm2 : bench
+val mm3 : bench
+val symm : bench
+val gemm : bench
+val gesummv : bench
+val mvt : bench
+val syr2k : bench
+val gsum : bench
+val gsumif : bench
+
+(** gesummv at size [n] with its inner loop unrolled by [factor] (the
+    Table 1 study uses n = factor = 75, i.e. full unrolling).  Returns
+    the benchmark descriptor and the unrolled AST to compile. *)
+val gesummv_unrolled : n:int -> factor:int -> bench * Minic.Ast.kernel
+
+(** All benchmarks, in the paper's table order. *)
+val all : bench list
+
+(** @raise Invalid_argument on unknown names. *)
+val find : string -> bench
+
+(** Deterministic input data (seeded per benchmark name). *)
+val fresh_inputs : ?seed:int -> bench -> Reference.arrays
+
+val copy_arrays : Reference.arrays -> Reference.arrays

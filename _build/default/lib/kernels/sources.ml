@@ -1,0 +1,303 @@
+(** Mini-C sources of the benchmark kernels (Section 6.1 of the paper):
+    a PolyBench subset plus gsum/gsumif, whose guarded floating-point
+    bodies have the irregular computation patterns that showcase dynamic
+    scheduling.  Problem sizes are chosen so that simulated cycle counts
+    land in the same range as the paper's tables; every kernel has an
+    II > 1 because of long-latency loop-carried floating-point
+    dependencies, which is what makes its units shareable. *)
+
+(* Problem sizes, exposed for the reference implementations. *)
+let atax_n = 16
+let bicg_n = 22
+let mm2_n = 10
+let mm3_n = 10
+let symm_n = 20
+let gemm_n = 20
+let gesummv_n = 30
+let mvt_n = 30
+let syr2k_n = 16
+let gsum_n = 256
+let gsumif_n = 256
+
+let atax =
+  Fmt.str
+    {|
+void atax(float A[%d][%d], float x[%d], float y[%d], float tmp[%d]) {
+  for (int i = 0; i < %d; i++) {
+    float s = 0.0;
+    for (int j = 0; j < %d; j++) {
+      s += A[i][j] * x[j];
+    }
+    tmp[i] = s;
+  }
+  for (int j = 0; j < %d; j++) {
+    float t = 0.0;
+    for (int i = 0; i < %d; i++) {
+      t += A[i][j] * tmp[i];
+    }
+    y[j] = t;
+  }
+}
+|}
+    atax_n atax_n atax_n atax_n atax_n atax_n atax_n atax_n atax_n
+
+let bicg =
+  Fmt.str
+    {|
+void bicg(float A[%d][%d], float p[%d], float r[%d], float q[%d], float s[%d]) {
+  for (int j = 0; j < %d; j++) {
+    float acc = 0.0;
+    for (int i = 0; i < %d; i++) {
+      acc += r[i] * A[i][j];
+    }
+    s[j] = acc;
+  }
+  for (int i = 0; i < %d; i++) {
+    float acc = 0.0;
+    for (int j = 0; j < %d; j++) {
+      acc += A[i][j] * p[j];
+    }
+    q[i] = acc;
+  }
+}
+|}
+    bicg_n bicg_n bicg_n bicg_n bicg_n bicg_n bicg_n bicg_n bicg_n bicg_n
+
+let mm2 =
+  Fmt.str
+    {|
+void mm2(float A[%d][%d], float B[%d][%d], float C[%d][%d], float tmp[%d][%d], float D[%d][%d]) {
+  float alpha = 1.5;
+  float beta = 1.2;
+  for (int i = 0; i < %d; i++) {
+    for (int j = 0; j < %d; j++) {
+      float s = 0.0;
+      for (int k = 0; k < %d; k++) {
+        s += alpha * A[i][k] * B[k][j];
+      }
+      tmp[i][j] = s;
+    }
+  }
+  for (int i = 0; i < %d; i++) {
+    for (int j = 0; j < %d; j++) {
+      float s = D[i][j] * beta;
+      for (int k = 0; k < %d; k++) {
+        s += tmp[i][k] * C[k][j];
+      }
+      D[i][j] = s;
+    }
+  }
+}
+|}
+    mm2_n mm2_n mm2_n mm2_n mm2_n mm2_n mm2_n mm2_n mm2_n mm2_n mm2_n mm2_n
+    mm2_n mm2_n mm2_n mm2_n
+
+let mm3 =
+  Fmt.str
+    {|
+void mm3(float A[%d][%d], float B[%d][%d], float C[%d][%d], float D[%d][%d], float E[%d][%d], float F[%d][%d], float G[%d][%d]) {
+  for (int i = 0; i < %d; i++) {
+    for (int j = 0; j < %d; j++) {
+      float s = 0.0;
+      for (int k = 0; k < %d; k++) {
+        s += A[i][k] * B[k][j];
+      }
+      E[i][j] = s;
+    }
+  }
+  for (int i = 0; i < %d; i++) {
+    for (int j = 0; j < %d; j++) {
+      float s = 0.0;
+      for (int k = 0; k < %d; k++) {
+        s += C[i][k] * D[k][j];
+      }
+      F[i][j] = s;
+    }
+  }
+  for (int i = 0; i < %d; i++) {
+    for (int j = 0; j < %d; j++) {
+      float s = 0.0;
+      for (int k = 0; k < %d; k++) {
+        s += E[i][k] * F[k][j];
+      }
+      G[i][j] = s;
+    }
+  }
+}
+|}
+    mm3_n mm3_n mm3_n mm3_n mm3_n mm3_n mm3_n mm3_n mm3_n mm3_n mm3_n mm3_n
+    mm3_n mm3_n mm3_n mm3_n mm3_n mm3_n mm3_n mm3_n mm3_n mm3_n mm3_n
+
+(* symm is stated in the owner-computes form: every C element is
+   read-modified-written by exactly one (i, j) iteration, gathering the
+   strictly-lower contributions (k < i, using A[i][k]) and the
+   strictly-upper ones (k > i, using A[k][i] — A is symmetric) in two
+   inner accumulations.  PolyBench's textual form instead scatters
+   updates into C[k][j] inside the inner loop, which carries a
+   cross-iteration memory dependence that Dynamatic resolves with its
+   load-store queue; our memory model has no disambiguation (see
+   DESIGN.md), so we use the equivalent hazard-free form with the same
+   floating-point operation mix (4 fadd, 7 fmul). *)
+let symm =
+  Fmt.str
+    {|
+void symm(float A[%d][%d], float B[%d][%d], float C[%d][%d]) {
+  float alpha = 1.5;
+  float beta = 1.2;
+  for (int i = 0; i < %d; i++) {
+    for (int j = 0; j < %d; j++) {
+      float temp2 = 0.0;
+      for (int k = 0; k < i; k++) {
+        temp2 += B[k][j] * A[i][k];
+      }
+      float temp3 = 0.0;
+      for (int k = i + 1; k < %d; k++) {
+        temp3 += B[k][j] * A[k][i];
+      }
+      C[i][j] = beta * C[i][j] + alpha * B[i][j] * A[i][i]
+              + alpha * temp2 + alpha * temp3;
+    }
+  }
+}
+|}
+    symm_n symm_n symm_n symm_n symm_n symm_n symm_n symm_n symm_n
+
+let gemm =
+  Fmt.str
+    {|
+void gemm(float A[%d][%d], float B[%d][%d], float C[%d][%d]) {
+  float alpha = 1.5;
+  float beta = 1.2;
+  for (int i = 0; i < %d; i++) {
+    for (int j = 0; j < %d; j++) {
+      float s = C[i][j] * beta;
+      for (int k = 0; k < %d; k++) {
+        s += alpha * A[i][k] * B[k][j];
+      }
+      C[i][j] = s;
+    }
+  }
+}
+|}
+    gemm_n gemm_n gemm_n gemm_n gemm_n gemm_n gemm_n gemm_n gemm_n
+
+let gesummv =
+  Fmt.str
+    {|
+void gesummv(float A[%d][%d], float B[%d][%d], float x[%d], float y[%d]) {
+  float alpha = 1.5;
+  float beta = 1.2;
+  for (int i = 0; i < %d; i++) {
+    float t1 = 0.0;
+    float t2 = 0.0;
+    for (int j = 0; j < %d; j++) {
+      t1 += A[i][j] * x[j];
+      t2 += B[i][j] * x[j];
+    }
+    y[i] = alpha * t1 + beta * t2;
+  }
+}
+|}
+    gesummv_n gesummv_n gesummv_n gesummv_n gesummv_n gesummv_n gesummv_n
+    gesummv_n
+
+(** gesummv with an arbitrary problem size, for the unrolling study of
+    Table 1 (size 75, inner loop fully unrolled). *)
+let gesummv_sized n =
+  Fmt.str
+    {|
+void gesummv(float A[%d][%d], float B[%d][%d], float x[%d], float y[%d]) {
+  float alpha = 1.5;
+  float beta = 1.2;
+  for (int i = 0; i < %d; i++) {
+    float t1 = 0.0;
+    float t2 = 0.0;
+    for (int j = 0; j < %d; j++) {
+      t1 += A[i][j] * x[j];
+      t2 += B[i][j] * x[j];
+    }
+    y[i] = alpha * t1 + beta * t2;
+  }
+}
+|}
+    n n n n n n n n
+
+let mvt =
+  Fmt.str
+    {|
+void mvt(float A[%d][%d], float x1[%d], float x2[%d], float y1[%d], float y2[%d]) {
+  for (int i = 0; i < %d; i++) {
+    float s = x1[i];
+    for (int j = 0; j < %d; j++) {
+      s += A[i][j] * y1[j];
+    }
+    x1[i] = s;
+  }
+  for (int i = 0; i < %d; i++) {
+    float s = x2[i];
+    for (int j = 0; j < %d; j++) {
+      s += A[j][i] * y2[j];
+    }
+    x2[i] = s;
+  }
+}
+|}
+    mvt_n mvt_n mvt_n mvt_n mvt_n mvt_n mvt_n mvt_n mvt_n mvt_n
+
+let syr2k =
+  Fmt.str
+    {|
+void syr2k(float A[%d][%d], float B[%d][%d], float C[%d][%d]) {
+  float alpha = 1.5;
+  float beta = 1.2;
+  for (int i = 0; i < %d; i++) {
+    for (int j = 0; j <= i; j++) {
+      float s = C[i][j] * beta;
+      for (int k = 0; k < %d; k++) {
+        s += alpha * A[j][k] * B[i][k] + alpha * B[j][k] * A[i][k];
+      }
+      C[i][j] = s;
+    }
+  }
+}
+|}
+    syr2k_n syr2k_n syr2k_n syr2k_n syr2k_n syr2k_n syr2k_n syr2k_n
+
+let gsum =
+  Fmt.str
+    {|
+void gsum(float a[%d], float out[1]) {
+  float s = 0.0;
+  for (int i = 0; i < %d; i++) {
+    float d = a[i];
+    if (d >= 0.0) {
+      float p = (d * d + 1.9) * d + 2.3;
+      float q = p * d + 0.7;
+      s += q * 0.5 + 0.1;
+    }
+  }
+  out[0] = s;
+}
+|}
+    gsum_n gsum_n
+
+let gsumif =
+  Fmt.str
+    {|
+void gsumif(float a[%d], float out[1]) {
+  float s = 0.0;
+  for (int i = 0; i < %d; i++) {
+    float d = a[i];
+    if (d >= 0.0) {
+      float p = (d * d + 1.9) * d + 2.3;
+      float q = p * d + 0.7;
+      s += q * 0.5 + 0.1;
+    } else {
+      float p = d * 0.5 + 0.3;
+      s += p * 0.25;
+    }
+  }
+  out[0] = s;
+}
+|}
+    gsumif_n gsumif_n

@@ -1,0 +1,1 @@
+lib/report/experiments.ml: Analysis Crush Dataflow Float Fmt Kernels List Measure Minic Types

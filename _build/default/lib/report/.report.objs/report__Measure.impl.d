@@ -1,0 +1,1 @@
+lib/report/measure.ml: Analysis Crush Fmt Kernels List Minic String

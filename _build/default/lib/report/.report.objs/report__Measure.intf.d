@@ -1,0 +1,1 @@
+lib/report/measure.mli: Dataflow Fmt Kernels Minic

@@ -1,0 +1,93 @@
+(** Measurement of one circuit: the columns of the paper's Tables 2–3.
+
+    Functional units and DSPs come from the circuit structure, LUT/FF/
+    slice from the area model, CP from the timing model, cycles from the
+    simulator (verified against the software reference), execution time
+    is CP x cycles, and optimization time is the wall clock spent in the
+    sharing optimizer. *)
+
+
+type t = {
+  bench : string;
+  technique : string;
+  fus : (string * int) list;  (** functional-unit counts, e.g. fadd x2 *)
+  dsps : int;
+  slices : int;
+  luts : int;
+  ffs : int;
+  cp_ns : float;
+  cycles : int;
+  exec_us : float;
+  opt_time_s : float;
+  correct : bool;
+}
+
+let fu_to_string fus =
+  String.concat " " (List.map (fun (n, c) -> Fmt.str "%d %s" c n) fus)
+
+(** Measure [graph] (already optimized, [opt_time_s] spent doing so) on
+    benchmark [bench]. *)
+let circuit ~technique ~opt_time_s (bench : Kernels.Registry.bench) graph =
+  let verdict = Kernels.Harness.run_circuit bench graph in
+  let area = Analysis.Area.total graph in
+  let cp = Analysis.Timing.critical_path graph in
+  let cycles = verdict.Kernels.Harness.cycles in
+  {
+    bench = bench.Kernels.Registry.name;
+    technique;
+    fus = Analysis.Area.fp_unit_counts graph;
+    dsps = area.Analysis.Area.dsps;
+    slices = Analysis.Area.slices area;
+    luts = area.Analysis.Area.luts;
+    ffs = area.Analysis.Area.ffs;
+    cp_ns = cp;
+    cycles;
+    exec_us = cp *. float_of_int cycles /. 1000.0;
+    opt_time_s;
+    correct = verdict.Kernels.Harness.functionally_correct;
+  }
+
+type technique = Naive | In_order | Crush
+
+let technique_name = function
+  | Naive -> "Naive"
+  | In_order -> "In-order"
+  | Crush -> "CRUSH"
+
+(** Compile [bench] with [strategy], apply [tech], measure. *)
+let run ?(strategy = Minic.Codegen.Bb_ordered) tech (bench : Kernels.Registry.bench)
+    =
+  let compiled = Minic.Codegen.compile_source ~strategy bench.Kernels.Registry.source in
+  let g = compiled.Minic.Codegen.graph in
+  let opt_time_s =
+    match tech with
+    | Naive ->
+        (* No sharing: the baseline circuit as produced by buffer
+           placement [34]. *)
+        0.0
+    | Crush ->
+        let r =
+          Crush.Share.crush g
+            ~critical_loops:compiled.Minic.Codegen.critical_loops
+        in
+        r.Crush.Share.opt_time_s
+    | In_order ->
+        let r =
+          Crush.Inorder.share g
+            ~critical_loops:compiled.Minic.Codegen.critical_loops
+            ~conditional_bbs:compiled.Minic.Codegen.conditional_bbs
+        in
+        r.Crush.Inorder.opt_time_s
+  in
+  circuit ~technique:(technique_name tech) ~opt_time_s bench g
+
+let pp_header ppf () =
+  Fmt.pf ppf "%-10s %-8s %-16s %4s %6s %6s %6s %6s %8s %9s %8s %s" "Benchmark"
+    "Tech" "Functional units" "DSPs" "Slices" "LUTs" "FFs" "CP(ns)" "Cycles"
+    "Exec(us)" "Opt(s)" "OK"
+
+let pp_row ppf r =
+  Fmt.pf ppf "%-10s %-8s %-16s %4d %6d %6d %6d %6.1f %8d %9.1f %8.3f %s"
+    r.bench r.technique (fu_to_string r.fus) r.dsps r.slices r.luts r.ffs
+    r.cp_ns r.cycles r.exec_us r.opt_time_s
+    (if r.correct then "yes" else "NO!")

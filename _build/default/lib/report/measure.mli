@@ -1,0 +1,40 @@
+(** Measurement of one circuit — the columns of the paper's Tables 2–3:
+    functional units and DSPs from the structure, LUT/FF/slices from the
+    area model, CP from the timing model, cycles from verified
+    simulation, execution time = CP x cycles, and the optimizer's wall
+    clock. *)
+
+type t = {
+  bench : string;
+  technique : string;
+  fus : (string * int) list;
+  dsps : int;
+  slices : int;
+  luts : int;
+  ffs : int;
+  cp_ns : float;
+  cycles : int;
+  exec_us : float;
+  opt_time_s : float;
+  correct : bool;
+}
+
+val fu_to_string : (string * int) list -> string
+
+(** Measure an already-optimized circuit on a benchmark. *)
+val circuit :
+  technique:string ->
+  opt_time_s:float ->
+  Kernels.Registry.bench ->
+  Dataflow.Graph.t ->
+  t
+
+type technique = Naive | In_order | Crush
+
+val technique_name : technique -> string
+
+(** Compile, optimize with the given technique, measure. *)
+val run : ?strategy:Minic.Codegen.strategy -> technique -> Kernels.Registry.bench -> t
+
+val pp_header : unit Fmt.t
+val pp_row : t Fmt.t

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Dataflow Eval Fmt Graph Hashtbl List Memory Option Queue Types

@@ -1,0 +1,673 @@
+(** Cycle-accurate simulator of synchronous elastic circuits.
+
+    Every cycle has two phases, mirroring hardware:
+
+    - a combinational phase computes the fixpoint of the valid/ready
+      handshake signals (and data) on all channels, by worklist
+      propagation: re-evaluating a unit when a signal on one of its
+      channels changed;
+    - a sequential phase transfers a token on every channel asserting both
+      valid and ready, and advances the internal state of stateful units
+      (FIFOs, pipelines, credit counters, arbiters, forks).
+
+    The simulator reproduces the behaviours the paper depends on:
+    head-of-line blocking in single-enable pipelined units (Section 3),
+    credits that are returned one cycle late (Section 4.3), lazy forks on
+    the credit return path, and priority vs rotation arbitration
+    (Figures 1d/1e).  Deadlock is detected as quiescence without
+    completion: the circuit is deterministic, so two event-free cycles
+    imply no token can ever move again. *)
+
+open Dataflow
+open Types
+
+type unit_state =
+  | S_stateless
+  | S_entry of { mutable fired : bool }
+  | S_fork of { sent : bool array }
+  | S_buffer of {
+      q : value Queue.t;
+      slots : int;
+      transparent : bool;
+      mutable high_water : int;  (** max occupancy observed *)
+    }
+  | S_pipeline of { stages : value option array }  (** stage 0 = youngest *)
+  | S_credit of { mutable count : int }
+  | S_arbiter of { mutable turn : int }
+  | S_phased of { turns : int array }  (** rotation pointer per cluster *)
+
+type status =
+  | Completed of int   (** cycle of the last event *)
+  | Deadlock of int    (** cycle at which the circuit wedged *)
+  | Out_of_fuel        (** [max_cycles] elapsed without quiescence *)
+
+type stats = {
+  status : status;
+  cycles : int;             (** total simulated cycles until quiescence *)
+  transfers : int;          (** total tokens moved across channels *)
+  exit_values : value list; (** tokens received by Exit units *)
+}
+
+(** One memory port (a load port or a store port of one array): the units
+    competing for it, a round-robin pointer, and the per-unit request
+    flags of the current cycle.  Each array offers one load port and one
+    store port (dual-port BRAM); contention is resolved by round-robin
+    arbitration that skips absent requests, so it cannot deadlock. *)
+type port = {
+  group : int array;            (** unit ids sharing this port *)
+  mutable rr : int;             (** index of the next unit to favour *)
+}
+
+type t = {
+  g : Graph.t;
+  memory : Memory.t;
+  live_units : int array;
+  cvalid : bool array;
+  cready : bool array;
+  cdata : value array;
+  state : unit_state array;
+  queued : bool array;
+  queue : int Queue.t;
+  port_of : port option array;  (** per unit: the memory port it uses *)
+  requesting : bool array;      (** per unit: requesting its port now *)
+  mutable exit_values : value list;
+  mutable transfers : int;
+}
+
+let init_state (k : kind) =
+  match k with
+  | Entry _ -> S_entry { fired = false }
+  | Fork { outputs; lazy_ = false } -> S_fork { sent = Array.make outputs false }
+  | Buffer { slots; transparent; init; _ } ->
+      let q = Queue.create () in
+      List.iter (fun v -> Queue.add v q) init;
+      S_buffer { q; slots; transparent; high_water = Queue.length q }
+  | Operator { latency; _ } when latency > 0 ->
+      S_pipeline { stages = Array.make latency None }
+  | Load { latency; _ } -> S_pipeline { stages = Array.make (max 1 latency) None }
+  | Store _ -> S_pipeline { stages = Array.make 1 None }
+  | Credit_counter { init } -> S_credit { count = init }
+  | Arbiter { policy = Rotation _; _ } -> S_arbiter { turn = 0 }
+  | Arbiter { policy = Phased clusters; _ } ->
+      S_phased { turns = Array.make (List.length clusters) 0 }
+  | _ -> S_stateless
+
+let create ?memory g =
+  let memory = match memory with Some m -> m | None -> Memory.of_graph g in
+  let n_units = g.Graph.n_units and n_chan = g.Graph.n_channels in
+  let live = Graph.fold_units g (fun acc u -> u.Graph.uid :: acc) [] in
+  let state = Array.make n_units S_stateless in
+  Graph.iter_units g (fun u -> state.(u.Graph.uid) <- init_state u.Graph.kind);
+  let port_of = Array.make (max 1 n_units) None in
+  let groups : (string * bool, int list ref) Hashtbl.t = Hashtbl.create 7 in
+  Graph.iter_units g (fun u ->
+      let key =
+        match u.Graph.kind with
+        | Load { memory; _ } -> Some (memory, true)
+        | Store { memory } -> Some (memory, false)
+        | _ -> None
+      in
+      match key with
+      | None -> ()
+      | Some key ->
+          let l =
+            match Hashtbl.find_opt groups key with
+            | Some l -> l
+            | None ->
+                let l = ref [] in
+                Hashtbl.replace groups key l;
+                l
+          in
+          l := u.Graph.uid :: !l);
+  Hashtbl.iter
+    (fun _ l ->
+      let group = Array.of_list (List.rev !l) in
+      let p = { group; rr = 0 } in
+      Array.iter (fun uid -> port_of.(uid) <- Some p) group)
+    groups;
+  {
+    g;
+    memory;
+    live_units = Array.of_list (List.rev live);
+    cvalid = Array.make (max 1 n_chan) false;
+    cready = Array.make (max 1 n_chan) false;
+    cdata = Array.make (max 1 n_chan) VUnit;
+    state;
+    queued = Array.make (max 1 n_units) false;
+    queue = Queue.create ();
+    port_of;
+    requesting = Array.make (max 1 n_units) false;
+    exit_values = [];
+    transfers = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Signal access helpers                                               *)
+
+let in_cid t u p = t.g.Graph.in_of.(u).(p)
+let out_cid t u p = t.g.Graph.out_of.(u).(p)
+
+let in_valid t u p = t.cvalid.(in_cid t u p)
+let in_data t u p = t.cdata.(in_cid t u p)
+let out_ready t u p = t.cready.(out_cid t u p)
+
+let enqueue t u =
+  if u >= 0 && not t.queued.(u) then begin
+    t.queued.(u) <- true;
+    Queue.add u t.queue
+  end
+
+(** Drive valid/data on output port [p] of [u]; wake the consumer if the
+    signal changed. *)
+let drive_out t u p ~valid ~data =
+  let cid = out_cid t u p in
+  let changed = t.cvalid.(cid) <> valid || (valid && t.cdata.(cid) <> data) in
+  if changed then begin
+    t.cvalid.(cid) <- valid;
+    if valid then t.cdata.(cid) <- data;
+    let c = Graph.channel_exn t.g cid in
+    enqueue t c.Graph.dst.unit_id
+  end
+
+(** Drive ready on input port [p] of [u]; wake the producer on change. *)
+let drive_ready t u p ready =
+  let cid = in_cid t u p in
+  if t.cready.(cid) <> ready then begin
+    t.cready.(cid) <- ready;
+    let c = Graph.channel_exn t.g cid in
+    enqueue t c.Graph.src.unit_id
+  end
+
+let index_of_selector n v =
+  let i =
+    match v with
+    | VBool true -> 0
+    | VBool false -> 1
+    | VInt i -> i
+    | v ->
+        invalid_arg (Fmt.str "Engine: bad selector token %s" (value_to_string v))
+  in
+  if i < 0 || i >= n then
+    invalid_arg (Fmt.str "Engine: selector %d out of range [0,%d)" i n)
+  else i
+
+(** Update the request flag of a memory-port client; when it changes, the
+    whole port group is re-evaluated since the grant may move. *)
+let set_requesting t u req =
+  if t.requesting.(u) <> req then begin
+    t.requesting.(u) <- req;
+    match t.port_of.(u) with
+    | Some p -> Array.iter (fun v -> enqueue t v) p.group
+    | None -> ()
+  end
+
+(** Round-robin grant: [u] wins its port when no requesting sibling comes
+    earlier in rotation order starting at the port's pointer. *)
+let granted t u =
+  match t.port_of.(u) with
+  | None -> true
+  | Some p ->
+      if not t.requesting.(u) then false
+      else begin
+        let n = Array.length p.group in
+        let pos_of x =
+          let rec find i = if p.group.(i) = x then i else find (i + 1) in
+          find 0
+        in
+        let rot x = (pos_of x - p.rr + n) mod n in
+        let my = rot u in
+        let blocked = ref false in
+        Array.iter
+          (fun v -> if v <> u && t.requesting.(v) && rot v < my then blocked := true)
+          p.group;
+        not !blocked
+      end
+
+let port_fired t u =
+  match t.port_of.(u) with
+  | None -> ()
+  | Some p ->
+      let n = Array.length p.group in
+      let rec find i = if p.group.(i) = u then i else find (i + 1) in
+      p.rr <- (find 0 + 1) mod n;
+      (* The grant may move: re-evaluate every client next cycle. *)
+      Array.iter (fun v -> enqueue t v) p.group
+
+let all_inputs_valid t u n =
+  let ok = ref true in
+  for p = 0 to n - 1 do
+    if not (in_valid t u p) then ok := false
+  done;
+  !ok
+
+let input_values t u n = List.init n (fun p -> in_data t u p)
+
+(* ------------------------------------------------------------------ *)
+(* Combinational semantics, one unit                                   *)
+
+let eval_unit t u =
+  let k = Graph.kind_of t.g u in
+  match (k, t.state.(u)) with
+  | Entry v, S_entry s -> drive_out t u 0 ~valid:(not s.fired) ~data:v
+  | Exit, _ | Sink, _ -> drive_ready t u 0 true
+  | Const v, _ ->
+      drive_out t u 0 ~valid:(in_valid t u 0) ~data:v;
+      drive_ready t u 0 (out_ready t u 0)
+  | Fork { outputs; lazy_ = false }, S_fork { sent } ->
+      let v = in_valid t u 0 and d = in_data t u 0 in
+      let all_done = ref true in
+      for p = 0 to outputs - 1 do
+        drive_out t u p ~valid:(v && not sent.(p)) ~data:d;
+        if not (sent.(p) || out_ready t u p) then all_done := false
+      done;
+      drive_ready t u 0 (v && !all_done)
+  | Fork { outputs; lazy_ = true }, _ ->
+      let v = in_valid t u 0 and d = in_data t u 0 in
+      let all = ref true in
+      for p = 0 to outputs - 1 do
+        if not (out_ready t u p) then all := false
+      done;
+      for p = 0 to outputs - 1 do
+        (* out_p is valid when every sibling is ready: all-or-nothing. *)
+        let siblings_ready = ref true in
+        for q = 0 to outputs - 1 do
+          if q <> p && not (out_ready t u q) then siblings_ready := false
+        done;
+        drive_out t u p ~valid:(v && !siblings_ready) ~data:d
+      done;
+      drive_ready t u 0 !all
+  | Join { inputs; keep }, _ ->
+      let all = all_inputs_valid t u inputs in
+      let kept =
+        List.filteri (fun i _ -> keep.(i)) (input_values t u inputs)
+      in
+      let data =
+        match kept with [] -> VUnit | [ v ] -> v | vs -> VTuple vs
+      in
+      drive_out t u 0 ~valid:all ~data;
+      let fire = all && out_ready t u 0 in
+      for p = 0 to inputs - 1 do
+        drive_ready t u p fire
+      done
+  | Merge { inputs }, _ ->
+      let chosen = ref (-1) in
+      for p = inputs - 1 downto 0 do
+        if in_valid t u p then chosen := p
+      done;
+      let valid = !chosen >= 0 in
+      let data = if valid then in_data t u !chosen else VUnit in
+      drive_out t u 0 ~valid ~data;
+      for p = 0 to inputs - 1 do
+        drive_ready t u p (p = !chosen && out_ready t u 0)
+      done
+  | Arbiter { inputs; policy }, st ->
+      let grant =
+        match (policy, st) with
+        | Priority order, _ ->
+            (* Highest-priority requesting input wins; absent requests
+               never block others (Section 4.2). *)
+            List.find_opt (fun p -> in_valid t u p) order
+        | Rotation order, S_arbiter { turn } ->
+            (* Strict total order: only the operation whose turn it is
+               may proceed (deadlock-prone, Figure 1d). *)
+            let p = List.nth order (turn mod List.length order) in
+            if in_valid t u p then Some p else None
+        | Phased clusters, S_phased { turns } ->
+            (* Priority across clusters, strict rotation within one:
+               the In-order baseline on whole programs. *)
+            let rec scan i = function
+              | [] -> None
+              | cluster :: rest ->
+                  let p = List.nth cluster (turns.(i) mod List.length cluster) in
+                  if in_valid t u p then Some p else scan (i + 1) rest
+            in
+            scan 0 clusters
+        | (Rotation _ | Phased _), _ -> assert false
+      in
+      (* The two outputs (operands to the shared unit, index to the
+         condition buffer) fire together: each is valid only when the
+         sibling is ready. *)
+      let sibling_ready p = out_ready t u (1 - p) in
+      (match grant with
+      | Some p ->
+          drive_out t u 0 ~valid:(sibling_ready 0) ~data:(in_data t u p);
+          drive_out t u 1 ~valid:(sibling_ready 1) ~data:(VInt p)
+      | None ->
+          drive_out t u 0 ~valid:false ~data:VUnit;
+          drive_out t u 1 ~valid:false ~data:VUnit);
+      for p = 0 to inputs - 1 do
+        drive_ready t u p
+          (grant = Some p && out_ready t u 0 && out_ready t u 1)
+      done
+  | Mux { inputs }, _ ->
+      let sel_v = in_valid t u 0 in
+      let idx = if sel_v then index_of_selector inputs (in_data t u 0) else -1 in
+      let data_v = idx >= 0 && in_valid t u (1 + idx) in
+      drive_out t u 0 ~valid:(sel_v && data_v)
+        ~data:(if data_v then in_data t u (1 + idx) else VUnit);
+      let fire = sel_v && data_v && out_ready t u 0 in
+      drive_ready t u 0 fire;
+      for p = 0 to inputs - 1 do
+        drive_ready t u (1 + p) (fire && p = idx)
+      done
+  | Branch { outputs }, _ ->
+      let data_v = in_valid t u 0 and cond_v = in_valid t u 1 in
+      let idx =
+        if cond_v then index_of_selector outputs (in_data t u 1) else -1
+      in
+      for p = 0 to outputs - 1 do
+        drive_out t u p ~valid:(data_v && cond_v && p = idx)
+          ~data:(in_data t u 0)
+      done;
+      let fire = data_v && cond_v && idx >= 0 && out_ready t u idx in
+      drive_ready t u 0 fire;
+      drive_ready t u 1 fire
+  | Buffer _, S_buffer { q; slots; transparent; _ } ->
+      let len = Queue.length q in
+      if transparent then begin
+        let iv = in_valid t u 0 in
+        let valid = len > 0 || iv in
+        let data = if len > 0 then Queue.peek q else in_data t u 0 in
+        drive_out t u 0 ~valid ~data;
+        drive_ready t u 0 (len < slots)
+      end
+      else begin
+        drive_out t u 0 ~valid:(len > 0)
+          ~data:(if len > 0 then Queue.peek q else VUnit);
+        drive_ready t u 0 (len < slots)
+      end
+  | Operator { op; latency = 0; ports }, _ ->
+      let all = all_inputs_valid t u ports in
+      let data = if all then Eval.apply op (input_values t u ports) else VUnit in
+      drive_out t u 0 ~valid:all ~data;
+      let fire = all && out_ready t u 0 in
+      for p = 0 to ports - 1 do
+        drive_ready t u p fire
+      done
+  | Operator { ports; _ }, S_pipeline { stages } ->
+      (* Single-enable pipeline: if the head token cannot leave, the whole
+         unit stalls and refuses new operands (head-of-line blocking). *)
+      let depth = Array.length stages in
+      let head = stages.(depth - 1) in
+      let out_v = head <> None in
+      drive_out t u 0 ~valid:out_v
+        ~data:(match head with Some v -> v | None -> VUnit);
+      let can_advance = (not out_v) || out_ready t u 0 in
+      let all = all_inputs_valid t u ports in
+      for p = 0 to ports - 1 do
+        drive_ready t u p (can_advance && all)
+      done
+  | Load _, S_pipeline { stages } ->
+      let depth = Array.length stages in
+      let head = stages.(depth - 1) in
+      let out_v = head <> None in
+      drive_out t u 0 ~valid:out_v
+        ~data:(match head with Some v -> v | None -> VUnit);
+      let can_advance = (not out_v) || out_ready t u 0 in
+      set_requesting t u (can_advance && in_valid t u 0);
+      drive_ready t u 0 (can_advance && in_valid t u 0 && granted t u)
+  | Store _, S_pipeline { stages } ->
+      let head = stages.(0) in
+      let out_v = head <> None in
+      drive_out t u 0 ~valid:out_v ~data:VUnit;
+      let can_advance = (not out_v) || out_ready t u 0 in
+      let all = all_inputs_valid t u 2 in
+      set_requesting t u (can_advance && all);
+      let ok = can_advance && all && granted t u in
+      drive_ready t u 0 ok;
+      drive_ready t u 1 ok
+  | Credit_counter _, S_credit { count } ->
+      drive_out t u 0 ~valid:(count > 0) ~data:VUnit;
+      drive_ready t u 0 true
+  | _ ->
+      invalid_arg
+        (Fmt.str "Engine: inconsistent state for unit %s" (Graph.label_of t.g u))
+
+(** Run the combinational phase to fixpoint, starting from the units
+    already in the work queue (incremental: signals persist between
+    cycles, so only units whose sequential state changed — and whatever
+    their signal changes reach — need re-evaluation).  Raises on
+    oscillation. *)
+let settle t =
+  let budget = ref (50 + (200 * Array.length t.live_units)) in
+  while not (Queue.is_empty t.queue) do
+    decr budget;
+    if !budget < 0 then failwith "Engine: combinational signals do not settle";
+    let u = Queue.pop t.queue in
+    t.queued.(u) <- false;
+    eval_unit t u
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Sequential phase                                                    *)
+
+let fired t cid = cid >= 0 && t.cvalid.(cid) && t.cready.(cid)
+let in_fired t u p = fired t (in_cid t u p)
+let out_fired t u p = fired t (out_cid t u p)
+
+(** Advance the state of one unit after the transfers of this cycle.
+    Returns [true] when the internal state changed (used for quiescence
+    detection: pipeline bubbles moving without channel transfers). *)
+let step_unit t u =
+  let k = Graph.kind_of t.g u in
+  match (k, t.state.(u)) with
+  | Entry _, S_entry s ->
+      if out_fired t u 0 then begin
+        s.fired <- true;
+        true
+      end
+      else false
+  | Exit, _ ->
+      if in_fired t u 0 then begin
+        t.exit_values <- in_data t u 0 :: t.exit_values;
+        true
+      end
+      else false
+  | Fork { outputs; lazy_ = false }, S_fork { sent } ->
+      let consumed = in_fired t u 0 in
+      let changed = ref consumed in
+      for p = 0 to outputs - 1 do
+        let s' =
+          if consumed then false else sent.(p) || out_fired t u p
+        in
+        if s' <> sent.(p) then changed := true;
+        sent.(p) <- s'
+      done;
+      !changed
+  | Buffer _, (S_buffer { q; transparent; _ } as st) ->
+      let popped_from_queue =
+        out_fired t u 0 && (not transparent || Queue.length q > 0)
+      in
+      let bypassed = out_fired t u 0 && not popped_from_queue in
+      if popped_from_queue then ignore (Queue.pop q);
+      if in_fired t u 0 && not bypassed then Queue.add (in_data t u 0) q;
+      (match st with
+      | S_buffer b -> b.high_water <- max b.high_water (Queue.length q)
+      | _ -> ());
+      popped_from_queue || bypassed || in_fired t u 0
+  | Operator { op; ports; _ }, S_pipeline { stages } ->
+      let depth = Array.length stages in
+      let head = stages.(depth - 1) in
+      let can_advance = head = None || out_fired t u 0 in
+      if can_advance then begin
+        let entering =
+          if in_fired t u 0 then Some (Eval.apply op (input_values t u ports))
+          else None
+        in
+        let moved = ref (out_fired t u 0 || entering <> None) in
+        for s = depth - 1 downto 1 do
+          if stages.(s) <> stages.(s - 1) then moved := true;
+          stages.(s) <- stages.(s - 1)
+        done;
+        if stages.(0) <> entering then moved := true;
+        stages.(0) <- entering;
+        !moved
+      end
+      else false
+  | Load { memory; _ }, S_pipeline { stages } ->
+      let depth = Array.length stages in
+      let head = stages.(depth - 1) in
+      let can_advance = head = None || out_fired t u 0 in
+      if can_advance then begin
+        let entering =
+          if in_fired t u 0 then begin
+            port_fired t u;
+            Some (Memory.read t.memory memory (in_data t u 0))
+          end
+          else None
+        in
+        let moved = ref (out_fired t u 0 || entering <> None) in
+        for s = depth - 1 downto 1 do
+          if stages.(s) <> stages.(s - 1) then moved := true;
+          stages.(s) <- stages.(s - 1)
+        done;
+        if stages.(0) <> entering then moved := true;
+        stages.(0) <- entering;
+        !moved
+      end
+      else false
+  | Store { memory }, S_pipeline { stages } ->
+      let head = stages.(0) in
+      let can_advance = head = None || out_fired t u 0 in
+      if can_advance then begin
+        let entering =
+          if in_fired t u 0 then begin
+            port_fired t u;
+            Memory.write t.memory memory (in_data t u 0) (in_data t u 1);
+            Some VUnit
+          end
+          else None
+        in
+        let moved = head <> entering || out_fired t u 0 in
+        stages.(0) <- entering;
+        moved
+      end
+      else false
+  | Credit_counter _, S_credit s ->
+      let before = s.count in
+      if out_fired t u 0 then s.count <- s.count - 1;
+      if in_fired t u 0 then s.count <- s.count + 1;
+      s.count <> before
+  | Arbiter { inputs; policy = Rotation order }, S_arbiter s ->
+      let granted = ref false in
+      for p = 0 to inputs - 1 do
+        if in_fired t u p then granted := true
+      done;
+      if !granted then begin
+        s.turn <- (s.turn + 1) mod List.length order;
+        true
+      end
+      else false
+  | Arbiter { inputs; policy = Phased clusters }, S_phased { turns } ->
+      let fired_port = ref (-1) in
+      for p = 0 to inputs - 1 do
+        if in_fired t u p then fired_port := p
+      done;
+      if !fired_port >= 0 then begin
+        List.iteri
+          (fun i cluster ->
+            if List.mem !fired_port cluster then
+              turns.(i) <- (turns.(i) + 1) mod List.length cluster)
+          clusters;
+        true
+      end
+      else false
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Top-level run loop                                                  *)
+
+let count_transfers ?observer ~cycle t =
+  let n = ref 0 in
+  Graph.iter_channels t.g (fun c ->
+      if fired t c.Graph.id then begin
+        incr n;
+        match observer with
+        | Some f -> f cycle c (t.cdata.(c.Graph.id))
+        | None -> ()
+      end);
+  !n
+
+(** Channels currently presenting a token that the consumer refuses:
+    diagnostic for deadlock reports. *)
+let stalled_channels t =
+  let acc = ref [] in
+  Graph.iter_channels t.g (fun c ->
+      if t.cvalid.(c.Graph.id) && not t.cready.(c.Graph.id) then
+        acc := c.Graph.id :: !acc);
+  List.rev !acc
+
+(** Maximum occupancy a buffer reached during the run (its own initial
+    tokens included); 0 for non-buffer units.  Profile data for the
+    output-buffer shrinking pass (paper Section 6.4). *)
+let buffer_high_water t uid =
+  match t.state.(uid) with S_buffer b -> b.high_water | _ -> 0
+
+type outcome = { stats : stats; sim : t }
+
+(** Simulate until quiescence or [max_cycles].  Completion means every
+    Exit unit received at least one token before the circuit went quiet;
+    quiescence without completion is a deadlock. *)
+let run ?(max_cycles = 2_000_000) ?observer ?memory g =
+  let t = create ?memory g in
+  let n_exits =
+    Graph.fold_units g
+      (fun n u -> if u.Graph.kind = Exit then n + 1 else n)
+      0
+  in
+  let cycle = ref 0 in
+  let quiet = ref 0 in
+  let last_event = ref (-1) in
+  let finished = ref None in
+  Array.iter (fun u -> enqueue t u) t.live_units;
+  while !finished = None do
+    if !cycle >= max_cycles then finished := Some Out_of_fuel
+    else begin
+      settle t;
+      let moved_tokens = count_transfers ?observer ~cycle:!cycle t in
+      t.transfers <- t.transfers + moved_tokens;
+      let state_changed = ref false in
+      Array.iter
+        (fun u ->
+          if step_unit t u then begin
+            state_changed := true;
+            enqueue t u
+          end)
+        t.live_units;
+      if moved_tokens > 0 || !state_changed then begin
+        quiet := 0;
+        last_event := !cycle
+      end
+      else incr quiet;
+      if !quiet >= 2 then begin
+        let done_ = List.length t.exit_values >= n_exits && n_exits > 0 in
+        finished :=
+          Some (if done_ then Completed !last_event else Deadlock !cycle)
+      end;
+      incr cycle
+    end
+  done;
+  let status = Option.get !finished in
+  {
+    stats =
+      {
+        status;
+        cycles = (match status with Completed c -> c + 1 | _ -> !cycle);
+        transfers = t.transfers;
+        exit_values = List.rev t.exit_values;
+      };
+    sim = t;
+  }
+
+let memory_of outcome = outcome.sim.memory
+
+let pp_status ppf = function
+  | Completed c -> Fmt.pf ppf "completed in %d cycles" c
+  | Deadlock c -> Fmt.pf ppf "DEADLOCK at cycle %d" c
+  | Out_of_fuel -> Fmt.string ppf "out of fuel"
+
+let is_deadlock outcome =
+  match outcome.stats.status with Deadlock _ -> true | _ -> false
+
+let is_completed outcome =
+  match outcome.stats.status with Completed _ -> true | _ -> false

@@ -1,0 +1,54 @@
+(** Cycle-accurate simulator of synchronous elastic circuits.
+
+    Each cycle runs a combinational fixpoint over the valid/ready
+    handshake signals (worklist propagation) followed by a sequential
+    phase that transfers tokens and advances unit state.  The simulator
+    reproduces the behaviours the paper depends on: single-enable
+    pipeline stalling (head-of-line blocking is observable), credits
+    returned one cycle late, lazy forks, priority/rotation/phased
+    arbitration, and per-array memory ports with round-robin grant.
+    Deadlock is detected as quiescence without completion. *)
+
+type status =
+  | Completed of int   (** cycle of the last event *)
+  | Deadlock of int    (** cycle at which the circuit wedged *)
+  | Out_of_fuel        (** [max_cycles] elapsed without quiescence *)
+
+type stats = {
+  status : status;
+  cycles : int;          (** simulated cycles until quiescence *)
+  transfers : int;       (** total tokens moved across channels *)
+  exit_values : Dataflow.Types.value list;
+      (** tokens received by Exit units, in arrival order *)
+}
+
+(** Live simulator state (exposed for diagnostics). *)
+type t
+
+type outcome = { stats : stats; sim : t }
+
+(** [run g] simulates until quiescence or [max_cycles].  Completion means
+    every Exit unit received a token before the circuit went quiet.
+    [memory] provides pre-initialized array contents (default: zeroed
+    memories sized from the graph's declarations).  [observer] is called
+    for every fired channel with (cycle, channel, payload). *)
+val run :
+  ?max_cycles:int ->
+  ?observer:(int -> Dataflow.Graph.channel -> Dataflow.Types.value -> unit) ->
+  ?memory:Memory.t ->
+  Dataflow.Graph.t ->
+  outcome
+
+(** Channels presenting a token their consumer refuses — the deadlock
+    diagnostic. *)
+val stalled_channels : t -> int list
+
+(** Maximum occupancy a buffer reached during the run (initial tokens
+    included); 0 for non-buffer units.  Profile data for the
+    output-buffer shrinking pass (paper Section 6.4). *)
+val buffer_high_water : t -> int -> int
+
+val memory_of : outcome -> Memory.t
+val pp_status : status Fmt.t
+val is_deadlock : outcome -> bool
+val is_completed : outcome -> bool

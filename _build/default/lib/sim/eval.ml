@@ -1,0 +1,56 @@
+(** Functional semantics of operator opcodes on token payloads. *)
+
+open Dataflow.Types
+
+let as_int = function
+  | VInt i -> i
+  | VBool b -> if b then 1 else 0
+  | v -> invalid_arg (Fmt.str "Eval: expected int, got %s" (value_to_string v))
+
+let as_float = function
+  | VFloat f -> f
+  | VInt i -> float_of_int i
+  | v -> invalid_arg (Fmt.str "Eval: expected float, got %s" (value_to_string v))
+
+let as_bool = function
+  | VBool b -> b
+  | VInt i -> i <> 0
+  | v -> invalid_arg (Fmt.str "Eval: expected bool, got %s" (value_to_string v))
+
+let cmp_int c a b =
+  match c with
+  | Lt -> a < b | Le -> a <= b | Gt -> a > b | Ge -> a >= b
+  | Eq -> a = b | Ne -> a <> b
+
+let cmp_float c a b =
+  match c with
+  | Lt -> a < b | Le -> a <= b | Gt -> a > b | Ge -> a >= b
+  | Eq -> a = b | Ne -> a <> b
+
+(** Apply [op] to its operand list.  A single [VTuple] argument (the
+    payload presented by a sharing wrapper) is unpacked first. *)
+let apply op args =
+  let args = match args with [ VTuple vs ] -> vs | _ -> args in
+  match (op, args) with
+  | Iadd, [ a; b ] -> VInt (as_int a + as_int b)
+  | Isub, [ a; b ] -> VInt (as_int a - as_int b)
+  | Imul, [ a; b ] -> VInt (as_int a * as_int b)
+  | Idiv, [ a; b ] ->
+      let d = as_int b in
+      if d = 0 then invalid_arg "Eval: integer division by zero"
+      else VInt (as_int a / d)
+  | Fadd, [ a; b ] -> VFloat (as_float a +. as_float b)
+  | Fsub, [ a; b ] -> VFloat (as_float a -. as_float b)
+  | Fmul, [ a; b ] -> VFloat (as_float a *. as_float b)
+  | Fdiv, [ a; b ] -> VFloat (as_float a /. as_float b)
+  | Icmp c, [ a; b ] -> VBool (cmp_int c (as_int a) (as_int b))
+  | Fcmp c, [ a; b ] -> VBool (cmp_float c (as_float a) (as_float b))
+  | Band, [ a; b ] -> VBool (as_bool a && as_bool b)
+  | Bor, [ a; b ] -> VBool (as_bool a || as_bool b)
+  | Bnot, [ a ] -> VBool (not (as_bool a))
+  | Select, [ c; a; b ] -> if as_bool c then a else b
+  | Pass, [ a ] -> a
+  | _ ->
+      invalid_arg
+        (Fmt.str "Eval: %s applied to %d operands" (string_of_opcode op)
+           (List.length args))

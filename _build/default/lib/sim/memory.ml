@@ -1,0 +1,64 @@
+(** Memory model for load/store units.
+
+    Each named memory is an array of token payloads.  The model has no
+    port contention and no aliasing disambiguation: the benchmark kernels
+    (Section 6.1) sequence any same-element read-modify-write through data
+    dependencies, so a hazard-free model is faithful for them; this
+    substitution is documented in DESIGN.md. *)
+
+open Dataflow.Types
+
+type t = (string, value array) Hashtbl.t
+
+let create () : t = Hashtbl.create 7
+
+(** Allocate memory [name] of [size] elements, initialized to [VInt 0]. *)
+let declare t name size =
+  if not (Hashtbl.mem t name) then Hashtbl.replace t name (Array.make size (VInt 0))
+
+let of_graph g =
+  let t = create () in
+  List.iter (fun (name, size) -> declare t name size) (Dataflow.Graph.memories g);
+  t
+
+let mem_exn t name =
+  match Hashtbl.find_opt t name with
+  | Some a -> a
+  | None -> invalid_arg (Fmt.str "Memory: undeclared memory %s" name)
+
+let index_of = function
+  | VInt i -> i
+  | v -> invalid_arg (Fmt.str "Memory: non-integer address %s" (value_to_string v))
+
+let read t name addr =
+  let a = mem_exn t name in
+  let i = index_of addr in
+  if i < 0 || i >= Array.length a then
+    invalid_arg (Fmt.str "Memory: %s[%d] out of bounds (size %d)" name i (Array.length a))
+  else a.(i)
+
+let write t name addr v =
+  let a = mem_exn t name in
+  let i = index_of addr in
+  if i < 0 || i >= Array.length a then
+    invalid_arg (Fmt.str "Memory: %s[%d] out of bounds (size %d)" name i (Array.length a))
+  else a.(i) <- v
+
+(** Bulk initialization from floats (the benchmark kernels are FP). *)
+let set_floats t name xs =
+  let a = mem_exn t name in
+  Array.iteri (fun i x -> if i < Array.length a then a.(i) <- VFloat x) xs
+
+let set_ints t name xs =
+  let a = mem_exn t name in
+  Array.iteri (fun i x -> if i < Array.length a then a.(i) <- VInt x) xs
+
+let get_floats t name =
+  Array.map
+    (function VFloat f -> f | VInt i -> float_of_int i | _ -> nan)
+    (mem_exn t name)
+
+let copy (t : t) : t =
+  let t' = create () in
+  Hashtbl.iter (fun k v -> Hashtbl.replace t' k (Array.copy v)) t;
+  t'

@@ -1,0 +1,29 @@
+(** Memory model for load/store units: named flat arrays of token
+    payloads.  No port contention here (the engine arbitrates ports) and
+    no aliasing disambiguation — the benchmark kernels sequence any
+    same-element read-modify-write through data dependencies (see the
+    limitations section of DESIGN.md). *)
+
+type t
+
+val create : unit -> t
+
+(** Allocate memory [name] of [size] elements (idempotent), zeroed. *)
+val declare : t -> string -> int -> unit
+
+(** Memories sized from the graph's declarations. *)
+val of_graph : Dataflow.Graph.t -> t
+
+(** @raise Invalid_argument on undeclared names, non-integer addresses or
+    out-of-bounds accesses (all of the following). *)
+val read : t -> string -> Dataflow.Types.value -> Dataflow.Types.value
+
+val write : t -> string -> Dataflow.Types.value -> Dataflow.Types.value -> unit
+
+val set_floats : t -> string -> float array -> unit
+val set_ints : t -> string -> int array -> unit
+
+(** Contents as floats (integers coerced, non-numeric as nan). *)
+val get_floats : t -> string -> float array
+
+val copy : t -> t

@@ -1,0 +1,27 @@
+(** Dynamic statistics over a simulation run: firing counts, achieved
+    (measured) II per loop, and unit utilization — the dynamic
+    counterpart of the analytic occupancy model. *)
+
+type t = {
+  fires : int array;        (** output-port-0 transfers per unit *)
+  first_fire : int array;   (** cycle of the first transfer, -1 if none *)
+  last_fire : int array;    (** cycle of the last transfer *)
+  total_cycles : int;
+}
+
+(** Simulate while collecting statistics. *)
+val collect :
+  ?max_cycles:int -> ?memory:Memory.t -> Dataflow.Graph.t -> Engine.outcome * t
+
+val fires : t -> int -> int
+
+(** Average interval between a unit's output transfers; [None] below two
+    transfers. *)
+val measured_ii : t -> int -> float option
+
+(** Busy fraction of a pipelined unit's slots; 1.0 means it could not
+    have been shared without an II penalty. *)
+val utilization : Dataflow.Graph.t -> t -> int -> float
+
+(** Measured II of a loop: the worst firing interval of its header muxes. *)
+val loop_ii : Dataflow.Graph.t -> t -> int -> float option

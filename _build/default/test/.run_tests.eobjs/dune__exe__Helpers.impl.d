@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Builder Dataflow Minic QCheck2 QCheck_alcotest Sim

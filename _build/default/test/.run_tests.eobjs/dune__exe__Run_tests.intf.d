@@ -1,0 +1,1 @@
+test/run_tests.mli:

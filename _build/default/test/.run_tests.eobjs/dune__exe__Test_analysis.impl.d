@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Array Builder Crush Dataflow Float Fun Graph Helpers Kernels List Minic Option Types

@@ -1,0 +1,1 @@
+test/test_crush.ml: Alcotest Analysis Array Crush Dataflow Float Fmt Graph Helpers Kernels List Minic Option Sim Validate

@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Alcotest Builder Dataflow Dot Graph Helpers List String Validate

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Analysis Array Crush Dataflow Float Fmt Hashtbl Helpers Kernels List Minic Option Sim

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Ast Dataflow Float Helpers Kernels Lexer List Minic Parser Sema Sim Unroll

@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Crush Fmt Helpers Kernels List Minic

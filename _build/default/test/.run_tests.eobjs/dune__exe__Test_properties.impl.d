@@ -1,0 +1,1 @@
+test/test_properties.ml: Analysis Array Builder Crush Dataflow Float Fmt Fun Hashtbl Helpers Kernels List Minic QCheck2 Sim String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Builder Crush Dataflow Dot Graph Helpers List Sim String Validate

@@ -1,0 +1,14 @@
+(** Test entry point: all suites under one alcotest runner. *)
+
+let () =
+  Alcotest.run "crush"
+    [
+      ("dataflow", Test_dataflow.suite);
+      ("sim", Test_sim.suite);
+      ("frontend", Test_frontend.suite);
+      ("analysis", Test_analysis.suite);
+      ("crush", Test_crush.suite);
+      ("kernels", Test_kernels.suite);
+      ("extensions", Test_extensions.suite);
+      ("properties", Test_properties.suite);
+    ]

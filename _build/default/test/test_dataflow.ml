@@ -1,0 +1,236 @@
+(** Tests of the dataflow IR: types, graph surgery, validation, builder
+    finalization, and DOT export. *)
+
+open Dataflow
+open Dataflow.Types
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Types *)
+
+let test_arity () =
+  checki "fork" 3 (snd (arity (Fork { outputs = 3; lazy_ = false })));
+  checki "mux inputs" 4 (fst (arity (Mux { inputs = 3 })));
+  checki "branch outputs" 5 (snd (arity (Branch { outputs = 5 })));
+  checki "arbiter outputs" 2
+    (snd (arity (Arbiter { inputs = 4; policy = Priority [ 0; 1; 2; 3 ] })));
+  checki "store inputs" 2 (fst (arity (Store { memory = "m" })));
+  checki "entry" 0 (fst (arity (Entry VUnit)))
+
+let test_op_arity () =
+  checki "fadd" 2 (op_arity Fadd);
+  checki "select" 3 (op_arity Select);
+  checki "not" 1 (op_arity Bnot)
+
+let test_value_close () =
+  checkb "ints" (value_close (VInt 3) (VInt 3));
+  checkb "floats approx" (value_close (VFloat 1.0) (VFloat (1.0 +. 1e-9)));
+  checkb "floats differ" (not (value_close (VFloat 1.0) (VFloat 1.1)));
+  checkb "tuple" (value_close (VTuple [ VInt 1; VBool true ]) (VTuple [ VInt 1; VBool true ]));
+  checkb "tuple length" (not (value_close (VTuple [ VInt 1 ]) (VTuple [])));
+  checkb "kinds differ" (not (value_close (VInt 1) (VBool true)))
+
+let test_names () =
+  check Alcotest.string "fmul" "fmul" (string_of_opcode Fmul);
+  check Alcotest.string "fcmp" "fcmp_le" (string_of_opcode (Fcmp Le));
+  check Alcotest.string "lfork" "lfork"
+    (kind_name (Fork { outputs = 2; lazy_ = true }))
+
+(* ------------------------------------------------------------------ *)
+(* Graph surgery *)
+
+let chain () =
+  let g = Graph.create () in
+  let e = Graph.add_unit g (Entry (VInt 7)) in
+  let p = Graph.add_unit g (Operator { op = Pass; latency = 0; ports = 1 }) in
+  let x = Graph.add_unit g Exit in
+  let c1 = Graph.connect g (e, 0) (p, 0) in
+  let c2 = Graph.connect g (p, 0) (x, 0) in
+  (g, e, p, x, c1, c2)
+
+let test_connect_errors () =
+  let g, e, p, _, _, _ = chain () in
+  Alcotest.check_raises "double connect"
+    (Invalid_argument "connect: output entry_0.0 already connected")
+    (fun () -> ignore (Graph.connect g (e, 0) (p, 0)));
+  let q = Graph.add_unit g ~label:"q" (Operator { op = Pass; latency = 0; ports = 1 }) in
+  Alcotest.check_raises "bad port"
+    (Invalid_argument "connect: q has no output port 3") (fun () ->
+      ignore (Graph.connect g (q, 3) (p, 0)))
+
+let test_successors () =
+  let g, e, p, x, _, _ = chain () in
+  check Alcotest.(list int) "succ e" [ p ] (Graph.successors g e);
+  check Alcotest.(list int) "succ p" [ x ] (Graph.successors g p);
+  check Alcotest.(list int) "pred x" [ p ] (Graph.predecessors g x)
+
+let test_retarget () =
+  let g, _, p, x, _, c2 = chain () in
+  (* Splice a second pass unit in front of the exit by retargeting. *)
+  let q = Graph.add_unit g (Operator { op = Pass; latency = 0; ports = 1 }) in
+  Graph.retarget_dst g c2 (q, 0);
+  ignore (Graph.connect g (q, 0) (x, 0));
+  Validate.check_exn g;
+  check Alcotest.(list int) "p feeds q" [ q ] (Graph.successors g p);
+  check Alcotest.(list int) "q feeds exit" [ x ] (Graph.successors g q)
+
+let test_remove_guard () =
+  let g, _, p, _, _, _ = chain () in
+  Alcotest.check_raises "remove with channels"
+    (Invalid_argument "remove_unit: pass_1 still has connected output")
+    (fun () -> Graph.remove_unit g p)
+
+let test_insert_on_channel () =
+  let g, _, p, x, _, c2 = chain () in
+  let u =
+    Graph.insert_on_channel g c2
+      (Buffer { slots = 2; transparent = false; init = []; narrow = false })
+  in
+  Validate.check_exn g;
+  check Alcotest.(list int) "p -> buffer" [ u ] (Graph.successors g p);
+  check Alcotest.(list int) "buffer -> exit" [ x ] (Graph.successors g u)
+
+let test_copy_independent () =
+  let g, _, p, _, _, c2 = chain () in
+  let g' = Graph.copy g in
+  (* Mutate the copy; the original is unaffected. *)
+  let u =
+    Graph.insert_on_channel g' c2
+      (Buffer { slots = 1; transparent = true; init = []; narrow = false })
+  in
+  checkb "copy grew" (Graph.live_unit_count g' = Graph.live_unit_count g + 1);
+  checkb "original intact" (not (Graph.is_live g u));
+  check Alcotest.(list int) "original edge intact"
+    [ (Graph.channel_exn g c2).Graph.dst.unit_id ]
+    (Graph.successors g p)
+
+let test_memories () =
+  let g = Graph.create () in
+  Graph.declare_memory g "a" 10;
+  Graph.declare_memory g "a" 99;
+  Graph.declare_memory g "b" 4;
+  check
+    Alcotest.(list (pair string int))
+    "declared once" [ ("a", 10); ("b", 4) ] (Graph.memories g)
+
+(* ------------------------------------------------------------------ *)
+(* Validation *)
+
+let test_validate_unconnected () =
+  let g = Graph.create () in
+  let _ = Graph.add_unit g (Fork { outputs = 2; lazy_ = false }) in
+  checkb "invalid" (not (Validate.is_valid g));
+  checki "three dangling ports" 3 (List.length (Validate.issues g))
+
+let test_validate_arbiter () =
+  let g = Graph.create () in
+  let a = Graph.add_unit g (Arbiter { inputs = 2; policy = Priority [ 0; 0 ] }) in
+  let issues = Validate.issues g in
+  checkb "policy flagged"
+    (List.exists
+       (fun (i : Validate.issue) ->
+         i.Validate.unit_id = a && i.message = "arbiter policy is not a permutation of its inputs")
+       issues)
+
+let test_validate_buffer () =
+  let g = Graph.create () in
+  let _ =
+    Graph.add_unit g
+      (Buffer { slots = 1; transparent = false; init = [ VInt 1; VInt 2 ]; narrow = false })
+  in
+  checkb "overfull init flagged"
+    (List.exists
+       (fun (i : Validate.issue) -> i.Validate.message = "buffer initial tokens exceed slots")
+       (Validate.issues g))
+
+let test_validate_memory () =
+  let g = Graph.create () in
+  let _ = Graph.add_unit g (Load { memory = "ghost"; latency = 1 }) in
+  checkb "undeclared memory flagged"
+    (List.exists
+       (fun (i : Validate.issue) ->
+         i.Validate.message = "references undeclared memory ghost")
+       (Validate.issues g))
+
+(* ------------------------------------------------------------------ *)
+(* Builder *)
+
+let test_finalize_fanout () =
+  let g =
+    circuit (fun b ->
+        let e = Builder.entry b (VInt 1) in
+        (* Three consumers of one wire: finalize must create one fork. *)
+        Builder.sink b e;
+        Builder.sink b e;
+        ignore (Builder.exit_ b e))
+  in
+  let forks =
+    Graph.fold_units g
+      (fun n u -> match u.Graph.kind with Fork { outputs = 3; _ } -> n + 1 | _ -> n)
+      0
+  in
+  checki "one 3-way fork" 1 forks;
+  Validate.check_exn g
+
+let test_finalize_sinks_unused () =
+  let g =
+    circuit (fun b ->
+        let e = Builder.entry b (VInt 1) in
+        let t, _f = Builder.branch b ~cond:(Builder.operator b (Icmp Lt) ~latency:0
+          [ e; Builder.entry b (VInt 5) ]) (Builder.entry b (VInt 9)) in
+        ignore (Builder.exit_ b t))
+  in
+  (* The false side of the branch was never consumed: a sink appears. *)
+  let sinks =
+    Graph.fold_units g (fun n u -> if u.Graph.kind = Sink then n + 1 else n) 0
+  in
+  checkb "at least one sink" (sinks >= 1);
+  Validate.check_exn g
+
+let test_builder_double_finalize () =
+  let b = Builder.create () in
+  ignore (Builder.exit_ b (Builder.entry b VUnit));
+  ignore (Builder.finalize b);
+  Alcotest.check_raises "second finalize"
+    (Invalid_argument "Builder: already finalized") (fun () ->
+      ignore (Builder.finalize b))
+
+let test_loop_header_marks () =
+  let g = int_stream (fun b i -> Builder.sink b i) in
+  let headers =
+    Graph.fold_units g
+      (fun n u -> if Graph.is_loop_header g u.Graph.uid then n + 1 else n)
+      0
+  in
+  checki "three header muxes (ctrl, i, lim)" 3 headers
+
+let test_dot_export () =
+  let g = int_stream (fun b i -> Builder.sink b i) in
+  let dot = Dot.to_string g in
+  checkb "mentions digraph" (String.length dot > 0 && String.sub dot 0 7 = "digraph");
+  checkb "has edges"
+    (List.exists (fun c -> c = '>') (List.init (String.length dot) (String.get dot)))
+
+let suite =
+  [
+    ("types: arity", `Quick, test_arity);
+    ("types: op arity", `Quick, test_op_arity);
+    ("types: value_close", `Quick, test_value_close);
+    ("types: names", `Quick, test_names);
+    ("graph: connect errors", `Quick, test_connect_errors);
+    ("graph: successors", `Quick, test_successors);
+    ("graph: retarget", `Quick, test_retarget);
+    ("graph: remove guard", `Quick, test_remove_guard);
+    ("graph: insert on channel", `Quick, test_insert_on_channel);
+    ("graph: copy independence", `Quick, test_copy_independent);
+    ("graph: memories", `Quick, test_memories);
+    ("validate: unconnected", `Quick, test_validate_unconnected);
+    ("validate: arbiter policy", `Quick, test_validate_arbiter);
+    ("validate: buffer init", `Quick, test_validate_buffer);
+    ("validate: memory", `Quick, test_validate_memory);
+    ("builder: fan-out", `Quick, test_finalize_fanout);
+    ("builder: sinks unused", `Quick, test_finalize_sinks_unused);
+    ("builder: double finalize", `Quick, test_builder_double_finalize);
+    ("builder: loop headers", `Quick, test_loop_header_marks);
+    ("dot: export", `Quick, test_dot_export);
+  ]

@@ -1,0 +1,105 @@
+(** Integration tests: every benchmark, every technique, end to end —
+    compile, optimize, simulate, verify against the software reference
+    (the ModelSim step of the paper's methodology, Section 6.1). *)
+
+open Helpers
+
+let techniques =
+  [
+    ("naive", fun (_ : Minic.Codegen.compiled) -> ());
+    ( "crush",
+      fun c ->
+        ignore
+          (Crush.Share.crush c.Minic.Codegen.graph
+             ~critical_loops:c.Minic.Codegen.critical_loops) );
+    ( "inorder",
+      fun c ->
+        ignore
+          (Crush.Inorder.share c.Minic.Codegen.graph
+             ~critical_loops:c.Minic.Codegen.critical_loops
+             ~conditional_bbs:c.Minic.Codegen.conditional_bbs) );
+  ]
+
+let end_to_end (bench : Kernels.Registry.bench) (tname, transform) () =
+  let c = compile bench.Kernels.Registry.source in
+  transform c;
+  let v = Kernels.Harness.run_circuit bench c.Minic.Codegen.graph in
+  if not v.Kernels.Harness.functionally_correct then
+    Alcotest.failf "%s/%s: %a" bench.Kernels.Registry.name tname
+      Kernels.Harness.pp_verdict v
+
+let fast_token_end_to_end (bench : Kernels.Registry.bench) shared () =
+  let c =
+    compile ~strategy:Minic.Codegen.Fast_token bench.Kernels.Registry.source
+  in
+  if shared then
+    ignore
+      (Crush.Share.crush c.Minic.Codegen.graph
+         ~critical_loops:c.Minic.Codegen.critical_loops);
+  let v = Kernels.Harness.run_circuit bench c.Minic.Codegen.graph in
+  if not v.Kernels.Harness.functionally_correct then
+    Alcotest.failf "%s/fast-token: %a" bench.Kernels.Registry.name
+      Kernels.Harness.pp_verdict v
+
+let test_determinism () =
+  (* Same seed, same cycle count, twice. *)
+  let run () =
+    let bench = Kernels.Registry.find "bicg" in
+    let c = compile bench.Kernels.Registry.source in
+    (Kernels.Harness.run_circuit bench c.Minic.Codegen.graph).Kernels.Harness.cycles
+  in
+  checki "deterministic cycles" (run ()) (run ())
+
+let test_different_seeds_change_data () =
+  let bench = Kernels.Registry.find "gsum" in
+  let a = Kernels.Registry.fresh_inputs ~seed:1 bench in
+  let b = Kernels.Registry.fresh_inputs ~seed:2 bench in
+  checkb "seeded data differs"
+    (Kernels.Reference.get a "a" <> Kernels.Reference.get b "a")
+
+let test_registry_lookup () =
+  checki "eleven benchmarks" 11 (List.length Kernels.Registry.all);
+  Alcotest.check_raises "unknown bench"
+    (Invalid_argument "unknown benchmark nope") (fun () ->
+      ignore (Kernels.Registry.find "nope"))
+
+let test_unrolled_table1_circuit () =
+  let bench, ast = Kernels.Registry.gesummv_unrolled ~n:15 ~factor:15 in
+  let c = Minic.Codegen.compile ast in
+  ignore
+    (Crush.Share.crush c.Minic.Codegen.graph
+       ~critical_loops:c.Minic.Codegen.critical_loops);
+  let v = Kernels.Harness.run_circuit bench c.Minic.Codegen.graph in
+  checkb "unrolled + shared correct" v.Kernels.Harness.functionally_correct
+
+let suite =
+  let full_matrix =
+    List.concat_map
+      (fun (bench : Kernels.Registry.bench) ->
+        List.map
+          (fun (tname, _ as t) ->
+            ( Fmt.str "%s/%s end-to-end" bench.Kernels.Registry.name tname,
+              `Slow,
+              end_to_end bench t ))
+          techniques)
+      Kernels.Registry.all
+  in
+  let fast_matrix =
+    List.concat_map
+      (fun name ->
+        let bench = Kernels.Registry.find name in
+        [
+          (Fmt.str "%s/fast-token end-to-end" name, `Slow,
+           fast_token_end_to_end bench false);
+          (Fmt.str "%s/fast-token+crush end-to-end" name, `Slow,
+           fast_token_end_to_end bench true);
+        ])
+      [ "atax"; "gsum"; "gesummv"; "syr2k" ]
+  in
+  full_matrix @ fast_matrix
+  @ [
+      ("determinism", `Quick, test_determinism);
+      ("seeded data", `Quick, test_different_seeds_change_data);
+      ("registry", `Quick, test_registry_lookup);
+      ("table-1 circuit (x15)", `Slow, test_unrolled_table1_circuit);
+    ]
