@@ -1,0 +1,27 @@
+# Convenience driver.  `make check` is the tier-1 gate: full build,
+# unit + property tests, then a short fixed-seed chaos sweep over all
+# kernels plus the fault-injection detection check.
+
+DUNE ?= dune
+
+.PHONY: all build test chaos check clean
+
+all: build
+
+build:
+	$(DUNE) build
+
+test: build
+	$(DUNE) runtest
+
+# Short adversarial sweep: 2 chaos trials per kernel at a fixed seed,
+# plus the Eq. 1 fault-injection checks (must all be caught, with the
+# wrapper in the reported cyclic core).  The full acceptance sweep is
+# `dune exec bin/crush_cli.exe -- chaos --trials 25 --seed 42`.
+chaos: build
+	$(DUNE) exec bin/crush_cli.exe -- chaos --trials 2 --seed 1
+
+check: build test chaos
+
+clean:
+	$(DUNE) clean

@@ -217,7 +217,7 @@ let ablation_r3 () =
       | Sim.Engine.Completed _ ->
           if v.Kernels.Harness.functionally_correct then "correct" else "WRONG"
       | Sim.Engine.Deadlock _ -> "DEADLOCK"
-      | Sim.Engine.Out_of_fuel -> "timeout")
+      | Sim.Engine.Out_of_fuel _ -> "timeout")
   in
   run "R3 enforced (paper)" true;
   run "R3 disabled" false;

@@ -203,15 +203,152 @@ let stats_cmd =
             Fmt.pr "%-14s fires %6d, utilization %4.0f%%@." u.Dataflow.Graph.label
               (Sim.Stats.fires stats u.Dataflow.Graph.uid)
               (100.0 *. Sim.Stats.utilization g stats u.Dataflow.Graph.uid)
-        | _ -> ())
+        | _ -> ());
+    (* Scripted sweeps must not silently pass over a wedged circuit. *)
+    if not (Sim.Engine.is_completed out) then exit 1
   in
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(const run $ bench_arg $ strategy_arg $ technique_arg)
+
+(* ------------------------------------------------------------------ *)
+(* chaos: adversarial robustness sweep + fault-injection self-test     *)
+
+let trials_arg =
+  Arg.(
+    value
+    & opt int 25
+    & info [ "trials" ] ~docv:"N" ~doc:"Chaos seeds to try per kernel.")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt int 42
+    & info [ "seed" ] ~docv:"S" ~doc:"Base seed; trial $(i,i) uses S + 7919i.")
+
+let kernel_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "kernel" ] ~docv:"K"
+        ~doc:"Restrict the sweep to one benchmark (default: all).")
+
+let report_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"FILE"
+        ~doc:
+          "Write the fault-injection forensics (text report and DOT \
+           overlay FILE.dot) to $(docv).")
+
+(** Sweep one CRUSH-shared kernel across chaos seeds: every trial must
+    complete with outputs identical to the software reference.  Returns
+    the number of failed trials. *)
+let chaos_sweep_kernel ~trials ~seed (b : Kernels.Registry.bench) =
+  let c = Minic.Codegen.compile_source b.Kernels.Registry.source in
+  ignore
+    (Crush.Share.crush c.Minic.Codegen.graph
+       ~critical_loops:c.Minic.Codegen.critical_loops);
+  let g = c.Minic.Codegen.graph in
+  let failures = ref 0 in
+  for i = 0 to trials - 1 do
+    let chaos = Sim.Chaos.default ~seed:(seed + (7919 * i)) in
+    let v = Kernels.Harness.run_circuit ~chaos b g in
+    if not v.Kernels.Harness.functionally_correct then begin
+      incr failures;
+      Fmt.pr "  FAIL seed %d: %a@." chaos.Sim.Chaos.seed
+        Kernels.Harness.pp_verdict v
+    end
+  done;
+  if !failures = 0 then
+    Fmt.pr "%-10s %d/%d chaos trials ok@." b.Kernels.Registry.name trials
+      trials;
+  !failures
+
+(** Inject each Eq. 1 violation and insist the harness detects the
+    deadlock and forensics blames the sharing wrapper.  Returns the
+    number of undetected faults. *)
+let chaos_fault_check ~report () =
+  let misses = ref 0 in
+  List.iter
+    (fun fault ->
+      let built = Crush.Paper_examples.fig1 () in
+      let g = Crush.Faults.inject built fault in
+      let out = Sim.Engine.run ~max_cycles:100_000 g in
+      match Sim.Forensics.analyze out with
+      | Some r when Sim.Forensics.core_contains r (Crush.Faults.in_wrapper g)
+        ->
+          Fmt.pr "fault detected: %s — %d-unit cyclic core@."
+            (Crush.Faults.describe fault)
+            (match r.Sim.Forensics.cores with
+            | core :: _ -> List.length core.Sim.Forensics.members
+            | [] -> 0);
+          (match report with
+          | Some path ->
+              let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+              let ppf = Format.formatter_of_out_channel oc in
+              Fmt.pf ppf "== %s ==@.%a@.@." (Crush.Faults.describe fault)
+                Sim.Forensics.pp r;
+              Format.pp_print_flush ppf ();
+              close_out oc;
+              let dot = path ^ ".dot" in
+              let oc = open_out dot in
+              output_string oc (Sim.Forensics.to_dot g r);
+              close_out oc
+          | None -> ())
+      | Some _ ->
+          incr misses;
+          Fmt.pr "FAULT MISSED: %s deadlocked but the wrapper is not in any \
+                  cyclic core@."
+            (Crush.Faults.describe fault)
+      | None ->
+          incr misses;
+          Fmt.pr "FAULT MISSED: %s did not deadlock (%a)@."
+            (Crush.Faults.describe fault)
+            Sim.Engine.pp_status out.Sim.Engine.stats.Sim.Engine.status)
+    Crush.Faults.all;
+  !misses
+
+let chaos_cmd =
+  let doc =
+    "Adversarial robustness check: fuzz CRUSH-shared kernels with seeded \
+     chaos (stalls, latency inflation, port jitter, arbiter permutation) \
+     expecting unchanged results, then inject Eq. 1 violations expecting \
+     detected deadlocks whose forensics blame the sharing wrapper."
+  in
+  let run trials seed kernel report =
+    (match report with
+    | Some path -> if Sys.file_exists path then Sys.remove path
+    | None -> ());
+    let benches =
+      match kernel with
+      | Some k -> [ Kernels.Registry.find k ]
+      | None -> Kernels.Registry.all
+    in
+    let failures =
+      List.fold_left
+        (fun n b -> n + chaos_sweep_kernel ~trials ~seed b)
+        0 benches
+    in
+    let misses = chaos_fault_check ~report () in
+    if failures = 0 && misses = 0 then
+      Fmt.pr "chaos: all %d kernels x %d trials ok, %d/%d faults detected@."
+        (List.length benches) trials
+        (List.length Crush.Faults.all)
+        (List.length Crush.Faults.all)
+    else begin
+      Fmt.pr "chaos: %d trial failure(s), %d undetected fault(s)@." failures
+        misses;
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const run $ trials_arg $ seed_arg $ kernel_arg $ report_arg)
 
 let main =
   let doc = "CRUSH: credit-based functional-unit sharing for dataflow circuits" in
   Cmd.group
     (Cmd.info "crush" ~version:"1.0.0" ~doc)
-    [ list_cmd; compile_cmd; analyze_cmd; run_cmd; stats_cmd ]
+    [ list_cmd; compile_cmd; analyze_cmd; run_cmd; stats_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval main)

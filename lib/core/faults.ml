@@ -1,0 +1,71 @@
+(** Deliberate violations of the paper's deadlock-freedom discipline,
+    for exercising the robustness harness.  Each fault builds a Fig. 1
+    sharing circuit whose wrapper breaks one precondition of the
+    correctness argument, so the simulator MUST deadlock and the
+    forensics report MUST place the wrapper in the cyclic core — tests
+    that the detector actually detects. *)
+
+open Dataflow
+
+type fault =
+  | Overallocated_credits of int
+      (** Eq. 1 violated directly: N_CC = N_OB + k circulating credits
+          for single-slot output buffers — tokens admitted with nowhere
+          to land. *)
+  | Creditless_naive
+      (** Figure 1b: no effective credit gating (a pool as deep as the
+          pipeline) over single-slot output buffers; head-of-line
+          blocking wedges the shared unit. *)
+  | Reversed_rotation
+      (** Figure 1d: strict rotation serving the ops against dataflow
+          order, so the turn holder can never request before the other
+          op's result is consumed. *)
+
+let all = [ Overallocated_credits 2; Creditless_naive; Reversed_rotation ]
+
+let describe = function
+  | Overallocated_credits k ->
+      Fmt.str "over-allocated credits (N_CC = N_OB + %d, violating Eq. 1)" k
+  | Creditless_naive ->
+      "credit-less naive sharing (Fig. 1b: pool deeper than output buffers)"
+  | Reversed_rotation ->
+      "reversed strict-rotation arbitration (Fig. 1d access order)"
+
+(** Build the faulty sharing circuit over a fresh Fig. 1 instance.
+    [built] must come from {!Paper_examples.fig1}; the graph is rewritten
+    in place and returned. *)
+let inject (built : Paper_examples.built) fault =
+  match fault with
+  | Overallocated_credits k ->
+      (* M2/M3 interlock through the sum join (Fig. 1b), so extra
+         circulating credits over single-slot buffers wedge them. *)
+      ignore
+        (Wrapper.apply built.Paper_examples.graph
+           {
+             Wrapper.ops =
+               [ built.Paper_examples.m2; built.Paper_examples.m3 ];
+             credits = [ 1 + k; 1 + k ];
+             policy = Types.Priority [ 0; 1 ];
+             ob_slots = Some [ 1; 1 ];
+           });
+      built.Paper_examples.graph
+  | Creditless_naive ->
+      Paper_examples.share_pair built
+        ~ops:[ built.Paper_examples.m2; built.Paper_examples.m3 ]
+        `Naive
+  | Reversed_rotation ->
+      Paper_examples.share_pair built
+        ~ops:[ built.Paper_examples.m3; built.Paper_examples.m1 ]
+        (`Rotation [ 0; 1 ])
+
+(** Is unit [uid] part of a sharing wrapper?  The wrapper construction
+    labels everything it inserts with these prefixes
+    ({!Wrapper.apply}). *)
+let in_wrapper g uid =
+  let label = Graph.label_of g uid in
+  let has_prefix p =
+    String.length label >= String.length p
+    && String.sub label 0 (String.length p) = p
+  in
+  List.exists has_prefix
+    [ "arb_"; "shared_"; "cond_"; "dispatch_"; "cc_"; "ob_"; "join_"; "ret_" ]

@@ -1,0 +1,24 @@
+(** Deliberate violations of the credit discipline (Eq. 1 and the
+    arbitration rules of Section 4), used to prove the robustness
+    harness detects real deadlocks and that {!Sim.Forensics} pins them
+    on the sharing wrapper.  Each fault rewrites a fresh Fig. 1 circuit
+    into a variant that must deadlock. *)
+
+type fault =
+  | Overallocated_credits of int
+      (** N_CC = N_OB + k over single-slot output buffers (Eq. 1 broken) *)
+  | Creditless_naive  (** Figure 1b: pool deeper than the output buffers *)
+  | Reversed_rotation (** Figure 1d: strict rotation against dataflow order *)
+
+(** One representative of each fault class. *)
+val all : fault list
+
+val describe : fault -> string
+
+(** Rewrite [built]'s graph (from {!Paper_examples.fig1}) with the
+    faulty sharing wrapper; returns the rewritten graph. *)
+val inject : Paper_examples.built -> fault -> Dataflow.Graph.t
+
+(** Is the unit part of a sharing wrapper (by label prefix)?  For
+    checking that a forensics cyclic core blames the wrapper. *)
+val in_wrapper : Dataflow.Graph.t -> int -> bool

@@ -27,18 +27,33 @@ let color_of = function
 
 let escape s = String.concat "\\\"" (String.split_on_char '"' s)
 
-let to_string ?(name = "circuit") g =
+(** [annotate uid] adds a second label line to a unit (e.g. live credit
+    or occupancy state); [emphasize uid] / [emphasize_channel cid] paint
+    a unit / channel red and bold — the deadlock-forensics overlay. *)
+let to_string ?(name = "circuit") ?(annotate = fun _ -> None)
+    ?(emphasize = fun _ -> false) ?(emphasize_channel = fun _ -> false) g =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf (Fmt.str "digraph %s {\n  rankdir=TB;\n" name);
   Graph.iter_units g (fun u ->
+      let label =
+        match annotate u.uid with
+        | Some extra -> Fmt.str "%s\\n%s" (escape u.label) (escape extra)
+        | None -> escape u.label
+      in
+      let extra_attrs =
+        if emphasize u.uid then " color=red penwidth=3" else ""
+      in
       Buffer.add_string buf
         (Fmt.str
-           "  n%d [label=\"%s\" shape=%s style=filled fillcolor=%s];\n"
-           u.uid (escape u.label) (shape_of u.kind) (color_of u.kind)));
+           "  n%d [label=\"%s\" shape=%s style=filled fillcolor=%s%s];\n"
+           u.uid label (shape_of u.kind) (color_of u.kind) extra_attrs));
   Graph.iter_channels g (fun c ->
+      let extra_attrs =
+        if emphasize_channel c.id then " color=red penwidth=3" else ""
+      in
       Buffer.add_string buf
-        (Fmt.str "  n%d -> n%d [taillabel=\"%d\" headlabel=\"%d\"];\n"
-           c.src.unit_id c.dst.unit_id c.src.port c.dst.port));
+        (Fmt.str "  n%d -> n%d [taillabel=\"%d\" headlabel=\"%d\"%s];\n"
+           c.src.unit_id c.dst.unit_id c.src.port c.dst.port extra_attrs));
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 

@@ -11,8 +11,13 @@ open Types
 
 type issue = { unit_id : int; message : string }
 
+(** [Graph.label_of] raises on dead/absent units, and issues may point at
+    exactly those — report them as [<dead>] instead of crashing. *)
+let safe_label g uid =
+  if Graph.is_live g uid then Graph.label_of g uid else "<dead>"
+
 let pp_issue g ppf { unit_id; message } =
-  Fmt.pf ppf "%s (unit %d): %s" (Graph.label_of g unit_id) unit_id message
+  Fmt.pf ppf "%s (unit %d): %s" (safe_label g unit_id) unit_id message
 
 let check_unit g (u : Graph.unit_node) acc =
   let n_in, n_out = arity u.kind in
@@ -54,8 +59,72 @@ let check_unit g (u : Graph.unit_node) acc =
   | _ -> ());
   !acc
 
+(** Channel-level checks: a channel whose endpoint sits on a dead or
+    out-of-range unit (dangling — the rewriting passes must retarget or
+    disconnect before killing a unit), an endpoint port outside the
+    unit's arity, and ports claimed by more than one channel (the
+    [out_of]/[in_of] maps can only record one, so the simulator would
+    silently ignore the other). *)
+let check_channels g acc =
+  let acc = ref acc in
+  Graph.iter_channels g (fun c ->
+      let check_end what (e : Graph.endpoint) n_ports =
+        if not (Graph.is_live g e.Graph.unit_id) then begin
+          acc :=
+            { unit_id = e.Graph.unit_id;
+              message =
+                Fmt.str "channel %d %s endpoint on dead unit" c.Graph.id what }
+            :: !acc;
+          false
+        end
+        else if e.Graph.port < 0 || e.Graph.port >= n_ports e.Graph.unit_id
+        then begin
+          acc :=
+            { unit_id = e.Graph.unit_id;
+              message =
+                Fmt.str "channel %d %s endpoint on out-of-range port %d"
+                  c.Graph.id what e.Graph.port }
+            :: !acc;
+          false
+        end
+        else true
+      in
+      let n_out u = snd (arity (Graph.kind_of g u)) in
+      let n_in u = fst (arity (Graph.kind_of g u)) in
+      let src_ok = check_end "source" c.Graph.src n_out in
+      let dst_ok = check_end "destination" c.Graph.dst n_in in
+      (* The port maps point back at exactly one channel per port; a
+         mismatch means two channels claim this port (double connection)
+         or the maps are stale after a bad rewrite. *)
+      if src_ok then begin
+        let e = c.Graph.src in
+        let recorded = g.Graph.out_of.(e.Graph.unit_id).(e.Graph.port) in
+        if recorded <> c.Graph.id then
+          acc :=
+            { unit_id = e.Graph.unit_id;
+              message =
+                Fmt.str
+                  "output port %d double-connected (channels %d and %d)"
+                  e.Graph.port c.Graph.id recorded }
+            :: !acc
+      end;
+      if dst_ok then begin
+        let e = c.Graph.dst in
+        let recorded = g.Graph.in_of.(e.Graph.unit_id).(e.Graph.port) in
+        if recorded <> c.Graph.id then
+          acc :=
+            { unit_id = e.Graph.unit_id;
+              message =
+                Fmt.str
+                  "input port %d double-connected (channels %d and %d)"
+                  e.Graph.port c.Graph.id recorded }
+            :: !acc
+      end);
+  !acc
+
 (** All structural issues of the circuit; empty means well-formed. *)
-let issues g = Graph.fold_units g (fun acc u -> check_unit g u acc) []
+let issues g =
+  Graph.fold_units g (fun acc u -> check_unit g u acc) [] |> check_channels g
 
 let is_valid g = issues g = []
 

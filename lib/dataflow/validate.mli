@@ -1,6 +1,9 @@
 (** Structural validation of dataflow circuits: every port of every live
     unit connected, arbiter policies that are permutations, legal buffer
-    parameters, declared memories. *)
+    parameters, declared memories, no dangling channels (endpoints on
+    dead units or out-of-range ports), no double-connected ports.
+    {!Sim.Engine.create} runs [check_exn] so malformed graphs fail
+    loudly at construction instead of mid-simulation. *)
 
 type issue = { unit_id : int; message : string }
 

@@ -35,15 +35,17 @@ let compare_arrays (bench : Registry.bench) (expected : Reference.arrays)
     bench.Registry.arrays
 
 (** Simulate [graph] on fresh inputs for [bench] and verify the results.
-    [max_cycles] bounds runaway simulations. *)
-let run_circuit ?(seed = 42) ?(max_cycles = 2_000_000) (bench : Registry.bench)
-    (graph : Graph.t) =
+    [max_cycles] bounds runaway simulations; [chaos] perturbs the run
+    adversarially (the circuit must still complete with the same
+    results). *)
+let run_circuit ?(seed = 42) ?(max_cycles = 2_000_000) ?chaos
+    (bench : Registry.bench) (graph : Graph.t) =
   let inputs = Registry.fresh_inputs ~seed bench in
   let expected = Registry.copy_arrays inputs in
   bench.reference expected;
   let memory = Sim.Memory.of_graph graph in
   Hashtbl.iter (fun name data -> Sim.Memory.set_floats memory name data) inputs;
-  let out = Sim.Engine.run ~max_cycles ~memory graph in
+  let out = Sim.Engine.run ~max_cycles ?chaos ~memory graph in
   let mismatches =
     if Sim.Engine.is_completed out then compare_arrays bench expected memory
     else []
@@ -57,11 +59,12 @@ let run_circuit ?(seed = 42) ?(max_cycles = 2_000_000) (bench : Registry.bench)
 
 (** Compile [bench] with [strategy], optionally post-process the circuit
     with [transform] (e.g. a sharing pass), then simulate and verify. *)
-let compile_and_run ?seed ?max_cycles ?(strategy = Minic.Codegen.Bb_ordered)
+let compile_and_run ?seed ?max_cycles ?chaos
+    ?(strategy = Minic.Codegen.Bb_ordered)
     ?(transform = fun (c : Minic.Codegen.compiled) -> c) bench =
   let compiled = Minic.Codegen.compile_source ~strategy bench.Registry.source in
   let compiled = transform compiled in
-  (compiled, run_circuit ?seed ?max_cycles bench compiled.Minic.Codegen.graph)
+  (compiled, run_circuit ?seed ?max_cycles ?chaos bench compiled.Minic.Codegen.graph)
 
 let pp_verdict ppf v =
   Fmt.pf ppf "%a, %s (%d cycles)" Sim.Engine.pp_status v.status

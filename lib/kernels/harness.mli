@@ -11,10 +11,13 @@ type verdict = {
       (** array, index, expected, got (first few only) *)
 }
 
-(** Simulate [graph] on fresh inputs for the benchmark and verify. *)
+(** Simulate [graph] on fresh inputs for the benchmark and verify.
+    [chaos] perturbs the run adversarially ({!Sim.Chaos}); a valid
+    circuit must still complete with the same results. *)
 val run_circuit :
   ?seed:int ->
   ?max_cycles:int ->
+  ?chaos:Sim.Chaos.config ->
   Registry.bench ->
   Dataflow.Graph.t ->
   verdict
@@ -24,6 +27,7 @@ val run_circuit :
 val compile_and_run :
   ?seed:int ->
   ?max_cycles:int ->
+  ?chaos:Sim.Chaos.config ->
   ?strategy:Minic.Codegen.strategy ->
   ?transform:(Minic.Codegen.compiled -> Minic.Codegen.compiled) ->
   Registry.bench ->

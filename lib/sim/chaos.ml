@@ -1,0 +1,92 @@
+(** Adversarial perturbation of elastic-circuit simulations.
+
+    All decisions are pure functions of (seed, cycle, unit id, stream
+    tag) through a splitmix64-style mixer: stable within a cycle (the
+    combinational fixpoint may re-evaluate a unit many times), fresh
+    across cycles, and bit-reproducible across runs of the same seed.
+    See the interface for the adversary model. *)
+
+type config = {
+  seed : int;
+  stall_prob : float;
+  latency_slack : int;
+  jitter_ports : bool;
+  permute_arbiters : bool;
+}
+
+let default ~seed =
+  {
+    seed;
+    stall_prob = 0.15;
+    latency_slack = 3;
+    jitter_ports = true;
+    permute_arbiters = true;
+  }
+
+let stalls_only ~seed ~stall_prob =
+  {
+    seed;
+    stall_prob;
+    latency_slack = 0;
+    jitter_ports = false;
+    permute_arbiters = false;
+  }
+
+type t = { config : config; mutable cycle : int }
+
+let make config = { config; cycle = 0 }
+let config t = t.config
+let begin_cycle t ~cycle = t.cycle <- cycle
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic hashing (splitmix64 finalizer)                        *)
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let golden = 0x9e3779b97f4a7c15L
+
+let hash t words =
+  List.fold_left
+    (fun h w -> mix64 (Int64.add (Int64.logxor h (Int64.of_int w)) golden))
+    (mix64 (Int64.add (Int64.of_int t.config.seed) golden))
+    words
+
+(** Uniform draw in [0, 1) from the top 53 bits of the hash. *)
+let unit_float t words =
+  Int64.to_float (Int64.shift_right_logical (hash t words) 11)
+  /. 9007199254740992.0 (* 2^53 *)
+
+(* [Int64.to_int] truncates to the 63-bit native range, so mask after
+   converting to stay non-negative. *)
+let to_nat h = Int64.to_int (Int64.shift_right_logical h 1) land max_int
+
+(* Disjoint decision streams. *)
+let tag_stall = 1
+let tag_latency = 2
+let tag_port = 3
+let tag_arbiter = 4
+
+let extra_latency t ~uid =
+  if t.config.latency_slack <= 0 then 0
+  else to_nat (hash t [ tag_latency; uid ]) mod (t.config.latency_slack + 1)
+
+let stalled t ~uid =
+  t.config.stall_prob > 0.0
+  && unit_float t [ tag_stall; t.cycle; uid ] < t.config.stall_prob
+
+let port_offset t ~port ~width =
+  if (not t.config.jitter_ports) || width <= 1 then 0
+  else to_nat (hash t [ tag_port; t.cycle; port ]) mod width
+
+let permute_priority t ~uid order =
+  if not t.config.permute_arbiters then order
+  else
+    List.map snd
+      (List.sort compare
+         (List.map
+            (fun p -> (to_nat (hash t [ tag_arbiter; t.cycle; uid; p ]), p))
+            order))

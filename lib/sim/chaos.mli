@@ -1,0 +1,59 @@
+(** Adversarial perturbation of elastic-circuit simulations.
+
+    Elastic circuits are latency-insensitive by construction: any
+    schedule of handshake events that respects the valid/ready protocol
+    must produce the same token streams.  This module is the attack side
+    of that claim.  From one integer seed it derives a deterministic
+    stream of perturbations — transient ready-deassertion at sinks and
+    exits, extra pipeline stages, jittered memory-port grants, permuted
+    arbiter tie-breaks — all of which are legal behaviours of some
+    conforming environment or implementation.  A valid circuit must
+    produce bit-identical exit values and still terminate under every
+    seed; the chaos harness ({!Engine.run} with [~chaos], and the
+    [crush chaos] subcommand) checks exactly that.
+
+    Every decision is a pure hash of (seed, cycle, unit), so a failing
+    seed replays exactly and can be shrunk by a property-based driver. *)
+
+type config = {
+  seed : int;
+  stall_prob : float;
+      (** per-cycle probability that a sink/exit deasserts ready *)
+  latency_slack : int;
+      (** max extra pipeline stages per pipelined unit (drawn per unit) *)
+  jitter_ports : bool;
+      (** rotate memory-port round-robin pointers pseudo-randomly *)
+  permute_arbiters : bool;
+      (** re-draw priority-arbiter tie-break order every cycle *)
+}
+
+(** Aggressive-but-terminating defaults: stalls at probability 0.15, up
+    to 3 extra stages, port jitter and arbiter permutation on. *)
+val default : seed:int -> config
+
+(** A config that only stalls sinks — the pure backpressure fuzzer. *)
+val stalls_only : seed:int -> stall_prob:float -> config
+
+(** Per-run chaos state (holds the current cycle). *)
+type t
+
+val make : config -> t
+val config : t -> config
+
+(** Set the cycle all per-cycle decisions below are drawn for. *)
+val begin_cycle : t -> cycle:int -> unit
+
+(** Extra pipeline stages of unit [uid]; static over one run. *)
+val extra_latency : t -> uid:int -> int
+
+(** Whether a sink/exit unit deasserts ready this cycle. *)
+val stalled : t -> uid:int -> bool
+
+(** Pseudo-random rotation offset for memory port [port] of [width]
+    clients this cycle; 0 when jitter is off or the port is trivial. *)
+val port_offset : t -> port:int -> width:int -> int
+
+(** A per-cycle permutation of a priority arbiter's tie-break order.
+    Any permutation is a legal arbitration: whoever wins, some requester
+    is served, so liveness is preserved. *)
+val permute_priority : t -> uid:int -> int list -> int list

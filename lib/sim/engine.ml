@@ -16,7 +16,17 @@
     the credit return path, and priority vs rotation arbitration
     (Figures 1d/1e).  Deadlock is detected as quiescence without
     completion: the circuit is deterministic, so two event-free cycles
-    imply no token can ever move again. *)
+    imply no token can ever move again.
+
+    Chaos mode ([run ~chaos]) perturbs the run with the adversarial but
+    protocol-legal behaviours of {!Chaos}: transient ready-deassertion
+    at sinks and exits, inflated pipeline depths, jittered memory-port
+    grants and permuted priority-arbiter tie-breaks.  Perturbed runs are
+    no longer deterministic cycle-to-cycle, so quiescence alone does not
+    prove deadlock; when the circuit goes quiet the engine suspends all
+    perturbations and only declares deadlock if the circuit stays quiet
+    under the deterministic baseline semantics — the same notion of
+    deadlock as an unperturbed run. *)
 
 open Dataflow
 open Types
@@ -39,7 +49,7 @@ type unit_state =
 type status =
   | Completed of int   (** cycle of the last event *)
   | Deadlock of int    (** cycle at which the circuit wedged *)
-  | Out_of_fuel        (** [max_cycles] elapsed without quiescence *)
+  | Out_of_fuel of int (** the fuel budget that elapsed without quiescence *)
 
 type stats = {
   status : status;
@@ -54,8 +64,10 @@ type stats = {
     store port (dual-port BRAM); contention is resolved by round-robin
     arbitration that skips absent requests, so it cannot deadlock. *)
 type port = {
+  pid : int;                    (** port id, for chaos decision streams *)
   group : int array;            (** unit ids sharing this port *)
   mutable rr : int;             (** index of the next unit to favour *)
+  mutable joff : int;           (** chaos jitter offset added to [rr] *)
 }
 
 type t = {
@@ -69,12 +81,21 @@ type t = {
   queued : bool array;
   queue : int Queue.t;
   port_of : port option array;  (** per unit: the memory port it uses *)
+  ports : port array;           (** all memory ports *)
   requesting : bool array;      (** per unit: requesting its port now *)
   mutable exit_values : value list;
   mutable transfers : int;
+  chaos : Chaos.t option;
+  chaos_stalled : bool array;   (** per unit: sink/exit stalled this cycle *)
+  chaos_sinks : int array;      (** uids of Exit and Sink units *)
+  chaos_arbiters : int array;   (** uids of Priority arbiters *)
+  mutable chaos_suspended : bool;
+      (** perturbations withdrawn to test quiescence deterministically *)
 }
 
-let init_state (k : kind) =
+(** [extra] adds chaos pipeline stages: an elastic circuit must tolerate
+    any latency, so inflating a pipelined unit is a legal perturbation. *)
+let init_state ~extra (k : kind) =
   match k with
   | Entry _ -> S_entry { fired = false }
   | Fork { outputs; lazy_ = false } -> S_fork { sent = Array.make outputs false }
@@ -83,8 +104,9 @@ let init_state (k : kind) =
       List.iter (fun v -> Queue.add v q) init;
       S_buffer { q; slots; transparent; high_water = Queue.length q }
   | Operator { latency; _ } when latency > 0 ->
-      S_pipeline { stages = Array.make latency None }
-  | Load { latency; _ } -> S_pipeline { stages = Array.make (max 1 latency) None }
+      S_pipeline { stages = Array.make (latency + extra) None }
+  | Load { latency; _ } ->
+      S_pipeline { stages = Array.make (max 1 latency + extra) None }
   | Store _ -> S_pipeline { stages = Array.make 1 None }
   | Credit_counter { init } -> S_credit { count = init }
   | Arbiter { policy = Rotation _; _ } -> S_arbiter { turn = 0 }
@@ -92,12 +114,20 @@ let init_state (k : kind) =
       S_phased { turns = Array.make (List.length clusters) 0 }
   | _ -> S_stateless
 
-let create ?memory g =
+let create ?chaos ?memory g =
+  Validate.check_exn g;
+  let chaos = Option.map Chaos.make chaos in
   let memory = match memory with Some m -> m | None -> Memory.of_graph g in
   let n_units = g.Graph.n_units and n_chan = g.Graph.n_channels in
   let live = Graph.fold_units g (fun acc u -> u.Graph.uid :: acc) [] in
   let state = Array.make n_units S_stateless in
-  Graph.iter_units g (fun u -> state.(u.Graph.uid) <- init_state u.Graph.kind);
+  Graph.iter_units g (fun u ->
+      let extra =
+        match chaos with
+        | Some ch -> Chaos.extra_latency ch ~uid:u.Graph.uid
+        | None -> 0
+      in
+      state.(u.Graph.uid) <- init_state ~extra u.Graph.kind);
   let port_of = Array.make (max 1 n_units) None in
   let groups : (string * bool, int list ref) Hashtbl.t = Hashtbl.create 7 in
   Graph.iter_units g (fun u ->
@@ -119,12 +149,32 @@ let create ?memory g =
                 l
           in
           l := u.Graph.uid :: !l);
+  let ports = ref [] in
+  let n_ports = ref 0 in
   Hashtbl.iter
     (fun _ l ->
       let group = Array.of_list (List.rev !l) in
-      let p = { group; rr = 0 } in
+      let p = { pid = !n_ports; group; rr = 0; joff = 0 } in
+      incr n_ports;
+      ports := p :: !ports;
       Array.iter (fun uid -> port_of.(uid) <- Some p) group)
     groups;
+  let chaos_sinks =
+    Graph.fold_units g
+      (fun acc u ->
+        match u.Graph.kind with
+        | Exit | Sink -> u.Graph.uid :: acc
+        | _ -> acc)
+      []
+  in
+  let chaos_arbiters =
+    Graph.fold_units g
+      (fun acc u ->
+        match u.Graph.kind with
+        | Arbiter { policy = Priority _; _ } -> u.Graph.uid :: acc
+        | _ -> acc)
+      []
+  in
   {
     g;
     memory;
@@ -136,9 +186,15 @@ let create ?memory g =
     queued = Array.make (max 1 n_units) false;
     queue = Queue.create ();
     port_of;
+    ports = Array.of_list (List.rev !ports);
     requesting = Array.make (max 1 n_units) false;
     exit_values = [];
     transfers = 0;
+    chaos;
+    chaos_stalled = Array.make (max 1 n_units) false;
+    chaos_sinks = Array.of_list (List.rev chaos_sinks);
+    chaos_arbiters = Array.of_list (List.rev chaos_arbiters);
+    chaos_suspended = false;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -161,7 +217,12 @@ let enqueue t u =
     signal changed. *)
 let drive_out t u p ~valid ~data =
   let cid = out_cid t u p in
-  let changed = t.cvalid.(cid) <> valid || (valid && t.cdata.(cid) <> data) in
+  (* [compare], not [(<>)]: tokens can legitimately carry NaN, and IEEE
+     [nan <> nan] would report an eternal "change", re-enqueueing the
+     consumer until the settle budget dies. *)
+  let changed =
+    t.cvalid.(cid) <> valid || (valid && compare t.cdata.(cid) data <> 0)
+  in
   if changed then begin
     t.cvalid.(cid) <- valid;
     if valid then t.cdata.(cid) <- data;
@@ -214,7 +275,9 @@ let granted t u =
           let rec find i = if p.group.(i) = x then i else find (i + 1) in
           find 0
         in
-        let rot x = (pos_of x - p.rr + n) mod n in
+        (* [joff] is the chaos jitter: a pseudo-random per-cycle rotation
+           of the grant pointer, a legal arbitration of the port. *)
+        let rot x = (pos_of x - p.rr - p.joff + (2 * n)) mod n in
         let my = rot u in
         let blocked = ref false in
         Array.iter
@@ -249,7 +312,7 @@ let eval_unit t u =
   let k = Graph.kind_of t.g u in
   match (k, t.state.(u)) with
   | Entry v, S_entry s -> drive_out t u 0 ~valid:(not s.fired) ~data:v
-  | Exit, _ | Sink, _ -> drive_ready t u 0 true
+  | Exit, _ | Sink, _ -> drive_ready t u 0 (not t.chaos_stalled.(u))
   | Const v, _ ->
       drive_out t u 0 ~valid:(in_valid t u 0) ~data:v;
       drive_ready t u 0 (out_ready t u 0)
@@ -305,7 +368,16 @@ let eval_unit t u =
         match (policy, st) with
         | Priority order, _ ->
             (* Highest-priority requesting input wins; absent requests
-               never block others (Section 4.2). *)
+               never block others (Section 4.2).  Under chaos the
+               tie-break order is re-drawn every cycle: any requesting
+               input may win, which is a legal work-conserving
+               arbitration — credits must keep it deadlock-free. *)
+            let order =
+              match t.chaos with
+              | Some ch when not t.chaos_suspended ->
+                  Chaos.permute_priority ch ~uid:u order
+              | _ -> order
+            in
             List.find_opt (fun p -> in_valid t u p) order
         | Rotation order, S_arbiter { turn } ->
             (* Strict total order: only the operation whose turn it is
@@ -430,11 +502,22 @@ let eval_unit t u =
     oscillation. *)
 let settle t =
   let budget = ref (50 + (200 * Array.length t.live_units)) in
+  let recent = Queue.create () in
   while not (Queue.is_empty t.queue) do
     decr budget;
-    if !budget < 0 then failwith "Engine: combinational signals do not settle";
+    if !budget < 0 then begin
+      let names =
+        Queue.fold (fun acc u -> Graph.label_of t.g u :: acc) [] recent
+        |> List.sort_uniq compare
+      in
+      failwith
+        (Fmt.str "Engine: combinational signals do not settle (cycling: %a)"
+           Fmt.(list ~sep:comma string)
+           names)
+    end;
     let u = Queue.pop t.queue in
     t.queued.(u) <- false;
+    if !budget < 40 then Queue.add u recent;
     eval_unit t u
   done
 
@@ -605,11 +688,51 @@ let buffer_high_water t uid =
 
 type outcome = { stats : stats; sim : t }
 
+(** Per-cycle chaos prologue.  Re-draws the sink stalls, port jitter and
+    arbiter permutations for this cycle and wakes every unit whose
+    signals they touch (the worklist only tracks channel changes, not
+    chaos decisions).  When the circuit has been quiet for two cycles,
+    withdraws all perturbations ([chaos_suspended]) so that continued
+    quiescence proves deadlock under the deterministic baseline
+    semantics rather than under a transient perturbation; the quiet
+    counter restarts so two further benign cycles are required. *)
+let chaos_prologue t ch ~cycle ~quiet =
+  if !quiet >= 2 && not t.chaos_suspended then begin
+    t.chaos_suspended <- true;
+    quiet := 0
+  end;
+  Chaos.begin_cycle ch ~cycle;
+  Array.iter
+    (fun u ->
+      let s = (not t.chaos_suspended) && Chaos.stalled ch ~uid:u in
+      if s <> t.chaos_stalled.(u) then begin
+        t.chaos_stalled.(u) <- s;
+        enqueue t u
+      end)
+    t.chaos_sinks;
+  Array.iter
+    (fun p ->
+      let off =
+        if t.chaos_suspended then 0
+        else Chaos.port_offset ch ~port:p.pid ~width:(Array.length p.group)
+      in
+      if off <> p.joff then begin
+        p.joff <- off;
+        Array.iter (fun u -> enqueue t u) p.group
+      end)
+    t.ports;
+  (* The tie-break permutation is a fresh function of the cycle, so
+     every priority arbiter must be re-evaluated every cycle. *)
+  if (Chaos.config ch).Chaos.permute_arbiters then
+    Array.iter (fun u -> enqueue t u) t.chaos_arbiters
+
 (** Simulate until quiescence or [max_cycles].  Completion means every
     Exit unit received at least one token before the circuit went quiet;
-    quiescence without completion is a deadlock. *)
-let run ?(max_cycles = 2_000_000) ?observer ?memory g =
-  let t = create ?memory g in
+    quiescence without completion is a deadlock.  [chaos] perturbs the
+    run adversarially (see {!Chaos}); a valid elastic circuit must
+    produce the same exit values and still complete under any seed. *)
+let run ?(max_cycles = 2_000_000) ?observer ?chaos ?memory g =
+  let t = create ?chaos ?memory g in
   let n_exits =
     Graph.fold_units g
       (fun n u -> if u.Graph.kind = Exit then n + 1 else n)
@@ -621,8 +744,11 @@ let run ?(max_cycles = 2_000_000) ?observer ?memory g =
   let finished = ref None in
   Array.iter (fun u -> enqueue t u) t.live_units;
   while !finished = None do
-    if !cycle >= max_cycles then finished := Some Out_of_fuel
+    if !cycle >= max_cycles then finished := Some (Out_of_fuel max_cycles)
     else begin
+      (match t.chaos with
+      | Some ch -> chaos_prologue t ch ~cycle:!cycle ~quiet
+      | None -> ());
       settle t;
       let moved_tokens = count_transfers ?observer ~cycle:!cycle t in
       t.transfers <- t.transfers + moved_tokens;
@@ -636,10 +762,12 @@ let run ?(max_cycles = 2_000_000) ?observer ?memory g =
         t.live_units;
       if moved_tokens > 0 || !state_changed then begin
         quiet := 0;
-        last_event := !cycle
+        last_event := !cycle;
+        (* Progress resumed: perturbations come back next prologue. *)
+        t.chaos_suspended <- false
       end
       else incr quiet;
-      if !quiet >= 2 then begin
+      if !quiet >= 2 && (t.chaos = None || t.chaos_suspended) then begin
         let done_ = List.length t.exit_values >= n_exits && n_exits > 0 in
         finished :=
           Some (if done_ then Completed !last_event else Deadlock !cycle)
@@ -661,10 +789,59 @@ let run ?(max_cycles = 2_000_000) ?observer ?memory g =
 
 let memory_of outcome = outcome.sim.memory
 
+(* ------------------------------------------------------------------ *)
+(* Post-mortem state accessors (for {!Forensics})                      *)
+
+let graph_of t = t.g
+let channel_valid t cid = t.cvalid.(cid)
+let channel_ready t cid = t.cready.(cid)
+let channel_data t cid = t.cdata.(cid)
+
+(** Remaining credits of a credit counter, [None] for other units. *)
+let credit_count t uid =
+  match t.state.(uid) with S_credit c -> Some c.count | _ -> None
+
+(** [(occupancy, slots)] of a buffer, [None] for other units. *)
+let buffer_occupancy t uid =
+  match t.state.(uid) with
+  | S_buffer b -> Some (Queue.length b.q, b.slots)
+  | _ -> None
+
+(** [(tokens in flight, depth)] of a pipelined unit, [None] otherwise. *)
+let pipeline_busy t uid =
+  match t.state.(uid) with
+  | S_pipeline { stages } ->
+      let n =
+        Array.fold_left
+          (fun n s -> if s <> None then n + 1 else n)
+          0 stages
+      in
+      Some (n, Array.length stages)
+  | _ -> None
+
+(** For a rotation or phased arbiter: the input ports currently holding
+    the turn (the only ports whose requests it would grant).  [None] for
+    non-arbiters and priority arbiters (which never refuse a lone
+    requester, so they never starve an input). *)
+let arbiter_turn_holders t uid =
+  match (Graph.kind_of t.g uid, t.state.(uid)) with
+  | Arbiter { policy = Rotation order; _ }, S_arbiter { turn } ->
+      let n = List.length order in
+      if n = 0 then Some [] else Some [ List.nth order (turn mod n) ]
+  | Arbiter { policy = Phased clusters; _ }, S_phased { turns } ->
+      Some
+        (List.mapi
+           (fun i cluster ->
+             let n = List.length cluster in
+             if n = 0 then [] else [ List.nth cluster (turns.(i) mod n) ])
+           clusters
+        |> List.concat)
+  | _ -> None
+
 let pp_status ppf = function
   | Completed c -> Fmt.pf ppf "completed in %d cycles" c
   | Deadlock c -> Fmt.pf ppf "DEADLOCK at cycle %d" c
-  | Out_of_fuel -> Fmt.string ppf "out of fuel"
+  | Out_of_fuel budget -> Fmt.pf ppf "out of fuel (budget %d)" budget
 
 let is_deadlock outcome =
   match outcome.stats.status with Deadlock _ -> true | _ -> false

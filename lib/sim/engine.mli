@@ -7,12 +7,19 @@
     pipeline stalling (head-of-line blocking is observable), credits
     returned one cycle late, lazy forks, priority/rotation/phased
     arbitration, and per-array memory ports with round-robin grant.
-    Deadlock is detected as quiescence without completion. *)
+    Deadlock is detected as quiescence without completion.
+
+    Chaos mode ([run ~chaos]) perturbs a run with the adversarial but
+    protocol-legal behaviours of {!Chaos}.  Perturbed runs are not
+    deterministic cycle-to-cycle, so when the circuit goes quiet the
+    engine suspends all perturbations and only declares deadlock if it
+    stays quiet under the deterministic baseline semantics — the same
+    notion of deadlock as an unperturbed run. *)
 
 type status =
   | Completed of int   (** cycle of the last event *)
   | Deadlock of int    (** cycle at which the circuit wedged *)
-  | Out_of_fuel        (** [max_cycles] elapsed without quiescence *)
+  | Out_of_fuel of int (** the fuel budget that elapsed without quiescence *)
 
 type stats = {
   status : status;
@@ -31,10 +38,16 @@ type outcome = { stats : stats; sim : t }
     every Exit unit received a token before the circuit went quiet.
     [memory] provides pre-initialized array contents (default: zeroed
     memories sized from the graph's declarations).  [observer] is called
-    for every fired channel with (cycle, channel, payload). *)
+    for every fired channel with (cycle, channel, payload).  [chaos]
+    switches on adversarial perturbation (see {!Chaos}); a valid elastic
+    circuit must produce the same exit values and still complete under
+    every chaos seed.
+
+    @raise Dataflow.Validate.Invalid if the graph fails validation. *)
 val run :
   ?max_cycles:int ->
   ?observer:(int -> Dataflow.Graph.channel -> Dataflow.Types.value -> unit) ->
+  ?chaos:Chaos.config ->
   ?memory:Memory.t ->
   Dataflow.Graph.t ->
   outcome
@@ -47,6 +60,30 @@ val stalled_channels : t -> int list
     included); 0 for non-buffer units.  Profile data for the
     output-buffer shrinking pass (paper Section 6.4). *)
 val buffer_high_water : t -> int -> int
+
+(** {2 Post-mortem state accessors}
+
+    Used by {!Forensics} to reconstruct why a deadlocked circuit cannot
+    make progress.  All indices are graph unit/channel ids. *)
+
+val graph_of : t -> Dataflow.Graph.t
+val channel_valid : t -> int -> bool
+val channel_ready : t -> int -> bool
+val channel_data : t -> int -> Dataflow.Types.value
+
+(** Remaining credits of a credit counter, [None] for other units. *)
+val credit_count : t -> int -> int option
+
+(** [(occupancy, slots)] of a buffer, [None] for other units. *)
+val buffer_occupancy : t -> int -> (int * int) option
+
+(** [(tokens in flight, depth)] of a pipelined unit, [None] otherwise. *)
+val pipeline_busy : t -> int -> (int * int) option
+
+(** For rotation/phased arbiters: the input ports currently holding the
+    turn.  [None] for other units (priority arbiters never starve a lone
+    requester). *)
+val arbiter_turn_holders : t -> int -> int list option
 
 val memory_of : outcome -> Memory.t
 val pp_status : status Fmt.t

@@ -1,0 +1,339 @@
+(** Deadlock forensics: wait-for graph extraction and cyclic-core
+    isolation over a quiesced simulator state.  See the interface for
+    the model. *)
+
+open Dataflow
+open Types
+
+type reason = Blocked_output | Awaiting_token
+
+type edge = { src : int; dst : int; channel : int; reason : reason }
+type note = { unit_id : int; label : string; state : string option }
+type core = { members : int list; core_edges : edge list; notes : note list }
+type report = { cycle : int; edges : edge list; cores : core list }
+
+(* ------------------------------------------------------------------ *)
+(* Wait-for edge extraction                                            *)
+
+(** Demand-driven construction.  The base facts are the blocked
+    channels: a producer offering a token its consumer refuses (valid
+    and not ready) waits on that consumer.  Every unit somebody waits on
+    is then {e demanded}, in one of two flavours that must not be
+    conflated (a unit can owe a token downstream while separately owing
+    readiness upstream — merging the two manufactures false cycles):
+
+    - the target of an [Awaiting_token] edge is demanded {e as a
+      producer}: it must drive its awaited output valid, which needs the
+      (kind-aware) inputs of the value it would produce;
+    - the target of a [Blocked_output] edge is demanded {e as a
+      consumer}: it must assert ready on the refused input, which needs
+      whatever its firing condition mentions — the sibling operands of a
+      join, the turn-holders of a strict-rotation arbiter, room
+      downstream for a full buffer.
+
+    Each demand expands into [Awaiting_token] edges to the producers of
+    the missing inputs and [Blocked_output] edges to the consumers of
+    the gating outputs; propagating to a fixpoint yields the wait-for
+    graph, whose cycles are exactly what sustains the deadlock.
+
+    Exits that never received a token are demanded (as producers of
+    their own completion) unconditionally — they are why the run did not
+    complete — so pure starvation deadlocks with no stuck token anywhere
+    are traced too. *)
+
+type flavor = As_producer | As_consumer
+
+let demanded_edges sim g uid flavor =
+  let kind = Graph.kind_of g uid in
+  let valid p =
+    match Graph.in_channel g uid p with
+    | Some c -> Engine.channel_valid sim c.Graph.id
+    | None -> false
+  in
+  let await ports =
+    List.filter_map
+      (fun p ->
+        match Graph.in_channel g uid p with
+        | Some c when not (Engine.channel_valid sim c.Graph.id) ->
+            Some
+              {
+                src = uid;
+                dst = c.Graph.src.Graph.unit_id;
+                channel = c.Graph.id;
+                reason = Awaiting_token;
+              }
+        | _ -> None)
+      ports
+  in
+  let gated () =
+    let _, n_out = Types.arity kind in
+    List.filter_map
+      (fun p ->
+        match Graph.out_channel g uid p with
+        | Some c when not (Engine.channel_ready sim c.Graph.id) ->
+            Some
+              {
+                src = uid;
+                dst = c.Graph.dst.Graph.unit_id;
+                channel = c.Graph.id;
+                reason = Blocked_output;
+              }
+        | _ -> None)
+      (List.init n_out (fun p -> p))
+  in
+  let iota n = List.init n (fun p -> p) in
+  (* Data inputs the unit's firing needs and cannot currently see.  The
+     [await] filter keeps only the invalid ones, so over-approximating
+     with the full operand set is fine. *)
+  let mux_needs inputs =
+    if not (valid 0) then [ 0 ]
+    else
+      match Graph.in_channel g uid 0 with
+      | Some c -> (
+          (* Selector present: only the chosen data input can help. *)
+          match Engine.channel_data sim c.Graph.id with
+          | VBool b -> [ (if b then 1 else 2) ]
+          | VInt i when i >= 0 && i < inputs -> [ 1 + i ]
+          | _ -> [])
+      | None -> []
+  in
+  let arbiter_needs inputs policy =
+    match policy with
+    | Priority _ ->
+        (* Any requester is served, so it starves only with none. *)
+        if List.exists valid (iota inputs) then [] else iota inputs
+    | Rotation _ | Phased _ -> (
+        (* Only the turn holder(s) can be served (Figure 1d). *)
+        match Engine.arbiter_turn_holders sim uid with
+        | Some holders -> holders
+        | None -> [])
+  in
+  (* Output-gating edges are only genuine for units whose output VALID
+     is crossed-gated by a sibling output's readiness (arbiter outputs
+     fire together; a lazy fork is all-or-nothing).  Every other kind
+     drives valid from its inputs alone, so a downstream block shows up
+     as a base [valid && not ready] edge — emitting gated edges for them
+     too would manufacture false cycles through channels that carry no
+     obligation (e.g. an eager fork's already-delivered outputs). *)
+  match flavor with
+  | As_producer -> (
+      match kind with
+      | Entry _ -> [] (* a source: if exhausted, nothing can revive it *)
+      | Exit | Sink | Const _ | Buffer _ | Load _ -> await [ 0 ]
+      | Fork { lazy_ = false; _ } -> await [ 0 ]
+      | Fork { lazy_ = true; _ } ->
+          (* All-or-nothing: every sibling must be ready too. *)
+          if valid 0 then gated () else await [ 0 ]
+      | Join { inputs; _ } -> await (iota inputs)
+      | Operator { ports; _ } -> await (iota ports)
+      | Store _ -> await [ 0; 1 ]
+      | Merge { inputs } ->
+          (* An OR-wait; but the circuit is quiesced, so an alternative
+             producer that could fire would have — all branches are dead
+             and the AND approximation is exact. *)
+          await (iota inputs)
+      | Mux { inputs } -> await (mux_needs inputs)
+      | Branch _ -> await [ 0; 1 ]
+      | Arbiter { inputs; policy } -> (
+          (* Producing on one output also needs the sibling output ready
+             (they fire together). *)
+          match await (arbiter_needs inputs policy) with
+          | [] -> gated ()
+          | starved -> starved)
+      | Credit_counter _ -> (
+          match Engine.credit_count sim uid with
+          | Some 0 -> await [ 0 ] (* waiting for a credit to return *)
+          | _ -> []))
+  | As_consumer -> (
+      (* Why is ready deasserted on an input presenting a token?  The
+         firing condition: sibling operands for all-input-fire units,
+         the grant (and joint output readiness) for arbiters.  Kinds
+         whose refusal can only come from a downstream block need no
+         edges here: the block is visible as a base edge already. *)
+      match kind with
+      | Join { inputs; _ } -> await (iota inputs)
+      | Operator { ports; _ } -> await (iota ports)
+      | Store _ -> await [ 0; 1 ]
+      | Mux { inputs } -> await (mux_needs inputs)
+      | Branch _ -> await [ 0; 1 ]
+      | Arbiter { inputs; policy } -> (
+          match await (arbiter_needs inputs policy) with
+          | [] -> gated ()
+          | starved -> starved)
+      | Fork { lazy_ = true; _ } -> gated ()
+      | Entry _ | Exit | Sink | Const _
+      | Fork { lazy_ = false; _ }
+      | Buffer _ | Load _ | Merge _ | Credit_counter _ ->
+          [])
+
+(** The full wait-for graph of a quiesced simulator state. *)
+let wait_edges sim =
+  let g = Engine.graph_of sim in
+  let edges = ref [] in
+  let seen = Hashtbl.create 64 in
+  let demanded = Hashtbl.create 64 in
+  let frontier = Queue.create () in
+  let demand u flavor =
+    if not (Hashtbl.mem demanded (u, flavor)) then begin
+      Hashtbl.replace demanded (u, flavor) ();
+      Queue.add (u, flavor) frontier
+    end
+  in
+  let add e =
+    let key = (e.src, e.dst, e.channel, e.reason) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      edges := e :: !edges;
+      demand e.dst
+        (match e.reason with
+        | Awaiting_token -> As_producer
+        | Blocked_output -> As_consumer)
+    end
+  in
+  Graph.iter_channels g (fun c ->
+      let cid = c.Graph.id in
+      if Engine.channel_valid sim cid && not (Engine.channel_ready sim cid)
+      then
+        add
+          {
+            src = c.Graph.src.Graph.unit_id;
+            dst = c.Graph.dst.Graph.unit_id;
+            channel = cid;
+            reason = Blocked_output;
+          });
+  Graph.iter_units g (fun u ->
+      if u.Graph.kind = Exit then demand u.Graph.uid As_producer);
+  while not (Queue.is_empty frontier) do
+    let u, flavor = Queue.pop frontier in
+    List.iter add (demanded_edges sim g u flavor)
+  done;
+  List.rev !edges
+
+(* ------------------------------------------------------------------ *)
+(* Cyclic-core isolation                                               *)
+
+let state_note sim uid =
+  match Engine.credit_count sim uid with
+  | Some n -> Some (Fmt.str "credits %d" n)
+  | None -> (
+      match Engine.buffer_occupancy sim uid with
+      | Some (occ, slots) ->
+          Some
+            (Fmt.str "buffer %d/%d%s" occ slots
+               (if occ >= slots then " (full)" else ""))
+      | None -> (
+          match Engine.pipeline_busy sim uid with
+          | Some (busy, depth) -> Some (Fmt.str "pipeline %d/%d" busy depth)
+          | None -> None))
+
+let analyze (outcome : Engine.outcome) =
+  match outcome.Engine.stats.Engine.status with
+  | Engine.Completed _ | Engine.Out_of_fuel _ -> None
+  | Engine.Deadlock cycle ->
+      let sim = outcome.Engine.sim in
+      let g = Engine.graph_of sim in
+      let edges = wait_edges sim in
+      let succ_tbl = Hashtbl.create 64 in
+      List.iter
+        (fun e ->
+          let l =
+            match Hashtbl.find_opt succ_tbl e.src with Some l -> l | None -> []
+          in
+          Hashtbl.replace succ_tbl e.src (e.dst :: l))
+        edges;
+      let succ u =
+        match Hashtbl.find_opt succ_tbl u with Some l -> l | None -> []
+      in
+      let nodes =
+        Graph.fold_units g (fun acc u -> u.Graph.uid :: acc) [] |> List.rev
+      in
+      let scc = Analysis.Scc.compute ~nodes ~succ in
+      (* A cyclic core is a component of size > 1, or a single unit
+         waiting on itself. *)
+      let cores = ref [] in
+      for c = Analysis.Scc.n_components scc - 1 downto 0 do
+        let members = List.sort compare (Analysis.Scc.members scc c) in
+        let cyclic =
+          match members with
+          | [] -> false
+          | [ u ] -> List.exists (fun e -> e.src = u && e.dst = u) edges
+          | _ -> true
+        in
+        if cyclic then begin
+          let inside u = List.mem u members in
+          let core_edges =
+            List.filter (fun e -> inside e.src && inside e.dst) edges
+          in
+          let notes =
+            List.map
+              (fun u ->
+                {
+                  unit_id = u;
+                  label = Graph.label_of g u;
+                  state = state_note sim u;
+                })
+              members
+          in
+          cores := { members; core_edges; notes } :: !cores
+        end
+      done;
+      Some { cycle; edges; cores = !cores }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let label_in core u =
+  match List.find_opt (fun n -> n.unit_id = u) core.notes with
+  | Some n -> n.label
+  | None -> Fmt.str "unit_%d" u
+
+let pp_reason ppf = function
+  | Blocked_output -> Fmt.string ppf "output token refused by"
+  | Awaiting_token -> Fmt.string ppf "awaiting token from"
+
+let pp_core i ppf core =
+  Fmt.pf ppf "@[<v2>cyclic core %d (%d units):" (i + 1)
+    (List.length core.members);
+  List.iter
+    (fun n ->
+      Fmt.pf ppf "@,%s (unit %d)%s" n.label n.unit_id
+        (match n.state with Some s -> Fmt.str " [%s]" s | None -> ""))
+    core.notes;
+  List.iter
+    (fun e ->
+      Fmt.pf ppf "@,%s -> %a -> %s (channel %d)" (label_in core e.src)
+        pp_reason e.reason (label_in core e.dst) e.channel)
+    core.core_edges;
+  Fmt.pf ppf "@]"
+
+let pp ppf r =
+  Fmt.pf ppf "@[<v>deadlock at cycle %d: %d cyclic core(s) in a %d-edge wait-for graph"
+    r.cycle (List.length r.cores) (List.length r.edges);
+  List.iteri (fun i core -> Fmt.pf ppf "@,%a" (pp_core i) core) r.cores;
+  Fmt.pf ppf "@]"
+
+let to_dot g r =
+  let in_core = Hashtbl.create 32 in
+  let note_of = Hashtbl.create 32 in
+  let core_channel = Hashtbl.create 32 in
+  List.iter
+    (fun core ->
+      List.iter (fun u -> Hashtbl.replace in_core u ()) core.members;
+      List.iter
+        (fun n ->
+          match n.state with
+          | Some s -> Hashtbl.replace note_of n.unit_id s
+          | None -> ())
+        core.notes;
+      List.iter
+        (fun e -> Hashtbl.replace core_channel e.channel ())
+        core.core_edges)
+    r.cores;
+  Dot.to_string ~name:"deadlock"
+    ~annotate:(fun u -> Hashtbl.find_opt note_of u)
+    ~emphasize:(fun u -> Hashtbl.mem in_core u)
+    ~emphasize_channel:(fun c -> Hashtbl.mem core_channel c)
+    g
+
+let core_contains r f =
+  List.exists (fun core -> List.exists f core.members) r.cores

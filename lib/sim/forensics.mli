@@ -1,0 +1,64 @@
+(** Deadlock forensics: why can a quiesced circuit not make progress?
+
+    On deadlock the simulator's final signal state is a witness: every
+    unit is blocked either because a consumer refuses its token
+    (valid and not ready on an output channel) or because an input it
+    needs is starved (kind-aware: a join with some but not all operands,
+    a rotation arbiter whose turn-holder never requests, a credit
+    counter out of credits, ...).  These blocking relations form a
+    wait-for graph over units; a deadlock is sustained exactly by its
+    cyclic part, so Tarjan SCC ({!Analysis.Scc}) isolates the cyclic
+    core(s).  The report names each core, the channels along it, and the
+    live state of its units — credit-counter values, buffer occupancies,
+    pipeline fill — which is what one needs to see an Eq. 1 violation
+    (more circulating credits than output-buffer slots) at a glance. *)
+
+(** Why [src] waits on [dst] in the wait-for graph. *)
+type reason =
+  | Blocked_output  (** src offers a token on [channel]; dst refuses it *)
+  | Awaiting_token  (** src needs a token on [channel]; dst never sends *)
+
+type edge = {
+  src : int;
+  dst : int;
+  channel : int;  (** the channel the wait travels over *)
+  reason : reason;
+}
+
+(** Live state of one unit in a cyclic core, pre-rendered for reports. *)
+type note = {
+  unit_id : int;
+  label : string;
+  state : string option;
+      (** e.g. ["credits 0"], ["buffer 2/2 (full)"], ["pipeline 3/4"] *)
+}
+
+(** One cyclic core of the wait-for graph: a set of mutually waiting
+    units that can never unblock each other. *)
+type core = {
+  members : int list;         (** unit ids, ascending *)
+  core_edges : edge list;     (** wait-for edges internal to the core *)
+  notes : note list;          (** one per member, same order *)
+}
+
+type report = {
+  cycle : int;            (** cycle at which the circuit wedged *)
+  edges : edge list;      (** the full wait-for graph *)
+  cores : core list;      (** cyclic cores; at least one per true deadlock *)
+}
+
+(** [Some report] when the outcome is a deadlock, [None] otherwise. *)
+val analyze : Engine.outcome -> report option
+
+(** Human-readable report: one block per core listing its units with
+    their live state and the wait edges connecting them. *)
+val pp : report Fmt.t
+
+(** DOT rendering of the circuit with the cyclic cores painted red and
+    core units annotated with their live state ({!Dataflow.Dot}). *)
+val to_dot : Dataflow.Graph.t -> report -> string
+
+(** Convenience: does any cyclic core contain a unit satisfying [f]?
+    Used by tests and the CLI to check e.g. that a sharing wrapper is
+    part of the deadlock. *)
+val core_contains : report -> (int -> bool) -> bool

@@ -64,6 +64,6 @@ let cycles out = out.Sim.Engine.stats.Sim.Engine.cycles
 (** Compile mini-C source text (Bb_ordered by default). *)
 let compile ?strategy src = Minic.Codegen.compile_source ?strategy src
 
-let qtest ?(count = 100) name gen prop =
+let qtest ?(count = 100) ?print name gen prop =
   QCheck_alcotest.to_alcotest
-    (QCheck2.Test.make ~count ~name gen prop)
+    (QCheck2.Test.make ~count ~name ?print gen prop)

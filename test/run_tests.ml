@@ -11,4 +11,5 @@ let () =
       ("kernels", Test_kernels.suite);
       ("extensions", Test_extensions.suite);
       ("properties", Test_properties.suite);
+      ("robustness", Test_robustness.suite);
     ]

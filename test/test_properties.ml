@@ -359,7 +359,40 @@ let prop_interp_vs_circuit =
            (Sim.Memory.get_floats memory "out").(0)
            (Hashtbl.find imem "out").(0))
 
-(* 9. Priority inference always returns a permutation of its input. *)
+(* 9. Chaos invariance: a CRUSH-shared circuit built from a random
+   kernel must, under any chaos seed, still terminate and produce the
+   interpreter's results — the latency-insensitivity claim attacked
+   adversarially.  QCheck2 shrinks both the kernel and the seed, so a
+   failure reproduces as a minimal kernel x seed pair. *)
+let prop_chaos_invariance =
+  qtest ~count:20 "chaos never changes results of shared circuits"
+    ~print:(fun (kernel, seed) ->
+      Fmt.str "chaos seed %d on:@.%s" seed (Minic.Print.to_string kernel))
+    QCheck2.Gen.(pair gen_kernel_ast (int_range 0 1_000_000))
+    (fun (kernel, seed) ->
+      ignore (Minic.Sema.check kernel);
+      let rng = Kernels.Data.create (Hashtbl.hash (Minic.Print.to_string kernel)) in
+      let data = Kernels.Data.signed_array rng 10 in
+      let imem = Hashtbl.create 4 in
+      Hashtbl.replace imem "x" (Array.copy data);
+      Hashtbl.replace imem "out" (Array.make 1 0.0);
+      Minic.Interp.run kernel imem;
+      let c = Minic.Codegen.compile_source (Minic.Print.to_string kernel) in
+      ignore
+        (Crush.Share.crush c.Minic.Codegen.graph
+           ~critical_loops:c.Minic.Codegen.critical_loops);
+      let memory = Sim.Memory.of_graph c.Minic.Codegen.graph in
+      Sim.Memory.set_floats memory "x" data;
+      let out =
+        Sim.Engine.run ~chaos:(Sim.Chaos.default ~seed) ~memory
+          c.Minic.Codegen.graph
+      in
+      Sim.Engine.is_completed out
+      && close
+           (Sim.Memory.get_floats memory "out").(0)
+           (Hashtbl.find imem "out").(0))
+
+(* 10. Priority inference always returns a permutation of its input. *)
 let prop_priority_permutation =
   qtest ~count:10 "priority is a permutation"
     (QCheck2.Gen.oneofl [ "atax"; "gemm"; "gesummv"; "syr2k" ])
@@ -385,5 +418,6 @@ let suite =
     prop_crush_preserves_random_kernels;
     prop_unroll_divisors;
     prop_interp_vs_circuit;
+    prop_chaos_invariance;
     prop_priority_permutation;
   ]

@@ -1,0 +1,262 @@
+(** Adversarial robustness: chaos invariance of valid circuits, fault
+    injection producing detected deadlocks, forensics pinning the right
+    cyclic core, and the structural-validation hardening. *)
+
+open Helpers
+open Dataflow
+open Dataflow.Types
+
+let is_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let is_infix needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Chaos engine *)
+
+let fig1c () =
+  let b = Crush.Paper_examples.fig1 () in
+  Crush.Paper_examples.share_pair b
+    ~ops:[ b.Crush.Paper_examples.m1; b.Crush.Paper_examples.m2 ]
+    `Credits
+
+let run_fig1c ?chaos () =
+  let g = fig1c () in
+  let memory = Sim.Memory.of_graph g in
+  let out = Sim.Engine.run ?chaos ~memory g in
+  (out, Sim.Memory.get_floats memory "a")
+
+let test_chaos_deterministic () =
+  (* One seed, one behaviour: bit-equal memory and equal cycle counts. *)
+  let chaos = Sim.Chaos.default ~seed:7 in
+  let out1, mem1 = run_fig1c ~chaos () in
+  let out2, mem2 = run_fig1c ~chaos () in
+  checkb "completed" (Sim.Engine.is_completed out1);
+  checki "same cycles" (cycles out1) (cycles out2);
+  checkb "same memory" (mem1 = mem2)
+
+let test_chaos_output_invariance () =
+  (* The elasticity claim: any chaos seed, same exit values and memory. *)
+  let _, baseline = run_fig1c () in
+  for seed = 0 to 7 do
+    let out, mem = run_fig1c ~chaos:(Sim.Chaos.default ~seed) () in
+    checkb (Fmt.str "seed %d completed" seed) (Sim.Engine.is_completed out);
+    checkb (Fmt.str "seed %d memory identical" seed) (mem = baseline)
+  done
+
+let test_chaos_delays_completion () =
+  (* Backpressure stalls cannot change results but must cost cycles. *)
+  let out0, _ = run_fig1c () in
+  let out, mem =
+    run_fig1c ~chaos:(Sim.Chaos.stalls_only ~seed:3 ~stall_prob:0.5) ()
+  in
+  let _, baseline = run_fig1c () in
+  checkb "completed under heavy stalls" (Sim.Engine.is_completed out);
+  checkb "slower than unperturbed" (cycles out > cycles out0);
+  checkb "memory identical" (mem = baseline)
+
+let test_chaos_kernel_correct () =
+  (* A real compiled kernel, CRUSH-shared, under full chaos. *)
+  let bench = Kernels.Registry.find "gsum" in
+  let c = compile bench.Kernels.Registry.source in
+  ignore
+    (Crush.Share.crush c.Minic.Codegen.graph
+       ~critical_loops:c.Minic.Codegen.critical_loops);
+  for seed = 1 to 3 do
+    let v =
+      Kernels.Harness.run_circuit
+        ~chaos:(Sim.Chaos.default ~seed)
+        bench c.Minic.Codegen.graph
+    in
+    checkb
+      (Fmt.str "gsum chaos seed %d correct" seed)
+      v.Kernels.Harness.functionally_correct
+  done
+
+let test_chaos_decisions_pure () =
+  (* Decisions are pure hashes: re-reading within a cycle is stable,
+     across cycles it varies. *)
+  let ch = Sim.Chaos.make (Sim.Chaos.default ~seed:11) in
+  Sim.Chaos.begin_cycle ch ~cycle:5;
+  checkb "stall stable in a cycle"
+    (Sim.Chaos.stalled ch ~uid:3 = Sim.Chaos.stalled ch ~uid:3);
+  checki "latency static over run"
+    (Sim.Chaos.extra_latency ch ~uid:4)
+    (Sim.Chaos.extra_latency ch ~uid:4);
+  let offs =
+    List.init 50 (fun c ->
+        Sim.Chaos.begin_cycle ch ~cycle:c;
+        Sim.Chaos.port_offset ch ~port:0 ~width:3)
+  in
+  checkb "port jitter in range" (List.for_all (fun o -> o >= 0 && o < 3) offs);
+  checkb "port jitter varies" (List.exists (fun o -> o <> List.hd offs) offs);
+  Sim.Chaos.begin_cycle ch ~cycle:9;
+  let perm = Sim.Chaos.permute_priority ch ~uid:2 [ 0; 1; 2; 3 ] in
+  checkb "permutation is a permutation"
+    (List.sort compare perm = [ 0; 1; 2; 3 ])
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection + forensics *)
+
+let analyze_fault fault =
+  let built = Crush.Paper_examples.fig1 () in
+  let g = Crush.Faults.inject built fault in
+  let out = Sim.Engine.run ~max_cycles:100_000 g in
+  checkb
+    (Fmt.str "%s deadlocks" (Crush.Faults.describe fault))
+    (Sim.Engine.is_deadlock out);
+  match Sim.Forensics.analyze out with
+  | Some r -> (g, r)
+  | None -> Alcotest.fail "deadlock without forensics report"
+
+let core_labels g (r : Sim.Forensics.report) =
+  List.concat_map
+    (fun (core : Sim.Forensics.core) ->
+      List.map (Graph.label_of g) core.Sim.Forensics.members)
+    r.Sim.Forensics.cores
+
+let test_fault_naive_forensics () =
+  let g, r = analyze_fault Crush.Faults.Creditless_naive in
+  checkb "wrapper in cyclic core"
+    (Sim.Forensics.core_contains r (Crush.Faults.in_wrapper g));
+  (* The Fig. 1b anatomy: a full single-slot output buffer sustains the
+     head-of-line block, and the report shows its occupancy. *)
+  let labels = core_labels g r in
+  checkb "an output buffer is in the core"
+    (List.exists (fun l -> String.length l >= 3 && String.sub l 0 3 = "ob_") labels);
+  let text = Fmt.str "%a" Sim.Forensics.pp r in
+  checkb "report shows buffer occupancy"
+    (is_infix "(full)" text
+    || is_infix "buffer 1/1" text)
+
+let test_fault_rotation_forensics () =
+  let g, r = analyze_fault Crush.Faults.Reversed_rotation in
+  checkb "wrapper in cyclic core"
+    (Sim.Forensics.core_contains r (Crush.Faults.in_wrapper g));
+  let labels = core_labels g r in
+  let has p = List.exists (fun l -> is_prefix p l) labels in
+  (* Figure 1d: the starved arbiter and the idle shared unit are both in
+     the cycle. *)
+  checkb "arbiter in core" (has "arb_");
+  checkb "shared unit in core" (has "shared_")
+
+let test_fault_overallocation_forensics () =
+  let g, r = analyze_fault (Crush.Faults.Overallocated_credits 2) in
+  checkb "wrapper in cyclic core"
+    (Sim.Forensics.core_contains r (Crush.Faults.in_wrapper g))
+
+let test_forensics_crossed_joins () =
+  (* The classic crossed-join deadlock: both joins must be in one core. *)
+  let g = Graph.create () in
+  let e1 = Graph.add_unit g (Entry (VInt 1)) in
+  let e2 = Graph.add_unit g (Entry (VInt 2)) in
+  let j1 = Graph.add_unit g (Join { inputs = 2; keep = [| true; true |] }) in
+  let j2 = Graph.add_unit g (Join { inputs = 2; keep = [| true; true |] }) in
+  let r1 = Graph.add_unit g (Operator { op = Pass; latency = 1; ports = 1 }) in
+  let r2 = Graph.add_unit g (Operator { op = Pass; latency = 1; ports = 1 }) in
+  let f1 = Graph.add_unit g (Fork { outputs = 2; lazy_ = false }) in
+  let f2 = Graph.add_unit g (Fork { outputs = 2; lazy_ = false }) in
+  let x = Graph.add_unit g Exit in
+  let sink = Graph.add_unit g Sink in
+  ignore (Graph.connect g (e1, 0) (j1, 0));
+  ignore (Graph.connect g (e2, 0) (j2, 0));
+  ignore (Graph.connect g (j1, 0) (r1, 0));
+  ignore (Graph.connect g (j2, 0) (r2, 0));
+  ignore (Graph.connect g (r1, 0) (f1, 0));
+  ignore (Graph.connect g (r2, 0) (f2, 0));
+  ignore (Graph.connect g (f1, 0) (j2, 1));
+  ignore (Graph.connect g (f2, 0) (j1, 1));
+  ignore (Graph.connect g (f1, 1) (x, 0));
+  ignore (Graph.connect g (f2, 1) (sink, 0));
+  let out = run_deadlock g in
+  match Sim.Forensics.analyze out with
+  | None -> Alcotest.fail "no forensics report"
+  | Some r ->
+      checkb "one core" (List.length r.Sim.Forensics.cores = 1);
+      checkb "both joins in the core"
+        (Sim.Forensics.core_contains r (fun u -> u = j1)
+        && Sim.Forensics.core_contains r (fun u -> u = j2));
+      (* Entries hold tokens but are not part of the cycle. *)
+      checkb "entries not in the core"
+        (not
+           (Sim.Forensics.core_contains r (fun u -> u = e1 || u = e2)))
+
+let test_forensics_none_when_completed () =
+  let out = run_ok (int_stream (fun b i -> Builder.sink b i)) in
+  checkb "no report on completion" (Sim.Forensics.analyze out = None)
+
+let test_forensics_dot_overlay () =
+  let g, r = analyze_fault Crush.Faults.Creditless_naive in
+  let dot = Sim.Forensics.to_dot g r in
+  checkb "core painted red" (is_infix "color=red" dot);
+  checkb "occupancy annotated" (is_infix "buffer" dot)
+
+(* ------------------------------------------------------------------ *)
+(* Validation hardening *)
+
+let test_validate_dangling_channel () =
+  let g = int_stream (fun b i -> Builder.sink b i) in
+  Validate.check_exn g;
+  (* Forge a buggy rewriting pass: kill a unit without disconnecting. *)
+  let victim =
+    Graph.fold_units g
+      (fun acc u -> match u.Graph.kind with Sink -> u.Graph.uid | _ -> acc)
+      (-1)
+  in
+  (Graph.unit_exn g victim).Graph.dead <- true;
+  let issues = Validate.issues g in
+  checkb "dangling channel flagged"
+    (List.exists
+       (fun (i : Validate.issue) ->
+         is_infix "dead unit" i.Validate.message)
+       issues);
+  (* And the simulator refuses the malformed graph at construction. *)
+  checkb "engine rejects it"
+    (match Sim.Engine.run g with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_validate_double_connected () =
+  let g = Graph.create () in
+  let e1 = Graph.add_unit g (Entry (VInt 1)) in
+  let e2 = Graph.add_unit g (Entry (VInt 2)) in
+  let s1 = Graph.add_unit g Sink in
+  let s2 = Graph.add_unit g Sink in
+  ignore (Graph.connect g (e1, 0) (s1, 0));
+  let c2 = Graph.connect g (e2, 0) (s2, 0) in
+  Validate.check_exn g;
+  (* Forge: re-point the second channel at the already-taken port. *)
+  (Graph.channel_exn g c2).Graph.dst <- { Graph.unit_id = s1; port = 0 };
+  checkb "double connection flagged"
+    (List.exists
+       (fun (i : Validate.issue) ->
+         is_infix "double-connected" i.Validate.message)
+       (Validate.issues g))
+
+let test_out_of_fuel_carries_budget () =
+  let g = int_stream ~n:1_000_000 (fun b i -> Builder.sink b i) in
+  let out = Sim.Engine.run ~max_cycles:217 g in
+  match out.Sim.Engine.stats.Sim.Engine.status with
+  | Sim.Engine.Out_of_fuel budget -> checki "budget reported" 217 budget
+  | st -> Alcotest.failf "expected out of fuel, got %a" Sim.Engine.pp_status st
+
+let suite =
+  [
+    ("chaos: deterministic per seed", `Quick, test_chaos_deterministic);
+    ("chaos: outputs invariant across seeds", `Quick, test_chaos_output_invariance);
+    ("chaos: stalls delay but preserve results", `Quick, test_chaos_delays_completion);
+    ("chaos: shared kernel stays correct", `Slow, test_chaos_kernel_correct);
+    ("chaos: decision streams are pure", `Quick, test_chaos_decisions_pure);
+    ("faults: naive sharing caught with anatomy", `Quick, test_fault_naive_forensics);
+    ("faults: reversed rotation caught", `Quick, test_fault_rotation_forensics);
+    ("faults: over-allocated credits caught", `Quick, test_fault_overallocation_forensics);
+    ("forensics: crossed joins isolated", `Quick, test_forensics_crossed_joins);
+    ("forensics: silent on completion", `Quick, test_forensics_none_when_completed);
+    ("forensics: DOT overlay emphasizes core", `Quick, test_forensics_dot_overlay);
+    ("validate: dangling channels rejected", `Quick, test_validate_dangling_channel);
+    ("validate: double-connected ports rejected", `Quick, test_validate_double_connected);
+    ("engine: out-of-fuel carries budget", `Quick, test_out_of_fuel_carries_budget);
+  ]

@@ -433,7 +433,7 @@ let test_out_of_fuel () =
   in
   let out = Sim.Engine.run ~max_cycles:200 g in
   (match out.Sim.Engine.stats.Sim.Engine.status with
-  | Sim.Engine.Out_of_fuel -> ()
+  | Sim.Engine.Out_of_fuel _ -> ()
   | st -> Alcotest.failf "expected out of fuel, got %a" Sim.Engine.pp_status st)
 
 let test_phased_rotation_within_cluster () =
