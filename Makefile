@@ -1,10 +1,11 @@
 # Convenience driver.  `make check` is the tier-1 gate: full build,
-# unit + property tests, then a short fixed-seed chaos sweep over all
-# kernels plus the fault-injection detection check.
+# unit + property tests, a short fixed-seed chaos sweep over all
+# kernels plus the fault-injection detection check, and the bounded
+# simulation-throughput smoke bench with its regression gate.
 
 DUNE ?= dune
 
-.PHONY: all build test chaos check clean
+.PHONY: all build test chaos bench-smoke check clean
 
 all: build
 
@@ -21,7 +22,15 @@ test: build
 chaos: build
 	$(DUNE) exec bin/crush_cli.exe -- chaos --trials 2 --seed 1
 
-check: build test chaos
+# Bounded (<60s) perf smoke: every kernel x 2 seeds, serial vs
+# parallel campaign, written to BENCH_sim.json.  Refuses to overwrite
+# the baseline on a >20% serial cycles/sec regression; export
+# BENCH_ALLOW_REGRESSION=1 to accept a new, slower baseline on purpose
+# (e.g. after moving to different hardware).
+bench-smoke: build
+	$(DUNE) exec bench/main.exe -- smoke --jobs 4
+
+check: build test chaos bench-smoke
 
 clean:
 	$(DUNE) clean

@@ -2,7 +2,7 @@
    evaluation (Section 6) and measures the optimization-runtime claim
    with Bechamel.
 
-   Usage:  dune exec bench/main.exe [-- COMMAND]
+   Usage:  dune exec bench/main.exe [-- COMMAND] [--jobs N]
 
      table1   gesummv unrolled x75 vs the Kintex-7 device
      table2   Naive / In-order / CRUSH on the 11 benchmarks
@@ -14,12 +14,21 @@
      fig11    FF/DSP vs exec-time ratios on fast-token circuits
      opttime  Bechamel wall-clock benches of the two optimizers
      ablation credit allocation / priority / R3 / access-order studies
-     all      everything above (default)
+     smoke    perf-regression harness: serial vs parallel campaign wall
+              clock on the table-2 kernel set, written to BENCH_sim.json
+     all      everything above except smoke (default)
+
+   --jobs N fans the independent simulations of the tables (and the
+   smoke campaign) across N domains via Exec.Campaign; results are
+   bit-identical to serial runs whatever N is (default 1).
 
    The simulated tables reuse one measurement set per strategy; figures 7
    and 8 are derived from table 2, figure 11 from table 3. *)
 
 let speak fmt = Fmt.pr fmt
+
+(* Campaign width for the simulated tables; set by --jobs. *)
+let jobs = ref 1
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel runner for the optimization-time comparison                *)
@@ -83,7 +92,7 @@ let table2_rows () =
   match !cached_table2 with
   | Some rows -> rows
   | None ->
-      let rows = Report.Experiments.table2 () in
+      let rows = Report.Experiments.table2 ~jobs:!jobs () in
       cached_table2 := Some rows;
       rows
 
@@ -93,7 +102,7 @@ let table3_rows () =
   match !cached_table3 with
   | Some rows -> rows
   | None ->
-      let rows = Report.Experiments.table3 () in
+      let rows = Report.Experiments.table3 ~jobs:!jobs () in
       cached_table3 := Some rows;
       rows
 
@@ -104,7 +113,8 @@ let table1 () =
 let table2 () =
   speak "@.== Table 2: Naive vs In-order vs CRUSH (BB-ordered circuits) ==@.";
   speak "%a@." Report.Experiments.pp_table (table2_rows ());
-  speak "%a@." Report.Experiments.pp_opt_times (Report.Experiments.opt_times ())
+  speak "%a@." Report.Experiments.pp_opt_times
+    (Report.Experiments.opt_times ~jobs:!jobs ())
 
 let table3 () =
   speak "@.== Table 3: fast-token circuits, without and with CRUSH ==@.";
@@ -309,9 +319,155 @@ let ablation () =
   ablation_elide ()
 
 (* ------------------------------------------------------------------ *)
+(* smoke: the perf-regression harness                                  *)
+
+(* The fixed simulation campaign the trajectory is measured on: every
+   table-2 kernel, CRUSH-shared, two input seeds.  Each task compiles
+   its own circuit so tasks share no mutable state. *)
+let smoke_tasks () =
+  List.concat_map
+    (fun (b : Kernels.Registry.bench) -> [ (b, 42); (b, 43) ])
+    Kernels.Registry.all
+
+let smoke_run_one ((b : Kernels.Registry.bench), seed) =
+  let c = Minic.Codegen.compile_source b.Kernels.Registry.source in
+  ignore
+    (Crush.Share.crush c.Minic.Codegen.graph
+       ~critical_loops:c.Minic.Codegen.critical_loops);
+  let v = Kernels.Harness.run_circuit ~seed b c.Minic.Codegen.graph in
+  if not v.Kernels.Harness.functionally_correct then
+    failwith (Fmt.str "smoke: %s (seed %d) produced wrong results"
+                b.Kernels.Registry.name seed);
+  v.Kernels.Harness.cycles
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let bench_json = "BENCH_sim.json"
+
+(* Minimal field scraper for the previous BENCH_sim.json: find
+   ["key": <number>].  Hand-rolled so the regression gate needs no JSON
+   dependency. *)
+let previous_metric key =
+  if not (Sys.file_exists bench_json) then None
+  else begin
+    let ic = open_in bench_json in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    let needle = Fmt.str "\"%s\":" key in
+    let nlen = String.length needle in
+    let rec find i =
+      if i + nlen > String.length s then None
+      else if String.sub s i nlen = needle then Some (i + nlen)
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> None
+    | Some start ->
+        let stop = ref start in
+        while
+          !stop < String.length s
+          && (match s.[!stop] with
+             | ',' | '}' | '\n' -> false
+             | _ -> true)
+        do
+          incr stop
+        done;
+        float_of_string_opt (String.trim (String.sub s start (!stop - start)))
+  end
+
+(** Serial-vs-parallel campaign timing on a fixed kernel set, emitted as
+    BENCH_sim.json so later PRs have a performance trajectory.  Refuses
+    to overwrite a previous result with a >20% engine-throughput
+    (cycles/sec) regression unless BENCH_ALLOW_REGRESSION=1. *)
+let smoke () =
+  let n_jobs = max 1 !jobs in
+  let tasks = smoke_tasks () in
+  speak "== bench smoke: %d sims (table-2 kernels x 2 seeds), jobs=%d ==@."
+    (List.length tasks) n_jobs;
+  (* Single-sim engine throughput: the sequential-phase active-set
+     improvement shows up here, independent of parallel fan-out. *)
+  let single_task = (Kernels.Registry.find "syr2k", 42) in
+  let single_cycles, single_s = wall (fun () -> smoke_run_one single_task) in
+  let serial_cycles, serial_s =
+    wall (fun () -> Exec.Campaign.map ~jobs:1 smoke_run_one tasks)
+  in
+  let parallel_cycles, parallel_s =
+    wall (fun () -> Exec.Campaign.map ~jobs:n_jobs smoke_run_one tasks)
+  in
+  if serial_cycles <> parallel_cycles then
+    failwith "smoke: parallel campaign diverged from serial results";
+  let total_cycles = List.fold_left ( + ) 0 serial_cycles in
+  let speedup = serial_s /. Float.max 1e-9 parallel_s in
+  let serial_cps = float_of_int total_cycles /. Float.max 1e-9 serial_s in
+  let parallel_cps = float_of_int total_cycles /. Float.max 1e-9 parallel_s in
+  let single_cps = float_of_int single_cycles /. Float.max 1e-9 single_s in
+  speak "  serial:   %7.2f s  (%.0f cycles/sec)@." serial_s serial_cps;
+  speak "  parallel: %7.2f s  (%.0f cycles/sec, %.2fx speedup at jobs=%d)@."
+    parallel_s parallel_cps speedup n_jobs;
+  speak "  single-sim engine throughput: %.0f cycles/sec (syr2k)@." single_cps;
+  (* Regression gate on engine throughput: the serial number is the
+     stable one (parallel depends on machine load and core count). *)
+  (match previous_metric "serial_cycles_per_sec" with
+  | Some prev
+    when serial_cps < 0.8 *. prev
+         && Sys.getenv_opt "BENCH_ALLOW_REGRESSION" <> Some "1" ->
+      Fmt.epr
+        "smoke: cycles/sec regressed >20%% (%.0f -> %.0f); refusing to \
+         overwrite %s.  Set BENCH_ALLOW_REGRESSION=1 to accept.@."
+        prev serial_cps bench_json;
+      exit 1
+  | _ -> ());
+  let oc = open_out bench_json in
+  Printf.fprintf oc
+    "{\n\
+    \  \"campaign\": \"table2-kernels x 2 seeds, CRUSH-shared\",\n\
+    \  \"sims\": %d,\n\
+    \  \"jobs\": %d,\n\
+    \  \"total_cycles\": %d,\n\
+    \  \"serial_wall_s\": %.4f,\n\
+    \  \"parallel_wall_s\": %.4f,\n\
+    \  \"speedup\": %.3f,\n\
+    \  \"serial_cycles_per_sec\": %.1f,\n\
+    \  \"parallel_cycles_per_sec\": %.1f,\n\
+    \  \"single_sim_kernel\": \"syr2k\",\n\
+    \  \"single_sim_cycles\": %d,\n\
+    \  \"single_sim_wall_s\": %.4f,\n\
+    \  \"single_sim_cycles_per_sec\": %.1f\n\
+     }\n"
+    (List.length tasks) n_jobs total_cycles serial_s parallel_s speedup
+    serial_cps parallel_cps single_cycles single_s single_cps;
+  close_out oc;
+  speak "  wrote %s@." bench_json
+
+(* ------------------------------------------------------------------ *)
 
 let () =
-  let cmd = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (* COMMAND plus an optional [--jobs N] in any position. *)
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse cmd = function
+    | [] -> cmd
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> jobs := n
+        | _ ->
+            Fmt.epr "bad --jobs value %s@." n;
+            exit 2);
+        parse cmd rest
+    | "--jobs" :: [] ->
+        Fmt.epr "--jobs needs a value@.";
+        exit 2
+    | arg :: rest -> (
+        match cmd with
+        | None -> parse (Some arg) rest
+        | Some c ->
+            Fmt.epr "unexpected argument %s after command %s@." arg c;
+            exit 2)
+  in
+  let cmd = Option.value (parse None args) ~default:"all" in
   match cmd with
   | "table1" -> table1 ()
   | "table2" -> table2 ()
@@ -323,6 +479,7 @@ let () =
   | "fig11" -> fig11 ()
   | "opttime" -> run_bechamel ()
   | "ablation" -> ablation ()
+  | "smoke" -> smoke ()
   | "all" ->
       table1 ();
       table2 ();

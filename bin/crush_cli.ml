@@ -241,28 +241,63 @@ let report_arg =
           "Write the fault-injection forensics (text report and DOT \
            overlay FILE.dot) to $(docv).")
 
-(** Sweep one CRUSH-shared kernel across chaos seeds: every trial must
-    complete with outputs identical to the software reference.  Returns
-    the number of failed trials. *)
-let chaos_sweep_kernel ~trials ~seed (b : Kernels.Registry.bench) =
-  let c = Minic.Codegen.compile_source b.Kernels.Registry.source in
-  ignore
-    (Crush.Share.crush c.Minic.Codegen.graph
-       ~critical_loops:c.Minic.Codegen.critical_loops);
-  let g = c.Minic.Codegen.graph in
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Fan the (kernel, seed) trials across $(docv) domains.  Results \
+           and output order are bit-identical to a serial sweep.")
+
+(** Sweep every CRUSH-shared kernel across chaos seeds: every trial must
+    complete with outputs identical to the software reference.  The
+    (kernel, trial) grid fans out over [jobs] domains; each task compiles
+    and shares its own circuit, so tasks are fully independent, and
+    results come back in submission order — the report reads exactly
+    like a serial sweep.  Returns the number of failed trials. *)
+let chaos_sweep ~jobs ~trials ~seed benches =
+  let tasks =
+    List.concat_map
+      (fun (b : Kernels.Registry.bench) ->
+        List.init trials (fun i -> (b, seed + (7919 * i))))
+      benches
+  in
+  let verdicts =
+    Exec.Campaign.map ~jobs
+      (fun ((b : Kernels.Registry.bench), s) ->
+        let c = Minic.Codegen.compile_source b.Kernels.Registry.source in
+        ignore
+          (Crush.Share.crush c.Minic.Codegen.graph
+             ~critical_loops:c.Minic.Codegen.critical_loops);
+        let chaos = Sim.Chaos.default ~seed:s in
+        (s, Kernels.Harness.run_circuit ~chaos b c.Minic.Codegen.graph))
+      tasks
+  in
   let failures = ref 0 in
-  for i = 0 to trials - 1 do
-    let chaos = Sim.Chaos.default ~seed:(seed + (7919 * i)) in
-    let v = Kernels.Harness.run_circuit ~chaos b g in
-    if not v.Kernels.Harness.functionally_correct then begin
-      incr failures;
-      Fmt.pr "  FAIL seed %d: %a@." chaos.Sim.Chaos.seed
-        Kernels.Harness.pp_verdict v
-    end
-  done;
-  if !failures = 0 then
-    Fmt.pr "%-10s %d/%d chaos trials ok@." b.Kernels.Registry.name trials
-      trials;
+  List.iter
+    (fun (b : Kernels.Registry.bench) ->
+      let mine =
+        List.filter_map
+          (fun ((tb : Kernels.Registry.bench), r) ->
+            if tb.Kernels.Registry.name = b.Kernels.Registry.name then Some r
+            else None)
+          (List.combine (List.map fst tasks) verdicts)
+      in
+      let failed =
+        List.filter
+          (fun (_, v) -> not v.Kernels.Harness.functionally_correct)
+          mine
+      in
+      List.iter
+        (fun (s, v) ->
+          Fmt.pr "  FAIL seed %d: %a@." s Kernels.Harness.pp_verdict v)
+        failed;
+      if failed = [] then
+        Fmt.pr "%-10s %d/%d chaos trials ok@." b.Kernels.Registry.name trials
+          trials;
+      failures := !failures + List.length failed)
+    benches;
   !failures
 
 (** Inject each Eq. 1 violation and insist the harness detects the
@@ -316,7 +351,7 @@ let chaos_cmd =
      expecting unchanged results, then inject Eq. 1 violations expecting \
      detected deadlocks whose forensics blame the sharing wrapper."
   in
-  let run trials seed kernel report =
+  let run trials seed kernel report jobs =
     (match report with
     | Some path -> if Sys.file_exists path then Sys.remove path
     | None -> ());
@@ -325,11 +360,7 @@ let chaos_cmd =
       | Some k -> [ Kernels.Registry.find k ]
       | None -> Kernels.Registry.all
     in
-    let failures =
-      List.fold_left
-        (fun n b -> n + chaos_sweep_kernel ~trials ~seed b)
-        0 benches
-    in
+    let failures = chaos_sweep ~jobs ~trials ~seed benches in
     let misses = chaos_fault_check ~report () in
     if failures = 0 && misses = 0 then
       Fmt.pr "chaos: all %d kernels x %d trials ok, %d/%d faults detected@."
@@ -343,7 +374,8 @@ let chaos_cmd =
     end
   in
   Cmd.v (Cmd.info "chaos" ~doc)
-    Term.(const run $ trials_arg $ seed_arg $ kernel_arg $ report_arg)
+    Term.(
+      const run $ trials_arg $ seed_arg $ kernel_arg $ report_arg $ jobs_arg)
 
 let main =
   let doc = "CRUSH: credit-based functional-unit sharing for dataflow circuits" in

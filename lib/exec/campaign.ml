@@ -1,0 +1,51 @@
+(** Parallel simulation campaigns over a {!Pool} of domains.  See the
+    interface for the determinism contract. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let mapi ?(jobs = 1) f xs =
+  if jobs <= 1 then List.mapi f xs
+  else
+    let items = Array.of_list xs in
+    let n = Array.length items in
+    if n = 0 then []
+    else begin
+      let results = Array.make n None in
+      let tasks =
+        Array.init n (fun i () -> results.(i) <- Some (f i items.(i)))
+      in
+      (* A transient pool per batch: domain spawn is microseconds against
+         tasks that run whole simulations.  No more workers than tasks. *)
+      Pool.with_pool ~jobs:(min jobs n) (fun pool -> Pool.run_batch pool tasks);
+      Array.to_list
+        (Array.map
+           (function
+             | Some r -> r
+             | None ->
+                 (* Unreachable: run_batch re-raises any task failure. *)
+                 assert false)
+           results)
+    end
+
+let map ?jobs f xs = mapi ?jobs (fun _ x -> f x) xs
+
+let sweep ?jobs f xs ys =
+  let pairs = List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs in
+  map ?jobs (fun (x, y) -> (x, y, f x y)) pairs
+
+type sim_task = {
+  graph : Dataflow.Graph.t;
+  memory : Sim.Memory.t option;
+  chaos : Sim.Chaos.config option;
+  max_cycles : int option;
+}
+
+let sim_task ?memory ?chaos ?max_cycles graph =
+  { graph; memory; chaos; max_cycles }
+
+let run_sims ?jobs tasks =
+  map ?jobs
+    (fun { graph; memory; chaos; max_cycles } ->
+      let out = Sim.Engine.run ?max_cycles ?chaos ?memory graph in
+      out.Sim.Engine.stats)
+    tasks

@@ -1,0 +1,64 @@
+(** Parallel simulation campaigns.
+
+    Every evaluation artifact in this repository — the paper's tables and
+    figures, the ablations, the chaos sweeps — is a large pile of
+    mutually independent cycle-accurate simulations (kernel x strategy x
+    seed).  This module fans such piles out across cores on a
+    {!Pool} of OCaml 5 domains while keeping the results
+    indistinguishable from a serial run.
+
+    {2 Determinism contract}
+
+    Results are collected in {e submission order}: [map ~jobs f xs] is
+    observably [List.map f xs] whatever [jobs] is — same values, same
+    order, and on error the same (first) exception — provided [f] is
+    deterministic and self-contained.  Self-contained means each call
+    builds its own mutable state (graph, memory image, simulator): calls
+    must not share mutable structures with each other.  Everything in
+    this repository satisfies that by construction (compilation and
+    simulation have no global mutable state, and input generation is
+    seeded per task), which is what the determinism test suite enforces
+    end to end: tables, figures and chaos reports are bit-identical to
+    serial runs.
+
+    [~jobs:1] (the default) does not touch domains at all — it is plain
+    [List.map], so serial behaviour is trivially unchanged. *)
+
+(** A sensible parallel width for this machine:
+    [Domain.recommended_domain_count ()]. *)
+val default_jobs : unit -> int
+
+(** [map ~jobs f xs] applies [f] to every element, running up to [jobs]
+    calls concurrently, and returns the results in submission order.  If
+    one or more calls raise, the exception of the earliest-submitted
+    failing call is re-raised (after the whole batch has drained). *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [mapi] is {!map} with the submission index. *)
+val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+
+(** [sweep ~jobs f xs ys] evaluates the full cartesian product
+    [f x y], x-major ([xs] outer, [ys] inner), in parallel; returns
+    [(x, y, f x y)] triples in product order. *)
+val sweep : ?jobs:int -> ('a -> 'b -> 'c) -> 'a list -> 'b list -> ('a * 'b * 'c) list
+
+(** One independent simulation: a circuit plus its private memory image
+    and optional chaos seed.  The graph and memory must not be shared
+    with any other task. *)
+type sim_task = {
+  graph : Dataflow.Graph.t;
+  memory : Sim.Memory.t option;  (** default: zeroed from the graph *)
+  chaos : Sim.Chaos.config option;
+  max_cycles : int option;
+}
+
+val sim_task :
+  ?memory:Sim.Memory.t ->
+  ?chaos:Sim.Chaos.config ->
+  ?max_cycles:int ->
+  Dataflow.Graph.t ->
+  sim_task
+
+(** Simulate every task ({!Sim.Engine.run}) across [jobs] cores; stats
+    come back in submission order, bit-identical to a serial run. *)
+val run_sims : ?jobs:int -> sim_task list -> Sim.Engine.stats list

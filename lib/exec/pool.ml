@@ -1,0 +1,117 @@
+(** Fixed-size domain pool with a work-stealing-lite task queue.  See the
+    interface for the design contract. *)
+
+type task = unit -> unit
+
+type t = {
+  n : int;
+  queues : task Queue.t array;  (** one FIFO per worker *)
+  lock : Mutex.t;               (** guards queues, counters and flags *)
+  work : Condition.t;           (** signalled on submit and shutdown *)
+  mutable next : int;           (** round-robin submission pointer *)
+  mutable closing : bool;
+  mutable domains : unit Domain.t array;
+}
+
+(** Find work for worker [i]: its own queue first, then steal from the
+    siblings in rotation order.  Caller holds [t.lock]. *)
+let find_task t i =
+  let rec scan k =
+    if k >= t.n then None
+    else
+      let q = t.queues.((i + k) mod t.n) in
+      if Queue.is_empty q then scan (k + 1) else Some (Queue.take q)
+  in
+  scan 0
+
+let worker t i () =
+  Mutex.lock t.lock;
+  let rec loop () =
+    match find_task t i with
+    | Some task ->
+        Mutex.unlock t.lock;
+        task ();
+        Mutex.lock t.lock;
+        loop ()
+    | None ->
+        if t.closing then Mutex.unlock t.lock
+        else begin
+          Condition.wait t.work t.lock;
+          loop ()
+        end
+  in
+  loop ()
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg (Fmt.str "Pool.create: jobs %d < 1" jobs);
+  let t =
+    {
+      n = jobs;
+      queues = Array.init jobs (fun _ -> Queue.create ());
+      lock = Mutex.create ();
+      work = Condition.create ();
+      next = 0;
+      closing = false;
+      domains = [||];
+    }
+  in
+  t.domains <- Array.init jobs (fun i -> Domain.spawn (worker t i));
+  t
+
+let jobs t = t.n
+
+let submit t task =
+  Mutex.lock t.lock;
+  if t.closing then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.add task t.queues.(t.next);
+  t.next <- (t.next + 1) mod t.n;
+  Condition.signal t.work;
+  Mutex.unlock t.lock
+
+let run_batch t tasks =
+  let total = Array.length tasks in
+  if total > 0 then begin
+    let remaining = ref total in
+    (* Index of the lowest-numbered task that raised, with its exception:
+       deterministic error reporting whatever the interleaving. *)
+    let first_error = ref None in
+    let done_lock = Mutex.create () in
+    let done_cond = Condition.create () in
+    Array.iteri
+      (fun i task ->
+        submit t (fun () ->
+            let err = match task () with () -> None | exception e -> Some e in
+            Mutex.lock done_lock;
+            (match err with
+            | Some e -> (
+                match !first_error with
+                | Some (j, _) when j < i -> ()
+                | _ -> first_error := Some (i, e))
+            | None -> ());
+            decr remaining;
+            if !remaining = 0 then Condition.signal done_cond;
+            Mutex.unlock done_lock))
+      tasks;
+    Mutex.lock done_lock;
+    while !remaining > 0 do
+      Condition.wait done_cond done_lock
+    done;
+    let err = !first_error in
+    Mutex.unlock done_lock;
+    match err with Some (_, e) -> raise e | None -> ()
+  end
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.closing <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.lock;
+  Array.iter Domain.join t.domains;
+  t.domains <- [||]
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,40 @@
+(** Fixed-size domain pool with a work-stealing-lite task queue.
+
+    [create ~jobs] spawns [jobs] worker domains (OCaml 5 [Domain]s), each
+    owning one FIFO task queue.  Submission distributes tasks round-robin
+    across the queues; a worker drains its own queue first and, when
+    empty, steals from its siblings — enough stealing to keep every core
+    busy on the coarse-grained tasks this repository runs (whole
+    cycle-accurate simulations, milliseconds to seconds each) without a
+    lock-free deque's complexity.  All queues hang off one mutex/condvar
+    pair: at this task granularity the lock is uncontended.
+
+    Tasks must be self-contained: they must not share mutable state
+    (graphs, memories, simulator state) with other tasks or the
+    submitting domain.  The simulation layer guarantees this by building
+    one graph + memory image per task.
+
+    The pool is NOT itself thread-safe for concurrent [run_batch] calls
+    from different domains; one coordinator domain drives it. *)
+
+type t
+
+(** Spawn [jobs] worker domains ([jobs >= 1]).
+    @raise Invalid_argument when [jobs < 1]. *)
+val create : jobs:int -> t
+
+(** Number of worker domains. *)
+val jobs : t -> int
+
+(** Run every task to completion; returns when all have finished.
+    Tasks run in unspecified order and concurrently with each other.  If
+    any task raised, the exception of the lowest-indexed raising task is
+    re-raised after the whole batch has drained — deterministic
+    regardless of execution interleaving. *)
+val run_batch : t -> (unit -> unit) array -> unit
+
+(** Join all worker domains.  The pool must be idle; further use raises. *)
+val shutdown : t -> unit
+
+(** [with_pool ~jobs f] = create, run [f], always shutdown. *)
+val with_pool : jobs:int -> (t -> 'a) -> 'a

@@ -9,28 +9,30 @@ open Dataflow
 (* ------------------------------------------------------------------ *)
 (* Table 2: Naive vs In-order vs CRUSH on the 11 benchmarks            *)
 
-let table2 ?(benches = Kernels.Registry.all) () =
-  List.concat_map
-    (fun b ->
-      List.map
-        (fun t -> Measure.run t b)
-        [ Measure.Naive; Measure.In_order; Measure.Crush ])
-    benches
+(** Each measurement compiles its own circuit, so the (bench, technique)
+    grid is embarrassingly parallel; [Exec.Campaign.map] keeps row order
+    identical to the serial nested map. *)
+let table2 ?jobs ?(benches = Kernels.Registry.all) () =
+  Exec.Campaign.map ?jobs
+    (fun (b, t) -> Measure.run t b)
+    (List.concat_map
+       (fun b ->
+         List.map (fun t -> (b, t)) [ Measure.Naive; Measure.In_order; Measure.Crush ])
+       benches)
 
 (* ------------------------------------------------------------------ *)
 (* Table 3: fast-token circuits, without and with CRUSH                *)
 
-let table3 ?(benches = Kernels.Registry.all) () =
-  List.concat_map
-    (fun b ->
-      let fast t =
-        { (Measure.run ~strategy:Minic.Codegen.Fast_token t b) with
-          Measure.technique =
-            (match t with Measure.Naive -> "Fast tok" | _ -> "CRUSH");
-        }
-      in
-      [ fast Measure.Naive; fast Measure.Crush ])
-    benches
+let table3 ?jobs ?(benches = Kernels.Registry.all) () =
+  Exec.Campaign.map ?jobs
+    (fun (b, t) ->
+      { (Measure.run ~strategy:Minic.Codegen.Fast_token t b) with
+        Measure.technique =
+          (match t with Measure.Naive -> "Fast tok" | _ -> "CRUSH");
+      })
+    (List.concat_map
+       (fun b -> List.map (fun t -> (b, t)) [ Measure.Naive; Measure.Crush ])
+       benches)
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: unrolled gesummv vs the Kintex-7 device                    *)
@@ -222,8 +224,8 @@ type opt_time_row = {
   evaluations : int;
 }
 
-let opt_times ?(benches = Kernels.Registry.all) () =
-  List.map
+let opt_times ?jobs ?(benches = Kernels.Registry.all) () =
+  Exec.Campaign.map ?jobs
     (fun (b : Kernels.Registry.bench) ->
       let compile () = Minic.Codegen.compile_source b.Kernels.Registry.source in
       let c1 = compile () in

@@ -74,6 +74,13 @@ type t = {
   g : Graph.t;
   memory : Memory.t;
   live_units : int array;
+  step_units : int array;
+      (** the active set of the sequential phase: units whose internal
+          state can change between cycles (entries, exits, eager forks,
+          buffers, pipelines, credit counters, stateful arbiters).
+          Stateless units only react combinationally and never need
+          sequential stepping, so each cycle costs O(stateful units)
+          instead of O(all units). *)
   cvalid : bool array;
   cready : bool array;
   cdata : value array;
@@ -83,9 +90,22 @@ type t = {
   port_of : port option array;  (** per unit: the memory port it uses *)
   ports : port array;           (** all memory ports *)
   requesting : bool array;      (** per unit: requesting its port now *)
+  mutable n_fired : int;
+      (** channels currently asserting both valid and ready — maintained
+          incrementally on every handshake-signal flip so the per-cycle
+          transfer count is O(1) instead of a scan over all channels *)
+  n_exits : int;                (** number of Exit units in the graph *)
+  mutable n_exit_received : int;
+      (** tokens received by Exit units so far; completion checks compare
+          this counter against [n_exits] in O(1) instead of re-counting
+          [exit_values] on every quiescence probe *)
   mutable exit_values : value list;
   mutable transfers : int;
   chaos : Chaos.t option;
+  chaos_stall : bool;           (** sinks can stall (config + sinks exist) *)
+  chaos_jitter : bool;          (** ports are jittered (config + ports exist) *)
+  chaos_permute : bool;         (** arbiter tie-breaks are permuted
+                                    (config + priority arbiters exist) *)
   chaos_stalled : bool array;   (** per unit: sink/exit stalled this cycle *)
   chaos_sinks : int array;      (** uids of Exit and Sink units *)
   chaos_arbiters : int array;   (** uids of Priority arbiters *)
@@ -175,10 +195,30 @@ let create ?chaos ?memory g =
         | _ -> acc)
       []
   in
+  (* The active set of the sequential phase: every unit whose [step_unit]
+     can do work.  Exits are stateless in [unit_state] terms but record
+     arriving tokens, so they belong to the set too. *)
+  let step_units =
+    Graph.fold_units g
+      (fun acc u ->
+        let steps =
+          match u.Graph.kind with
+          | Exit -> true
+          | _ -> ( match state.(u.Graph.uid) with S_stateless -> false | _ -> true)
+        in
+        if steps then u.Graph.uid :: acc else acc)
+      []
+  in
+  let n_exits =
+    Graph.fold_units g (fun n u -> if u.Graph.kind = Exit then n + 1 else n) 0
+  in
+  let cfg = Option.map Chaos.config chaos in
+  let chaos_on f = match cfg with Some c -> f c | None -> false in
   {
     g;
     memory;
     live_units = Array.of_list (List.rev live);
+    step_units = Array.of_list (List.rev step_units);
     cvalid = Array.make (max 1 n_chan) false;
     cready = Array.make (max 1 n_chan) false;
     cdata = Array.make (max 1 n_chan) VUnit;
@@ -188,9 +228,17 @@ let create ?chaos ?memory g =
     port_of;
     ports = Array.of_list (List.rev !ports);
     requesting = Array.make (max 1 n_units) false;
+    n_fired = 0;
+    n_exits;
+    n_exit_received = 0;
     exit_values = [];
     transfers = 0;
     chaos;
+    chaos_stall =
+      chaos_on (fun c -> c.Chaos.stall_prob > 0.0) && chaos_sinks <> [];
+    chaos_jitter = chaos_on (fun c -> c.Chaos.jitter_ports) && !ports <> [];
+    chaos_permute =
+      chaos_on (fun c -> c.Chaos.permute_arbiters) && chaos_arbiters <> [];
     chaos_stalled = Array.make (max 1 n_units) false;
     chaos_sinks = Array.of_list (List.rev chaos_sinks);
     chaos_arbiters = Array.of_list (List.rev chaos_arbiters);
@@ -224,6 +272,8 @@ let drive_out t u p ~valid ~data =
     t.cvalid.(cid) <> valid || (valid && compare t.cdata.(cid) data <> 0)
   in
   if changed then begin
+    if t.cvalid.(cid) <> valid && t.cready.(cid) then
+      t.n_fired <- (if valid then t.n_fired + 1 else t.n_fired - 1);
     t.cvalid.(cid) <- valid;
     if valid then t.cdata.(cid) <- data;
     let c = Graph.channel_exn t.g cid in
@@ -234,6 +284,8 @@ let drive_out t u p ~valid ~data =
 let drive_ready t u p ready =
   let cid = in_cid t u p in
   if t.cready.(cid) <> ready then begin
+    if t.cvalid.(cid) then
+      t.n_fired <- (if ready then t.n_fired + 1 else t.n_fired - 1);
     t.cready.(cid) <- ready;
     let c = Graph.channel_exn t.g cid in
     enqueue t c.Graph.src.unit_id
@@ -500,7 +552,7 @@ let eval_unit t u =
     cycles, so only units whose sequential state changed — and whatever
     their signal changes reach — need re-evaluation).  Raises on
     oscillation. *)
-let settle t =
+let settle ~cycle t =
   let budget = ref (50 + (200 * Array.length t.live_units)) in
   let recent = Queue.create () in
   while not (Queue.is_empty t.queue) do
@@ -508,10 +560,12 @@ let settle t =
     if !budget < 0 then begin
       let names =
         Queue.fold (fun acc u -> Graph.label_of t.g u :: acc) [] recent
-        |> List.sort_uniq compare
+        |> List.sort_uniq String.compare
       in
       failwith
-        (Fmt.str "Engine: combinational signals do not settle (cycling: %a)"
+        (Fmt.str
+           "Engine: combinational signals do not settle at cycle %d (cycling: %a)"
+           cycle
            Fmt.(list ~sep:comma string)
            names)
     end;
@@ -543,6 +597,7 @@ let step_unit t u =
   | Exit, _ ->
       if in_fired t u 0 then begin
         t.exit_values <- in_data t u 0 :: t.exit_values;
+        t.n_exit_received <- t.n_exit_received + 1;
         true
       end
       else false
@@ -660,16 +715,20 @@ let step_unit t u =
 (* ------------------------------------------------------------------ *)
 (* Top-level run loop                                                  *)
 
+(** Tokens moving this cycle.  Without an observer this is the
+    incrementally maintained [n_fired] counter (O(1)); the full channel
+    scan only runs when an observer needs every fired channel. *)
 let count_transfers ?observer ~cycle t =
-  let n = ref 0 in
-  Graph.iter_channels t.g (fun c ->
-      if fired t c.Graph.id then begin
-        incr n;
-        match observer with
-        | Some f -> f cycle c (t.cdata.(c.Graph.id))
-        | None -> ()
-      end);
-  !n
+  match observer with
+  | None -> t.n_fired
+  | Some f ->
+      let n = ref 0 in
+      Graph.iter_channels t.g (fun c ->
+          if fired t c.Graph.id then begin
+            incr n;
+            f cycle c t.cdata.(c.Graph.id)
+          end);
+      !n
 
 (** Channels currently presenting a token that the consumer refuses:
     diagnostic for deadlock reports. *)
@@ -702,29 +761,34 @@ let chaos_prologue t ch ~cycle ~quiet =
     quiet := 0
   end;
   Chaos.begin_cycle ch ~cycle;
-  Array.iter
-    (fun u ->
-      let s = (not t.chaos_suspended) && Chaos.stalled ch ~uid:u in
-      if s <> t.chaos_stalled.(u) then begin
-        t.chaos_stalled.(u) <- s;
-        enqueue t u
-      end)
-    t.chaos_sinks;
-  Array.iter
-    (fun p ->
-      let off =
-        if t.chaos_suspended then 0
-        else Chaos.port_offset ch ~port:p.pid ~width:(Array.length p.group)
-      in
-      if off <> p.joff then begin
-        p.joff <- off;
-        Array.iter (fun u -> enqueue t u) p.group
-      end)
-    t.ports;
+  (* Each perturbation family is gated by a flag precomputed at [create]
+     (config bit && the relevant units exist), so a run whose config
+     disables a family — or a graph without sinks/ports/arbiters — pays
+     nothing for it per cycle. *)
+  if t.chaos_stall then
+    Array.iter
+      (fun u ->
+        let s = (not t.chaos_suspended) && Chaos.stalled ch ~uid:u in
+        if s <> t.chaos_stalled.(u) then begin
+          t.chaos_stalled.(u) <- s;
+          enqueue t u
+        end)
+      t.chaos_sinks;
+  if t.chaos_jitter then
+    Array.iter
+      (fun p ->
+        let off =
+          if t.chaos_suspended then 0
+          else Chaos.port_offset ch ~port:p.pid ~width:(Array.length p.group)
+        in
+        if off <> p.joff then begin
+          p.joff <- off;
+          Array.iter (fun u -> enqueue t u) p.group
+        end)
+      t.ports;
   (* The tie-break permutation is a fresh function of the cycle, so
      every priority arbiter must be re-evaluated every cycle. *)
-  if (Chaos.config ch).Chaos.permute_arbiters then
-    Array.iter (fun u -> enqueue t u) t.chaos_arbiters
+  if t.chaos_permute then Array.iter (fun u -> enqueue t u) t.chaos_arbiters
 
 (** Simulate until quiescence or [max_cycles].  Completion means every
     Exit unit received at least one token before the circuit went quiet;
@@ -733,11 +797,6 @@ let chaos_prologue t ch ~cycle ~quiet =
     produce the same exit values and still complete under any seed. *)
 let run ?(max_cycles = 2_000_000) ?observer ?chaos ?memory g =
   let t = create ?chaos ?memory g in
-  let n_exits =
-    Graph.fold_units g
-      (fun n u -> if u.Graph.kind = Exit then n + 1 else n)
-      0
-  in
   let cycle = ref 0 in
   let quiet = ref 0 in
   let last_event = ref (-1) in
@@ -749,17 +808,19 @@ let run ?(max_cycles = 2_000_000) ?observer ?chaos ?memory g =
       (match t.chaos with
       | Some ch -> chaos_prologue t ch ~cycle:!cycle ~quiet
       | None -> ());
-      settle t;
+      settle ~cycle:!cycle t;
       let moved_tokens = count_transfers ?observer ~cycle:!cycle t in
       t.transfers <- t.transfers + moved_tokens;
       let state_changed = ref false in
+      (* Only the active set: stateless units have no sequential state to
+         advance, so the per-cycle cost is O(stateful units). *)
       Array.iter
         (fun u ->
           if step_unit t u then begin
             state_changed := true;
             enqueue t u
           end)
-        t.live_units;
+        t.step_units;
       if moved_tokens > 0 || !state_changed then begin
         quiet := 0;
         last_event := !cycle;
@@ -768,7 +829,7 @@ let run ?(max_cycles = 2_000_000) ?observer ?chaos ?memory g =
       end
       else incr quiet;
       if !quiet >= 2 && (t.chaos = None || t.chaos_suspended) then begin
-        let done_ = List.length t.exit_values >= n_exits && n_exits > 0 in
+        let done_ = t.n_exit_received >= t.n_exits && t.n_exits > 0 in
         finished :=
           Some (if done_ then Completed !last_event else Deadlock !cycle)
       end;

@@ -12,4 +12,5 @@ let () =
       ("extensions", Test_extensions.suite);
       ("properties", Test_properties.suite);
       ("robustness", Test_robustness.suite);
+      ("exec", Test_exec.suite);
     ]

@@ -1,0 +1,258 @@
+(** Tests for the parallel simulation-campaign subsystem (lib/exec) and
+    the active-set engine hot path.
+
+    The two contracts under test:
+
+    - {b determinism}: [Campaign.map ~jobs:N] is observably [List.map]
+      for any [N] — same values, same order, same (first) exception.
+      The flagship suite runs every registry kernel under three chaos
+      seeds at jobs 1 and jobs 4 and insists the full [Engine.stats]
+      records (status, cycles, transfers, exit values) are structurally
+      identical;
+
+    - {b engine equivalence}: the active-set sequential phase and the
+      O(1) transfer/quiescence counters must not change simulated
+      behaviour, pinned by exact pre-change cycle/transfer counts on the
+      paper's motivating examples. *)
+
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Pool + Campaign unit tests                                          *)
+
+let test_map_matches_serial () =
+  let xs = List.init 100 Fun.id in
+  let f x = (x * x) + 1 in
+  check
+    Alcotest.(list int)
+    "jobs=4 = serial" (List.map f xs)
+    (Exec.Campaign.map ~jobs:4 f xs);
+  check
+    Alcotest.(list int)
+    "jobs=1 = serial" (List.map f xs)
+    (Exec.Campaign.map ~jobs:1 f xs)
+
+let test_mapi_indices () =
+  let xs = [ "a"; "b"; "c"; "d"; "e"; "f" ] in
+  let f i x = Fmt.str "%d:%s" i x in
+  check
+    Alcotest.(list string)
+    "indices in submission order" (List.mapi f xs)
+    (Exec.Campaign.mapi ~jobs:3 f xs)
+
+let test_map_empty_and_singleton () =
+  check Alcotest.(list int) "empty" [] (Exec.Campaign.map ~jobs:4 succ []);
+  check Alcotest.(list int) "singleton" [ 8 ] (Exec.Campaign.map ~jobs:4 succ [ 7 ])
+
+let test_more_jobs_than_tasks () =
+  (* The pool must clamp worker count to the batch size and not wedge. *)
+  check
+    Alcotest.(list int)
+    "jobs=16 over 3 tasks" [ 2; 3; 4 ]
+    (Exec.Campaign.map ~jobs:16 succ [ 1; 2; 3 ])
+
+exception Boom of int
+
+let test_first_exception_wins () =
+  (* Two tasks raise; the earliest-submitted exception must surface,
+     regardless of which worker finished first. *)
+  let f x = if x >= 7 then raise (Boom x) else x in
+  List.iter
+    (fun jobs ->
+      match Exec.Campaign.map ~jobs f [ 1; 5; 7; 2; 9; 3 ] with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom n ->
+          checki (Fmt.str "first error at jobs=%d" jobs) 7 n)
+    [ 1; 4 ]
+
+let test_sweep_product_order () =
+  let got = Exec.Campaign.sweep ~jobs:3 (fun x y -> x ^ y) [ "a"; "b" ] [ "x"; "y" ] in
+  check
+    Alcotest.(list (triple string string string))
+    "x-major product order"
+    [ ("a", "x", "ax"); ("a", "y", "ay"); ("b", "x", "bx"); ("b", "y", "by") ]
+    got
+
+let test_pool_reuse () =
+  (* One pool across several batches; batches must not interfere. *)
+  Exec.Pool.with_pool ~jobs:3 (fun pool ->
+      for round = 1 to 5 do
+        let n = 10 * round in
+        let acc = Array.make n 0 in
+        Exec.Pool.run_batch pool
+          (Array.init n (fun i () -> acc.(i) <- i * round));
+        checki
+          (Fmt.str "round %d sum" round)
+          (round * n * (n - 1) / 2)
+          (Array.fold_left ( + ) 0 acc)
+      done)
+
+let test_run_sims_matches_serial () =
+  (* The sim-task front door: same circuits, serial vs parallel. *)
+  let mk () =
+    let b = Crush.Paper_examples.fig1 () in
+    Exec.Campaign.sim_task
+      (Crush.Paper_examples.share_pair b ~ops:[ b.Crush.Paper_examples.m2; b.Crush.Paper_examples.m3 ] `Credits)
+  in
+  let tasks () = [ mk (); mk (); mk (); mk () ] in
+  let serial = Exec.Campaign.run_sims ~jobs:1 (tasks ()) in
+  let parallel = Exec.Campaign.run_sims ~jobs:4 (tasks ()) in
+  checkb "run_sims deterministic" (serial = parallel);
+  checki "all four completed" 4
+    (List.length
+       (List.filter
+          (fun (s : Sim.Engine.stats) ->
+            match s.Sim.Engine.status with
+            | Sim.Engine.Completed _ -> true
+            | _ -> false)
+          serial))
+
+(* ------------------------------------------------------------------ *)
+(* Campaign determinism on the real kernels, under chaos               *)
+
+(** Every registry kernel x 3 chaos seeds, CRUSH-shared, simulated at
+    jobs=1 and jobs=4: the full stats records must be structurally
+    identical (status, cycles, transfers, exit values).  Each task
+    compiles and shares its own circuit and builds its own memory image,
+    so tasks share no mutable state — the contract Campaign documents. *)
+let test_campaign_determinism () =
+  let seeds = [ 42; 1009; 31337 ] in
+  let tasks =
+    List.concat_map
+      (fun (b : Kernels.Registry.bench) ->
+        List.map (fun s -> (b, s)) seeds)
+      Kernels.Registry.all
+  in
+  let run_one ((b : Kernels.Registry.bench), seed) =
+    let c = Minic.Codegen.compile_source b.Kernels.Registry.source in
+    ignore
+      (Crush.Share.crush c.Minic.Codegen.graph
+         ~critical_loops:c.Minic.Codegen.critical_loops);
+    let inputs = Kernels.Registry.fresh_inputs b in
+    let memory = Sim.Memory.of_graph c.Minic.Codegen.graph in
+    Hashtbl.iter (fun n d -> Sim.Memory.set_floats memory n d) inputs;
+    let out =
+      Sim.Engine.run ~chaos:(Sim.Chaos.default ~seed) ~memory
+        c.Minic.Codegen.graph
+    in
+    out.Sim.Engine.stats
+  in
+  let serial = Exec.Campaign.map ~jobs:1 run_one tasks in
+  let parallel = Exec.Campaign.map ~jobs:4 run_one tasks in
+  checki "one stats record per task" (List.length tasks) (List.length serial);
+  List.iteri
+    (fun i (((b : Kernels.Registry.bench), seed), (s, p)) ->
+      checkb
+        (Fmt.str "%s seed %d (task %d): parallel stats = serial stats"
+           b.Kernels.Registry.name seed i)
+        (s = p))
+    (List.combine tasks (List.combine serial parallel));
+  List.iter2
+    (fun ((b : Kernels.Registry.bench), seed) (s : Sim.Engine.stats) ->
+      match s.Sim.Engine.status with
+      | Sim.Engine.Completed _ -> ()
+      | st ->
+          Alcotest.failf "%s seed %d did not complete: %a"
+            b.Kernels.Registry.name seed Sim.Engine.pp_status st)
+    tasks serial
+
+(* ------------------------------------------------------------------ *)
+(* Active-set engine: exact pre-change behaviour on the paper examples *)
+
+(** Cycle, transfer and exit counts recorded on the engine before the
+    active-set sequential phase and the O(1) transfer/exit counters were
+    introduced; the overhaul must be cycle-accurate to the old full-scan
+    engine. *)
+let test_active_set_engine_pins () =
+  let open Crush.Paper_examples in
+  (* Figure 1a, unshared. *)
+  let st, cyc, ok = run_and_check (fig1 ()) in
+  checkb "fig1a completes" (match st with Sim.Engine.Completed _ -> true | _ -> false);
+  checki "fig1a cycles" 155 cyc;
+  checkb "fig1a memory correct" ok;
+  let pin name mk want_status ~cycles:want_cycles ~transfers:want_transfers
+      ~exits:want_exits =
+    let out = Sim.Engine.run (mk ()) in
+    let s = out.Sim.Engine.stats in
+    checkb (name ^ " status")
+      (match (s.Sim.Engine.status, want_status) with
+      | Sim.Engine.Completed _, `Completed -> true
+      | Sim.Engine.Deadlock _, `Deadlock -> true
+      | _ -> false);
+    checki (name ^ " cycles") want_cycles s.Sim.Engine.cycles;
+    checki (name ^ " transfers") want_transfers s.Sim.Engine.transfers;
+    checki (name ^ " exits") want_exits
+      (List.length s.Sim.Engine.exit_values)
+  in
+  pin "fig1c credit sharing"
+    (fun () ->
+      let b = fig1 () in
+      share_pair b ~ops:[ b.m2; b.m3 ] `Credits)
+    `Completed ~cycles:176 ~transfers:4387 ~exits:1;
+  pin "fig1e priority sharing"
+    (fun () ->
+      let b = fig1 () in
+      share_pair b ~ops:[ b.m3; b.m1 ] (`Priority [ 0; 1 ]))
+    `Completed ~cycles:172 ~transfers:4387 ~exits:1;
+  pin "fig1d rotation deadlock"
+    (fun () ->
+      let b = fig1 () in
+      share_pair b ~ops:[ b.m3; b.m1 ] (`Rotation [ 0; 1 ]))
+    `Deadlock ~cycles:5 ~transfers:38 ~exits:0;
+  pin "fig2a total order"
+    (fun () ->
+      let b = fig1 () in
+      share_pair b ~ops:[ b.m1; b.m3 ] (`Rotation [ 0; 1 ]))
+    `Completed ~cycles:260 ~transfers:4387 ~exits:1;
+  let st, cyc = run (fig5 ()) in
+  checkb "fig5 completes" (match st with Sim.Engine.Completed _ -> true | _ -> false);
+  checki "fig5 cycles" 193 cyc
+
+(** The observer path still sees every fired channel (it bypasses the
+    O(1) transfer counter), and both paths agree on the total. *)
+let test_observer_counts_match () =
+  let open Crush.Paper_examples in
+  let mk () =
+    let b = fig1 () in
+    share_pair b ~ops:[ b.m2; b.m3 ] `Credits
+  in
+  let seen = ref 0 in
+  let observed = Sim.Engine.run ~observer:(fun _ _ _ -> incr seen) (mk ()) in
+  let plain = Sim.Engine.run (mk ()) in
+  checki "observer fires = transfer count" observed.Sim.Engine.stats.Sim.Engine.transfers !seen;
+  checki "observer does not change totals" plain.Sim.Engine.stats.Sim.Engine.transfers
+    observed.Sim.Engine.stats.Sim.Engine.transfers
+
+(** An atax end-to-end pin: compile, CRUSH-share, simulate, verify —
+    exact cycle count from the pre-overhaul engine. *)
+let test_kernel_cycle_pin () =
+  let b = Kernels.Registry.find "atax" in
+  let c = Minic.Codegen.compile_source b.Kernels.Registry.source in
+  ignore
+    (Crush.Share.crush c.Minic.Codegen.graph
+       ~critical_loops:c.Minic.Codegen.critical_loops);
+  let v = Kernels.Harness.run_circuit b c.Minic.Codegen.graph in
+  checkb "atax correct" v.Kernels.Harness.functionally_correct;
+  checki "atax cycles" 4864 v.Kernels.Harness.cycles
+
+let suite =
+  [
+    Alcotest.test_case "campaign: map = serial map" `Quick test_map_matches_serial;
+    Alcotest.test_case "campaign: mapi indices" `Quick test_mapi_indices;
+    Alcotest.test_case "campaign: empty/singleton" `Quick test_map_empty_and_singleton;
+    Alcotest.test_case "campaign: jobs > tasks" `Quick test_more_jobs_than_tasks;
+    Alcotest.test_case "campaign: first exception wins" `Quick
+      test_first_exception_wins;
+    Alcotest.test_case "campaign: sweep product order" `Quick
+      test_sweep_product_order;
+    Alcotest.test_case "pool: reuse across batches" `Quick test_pool_reuse;
+    Alcotest.test_case "campaign: run_sims deterministic" `Quick
+      test_run_sims_matches_serial;
+    Alcotest.test_case "campaign: kernel x chaos-seed determinism" `Slow
+      test_campaign_determinism;
+    Alcotest.test_case "engine: active-set pins on paper examples" `Quick
+      test_active_set_engine_pins;
+    Alcotest.test_case "engine: observer path counts agree" `Quick
+      test_observer_counts_match;
+    Alcotest.test_case "engine: atax cycle pin" `Quick test_kernel_cycle_pin;
+  ]
