@@ -5,7 +5,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test chaos bench-smoke check clean
+.PHONY: all build test chaos chaos-supervised bench-smoke check clean
 
 all: build
 
@@ -22,6 +22,15 @@ test: build
 chaos: build
 	$(DUNE) exec bin/crush_cli.exe -- chaos --trials 2 --seed 1
 
+# Supervised sweep with the three Eq. 1 faults injected as tasks: each
+# must classify as a deadlock in the failure taxonomy (not a crash or
+# timeout) and the command must exit 0 — one misclassified fault or
+# failed trial is a hard failure.  Exercises the --keep-going paths
+# (taxonomy, summary table, per-class exit codes) end to end.
+chaos-supervised: build
+	$(DUNE) exec bin/crush_cli.exe -- chaos --keep-going --inject-faults \
+	  --trials 2 --seed 1 --kernel atax --jobs 2
+
 # Bounded (<60s) perf smoke: every kernel x 2 seeds, serial vs
 # parallel campaign, written to BENCH_sim.json.  Refuses to overwrite
 # the baseline on a >20% serial cycles/sec regression; export
@@ -30,7 +39,7 @@ chaos: build
 bench-smoke: build
 	$(DUNE) exec bench/main.exe -- smoke --jobs 4
 
-check: build test chaos bench-smoke
+check: build test chaos chaos-supervised bench-smoke
 
 clean:
 	$(DUNE) clean

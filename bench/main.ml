@@ -22,6 +22,16 @@
    smoke campaign) across N domains via Exec.Campaign; results are
    bit-identical to serial runs whatever N is (default 1).
 
+   Supervision flags (any of them switches the simulated tables to the
+   supervised campaign API, where each cell resolves to a classified
+   outcome instead of aborting the whole table):
+
+     --keep-going       continue through failed cells; exit at the end
+                        with the most severe class code (10..15)
+     --timeout-s S      per-cell wall-clock watchdog -> "timeout" class
+     --retries N        retry transient failures (timeout/crash) N times
+     --journal FILE     JSONL checkpoint; reruns skip recorded cells
+
    The simulated tables reuse one measurement set per strategy; figures 7
    and 8 are derived from table 2, figure 11 from table 3. *)
 
@@ -29,6 +39,43 @@ let speak fmt = Fmt.pr fmt
 
 (* Campaign width for the simulated tables; set by --jobs. *)
 let jobs = ref 1
+
+(* Supervision knobs; see the header comment. *)
+let keep_going = ref false
+let timeout_s = ref None
+let retries = ref 0
+let journal = ref None
+
+let supervised () =
+  !keep_going || !timeout_s <> None || !retries > 0 || !journal <> None
+
+let supervision () =
+  Exec.Campaign.supervision ?timeout_s:!timeout_s ~retries:!retries
+    ?journal:!journal ()
+
+(* Most severe failure class seen across all supervised tables; the
+   process exits with its code once every requested artifact ran. *)
+let worst_exit = ref 0
+
+(* Print failed cells, fold their severity into [worst_exit]; without
+   --keep-going a failed table aborts the run immediately. *)
+let report_failures what outcomes =
+  let failed = List.filter (fun (_, o) -> not (Exec.Outcome.is_ok o)) outcomes in
+  if failed <> [] then begin
+    List.iter
+      (fun (k, o) -> speak "  FAIL %-28s %a@." k (Exec.Outcome.pp Fmt.nop) o)
+      failed;
+    let summary = Exec.Outcome.summarize (List.map snd outcomes) in
+    speak "%s: %a@." what Exec.Outcome.pp_summary summary;
+    let code = Exec.Outcome.summary_exit_code summary in
+    worst_exit := max !worst_exit code;
+    if not !keep_going then begin
+      speak "%s: aborting (use --keep-going to continue past failed cells)@."
+        what;
+      exit code
+    end
+  end;
+  List.length failed
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel runner for the optimization-time comparison                *)
@@ -86,51 +133,124 @@ let run_bechamel () =
 (* ------------------------------------------------------------------ *)
 (* Printed tables and figures                                          *)
 
+(* Each cache holds (ok rows, failed-cell count): the trade-off figures
+   derive ratios from a table and are skipped when it is incomplete. *)
 let cached_table2 = ref None
 
-let table2_rows () =
+let table2_rows_checked () =
   match !cached_table2 with
-  | Some rows -> rows
+  | Some r -> r
   | None ->
-      let rows = Report.Experiments.table2 ~jobs:!jobs () in
-      cached_table2 := Some rows;
-      rows
+      let r =
+        if supervised () then begin
+          let res =
+            Report.Experiments.table2_outcomes ~jobs:!jobs ~sup:(supervision ())
+              ()
+          in
+          let keyed =
+            List.map
+              (fun (t, o) -> (Report.Experiments.table_key "table2" t, o))
+              res
+          in
+          let failed = report_failures "table2" keyed in
+          ( List.filter_map
+              (fun (_, o) ->
+                match o with Exec.Outcome.Ok row -> Some row | _ -> None)
+              res,
+            failed )
+        end
+        else (Report.Experiments.table2 ~jobs:!jobs (), 0)
+      in
+      cached_table2 := Some r;
+      r
+
+let table2_rows () = fst (table2_rows_checked ())
 
 let cached_table3 = ref None
 
-let table3_rows () =
+let table3_rows_checked () =
   match !cached_table3 with
-  | Some rows -> rows
+  | Some r -> r
   | None ->
-      let rows = Report.Experiments.table3 ~jobs:!jobs () in
-      cached_table3 := Some rows;
-      rows
+      let r =
+        if supervised () then begin
+          let res =
+            Report.Experiments.table3_outcomes ~jobs:!jobs ~sup:(supervision ())
+              ()
+          in
+          let keyed =
+            List.map
+              (fun (t, o) -> (Report.Experiments.table_key "table3" t, o))
+              res
+          in
+          let failed = report_failures "table3" keyed in
+          ( List.filter_map
+              (fun (_, o) ->
+                match o with Exec.Outcome.Ok row -> Some row | _ -> None)
+              res,
+            failed )
+        end
+        else (Report.Experiments.table3 ~jobs:!jobs (), 0)
+      in
+      cached_table3 := Some r;
+      r
+
+let table3_rows () = fst (table3_rows_checked ())
 
 let table1 () =
   speak "@.== Table 1: gesummv unrolled x75 on Kintex-7 xc7k160t ==@.";
   speak "%a@." Report.Experiments.pp_table1 (Report.Experiments.table1 ())
 
+let opt_times_rows () =
+  if supervised () then begin
+    let res =
+      Report.Experiments.opt_times_outcomes ~jobs:!jobs ~sup:(supervision ()) ()
+    in
+    let keyed =
+      List.map
+        (fun ((b : Kernels.Registry.bench), o) ->
+          (Fmt.str "opttime:%s" b.Kernels.Registry.name, o))
+        res
+    in
+    ignore (report_failures "opttime" keyed);
+    List.filter_map
+      (fun (_, o) -> match o with Exec.Outcome.Ok row -> Some row | _ -> None)
+      res
+  end
+  else Report.Experiments.opt_times ~jobs:!jobs ()
+
 let table2 () =
   speak "@.== Table 2: Naive vs In-order vs CRUSH (BB-ordered circuits) ==@.";
   speak "%a@." Report.Experiments.pp_table (table2_rows ());
-  speak "%a@." Report.Experiments.pp_opt_times
-    (Report.Experiments.opt_times ~jobs:!jobs ())
+  speak "%a@." Report.Experiments.pp_opt_times (opt_times_rows ())
 
 let table3 () =
   speak "@.== Table 3: fast-token circuits, without and with CRUSH ==@.";
   speak "%a@." Report.Experiments.pp_table (table3_rows ())
 
+(* The ratio figures need every (bench, technique) cell of their source
+   table; under --keep-going a failed cell leaves the table incomplete,
+   so the derived figure is skipped rather than crashing on a hole. *)
+let with_complete_table what rows_checked k =
+  let rows, failed = rows_checked () in
+  if failed = 0 then k rows
+  else speak "  (skipped: %s is missing %d cell(s))@." what failed
+
 let fig7 () =
   speak "@.== Figure 7: CRUSH vs Naive trade-off ==@.";
-  let pts = Report.Experiments.tradeoff (table2_rows ()) ~num:"CRUSH" ~den:"Naive" in
-  speak "%a@." (Report.Experiments.pp_tradeoff ~title:"ratios (CRUSH / Naive)") pts
+  with_complete_table "table 2" table2_rows_checked (fun rows ->
+      let pts = Report.Experiments.tradeoff rows ~num:"CRUSH" ~den:"Naive" in
+      speak "%a@."
+        (Report.Experiments.pp_tradeoff ~title:"ratios (CRUSH / Naive)")
+        pts)
 
 let fig8 () =
   speak "@.== Figure 8: CRUSH vs In-order trade-off ==@.";
-  let pts =
-    Report.Experiments.tradeoff (table2_rows ()) ~num:"CRUSH" ~den:"In-order"
-  in
-  speak "%a@." (Report.Experiments.pp_tradeoff ~title:"ratios (CRUSH / In-order)") pts
+  with_complete_table "table 2" table2_rows_checked (fun rows ->
+      let pts = Report.Experiments.tradeoff rows ~num:"CRUSH" ~den:"In-order" in
+      speak "%a@."
+        (Report.Experiments.pp_tradeoff ~title:"ratios (CRUSH / In-order)")
+        pts)
 
 let fig9 () =
   speak "@.== Figure 9: shared-fadd cost ratio vs group size ==@.";
@@ -155,12 +275,11 @@ let fig10 () =
 
 let fig11 () =
   speak "@.== Figure 11: CRUSH vs fast-token trade-off ==@.";
-  let pts =
-    Report.Experiments.tradeoff (table3_rows ()) ~num:"CRUSH" ~den:"Fast tok"
-  in
-  speak "%a@."
-    (Report.Experiments.pp_tradeoff ~title:"ratios (CRUSH / Fast token)")
-    pts
+  with_complete_table "table 3" table3_rows_checked (fun rows ->
+      let pts = Report.Experiments.tradeoff rows ~num:"CRUSH" ~den:"Fast tok" in
+      speak "%a@."
+        (Report.Experiments.pp_tradeoff ~title:"ratios (CRUSH / Fast token)")
+        pts)
 
 (* ------------------------------------------------------------------ *)
 (* Ablations of the design choices DESIGN.md calls out                 *)
@@ -415,15 +534,19 @@ let smoke () =
   | Some prev
     when serial_cps < 0.8 *. prev
          && Sys.getenv_opt "BENCH_ALLOW_REGRESSION" <> Some "1" ->
+      (* One actionable line: the offending ratio, both numbers, and the
+         exact escape hatch. *)
       Fmt.epr
-        "smoke: cycles/sec regressed >20%% (%.0f -> %.0f); refusing to \
-         overwrite %s.  Set BENCH_ALLOW_REGRESSION=1 to accept.@."
-        prev serial_cps bench_json;
+        "smoke: REFUSED: serial throughput is %.2fx of the stored baseline \
+         (%.0f -> %.0f cycles/sec; gate is 0.80x) — rerun with \
+         BENCH_ALLOW_REGRESSION=1 to accept the slower baseline into %s@."
+        (serial_cps /. prev) prev serial_cps bench_json;
       exit 1
   | _ -> ());
   let oc = open_out bench_json in
   Printf.fprintf oc
     "{\n\
+    \  \"schema_version\": %d,\n\
     \  \"campaign\": \"table2-kernels x 2 seeds, CRUSH-shared\",\n\
     \  \"sims\": %d,\n\
     \  \"jobs\": %d,\n\
@@ -438,28 +561,57 @@ let smoke () =
     \  \"single_sim_wall_s\": %.4f,\n\
     \  \"single_sim_cycles_per_sec\": %.1f\n\
      }\n"
-    (List.length tasks) n_jobs total_cycles serial_s parallel_s speedup
-    serial_cps parallel_cps single_cycles single_s single_cps;
+    Exec.Journal.schema_version (List.length tasks) n_jobs total_cycles
+    serial_s parallel_s speedup serial_cps parallel_cps single_cycles single_s
+    single_cps;
   close_out oc;
   speak "  wrote %s@." bench_json
 
 (* ------------------------------------------------------------------ *)
 
 let () =
-  (* COMMAND plus an optional [--jobs N] in any position. *)
+  Printexc.record_backtrace true;
+  (* COMMAND plus options in any position. *)
   let args = List.tl (Array.to_list Sys.argv) in
+  let needs_value flag = function
+    | [] ->
+        Fmt.epr "%s needs a value@." flag;
+        exit 2
+    | v :: rest -> (v, rest)
+  in
   let rec parse cmd = function
     | [] -> cmd
-    | "--jobs" :: n :: rest ->
-        (match int_of_string_opt n with
+    | "--jobs" :: rest ->
+        let v, rest = needs_value "--jobs" rest in
+        (match int_of_string_opt v with
         | Some n when n >= 1 -> jobs := n
         | _ ->
-            Fmt.epr "bad --jobs value %s@." n;
+            Fmt.epr "bad --jobs value %s@." v;
             exit 2);
         parse cmd rest
-    | "--jobs" :: [] ->
-        Fmt.epr "--jobs needs a value@.";
-        exit 2
+    | "--timeout-s" :: rest ->
+        let v, rest = needs_value "--timeout-s" rest in
+        (match float_of_string_opt v with
+        | Some s when s >= 0.0 -> timeout_s := Some s
+        | _ ->
+            Fmt.epr "bad --timeout-s value %s@." v;
+            exit 2);
+        parse cmd rest
+    | "--retries" :: rest ->
+        let v, rest = needs_value "--retries" rest in
+        (match int_of_string_opt v with
+        | Some n when n >= 0 -> retries := n
+        | _ ->
+            Fmt.epr "bad --retries value %s@." v;
+            exit 2);
+        parse cmd rest
+    | "--journal" :: rest ->
+        let v, rest = needs_value "--journal" rest in
+        journal := Some v;
+        parse cmd rest
+    | "--keep-going" :: rest ->
+        keep_going := true;
+        parse cmd rest
     | arg :: rest -> (
         match cmd with
         | None -> parse (Some arg) rest
@@ -468,7 +620,7 @@ let () =
             exit 2)
   in
   let cmd = Option.value (parse None args) ~default:"all" in
-  match cmd with
+  (match cmd with
   | "table1" -> table1 ()
   | "table2" -> table2 ()
   | "table3" -> table3 ()
@@ -493,4 +645,6 @@ let () =
       run_bechamel ()
   | other ->
       Fmt.epr "unknown command %s@." other;
-      exit 2
+      exit 2);
+  (* Under --keep-going the artifacts all ran; now report the damage. *)
+  if !worst_exit <> 0 then exit !worst_exit

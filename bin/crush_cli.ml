@@ -239,7 +239,9 @@ let report_arg =
     & info [ "report" ] ~docv:"FILE"
         ~doc:
           "Write the fault-injection forensics (text report and DOT \
-           overlay FILE.dot) to $(docv).")
+           overlay FILE.dot) to $(docv).  Under supervision (see \
+           $(b,--keep-going)) this is instead a schema-versioned JSON \
+           campaign report: per-class counts plus one record per task.")
 
 let jobs_arg =
   Arg.(
@@ -249,6 +251,56 @@ let jobs_arg =
         ~doc:
           "Fan the (kernel, seed) trials across $(docv) domains.  Results \
            and output order are bit-identical to a serial sweep.")
+
+let keep_going_arg =
+  Arg.(
+    value & flag
+    & info [ "keep-going"; "k" ]
+        ~doc:
+          "Supervised sweep: classify every trial into the failure taxonomy \
+           (ok / frontend / validation / deadlock / out-of-fuel / timeout / \
+           crash) and keep draining the batch instead of aborting on the \
+           first failure.  The exit code is that of the most severe class \
+           observed (0, or 10..15).")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout-s" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-trial wall-clock budget (implies supervision).  The watchdog \
+           is polled cooperatively inside the simulator; an overdue trial \
+           is classified $(i,timeout) while its siblings keep running.")
+
+let retries_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Retry transient failures (timeout, crash) up to $(docv) extra \
+           times (implies supervision).  Jobs that still fail land in the \
+           quarantine manifest next to the journal.")
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "JSONL checkpoint journal (implies supervision).  Every finished \
+           trial is appended and flushed immediately; a rerun with the same \
+           journal skips everything already recorded.")
+
+let inject_faults_arg =
+  Arg.(
+    value & flag
+    & info [ "inject-faults" ]
+        ~doc:
+          "Supervised mode: add the three Eq. 1 fault-injection circuits to \
+           the sweep as tasks that $(i,must) classify as deadlocks; a fault \
+           that completes or misclassifies fails the run.")
 
 (** Sweep every CRUSH-shared kernel across chaos seeds: every trial must
     complete with outputs identical to the software reference.  The
@@ -344,14 +396,194 @@ let chaos_fault_check ~report () =
     Crush.Faults.all;
   !misses
 
+(* ------------------------------------------------------------------ *)
+(* Supervised chaos: taxonomy, watchdogs, retry/quarantine, resume     *)
+
+(** Re-wrap a failure outcome at another payload type (the failure
+    constructors carry no payload, so this is a no-op in spirit; OCaml
+    just needs the re-pack to change the phantom ['a]). *)
+let refail : 'a Exec.Outcome.t -> 'b Exec.Outcome.t = function
+  | Exec.Outcome.Ok _ -> assert false
+  | Frontend_error { phase; loc; token; message } ->
+      Frontend_error { phase; loc; token; message }
+  | Validation_error { message } -> Validation_error { message }
+  | Sim_deadlock { cycle; core } -> Sim_deadlock { cycle; core }
+  | Out_of_fuel { fuel; still_firing; exit_tokens } ->
+      Out_of_fuel { fuel; still_firing; exit_tokens }
+  | Job_timeout { cycles } -> Job_timeout { cycles }
+  | Worker_crash { exn; backtrace } -> Worker_crash { exn; backtrace }
+
+(** One supervised chaos task: a (kernel, chaos-seed) trial, or one of
+    the deliberately broken Eq. 1 circuits that must deadlock. *)
+type chaos_task =
+  | Trial of Kernels.Registry.bench * int
+  | Fault of Crush.Faults.fault
+
+let chaos_key = function
+  | Trial (b, s) -> Fmt.str "trial:%s:%d" b.Kernels.Registry.name s
+  | Fault f -> Fmt.str "fault:%s" (Crush.Faults.describe f)
+
+(* Journalled payload: (functionally correct, cycles). *)
+let chaos_encode (correct, cycles) =
+  Exec.Jsonl.Obj
+    [ ("correct", Exec.Jsonl.Bool correct); ("cycles", Exec.Jsonl.Int cycles) ]
+
+let chaos_decode j =
+  let open Exec.Jsonl in
+  match
+    (Option.bind (member "correct" j) to_bool,
+     Option.bind (member "cycles" j) to_int)
+  with
+  | Some c, Some n -> Some (c, n)
+  | _ -> None
+
+let run_chaos_task ~deadline = function
+  | Trial (b, s) ->
+      let c = Minic.Codegen.compile_source b.Kernels.Registry.source in
+      ignore
+        (Crush.Share.crush c.Minic.Codegen.graph
+           ~critical_loops:c.Minic.Codegen.critical_loops);
+      let chaos = Sim.Chaos.default ~seed:s in
+      let out, v =
+        Kernels.Harness.run_circuit_full ~deadline ~chaos b
+          c.Minic.Codegen.graph
+      in
+      (match Exec.Outcome.of_sim_run out with
+      | Exec.Outcome.Ok _ ->
+          Exec.Outcome.Ok
+            (v.Kernels.Harness.functionally_correct, v.Kernels.Harness.cycles)
+      | failure -> refail failure)
+  | Fault fault ->
+      let built = Crush.Paper_examples.fig1 () in
+      let g = Crush.Faults.inject built fault in
+      let out = Sim.Engine.run ~max_cycles:100_000 ~deadline g in
+      (match Exec.Outcome.of_sim_run out with
+      | Exec.Outcome.Ok stats ->
+          Exec.Outcome.Ok (true, stats.Sim.Engine.cycles)
+      | failure -> refail failure)
+
+(** JSON campaign report (schema-versioned, like the journal). *)
+let write_chaos_report path ~trials ~seed ~jobs summary results =
+  let open Exec.Jsonl in
+  let task_json (task, o) =
+    Obj
+      [
+        ("key", String (chaos_key task));
+        ("class", String (Exec.Outcome.class_name o));
+        ( "correct",
+          match o with
+          | Exec.Outcome.Ok (c, _) -> Bool c
+          | _ -> Null );
+      ]
+  in
+  let json =
+    Obj
+      [
+        ("schema_version", Int Exec.Journal.schema_version);
+        ("campaign", String "chaos");
+        ("trials", Int trials);
+        ("seed", Int seed);
+        ("jobs", Int jobs);
+        ( "counts",
+          Obj
+            [
+              ("total", Int summary.Exec.Outcome.total);
+              ("ok", Int summary.Exec.Outcome.n_ok);
+              ("frontend", Int summary.Exec.Outcome.n_frontend);
+              ("validation", Int summary.Exec.Outcome.n_validation);
+              ("deadlock", Int summary.Exec.Outcome.n_deadlock);
+              ("out_of_fuel", Int summary.Exec.Outcome.n_out_of_fuel);
+              ("timeout", Int summary.Exec.Outcome.n_timeout);
+              ("crash", Int summary.Exec.Outcome.n_crash);
+            ] );
+        ("tasks", List (List.map task_json results));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Fmt.pr "wrote %s@." path
+
+(** The supervised sweep: every trial resolves to a classified outcome,
+    the batch always drains, and the summary table plus per-class exit
+    code replace the legacy first-failure abort.  Fault-injection tasks
+    are expected to classify as deadlocks; anything else is a miss. *)
+let chaos_supervised ~jobs ~trials ~seed ~sup ~inject_faults ~report benches =
+  let tasks =
+    List.concat_map
+      (fun (b : Kernels.Registry.bench) ->
+        List.init trials (fun i -> Trial (b, seed + (7919 * i))))
+      benches
+    @ (if inject_faults then List.map (fun f -> Fault f) Crush.Faults.all
+       else [])
+  in
+  let pending = Exec.Campaign.pending_count ~sup ~key:chaos_key tasks in
+  if pending < List.length tasks then
+    Fmt.pr "resuming: %d/%d tasks already journalled, %d to run@."
+      (List.length tasks - pending)
+      (List.length tasks) pending;
+  let results =
+    Exec.Campaign.map_outcomes ~jobs ~sup ~key:chaos_key ~encode:chaos_encode
+      ~decode:chaos_decode run_chaos_task tasks
+  in
+  (* Trials: any non-[Ok] outcome is a failure; [Ok] with wrong results
+     too.  Faults: exactly [Sim_deadlock] is a detection, all else is a
+     miss (a crash or timeout there is an infrastructure bug, not a
+     detected deadlock). *)
+  let wrong = ref 0 and missed = ref 0 in
+  List.iter
+    (fun (task, o) ->
+      match (task, o) with
+      | Trial _, Exec.Outcome.Ok (true, _) -> ()
+      | Trial _, Exec.Outcome.Ok (false, cycles) ->
+          incr wrong;
+          Fmt.pr "  FAIL %-24s completed (%d cycles) with WRONG RESULTS@."
+            (chaos_key task) cycles
+      | Trial _, failure ->
+          Fmt.pr "  FAIL %-24s %a@." (chaos_key task)
+            (Exec.Outcome.pp Fmt.nop) failure
+      | Fault _, Exec.Outcome.Sim_deadlock { cycle; _ } ->
+          Fmt.pr "fault detected: %s — deadlock at cycle %d@." (chaos_key task)
+            cycle
+      | Fault _, o ->
+          incr missed;
+          Fmt.pr "FAULT MISSED: %s classified %s (expected deadlock)@."
+            (chaos_key task) (Exec.Outcome.class_name o))
+    results;
+  let trial_outcomes =
+    List.filter_map
+      (function Trial _, o -> Some o | Fault _, _ -> None)
+      results
+  in
+  let summary = Exec.Outcome.summarize trial_outcomes in
+  Fmt.pr "%a@." Exec.Outcome.pp_summary summary;
+  let code = Exec.Outcome.summary_exit_code summary in
+  (if !wrong > 0 || !missed > 0 || code <> 0 then
+     match sup.Exec.Campaign.journal with
+     | Some j when Sys.file_exists (Exec.Journal.quarantine_path j) ->
+         Fmt.pr "quarantine manifest: %s@." (Exec.Journal.quarantine_path j)
+     | _ -> ());
+  Option.iter
+    (fun path -> write_chaos_report path ~trials ~seed ~jobs summary results)
+    report;
+  if !wrong > 0 || !missed > 0 then exit 1;
+  if code <> 0 then exit code
+
 let chaos_cmd =
   let doc =
     "Adversarial robustness check: fuzz CRUSH-shared kernels with seeded \
      chaos (stalls, latency inflation, port jitter, arbiter permutation) \
      expecting unchanged results, then inject Eq. 1 violations expecting \
-     detected deadlocks whose forensics blame the sharing wrapper."
+     detected deadlocks whose forensics blame the sharing wrapper.  With \
+     $(b,--keep-going), $(b,--timeout-s), $(b,--retries), $(b,--journal) or \
+     $(b,--inject-faults) the sweep runs supervised: every trial resolves \
+     to a classified outcome (the batch always drains), transient failures \
+     retry and quarantine, and the journal makes reruns resume instead of \
+     restart."
   in
-  let run trials seed kernel report jobs =
+  let run trials seed kernel report jobs keep_going timeout_s retries journal
+      inject_faults =
     (match report with
     | Some path -> if Sys.file_exists path then Sys.remove path
     | None -> ());
@@ -360,22 +592,33 @@ let chaos_cmd =
       | Some k -> [ Kernels.Registry.find k ]
       | None -> Kernels.Registry.all
     in
-    let failures = chaos_sweep ~jobs ~trials ~seed benches in
-    let misses = chaos_fault_check ~report () in
-    if failures = 0 && misses = 0 then
-      Fmt.pr "chaos: all %d kernels x %d trials ok, %d/%d faults detected@."
-        (List.length benches) trials
-        (List.length Crush.Faults.all)
-        (List.length Crush.Faults.all)
+    let supervised =
+      keep_going || inject_faults || timeout_s <> None || retries > 0
+      || journal <> None
+    in
+    if supervised then
+      let sup = Exec.Campaign.supervision ?timeout_s ~retries ?journal () in
+      chaos_supervised ~jobs ~trials ~seed ~sup ~inject_faults ~report benches
     else begin
-      Fmt.pr "chaos: %d trial failure(s), %d undetected fault(s)@." failures
-        misses;
-      exit 1
+      let failures = chaos_sweep ~jobs ~trials ~seed benches in
+      let misses = chaos_fault_check ~report () in
+      if failures = 0 && misses = 0 then
+        Fmt.pr "chaos: all %d kernels x %d trials ok, %d/%d faults detected@."
+          (List.length benches) trials
+          (List.length Crush.Faults.all)
+          (List.length Crush.Faults.all)
+      else begin
+        Fmt.pr "chaos: %d trial failure(s), %d undetected fault(s)@." failures
+          misses;
+        exit 1
+      end
     end
   in
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
-      const run $ trials_arg $ seed_arg $ kernel_arg $ report_arg $ jobs_arg)
+      const run $ trials_arg $ seed_arg $ kernel_arg $ report_arg $ jobs_arg
+      $ keep_going_arg $ timeout_arg $ retries_arg $ journal_arg
+      $ inject_faults_arg)
 
 let main =
   let doc = "CRUSH: credit-based functional-unit sharing for dataflow circuits" in
@@ -383,4 +626,8 @@ let main =
     (Cmd.info "crush" ~version:"1.0.0" ~doc)
     [ list_cmd; compile_cmd; analyze_cmd; run_cmd; stats_cmd; chaos_cmd ]
 
-let () = exit (Cmd.eval main)
+let () =
+  (* Worker_crash outcomes carry the backtrace of the escaping
+     exception; without this it is empty in production builds. *)
+  Printexc.record_backtrace true;
+  exit (Cmd.eval main)

@@ -49,3 +49,121 @@ let run_sims ?jobs tasks =
       let out = Sim.Engine.run ?max_cycles ?chaos ?memory graph in
       out.Sim.Engine.stats)
     tasks
+
+(* ------------------------------------------------------------------ *)
+(* Supervised campaigns                                                *)
+
+type supervision = {
+  timeout_s : float option;
+  retries : int;
+  journal : string option;
+}
+
+let supervision ?timeout_s ?(retries = 0) ?journal () =
+  if retries < 0 then
+    invalid_arg (Fmt.str "Campaign.supervision: retries %d < 0" retries);
+  { timeout_s; retries; journal }
+
+let no_supervision = { timeout_s = None; retries = 0; journal = None }
+
+(** Deadline predicate for one attempt.  [limit <= 0.0] fires at the
+    very first poll — before any wall-clock time elapses — so a zero
+    timeout interrupts at a deterministic simulated cycle, which is what
+    the jobs-1-vs-jobs-4 bit-identity tests rely on. *)
+let make_deadline = function
+  | None -> fun () -> false
+  | Some limit ->
+      if limit <= 0.0 then fun () -> true
+      else
+        let t0 = Unix.gettimeofday () in
+        fun () -> Unix.gettimeofday () -. t0 >= limit
+
+let map_outcomes ?jobs ?(sup = no_supervision) ~key
+    ?(encode = fun _ -> Jsonl.Null) ?(decode = fun _ -> None) f xs =
+  let prior =
+    match sup.journal with
+    | Some path -> Journal.load path
+    | None -> Hashtbl.create 1
+  in
+  let writer = Option.map Journal.open_append sup.journal in
+  let checkpoint k attempts outcome =
+    match writer with
+    | None -> ()
+    | Some w ->
+        Journal.record w
+          {
+            Journal.key = k;
+            attempts;
+            outcome = Outcome.to_json encode outcome;
+          }
+  in
+  (* Every task resolves to an outcome — never an exception — so one
+     poisoned job cannot destroy the batch, and [Pool.run_batch]'s
+     re-raise path stays unused. *)
+  let run_one x =
+    let k = key x in
+    let resumed =
+      match Hashtbl.find_opt prior k with
+      | Some (e : Journal.entry) -> (
+          (* Resume skips every recorded key; a record whose payload no
+             longer decodes (schema drift) is re-run instead. *)
+          match Outcome.of_json decode e.Journal.outcome with
+          | Some o -> Some (o, e.Journal.attempts, true)
+          | None -> None)
+      | None -> None
+    in
+    match resumed with
+    | Some r -> r
+    | None ->
+        let rec attempt n =
+          let deadline = make_deadline sup.timeout_s in
+          let o =
+            match f ~deadline x with
+            | o -> o
+            | exception e -> Outcome.of_exn e
+          in
+          if Outcome.is_transient o && n <= sup.retries then attempt (n + 1)
+          else (o, n)
+        in
+        let o, attempts = attempt 1 in
+        checkpoint k attempts o;
+        (o, attempts, false)
+  in
+  let results =
+    Fun.protect
+      ~finally:(fun () -> Option.iter Journal.close writer)
+      (fun () -> map ?jobs run_one xs)
+  in
+  (match sup.journal with
+  | Some journal ->
+      let failed =
+        List.concat_map
+          (fun (x, (o, attempts, _)) ->
+            if Outcome.is_ok o then []
+            else [ (key x, attempts, Outcome.class_name o) ])
+          (List.combine xs results)
+      in
+      Journal.write_quarantine ~journal ~batch:(List.map key xs) failed
+  | None -> ());
+  List.map2 (fun x (o, _, _) -> (x, o)) xs results
+
+(** How many of [xs] a fresh [map_outcomes] run would actually execute
+    (i.e. are not yet recorded in the supervision's journal). *)
+let pending_count ?(sup = no_supervision) ~key xs =
+  match sup.journal with
+  | None -> List.length xs
+  | Some path ->
+      let prior = Journal.load path in
+      List.length (List.filter (fun x -> not (Hashtbl.mem prior (key x))) xs)
+
+let run_sims_supervised ?jobs ?sup ?(key = fun i _ -> Fmt.str "task-%04d" i)
+    tasks =
+  let indexed = List.mapi (fun i t -> (i, t)) tasks in
+  map_outcomes ?jobs ?sup
+    ~key:(fun (i, t) -> key i t)
+    ~encode:Outcome.stats_to_json ~decode:Outcome.stats_of_json
+    (fun ~deadline (_, { graph; memory; chaos; max_cycles }) ->
+      Outcome.of_sim_run
+        (Sim.Engine.run ?max_cycles ~deadline ?chaos ?memory graph))
+    indexed
+  |> List.map (fun ((_, t), o) -> (t, o))

@@ -62,3 +62,70 @@ val sim_task :
 (** Simulate every task ({!Sim.Engine.run}) across [jobs] cores; stats
     come back in submission order, bit-identical to a serial run. *)
 val run_sims : ?jobs:int -> sim_task list -> Sim.Engine.stats list
+
+(** {2 Supervised campaigns}
+
+    {!map} re-raises the first exception, which is right for tests but
+    wrong for a long sweep: one poisoned job destroys the batch.  The
+    supervised API classifies every failure into the {!Outcome}
+    taxonomy and returns [(task, outcome)] pairs in submission order —
+    the batch always drains.  Supervision adds three facilities:
+
+    - {b watchdog}: [timeout_s] bounds each attempt's wall clock; the
+      deadline is polled cooperatively inside {!Sim.Engine.run} and an
+      overdue job becomes [Job_timeout] while its siblings continue.  A
+      timeout of [0.0] fires at the first poll, before any wall-clock
+      time elapses, so it interrupts at a deterministic cycle (used by
+      the determinism tests);
+    - {b retry with quarantine}: transient failures ([Job_timeout],
+      [Worker_crash]) are retried up to [retries] extra times; jobs
+      still failing land in the [<journal>.quarantine] manifest with
+      their attempt count and class;
+    - {b checkpoint/resume}: with [journal], every finished task is
+      appended to a JSONL file the moment it completes; a rerun with the
+      same journal skips every recorded key (retry is within-run only).
+
+    The determinism contract extends to supervised runs: for
+    deterministic tasks and a deterministic deadline, the outcome list
+    is bit-identical whatever [jobs] is. *)
+
+type supervision = {
+  timeout_s : float option;  (** per-attempt wall-clock budget *)
+  retries : int;             (** extra attempts for transient failures *)
+  journal : string option;   (** JSONL checkpoint path *)
+}
+
+val supervision :
+  ?timeout_s:float -> ?retries:int -> ?journal:string -> unit -> supervision
+
+(** [map_outcomes ~sup ~key f xs] runs [f ~deadline x] for every task,
+    classifying raised exceptions via {!Outcome.of_exn}; [f] should pass
+    [deadline] to {!Sim.Engine.run} (or poll it itself in long
+    non-simulation work).  [key] must be stable across runs and unique
+    within the campaign — it is the journal's resume identity.
+    [encode]/[decode] serialize the [Ok] payload for the journal; a
+    journalled record whose payload no longer decodes is re-run. *)
+val map_outcomes :
+  ?jobs:int ->
+  ?sup:supervision ->
+  key:('a -> string) ->
+  ?encode:('b -> Jsonl.t) ->
+  ?decode:(Jsonl.t -> 'b option) ->
+  (deadline:(unit -> bool) -> 'a -> 'b Outcome.t) ->
+  'a list ->
+  ('a * 'b Outcome.t) list
+
+(** How many of [xs] a fresh {!map_outcomes} run would actually execute
+    (not yet recorded in the supervision's journal). *)
+val pending_count : ?sup:supervision -> key:('a -> string) -> 'a list -> int
+
+(** Supervised {!run_sims}: every simulation becomes an
+    {!Outcome.of_sim_run} classification, with stats journalled via the
+    standard codecs.  [key] defaults to the submission index rendered as
+    ["task-%04d"] — stable as long as the task list is. *)
+val run_sims_supervised :
+  ?jobs:int ->
+  ?sup:supervision ->
+  ?key:(int -> sim_task -> string) ->
+  sim_task list ->
+  (sim_task * Sim.Engine.stats Outcome.t) list

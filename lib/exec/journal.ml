@@ -1,0 +1,152 @@
+(** Append-only JSONL checkpoint journal for supervised campaigns.
+
+    One line per finished task: the task's stable key, how many attempts
+    it took, and its encoded {!Outcome}.  Records are appended and
+    flushed the moment a task finishes — from whichever worker domain
+    ran it, under a mutex — so a campaign killed mid-flight has
+    journalled everything it completed.  A rerun with the same journal
+    loads the file and skips every recorded key; retry happens within a
+    run, never across runs (a recorded failure stays recorded until the
+    journal is deleted).
+
+    The format is line-oriented on purpose: a torn final line (the kill
+    arrived mid-write) parses as garbage and is skipped by {!load}, and
+    [cat journal | grep '"class":"deadlock"'] works. *)
+
+let schema_version = 1
+
+type entry = { key : string; attempts : int; outcome : Jsonl.t }
+
+let entry_to_line e =
+  Jsonl.to_string
+    (Jsonl.Obj
+       [
+         ("schema_version", Jsonl.Int schema_version);
+         ("key", Jsonl.String e.key);
+         ("attempts", Jsonl.Int e.attempts);
+         ("outcome", e.outcome);
+       ])
+
+let entry_of_line line =
+  match Jsonl.parse line with
+  | Error _ -> None
+  | Ok j -> (
+      let ( let* ) = Option.bind in
+      let* v = Option.bind (Jsonl.member "schema_version" j) Jsonl.to_int in
+      if v <> schema_version then None
+      else
+        let* key = Option.bind (Jsonl.member "key" j) Jsonl.to_str in
+        let* attempts = Option.bind (Jsonl.member "attempts" j) Jsonl.to_int in
+        let* outcome = Jsonl.member "outcome" j in
+        Some { key; attempts; outcome })
+
+(** Load a journal into a key-indexed table; unparsable or
+    foreign-schema lines are skipped (a torn write must not poison the
+    resume), and a later record for the same key wins.  Missing file =
+    empty journal. *)
+let load path =
+  let tbl : (string, entry) Hashtbl.t = Hashtbl.create 64 in
+  (if Sys.file_exists path then
+     let ic = open_in path in
+     Fun.protect
+       ~finally:(fun () -> close_in ic)
+       (fun () ->
+         try
+           while true do
+             match entry_of_line (input_line ic) with
+             | Some e -> Hashtbl.replace tbl e.key e
+             | None -> ()
+           done
+         with End_of_file -> ()));
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* Appending                                                           *)
+
+type t = { oc : out_channel; lock : Mutex.t }
+
+let open_append path =
+  { oc = open_out_gen [ Open_append; Open_creat ] 0o644 path; lock = Mutex.create () }
+
+(** Append one record and flush; safe to call from any worker domain. *)
+let record t e =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      output_string t.oc (entry_to_line e);
+      output_char t.oc '\n';
+      flush t.oc)
+
+let close t = close_out t.oc
+
+(* ------------------------------------------------------------------ *)
+(* Quarantine manifest                                                 *)
+
+let quarantine_path journal = journal ^ ".quarantine"
+
+let load_quarantine path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let lines = ref [] in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        try
+          while true do
+            (match Jsonl.parse (input_line ic) with
+            | Error _ -> ()
+            | Ok j -> (
+                let field f name = Option.bind (Jsonl.member name j) f in
+                match
+                  ( field Jsonl.to_int "schema_version",
+                    field Jsonl.to_str "key",
+                    field Jsonl.to_int "attempts",
+                    field Jsonl.to_str "class" )
+                with
+                | Some v, Some key, Some attempts, Some cls
+                  when v = schema_version ->
+                    lines := (key, attempts, cls) :: !lines
+                | _ -> ()))
+          done
+        with End_of_file -> ());
+    List.rev !lines
+  end
+
+(** One line per failed job: key, attempts it consumed, failure class.
+    [batch] is every key the finishing run was responsible for: its old
+    manifest entries are superseded (fixed jobs leave quarantine), while
+    entries owned by other campaigns sharing the journal survive.  The
+    file is removed once no failures remain, so a stale manifest never
+    outlives the problem. *)
+let write_quarantine ~journal ~batch failed =
+  let path = quarantine_path journal in
+  let mine = Hashtbl.create (List.length batch) in
+  List.iter (fun k -> Hashtbl.replace mine k ()) batch;
+  let kept =
+    List.filter (fun (k, _, _) -> not (Hashtbl.mem mine k)) (load_quarantine path)
+  in
+  let entries = kept @ failed in
+  if entries = [] then begin
+    if Sys.file_exists path then Sys.remove path
+  end
+  else begin
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        List.iter
+          (fun (key, attempts, cls) ->
+            output_string oc
+              (Jsonl.to_string
+                 (Jsonl.Obj
+                    [
+                      ("schema_version", Jsonl.Int schema_version);
+                      ("key", Jsonl.String key);
+                      ("attempts", Jsonl.Int attempts);
+                      ("class", Jsonl.String cls);
+                    ]));
+            output_char oc '\n')
+          entries)
+  end

@@ -1,0 +1,52 @@
+(** Append-only JSONL checkpoint journal for supervised campaigns.
+
+    One line per finished task — stable key, attempt count, encoded
+    {!Outcome} — appended and flushed the moment the task finishes, so a
+    killed overnight sweep has journalled everything it completed and a
+    rerun with the same journal resumes instead of restarting.  Retry is
+    within-run only: a recorded failure stays recorded until the journal
+    file is deleted. *)
+
+(** Version stamped into every record; {!load} skips records of any
+    other version. *)
+val schema_version : int
+
+type entry = {
+  key : string;       (** stable task key, unique within a campaign *)
+  attempts : int;     (** attempts the task consumed (1 = no retry) *)
+  outcome : Jsonl.t;  (** encoded outcome, see {!Outcome.to_json} *)
+}
+
+(** Load a journal into a key-indexed table.  Missing file = empty;
+    unparsable lines (e.g. a torn final write) are skipped; a later
+    record for the same key wins.  Never raises on malformed content. *)
+val load : string -> (string, entry) Hashtbl.t
+
+(** An open journal in append mode. *)
+type t
+
+val open_append : string -> t
+
+(** Append one record and flush; safe from any worker domain. *)
+val record : t -> entry -> unit
+
+val close : t -> unit
+
+(** {2 Quarantine manifest} — the failed-job report next to the journal. *)
+
+(** [<journal>.quarantine] *)
+val quarantine_path : string -> string
+
+(** Parse the manifest into [(key, attempts, class)] triples; missing
+    file = empty, malformed lines skipped.  Never raises. *)
+val load_quarantine : string -> (string * int * string) list
+
+(** Rewrite the manifest with one [(key, attempts, class)] line per
+    failed job.  [batch] lists every key of the finishing run: its old
+    entries are superseded, entries owned by other campaigns sharing the
+    journal survive.  Removed when no failures remain. *)
+val write_quarantine :
+  journal:string ->
+  batch:string list ->
+  (string * int * string) list ->
+  unit

@@ -1,0 +1,260 @@
+(** Minimal JSON values for the campaign journal and reports.
+
+    The repository deliberately has no external JSON dependency, and the
+    journal format is small and fully under our control, so this is a
+    hand-rolled value type with a compact printer and a recursive-descent
+    parser.  Two deviations from strict JSON, both deliberate:
+
+    - floats print with enough digits to round-trip ([%.17g]) and the
+      parser accepts [nan], [inf] and [-inf] — simulation exit tokens can
+      legitimately carry non-finite values and must survive a journal
+      round-trip;
+    - the parser is for machine-written single-line records: it accepts
+      whitespace anywhere JSON does but has no streaming interface. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+
+let escape_into buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_to_string f =
+  if Float.is_integer f && Float.abs f < 1e16 then
+    (* keep a decimal point so the parser reads it back as a float *)
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec print_into buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_to_string f)
+  | String s -> escape_into buf s
+  | List l ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          print_into buf v)
+        l;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_into buf k;
+          Buffer.add_char buf ':';
+          print_into buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  print_into buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+exception Bad of string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail fmt = Fmt.kstr (fun m -> raise (Bad m)) fmt in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if peek () = Some c then incr pos
+    else fail "expected '%c' at offset %d" c !pos
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      Some v
+    end
+    else None
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            incr pos;
+            (if !pos >= n then fail "dangling escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char buf '"'; incr pos
+               | '\\' -> Buffer.add_char buf '\\'; incr pos
+               | '/' -> Buffer.add_char buf '/'; incr pos
+               | 'n' -> Buffer.add_char buf '\n'; incr pos
+               | 'r' -> Buffer.add_char buf '\r'; incr pos
+               | 't' -> Buffer.add_char buf '\t'; incr pos
+               | 'b' -> Buffer.add_char buf '\b'; incr pos
+               | 'f' -> Buffer.add_char buf '\012'; incr pos
+               | 'u' ->
+                   if !pos + 4 >= n then fail "truncated \\u escape";
+                   let hex = String.sub s (!pos + 1) 4 in
+                   let code =
+                     match int_of_string_opt ("0x" ^ hex) with
+                     | Some c -> c
+                     | None -> fail "bad \\u escape %s" hex
+                   in
+                   (* journal strings are ASCII; anything else degrades *)
+                   Buffer.add_char buf
+                     (if code < 0x80 then Char.chr code else '?');
+                   pos := !pos + 5
+               | c -> fail "bad escape \\%c" c);
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            incr pos;
+            go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do incr pos done;
+    let text = String.sub s start (!pos - start) in
+    let is_float =
+      String.exists (fun c -> c = '.' || c = 'e' || c = 'E') text
+    in
+    if is_float then
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail "bad number %s" text
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> fail "bad number %s" text
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> String (parse_string ())
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr pos; members ()
+            | Some '}' -> incr pos
+            | _ -> fail "expected ',' or '}' at offset %d" !pos
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          List []
+        end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr pos; elements ()
+            | Some ']' -> incr pos
+            | _ -> fail "expected ',' or ']' at offset %d" !pos
+          in
+          elements ();
+          List (List.rev !items)
+        end
+    | Some ('t' | 'f' | 'n' | 'i') -> (
+        match
+          List.find_map
+            (fun (w, v) -> literal w v)
+            [
+              ("true", Bool true);
+              ("false", Bool false);
+              ("null", Null);
+              ("nan", Float Float.nan);
+              ("inf", Float Float.infinity);
+            ]
+        with
+        | Some v -> v
+        | None -> fail "bad literal at offset %d" !pos)
+    | Some '-' when literal "-inf" (Float Float.neg_infinity) <> None ->
+        Float Float.neg_infinity
+    | Some _ -> parse_number ()
+  in
+  match parse_value () with
+  | v ->
+      skip_ws ();
+      if !pos <> n then Error (Fmt.str "trailing input at offset %d" !pos)
+      else Ok v
+  | exception Bad m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+let to_float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+let to_str = function String s -> Some s | _ -> None
+let to_list = function List l -> Some l | _ -> None

@@ -1,0 +1,36 @@
+(** Minimal JSON values for the campaign journal and reports.
+
+    Hand-rolled on purpose: the repository has no external JSON
+    dependency and the journal format is fully under our control.  Two
+    deviations from strict JSON, both deliberate: floats round-trip
+    exactly (printed with [%.17g]) and the non-finite values [nan],
+    [inf], [-inf] are printed and parsed — simulation exit tokens can
+    carry them and must survive a journal round-trip. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact single-line rendering (no spaces, no trailing newline) —
+    one record per journal line. *)
+val to_string : t -> string
+
+(** Parse one complete value; [Error] carries a human-readable reason.
+    Never raises. *)
+val parse : string -> (t, string) result
+
+(** {2 Accessors} — all total, [None] on shape mismatch.  [to_float]
+    accepts an [Int] (JSON writers elsewhere may drop the decimal
+    point). *)
+
+val member : string -> t -> t option
+val to_int : t -> int option
+val to_float : t -> float option
+val to_bool : t -> bool option
+val to_str : t -> string option
+val to_list : t -> t list option

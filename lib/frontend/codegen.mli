@@ -27,7 +27,7 @@ val load_latency : int
 (** Compile a checked kernel AST.  Runs buffer rightsizing after
     generation (the MILP-sizing role of [34]).
     @raise Error on scalar parameters or codegen-level inconsistencies.
-    @raise Sema.Error on ill-typed kernels. *)
+    @raise Frontend.Error on ill-typed kernels (phase [Sema]). *)
 val compile : ?strategy:strategy -> Ast.kernel -> compiled
 
 (** Parse, check and compile kernel source text. *)

@@ -14,7 +14,8 @@ type token =
   | PLUSPLUS
   | EOF
 
-exception Error of string * int  (** message, position *)
+(** All lexical failures raise the located {!Frontend.Error} with
+    [phase = Lex]; there is no lexer-private exception. *)
 
 let pp_token ppf = function
   | INT i -> Fmt.pf ppf "%d" i
@@ -55,15 +56,30 @@ let keyword = function
   | "else" -> Some KW_else
   | _ -> None
 
-(** Tokenize a full source string; raises {!Error} on bad input. *)
-let tokenize src =
+(** Tokenize a full source string into (token, source position) pairs;
+    raises {!Frontend.Error} on bad input. *)
+let tokenize_located src =
   let n = String.length src in
   let toks = ref [] in
   let i = ref 0 in
   let peek k = if !i + k < n then Some src.[!i + k] else None in
-  let emit t = toks := t :: !toks in
+  let emit ~start t = toks := (t, Frontend.loc_of_pos src start) :: !toks in
+  let fail ~at ?token fmt =
+    Fmt.kstr
+      (fun message ->
+        raise
+          (Frontend.Error
+             {
+               Frontend.phase = Frontend.Lex;
+               loc = Some (Frontend.loc_of_pos src at);
+               token;
+               message;
+             }))
+      fmt
+  in
   while !i < n do
     let c = src.[!i] in
+    let start = !i in
     if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
     else if c = '/' && peek 1 = Some '/' then begin
       while !i < n && src.[!i] <> '\n' do incr i done
@@ -78,11 +94,10 @@ let tokenize src =
         end
         else incr i
       done;
-      if not !closed then raise (Error ("unterminated comment", !i))
+      if not !closed then fail ~at:start "unterminated comment"
     end
     else if is_digit c || (c = '.' && (match peek 1 with Some d -> is_digit d | None -> false))
     then begin
-      let start = !i in
       let has_dot = ref false in
       while
         !i < n
@@ -98,24 +113,23 @@ let tokenize src =
       let text = String.sub src start (!i - start) in
       if !has_dot then
         match float_of_string_opt text with
-        | Some f -> emit (FLOAT f)
-        | None -> raise (Error ("bad float literal " ^ text, start))
+        | Some f -> emit ~start (FLOAT f)
+        | None -> fail ~at:start ~token:text "bad float literal"
       else begin
         match int_of_string_opt text with
-        | Some v -> emit (INT v)
-        | None -> raise (Error ("bad int literal " ^ text, start))
+        | Some v -> emit ~start (INT v)
+        | None -> fail ~at:start ~token:text "bad int literal"
       end
     end
     else if is_alpha c then begin
-      let start = !i in
       while !i < n && (is_alpha src.[!i] || is_digit src.[!i]) do incr i done;
       let text = String.sub src start (!i - start) in
-      emit (match keyword text with Some k -> k | None -> IDENT text)
+      emit ~start (match keyword text with Some k -> k | None -> IDENT text)
     end
     else begin
       let two a b t =
         if c = a && peek 1 = Some b then begin
-          emit t;
+          emit ~start t;
           i := !i + 2;
           true
         end
@@ -136,12 +150,15 @@ let tokenize src =
           | ';' -> SEMI | ',' -> COMMA
           | '+' -> PLUS | '-' -> MINUS | '*' -> STAR | '/' -> SLASH
           | '<' -> LT | '>' -> GT | '=' -> ASSIGN | '!' -> BANG
-          | c -> raise (Error (Fmt.str "unexpected character %c" c, !i))
+          | c -> fail ~at:start ~token:(String.make 1 c) "unexpected character"
         in
-        emit t;
+        emit ~start t;
         incr i
       end
     end
   done;
-  emit EOF;
+  emit ~start:n EOF;
   List.rev !toks
+
+(** Token stream without positions (the parser uses the located one). *)
+let tokenize src = List.map fst (tokenize_located src)

@@ -3,31 +3,45 @@
 open Ast
 open Lexer
 
-exception Error of string
+(** All parse failures raise the located {!Frontend.Error} with
+    [phase = Parse], carrying the position and rendering of the token
+    that refused to parse. *)
 
-type state = { mutable toks : token list }
+type state = { mutable toks : (token * Frontend.loc) list }
 
-let peek st = match st.toks with t :: _ -> t | [] -> EOF
+let peek st = match st.toks with (t, _) :: _ -> t | [] -> EOF
 
 let advance st =
   match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
 
+(** Raise a parse error located at the current token. *)
+let fail st fmt =
+  let loc, token =
+    match st.toks with
+    | (t, l) :: _ -> (Some l, Some (Fmt.str "%a" pp_token t))
+    | [] -> (None, Some "<eof>")
+  in
+  Fmt.kstr
+    (fun message ->
+      raise (Frontend.Error { Frontend.phase = Frontend.Parse; loc; token; message }))
+    fmt
+
 let expect st t =
   if peek st = t then advance st
-  else raise (Error (Fmt.str "expected %a, found %a" pp_token t pp_token (peek st)))
+  else fail st "expected %a" pp_token t
 
 let expect_ident st =
   match peek st with
   | IDENT s ->
       advance st;
       s
-  | t -> raise (Error (Fmt.str "expected identifier, found %a" pp_token t))
+  | _ -> fail st "expected identifier"
 
 let parse_ty st =
   match peek st with
   | KW_int -> advance st; Tint
   | KW_float -> advance st; Tfloat
-  | t -> raise (Error (Fmt.str "expected type, found %a" pp_token t))
+  | _ -> fail st "expected type"
 
 (* --- expressions, classic precedence climbing ------------------------ *)
 
@@ -109,7 +123,7 @@ and parse_primary st =
         expect st RBRACKET
       done;
       if !idxs = [] then Var x else Index (x, List.rev !idxs)
-  | t -> raise (Error (Fmt.str "unexpected token %a in expression" pp_token t))
+  | _ -> fail st "unexpected token in expression"
 
 (* --- statements ------------------------------------------------------- *)
 
@@ -168,19 +182,17 @@ let rec parse_stmt st =
       let init = parse_expr st in
       expect st SEMI;
       let var2 = expect_ident st in
-      if var2 <> var then
-        raise (Error (Fmt.str "loop condition must test %s" var));
+      if var2 <> var then fail st "loop condition must test %s" var;
       let cmp =
         match peek st with
         | LT -> advance st; Cmp_lt
         | LE -> advance st; Cmp_le
-        | t -> raise (Error (Fmt.str "expected < or <= in loop, found %a" pp_token t))
+        | _ -> fail st "expected < or <= in loop"
       in
       let limit = parse_expr st in
       expect st SEMI;
       let var3 = expect_ident st in
-      if var3 <> var then
-        raise (Error (Fmt.str "loop increment must update %s" var));
+      if var3 <> var then fail st "loop increment must update %s" var;
       let step =
         match peek st with
         | PLUSPLUS -> advance st; 1
@@ -188,8 +200,8 @@ let rec parse_stmt st =
             advance st;
             match peek st with
             | INT s -> advance st; s
-            | t -> raise (Error (Fmt.str "expected step constant, found %a" pp_token t)))
-        | t -> raise (Error (Fmt.str "expected ++ or +=, found %a" pp_token t))
+            | _ -> fail st "expected step constant")
+        | _ -> fail st "expected ++ or +="
       in
       expect st RPAREN;
       let body = parse_block st in
@@ -203,11 +215,11 @@ let rec parse_stmt st =
         | PLUSEQ -> advance st; expand_compound lv Add (parse_expr st)
         | MINUSEQ -> advance st; expand_compound lv Sub (parse_expr st)
         | STAREQ -> advance st; expand_compound lv Mul (parse_expr st)
-        | t -> raise (Error (Fmt.str "expected assignment, found %a" pp_token t))
+        | _ -> fail st "expected assignment"
       in
       expect st SEMI;
       s
-  | t -> raise (Error (Fmt.str "unexpected token %a at statement start" pp_token t))
+  | _ -> fail st "unexpected token at statement start"
 
 and parse_block st =
   expect st LBRACE;
@@ -226,14 +238,14 @@ let parse_param st =
     advance st;
     (match peek st with
     | INT d -> advance st; dims := d :: !dims
-    | t -> raise (Error (Fmt.str "array dimension must be a constant, found %a" pp_token t)));
+    | _ -> fail st "array dimension must be a constant");
     expect st RBRACKET
   done;
   { p_name = name; p_ty = ty; p_dims = List.rev !dims }
 
 (** Parse one kernel definition from source text. *)
 let parse_kernel src =
-  let st = { toks = Lexer.tokenize src } in
+  let st = { toks = Lexer.tokenize_located src } in
   expect st KW_void;
   let name = expect_ident st in
   expect st LPAREN;
@@ -247,6 +259,5 @@ let parse_kernel src =
   end;
   expect st RPAREN;
   let body = parse_block st in
-  if peek st <> EOF then
-    raise (Error (Fmt.str "trailing input after kernel: %a" pp_token (peek st)));
+  if peek st <> EOF then fail st "trailing input after kernel";
   { k_name = name; k_params = List.rev !params; k_body = body }

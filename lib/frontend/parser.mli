@@ -3,7 +3,6 @@
     precedence, counted [for] loops with [<]/[<=] bounds and constant
     steps, compound assignments expanded to plain ones. *)
 
-exception Error of string
-
-(** @raise Error (or {!Lexer.Error}) on malformed input. *)
+(** @raise Frontend.Error (phase [Lex] or [Parse], located at the
+    offending token) on malformed input. *)
 val parse_kernel : string -> Ast.kernel

@@ -5,9 +5,9 @@
 
 open Ast
 
-exception Error of string
-
-let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+(** Sema failures raise the located {!Frontend.Error} with
+    [phase = Sema]; the AST carries no positions, so [loc] is [None]. *)
+let error fmt = Frontend.error Frontend.Sema fmt
 
 type array_info = { a_ty : ty; a_dims : int list }
 

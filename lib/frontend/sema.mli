@@ -3,8 +3,6 @@
     (operand types select integer vs floating-point units — sharing rule
     R1 depends on the distinction). *)
 
-exception Error of string
-
 type array_info = { a_ty : Ast.ty; a_dims : int list }
 
 type env = {
@@ -14,7 +12,8 @@ type env = {
 
 val empty_env : env
 
-(** @raise Error on unknown names (all lookups and checks below). *)
+(** @raise Frontend.Error (phase [Sema]) on unknown names (all lookups
+    and checks below). *)
 val lookup_scalar : env -> string -> Ast.ty
 
 val lookup_array : env -> string -> array_info

@@ -12,21 +12,36 @@ type verdict = {
 }
 
 (** Simulate [graph] on fresh inputs for the benchmark and verify.
+    [deadline] is the supervised-campaign watchdog predicate, passed
+    through to {!Sim.Engine.run} (which raises [Timeout] when it fires).
     [chaos] perturbs the run adversarially ({!Sim.Chaos}); a valid
     circuit must still complete with the same results. *)
 val run_circuit :
   ?seed:int ->
   ?max_cycles:int ->
+  ?deadline:(unit -> bool) ->
   ?chaos:Sim.Chaos.config ->
   Registry.bench ->
   Dataflow.Graph.t ->
   verdict
+
+(** Like {!run_circuit} but also returns the engine outcome, so callers
+    can run {!Sim.Forensics} on deadlocked or out-of-fuel runs. *)
+val run_circuit_full :
+  ?seed:int ->
+  ?max_cycles:int ->
+  ?deadline:(unit -> bool) ->
+  ?chaos:Sim.Chaos.config ->
+  Registry.bench ->
+  Dataflow.Graph.t ->
+  Sim.Engine.outcome * verdict
 
 (** Compile the benchmark, post-process with [transform] (e.g. a sharing
     pass mutating the graph), then simulate and verify. *)
 val compile_and_run :
   ?seed:int ->
   ?max_cycles:int ->
+  ?deadline:(unit -> bool) ->
   ?chaos:Sim.Chaos.config ->
   ?strategy:Minic.Codegen.strategy ->
   ?transform:(Minic.Codegen.compiled -> Minic.Codegen.compiled) ->

@@ -21,6 +21,26 @@ let table2 ?jobs ?(benches = Kernels.Registry.all) () =
        benches)
 
 (* ------------------------------------------------------------------ *)
+(* Supervised variants: same grids, but every row resolves to an
+   Exec.Outcome instead of aborting the whole table on one failure, and
+   finished rows are journalled for checkpoint/resume (Exec.Campaign). *)
+
+let table_key prefix ((b : Kernels.Registry.bench), t) =
+  Fmt.str "%s:%s:%s" prefix b.Kernels.Registry.name (Measure.technique_name t)
+
+(** {!table2} under supervision: one [(task, outcome)] pair per (bench,
+    technique) cell, in grid order.  A wedged or crashing cell becomes a
+    classified outcome while the other cells complete. *)
+let table2_outcomes ?jobs ?sup ?(benches = Kernels.Registry.all) () =
+  Exec.Campaign.map_outcomes ?jobs ?sup ~key:(table_key "table2")
+    ~encode:Measure.to_json ~decode:Measure.of_json
+    (fun ~deadline (b, t) -> Exec.Outcome.Ok (Measure.run ~deadline t b))
+    (List.concat_map
+       (fun b ->
+         List.map (fun t -> (b, t)) [ Measure.Naive; Measure.In_order; Measure.Crush ])
+       benches)
+
+(* ------------------------------------------------------------------ *)
 (* Table 3: fast-token circuits, without and with CRUSH                *)
 
 let table3 ?jobs ?(benches = Kernels.Registry.all) () =
@@ -30,6 +50,20 @@ let table3 ?jobs ?(benches = Kernels.Registry.all) () =
         Measure.technique =
           (match t with Measure.Naive -> "Fast tok" | _ -> "CRUSH");
       })
+    (List.concat_map
+       (fun b -> List.map (fun t -> (b, t)) [ Measure.Naive; Measure.Crush ])
+       benches)
+
+(** {!table3} under supervision. *)
+let table3_outcomes ?jobs ?sup ?(benches = Kernels.Registry.all) () =
+  Exec.Campaign.map_outcomes ?jobs ?sup ~key:(table_key "table3")
+    ~encode:Measure.to_json ~decode:Measure.of_json
+    (fun ~deadline (b, t) ->
+      Exec.Outcome.Ok
+        { (Measure.run ~strategy:Minic.Codegen.Fast_token ~deadline t b) with
+          Measure.technique =
+            (match t with Measure.Naive -> "Fast tok" | _ -> "CRUSH");
+        })
     (List.concat_map
        (fun b -> List.map (fun t -> (b, t)) [ Measure.Naive; Measure.Crush ])
        benches)
@@ -224,27 +258,62 @@ type opt_time_row = {
   evaluations : int;
 }
 
+let opt_time_one (b : Kernels.Registry.bench) =
+  let compile () = Minic.Codegen.compile_source b.Kernels.Registry.source in
+  let c1 = compile () in
+  let r1 =
+    Crush.Share.crush c1.Minic.Codegen.graph
+      ~critical_loops:c1.Minic.Codegen.critical_loops
+  in
+  let c2 = compile () in
+  let r2 =
+    Crush.Inorder.share c2.Minic.Codegen.graph
+      ~critical_loops:c2.Minic.Codegen.critical_loops
+      ~conditional_bbs:c2.Minic.Codegen.conditional_bbs
+  in
+  {
+    bench = b.Kernels.Registry.name;
+    crush_s = r1.Crush.Share.opt_time_s;
+    inorder_s = r2.Crush.Inorder.opt_time_s;
+    evaluations = r2.Crush.Inorder.evaluations;
+  }
+
 let opt_times ?jobs ?(benches = Kernels.Registry.all) () =
-  Exec.Campaign.map ?jobs
-    (fun (b : Kernels.Registry.bench) ->
-      let compile () = Minic.Codegen.compile_source b.Kernels.Registry.source in
-      let c1 = compile () in
-      let r1 =
-        Crush.Share.crush c1.Minic.Codegen.graph
-          ~critical_loops:c1.Minic.Codegen.critical_loops
-      in
-      let c2 = compile () in
-      let r2 =
-        Crush.Inorder.share c2.Minic.Codegen.graph
-          ~critical_loops:c2.Minic.Codegen.critical_loops
-          ~conditional_bbs:c2.Minic.Codegen.conditional_bbs
-      in
+  Exec.Campaign.map ?jobs opt_time_one benches
+
+let opt_time_row_to_json r =
+  Exec.Jsonl.Obj
+    [
+      ("bench", Exec.Jsonl.String r.bench);
+      ("crush_s", Exec.Jsonl.Float r.crush_s);
+      ("inorder_s", Exec.Jsonl.Float r.inorder_s);
+      ("evaluations", Exec.Jsonl.Int r.evaluations);
+    ]
+
+let opt_time_row_of_json j =
+  let open Exec.Jsonl in
+  let get f k =
+    match Option.bind (member k j) f with Some v -> v | None -> raise Exit
+  in
+  try
+    Some
       {
-        bench = b.Kernels.Registry.name;
-        crush_s = r1.Crush.Share.opt_time_s;
-        inorder_s = r2.Crush.Inorder.opt_time_s;
-        evaluations = r2.Crush.Inorder.evaluations;
-      })
+        bench = get to_str "bench";
+        crush_s = get to_float "crush_s";
+        inorder_s = get to_float "inorder_s";
+        evaluations = get to_int "evaluations";
+      }
+  with Exit -> None
+
+(** {!opt_times} under supervision.  The optimizers never simulate, so
+    the watchdog deadline is not polled mid-measurement; supervision
+    still classifies crashes and journals finished rows. *)
+let opt_times_outcomes ?jobs ?sup ?(benches = Kernels.Registry.all) () =
+  Exec.Campaign.map_outcomes ?jobs ?sup
+    ~key:(fun (b : Kernels.Registry.bench) ->
+      Fmt.str "opttime:%s" b.Kernels.Registry.name)
+    ~encode:opt_time_row_to_json ~decode:opt_time_row_of_json
+    (fun ~deadline:_ b -> Exec.Outcome.Ok (opt_time_one b))
     benches
 
 let pp_opt_times ppf rows =

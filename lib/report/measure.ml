@@ -26,9 +26,11 @@ let fu_to_string fus =
   String.concat " " (List.map (fun (n, c) -> Fmt.str "%d %s" c n) fus)
 
 (** Measure [graph] (already optimized, [opt_time_s] spent doing so) on
-    benchmark [bench]. *)
-let circuit ~technique ~opt_time_s (bench : Kernels.Registry.bench) graph =
-  let verdict = Kernels.Harness.run_circuit bench graph in
+    benchmark [bench].  [deadline] is the supervised-campaign watchdog,
+    passed through to the simulator. *)
+let circuit ?deadline ~technique ~opt_time_s (bench : Kernels.Registry.bench)
+    graph =
+  let verdict = Kernels.Harness.run_circuit ?deadline bench graph in
   let area = Analysis.Area.total graph in
   let cp = Analysis.Timing.critical_path graph in
   let cycles = verdict.Kernels.Harness.cycles in
@@ -55,8 +57,8 @@ let technique_name = function
   | Crush -> "CRUSH"
 
 (** Compile [bench] with [strategy], apply [tech], measure. *)
-let run ?(strategy = Minic.Codegen.Bb_ordered) tech (bench : Kernels.Registry.bench)
-    =
+let run ?(strategy = Minic.Codegen.Bb_ordered) ?deadline tech
+    (bench : Kernels.Registry.bench) =
   let compiled = Minic.Codegen.compile_source ~strategy bench.Kernels.Registry.source in
   let g = compiled.Minic.Codegen.graph in
   let opt_time_s =
@@ -79,7 +81,59 @@ let run ?(strategy = Minic.Codegen.Bb_ordered) tech (bench : Kernels.Registry.be
         in
         r.Crush.Inorder.opt_time_s
   in
-  circuit ~technique:(technique_name tech) ~opt_time_s bench g
+  circuit ?deadline ~technique:(technique_name tech) ~opt_time_s bench g
+
+(* ------------------------------------------------------------------ *)
+(* JSONL codec, so table rows can be journalled by supervised
+   campaigns and resumed across reruns (see Exec.Campaign).            *)
+
+let to_json (m : t) =
+  Exec.Jsonl.Obj
+    [
+      ("bench", Exec.Jsonl.String m.bench);
+      ("technique", Exec.Jsonl.String m.technique);
+      ( "fus",
+        Exec.Jsonl.List
+          (List.map
+             (fun (n, c) -> Exec.Jsonl.List [ Exec.Jsonl.String n; Exec.Jsonl.Int c ])
+             m.fus) );
+      ("dsps", Exec.Jsonl.Int m.dsps);
+      ("slices", Exec.Jsonl.Int m.slices);
+      ("luts", Exec.Jsonl.Int m.luts);
+      ("ffs", Exec.Jsonl.Int m.ffs);
+      ("cp_ns", Exec.Jsonl.Float m.cp_ns);
+      ("cycles", Exec.Jsonl.Int m.cycles);
+      ("exec_us", Exec.Jsonl.Float m.exec_us);
+      ("opt_time_s", Exec.Jsonl.Float m.opt_time_s);
+      ("correct", Exec.Jsonl.Bool m.correct);
+    ]
+
+let of_json j =
+  let open Exec.Jsonl in
+  let get f k =
+    match Option.bind (member k j) f with Some v -> v | None -> raise Exit
+  in
+  try
+    let fu = function
+      | List [ String n; Int c ] -> (n, c)
+      | _ -> raise Exit
+    in
+    Some
+      {
+        bench = get to_str "bench";
+        technique = get to_str "technique";
+        fus = List.map fu (get to_list "fus");
+        dsps = get to_int "dsps";
+        slices = get to_int "slices";
+        luts = get to_int "luts";
+        ffs = get to_int "ffs";
+        cp_ns = get to_float "cp_ns";
+        cycles = get to_int "cycles";
+        exec_us = get to_float "exec_us";
+        opt_time_s = get to_float "opt_time_s";
+        correct = get to_bool "correct";
+      }
+  with Exit -> None
 
 let pp_header ppf () =
   Fmt.pf ppf "%-10s %-8s %-16s %4s %6s %6s %6s %6s %8s %9s %8s %s" "Benchmark"

@@ -21,8 +21,11 @@ type t = {
 
 val fu_to_string : (string * int) list -> string
 
-(** Measure an already-optimized circuit on a benchmark. *)
+(** Measure an already-optimized circuit on a benchmark.  [deadline] is
+    the supervised-campaign watchdog predicate, passed through to
+    {!Sim.Engine.run} (which raises [Timeout] when it fires). *)
 val circuit :
+  ?deadline:(unit -> bool) ->
   technique:string ->
   opt_time_s:float ->
   Kernels.Registry.bench ->
@@ -34,7 +37,18 @@ type technique = Naive | In_order | Crush
 val technique_name : technique -> string
 
 (** Compile, optimize with the given technique, measure. *)
-val run : ?strategy:Minic.Codegen.strategy -> technique -> Kernels.Registry.bench -> t
+val run :
+  ?strategy:Minic.Codegen.strategy ->
+  ?deadline:(unit -> bool) ->
+  technique ->
+  Kernels.Registry.bench ->
+  t
+
+(** {2 JSONL codec} — journalling for supervised table campaigns.
+    [of_json] returns [None] on any shape mismatch; never raises. *)
+
+val to_json : t -> Exec.Jsonl.t
+val of_json : Exec.Jsonl.t -> t option
 
 val pp_header : unit Fmt.t
 val pp_row : t Fmt.t

@@ -51,6 +51,19 @@ type status =
   | Deadlock of int    (** cycle at which the circuit wedged *)
   | Out_of_fuel of int (** the fuel budget that elapsed without quiescence *)
 
+(** Raised by {!run} when the caller-provided [deadline] reports the
+    job's wall-clock budget exhausted.  The deadline is polled
+    cooperatively every {!deadline_poll_period} cycles, so for a
+    deterministic deadline predicate (e.g. one that fires unconditionally)
+    the interruption point — and therefore the carried cycle count — is
+    itself deterministic. *)
+exception Timeout of { cycles : int }
+
+(** The deadline predicate is consulted once every this many cycles —
+    rarely enough that the check stays off the hot path, often enough
+    that a wedged-but-busy circuit is interrupted promptly. *)
+let deadline_poll_period = 64
+
 type stats = {
   status : status;
   cycles : int;             (** total simulated cycles until quiescence *)
@@ -101,6 +114,10 @@ type t = {
           [exit_values] on every quiescence probe *)
   mutable exit_values : value list;
   mutable transfers : int;
+  last_fire : int array;
+      (** per unit: the last cycle at which its sequential state changed,
+          [-1] if it never did — the raw material of the livelock
+          snapshot {!Forensics} builds for [Out_of_fuel] runs *)
   chaos : Chaos.t option;
   chaos_stall : bool;           (** sinks can stall (config + sinks exist) *)
   chaos_jitter : bool;          (** ports are jittered (config + ports exist) *)
@@ -233,6 +250,7 @@ let create ?chaos ?memory g =
     n_exit_received = 0;
     exit_values = [];
     transfers = 0;
+    last_fire = Array.make (max 1 n_units) (-1);
     chaos;
     chaos_stall =
       chaos_on (fun c -> c.Chaos.stall_prob > 0.0) && chaos_sinks <> [];
@@ -795,7 +813,7 @@ let chaos_prologue t ch ~cycle ~quiet =
     quiescence without completion is a deadlock.  [chaos] perturbs the
     run adversarially (see {!Chaos}); a valid elastic circuit must
     produce the same exit values and still complete under any seed. *)
-let run ?(max_cycles = 2_000_000) ?observer ?chaos ?memory g =
+let run ?(max_cycles = 2_000_000) ?deadline ?observer ?chaos ?memory g =
   let t = create ?chaos ?memory g in
   let cycle = ref 0 in
   let quiet = ref 0 in
@@ -803,6 +821,14 @@ let run ?(max_cycles = 2_000_000) ?observer ?chaos ?memory g =
   let finished = ref None in
   Array.iter (fun u -> enqueue t u) t.live_units;
   while !finished = None do
+    (* Cooperative watchdog: poll the wall-clock budget every
+       [deadline_poll_period] cycles (cycle 0 included, so a
+       fire-immediately deadline interrupts deterministically before any
+       work happens). *)
+    (match deadline with
+    | Some d when !cycle mod deadline_poll_period = 0 && d () ->
+        raise (Timeout { cycles = !cycle })
+    | _ -> ());
     if !cycle >= max_cycles then finished := Some (Out_of_fuel max_cycles)
     else begin
       (match t.chaos with
@@ -818,6 +844,7 @@ let run ?(max_cycles = 2_000_000) ?observer ?chaos ?memory g =
         (fun u ->
           if step_unit t u then begin
             state_changed := true;
+            t.last_fire.(u) <- !cycle;
             enqueue t u
           end)
         t.step_units;
@@ -867,6 +894,10 @@ let buffer_occupancy t uid =
   match t.state.(uid) with
   | S_buffer b -> Some (Queue.length b.q, b.slots)
   | _ -> None
+
+(** Last cycle at which the unit's sequential state changed, [-1] if it
+    never did. *)
+let last_fire_cycle t uid = t.last_fire.(uid)
 
 (** [(tokens in flight, depth)] of a pipelined unit, [None] otherwise. *)
 let pipeline_busy t uid =

@@ -21,6 +21,16 @@ type status =
   | Deadlock of int    (** cycle at which the circuit wedged *)
   | Out_of_fuel of int (** the fuel budget that elapsed without quiescence *)
 
+(** Raised by {!run} when the caller-provided [deadline] reports the
+    job's wall-clock budget exhausted; carries the cycle at which the
+    simulation was interrupted.  The deadline is polled cooperatively
+    every {!deadline_poll_period} cycles (cycle 0 included), so a
+    deterministic predicate interrupts at a deterministic cycle. *)
+exception Timeout of { cycles : int }
+
+(** Poll period (in cycles) of the cooperative deadline check. *)
+val deadline_poll_period : int
+
 type stats = {
   status : status;
   cycles : int;          (** simulated cycles until quiescence *)
@@ -41,11 +51,15 @@ type outcome = { stats : stats; sim : t }
     for every fired channel with (cycle, channel, payload).  [chaos]
     switches on adversarial perturbation (see {!Chaos}); a valid elastic
     circuit must produce the same exit values and still complete under
-    every chaos seed.
+    every chaos seed.  [deadline] is the per-job watchdog: a predicate
+    polled every {!deadline_poll_period} cycles that returns [true] when
+    the job's wall-clock budget is exhausted.
 
+    @raise Timeout if [deadline] fires.
     @raise Dataflow.Validate.Invalid if the graph fails validation. *)
 val run :
   ?max_cycles:int ->
+  ?deadline:(unit -> bool) ->
   ?observer:(int -> Dataflow.Graph.channel -> Dataflow.Types.value -> unit) ->
   ?chaos:Chaos.config ->
   ?memory:Memory.t ->
@@ -79,6 +93,10 @@ val buffer_occupancy : t -> int -> (int * int) option
 
 (** [(tokens in flight, depth)] of a pipelined unit, [None] otherwise. *)
 val pipeline_busy : t -> int -> (int * int) option
+
+(** Last cycle at which the unit's sequential state changed, [-1] if it
+    never did.  The raw material of {!Forensics.analyze_livelock}. *)
+val last_fire_cycle : t -> int -> int
 
 (** For rotation/phased arbiters: the input ports currently holding the
     turn.  [None] for other units (priority arbiters never starve a lone

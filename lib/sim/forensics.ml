@@ -226,6 +226,80 @@ let state_note sim uid =
           | Some (busy, depth) -> Some (Fmt.str "pipeline %d/%d" busy depth)
           | None -> None))
 
+(* ------------------------------------------------------------------ *)
+(* Livelock snapshot (Out_of_fuel post-mortem)                          *)
+
+type firing = { f_unit : int; f_label : string; f_last : int; f_state : string option }
+
+type livelock = {
+  fuel : int;
+  window : int;
+  final_cycle : int;
+  recent : firing list;
+  exit_tokens : int;
+  total_transfers : int;
+}
+
+(** An out-of-fuel run is not quiesced, so the wait-for analysis does
+    not apply; what is diagnosable instead is {e who is still moving}.
+    The snapshot lists every unit whose sequential state changed during
+    the last [window] cycles of the run, most recently active first,
+    with the same live-state annotations (credits, buffer occupancy,
+    pipeline fill) as deadlock cores — a tight recent set around a loop
+    with no exit progress reads as a token-recirculation livelock, while
+    "everything is firing" reads as an honest too-small fuel budget. *)
+let analyze_livelock ?(window = 64) (outcome : Engine.outcome) =
+  match outcome.Engine.stats.Engine.status with
+  | Engine.Completed _ | Engine.Deadlock _ -> None
+  | Engine.Out_of_fuel fuel ->
+      let sim = outcome.Engine.sim in
+      let g = Engine.graph_of sim in
+      let final_cycle = outcome.Engine.stats.Engine.cycles - 1 in
+      let cutoff = final_cycle - window + 1 in
+      let recent =
+        Graph.fold_units g
+          (fun acc u ->
+            let uid = u.Graph.uid in
+            let last = Engine.last_fire_cycle sim uid in
+            if last >= cutoff then
+              {
+                f_unit = uid;
+                f_label = Graph.label_of g uid;
+                f_last = last;
+                f_state = state_note sim uid;
+              }
+              :: acc
+            else acc)
+          []
+        |> List.sort (fun a b ->
+               match compare b.f_last a.f_last with
+               | 0 -> compare a.f_unit b.f_unit
+               | c -> c)
+      in
+      Some
+        {
+          fuel;
+          window;
+          final_cycle;
+          recent;
+          exit_tokens =
+            List.length outcome.Engine.stats.Engine.exit_values;
+          total_transfers = outcome.Engine.stats.Engine.transfers;
+        }
+
+let pp_livelock ppf l =
+  Fmt.pf ppf
+    "@[<v2>out of fuel after %d cycles (%d transfers, %d exit tokens): %d \
+     unit(s) still firing in the last %d cycles"
+    l.fuel l.total_transfers l.exit_tokens (List.length l.recent) l.window;
+  List.iter
+    (fun f ->
+      Fmt.pf ppf "@,%s (unit %d) last fired at cycle %d%s" f.f_label f.f_unit
+        f.f_last
+        (match f.f_state with Some s -> Fmt.str " [%s]" s | None -> ""))
+    l.recent;
+  Fmt.pf ppf "@]"
+
 let analyze (outcome : Engine.outcome) =
   match outcome.Engine.stats.Engine.status with
   | Engine.Completed _ | Engine.Out_of_fuel _ -> None

@@ -50,6 +50,37 @@ type report = {
 (** [Some report] when the outcome is a deadlock, [None] otherwise. *)
 val analyze : Engine.outcome -> report option
 
+(** {2 Livelock snapshot}
+
+    An [Out_of_fuel] run never quiesced, so the wait-for analysis above
+    does not apply.  The diagnosable fact is who was still moving when
+    the fuel ran out: a small set of units recirculating tokens with no
+    exit progress is a livelock; everything firing is an honestly
+    too-small fuel budget. *)
+
+(** One unit that fired near the end of an out-of-fuel run. *)
+type firing = {
+  f_unit : int;
+  f_label : string;
+  f_last : int;           (** last cycle its sequential state changed *)
+  f_state : string option;  (** live state, as in {!note} *)
+}
+
+type livelock = {
+  fuel : int;             (** the exhausted cycle budget *)
+  window : int;           (** "recent" means within this many last cycles *)
+  final_cycle : int;      (** last cycle actually simulated *)
+  recent : firing list;   (** units active in the window, most recent first *)
+  exit_tokens : int;      (** tokens the Exit units did receive *)
+  total_transfers : int;
+}
+
+(** [Some snapshot] when the outcome is [Out_of_fuel], [None] otherwise.
+    [window] defaults to 64 cycles. *)
+val analyze_livelock : ?window:int -> Engine.outcome -> livelock option
+
+val pp_livelock : livelock Fmt.t
+
 (** Human-readable report: one block per core listing its units with
     their live state and the wait edges connecting them. *)
 val pp : report Fmt.t

@@ -235,6 +235,302 @@ let test_kernel_cycle_pin () =
   checkb "atax correct" v.Kernels.Harness.functionally_correct;
   checki "atax cycles" 4864 v.Kernels.Harness.cycles
 
+(* ------------------------------------------------------------------ *)
+(* Supervised campaigns: taxonomy, watchdog, retry/quarantine, resume  *)
+
+(** Collapse an outcome to a deterministic fingerprint: class plus the
+    payload fields that must be bit-identical across [jobs] widths.
+    (Backtraces are excluded — they are capture-point dependent.) *)
+let fingerprint ok = function
+  | Exec.Outcome.Ok v -> Fmt.str "ok:%s" (ok v)
+  | Exec.Outcome.Sim_deadlock { cycle; core } ->
+      Fmt.str "deadlock:%d:%s" cycle (String.concat "," core)
+  | Exec.Outcome.Job_timeout { cycles } -> Fmt.str "timeout:%d" cycles
+  | Exec.Outcome.Worker_crash { exn; _ } -> Fmt.str "crash:%s" exn
+  | o -> Exec.Outcome.class_name o
+
+let test_isolation_property =
+  (* A crashing or timing-out job must not perturb its siblings: the
+     supervised outcome list is bit-identical at jobs=1 and jobs=4, with
+     every job classified independently. *)
+  qtest ~count:50 "supervised: poisoned jobs never perturb siblings"
+    QCheck2.Gen.(list_size (int_range 0 30) (int_range 0 100))
+    (fun xs ->
+      let tasks = List.mapi (fun i x -> (i, x)) xs in
+      let f ~deadline:_ (_, x) =
+        if x mod 7 = 3 then raise (Boom x)
+        else if x mod 7 = 5 then raise (Sim.Engine.Timeout { cycles = x })
+        else Exec.Outcome.Ok ((x * x) + 1)
+      in
+      let key (i, _) = string_of_int i in
+      let run jobs =
+        List.map
+          (fun (_, o) -> fingerprint string_of_int o)
+          (Exec.Campaign.map_outcomes ~jobs ~key f tasks)
+      in
+      let serial = run 1 and parallel = run 4 in
+      serial = parallel
+      && List.for_all2
+           (fun (_, x) fp ->
+             match x mod 7 with
+             | 3 -> String.length fp >= 5 && String.sub fp 0 5 = "crash"
+             | 5 -> fp = Fmt.str "timeout:%d" x
+             | _ -> fp = Fmt.str "ok:%d" ((x * x) + 1))
+           tasks serial)
+
+let test_engine_watchdog () =
+  (* A deadline that is already due interrupts at cycle 0 — before any
+     wall clock elapses — and one that comes due later interrupts at the
+     next multiple of the poll period, deterministically. *)
+  let g = (Crush.Paper_examples.fig1 ()).Crush.Paper_examples.graph in
+  (match Sim.Engine.run ~deadline:(fun () -> true) g with
+  | _ -> Alcotest.fail "due deadline did not interrupt"
+  | exception Sim.Engine.Timeout { cycles } -> checki "cycle 0" 0 cycles);
+  let g = (Crush.Paper_examples.fig1 ()).Crush.Paper_examples.graph in
+  let polls = ref 0 in
+  let deadline () =
+    incr polls;
+    !polls > 2
+  in
+  match Sim.Engine.run ~deadline g with
+  | _ -> Alcotest.fail "counting deadline did not interrupt"
+  | exception Sim.Engine.Timeout { cycles } ->
+      checki "third poll" (2 * Sim.Engine.deadline_poll_period) cycles
+
+let test_supervised_sims_deterministic () =
+  (* run_sims_supervised with a zero wall-clock budget: every task times
+     out at cycle 0, identically at any jobs width. *)
+  let task () =
+    Exec.Campaign.sim_task
+      (Crush.Paper_examples.fig1 ()).Crush.Paper_examples.graph
+  in
+  let sup = Exec.Campaign.supervision ~timeout_s:0.0 () in
+  let run jobs =
+    List.map
+      (fun (_, o) -> fingerprint (fun _ -> "stats") o)
+      (Exec.Campaign.run_sims_supervised ~jobs ~sup
+         [ task (); task (); task () ])
+  in
+  check
+    Alcotest.(list string)
+    "all timeout at cycle 0"
+    [ "timeout:0"; "timeout:0"; "timeout:0" ]
+    (run 1);
+  check Alcotest.(list string) "jobs=4 identical" (run 1) (run 4)
+
+let with_temp_journal f =
+  let path = Filename.temp_file "crush_journal" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists path then Sys.remove path;
+      let q = Exec.Journal.quarantine_path path in
+      if Sys.file_exists q then Sys.remove q)
+    (fun () -> f path)
+
+let test_journal_roundtrip () =
+  with_temp_journal (fun path ->
+      Sys.remove path;
+      (* outcomes exercising every payload shape, including the string
+         escapes and non-finite floats the codec must survive *)
+      let entries =
+        [
+          { Exec.Journal.key = "a \"quoted\"\nkey"; attempts = 1;
+            outcome = Exec.Outcome.(to_json (fun v -> Exec.Jsonl.Float v))
+                        (Exec.Outcome.Ok Float.nan) };
+          { Exec.Journal.key = "b"; attempts = 3;
+            outcome = Exec.Outcome.(to_json (fun _ -> Exec.Jsonl.Null))
+                        (Exec.Outcome.Sim_deadlock
+                           { cycle = 42; core = [ "u\\1"; "u2" ] }) };
+          { Exec.Journal.key = "c"; attempts = 2;
+            outcome = Exec.Outcome.(to_json (fun _ -> Exec.Jsonl.Null))
+                        (Exec.Outcome.Worker_crash
+                           { exn = "Boom(7)"; backtrace = "frame1\nframe2" }) };
+        ]
+      in
+      let w = Exec.Journal.open_append path in
+      List.iter (Exec.Journal.record w) entries;
+      Exec.Journal.close w;
+      let tbl = Exec.Journal.load path in
+      checki "all keys load" (List.length entries) (Hashtbl.length tbl);
+      List.iter
+        (fun (e : Exec.Journal.entry) ->
+          match Hashtbl.find_opt tbl e.Exec.Journal.key with
+          | None -> Alcotest.fail ("missing key " ^ e.Exec.Journal.key)
+          | Some got ->
+              checki "attempts" e.Exec.Journal.attempts got.Exec.Journal.attempts;
+              check Alcotest.string "outcome round-trips"
+                (Exec.Jsonl.to_string e.Exec.Journal.outcome)
+                (Exec.Jsonl.to_string got.Exec.Journal.outcome))
+        entries;
+      (* a torn final line must not poison the resume *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "{\"schema_version\":1,\"key\":\"torn";
+      close_out oc;
+      checki "torn line skipped" (List.length entries)
+        (Hashtbl.length (Exec.Journal.load path)))
+
+let test_resume_skips_completed () =
+  with_temp_journal (fun journal ->
+      let sup = Exec.Campaign.supervision ~journal () in
+      let tasks = [ 1; 2; 3; 4; 5; 6 ] in
+      let key = string_of_int in
+      let executed = Atomic.make 0 in
+      let f ~deadline:_ x =
+        Atomic.incr executed;
+        if x = 4 then failwith "poisoned task" else Exec.Outcome.Ok (10 * x)
+      in
+      checki "all pending before" 6
+        (Exec.Campaign.pending_count ~sup ~key tasks);
+      let first = Exec.Campaign.map_outcomes ~jobs:3 ~sup ~key
+          ~encode:(fun v -> Exec.Jsonl.Int v)
+          ~decode:Exec.Jsonl.to_int f tasks
+      in
+      checki "all executed once" 6 (Atomic.get executed);
+      (* every key is recorded — including the failed one — so nothing
+         is pending and the rerun executes nothing *)
+      checki "none pending after" 0
+        (Exec.Campaign.pending_count ~sup ~key tasks);
+      let second = Exec.Campaign.map_outcomes ~jobs:3 ~sup ~key
+          ~encode:(fun v -> Exec.Jsonl.Int v)
+          ~decode:Exec.Jsonl.to_int f tasks
+      in
+      checki "rerun executed nothing" 6 (Atomic.get executed);
+      check
+        Alcotest.(list string)
+        "resumed outcomes identical"
+        (List.map (fun (_, o) -> fingerprint string_of_int o) first)
+        (List.map (fun (_, o) -> fingerprint string_of_int o) second))
+
+let test_retry_and_quarantine () =
+  (* A task failing on its first attempt succeeds under --retries 1; a
+     task failing every attempt lands in the quarantine manifest. *)
+  with_temp_journal (fun journal ->
+      let attempts = Hashtbl.create 8 in
+      let lock = Mutex.create () in
+      let bump k =
+        Mutex.lock lock;
+        let n = 1 + Option.value ~default:0 (Hashtbl.find_opt attempts k) in
+        Hashtbl.replace attempts k n;
+        Mutex.unlock lock;
+        n
+      in
+      let f ~deadline:_ x =
+        let n = bump x in
+        match x with
+        | "flaky" when n = 1 -> failwith "transient glitch"
+        | "hopeless" -> failwith "always broken"
+        | _ -> Exec.Outcome.Ok x
+      in
+      let sup = Exec.Campaign.supervision ~retries:1 ~journal () in
+      let out =
+        Exec.Campaign.map_outcomes ~sup ~key:Fun.id f
+          [ "steady"; "flaky"; "hopeless" ]
+      in
+      let classes = List.map (fun (_, o) -> Exec.Outcome.class_name o) out in
+      check
+        Alcotest.(list string)
+        "flaky recovers, hopeless does not"
+        [ "ok"; "ok"; "crash" ] classes;
+      checki "flaky retried once" 2 (Hashtbl.find attempts "flaky");
+      checki "hopeless exhausted retries" 2 (Hashtbl.find attempts "hopeless");
+      match Exec.Journal.load_quarantine (Exec.Journal.quarantine_path journal) with
+      | [ (key, att, cls) ] ->
+          check Alcotest.string "quarantined key" "hopeless" key;
+          checki "recorded attempts" 2 att;
+          check Alcotest.string "recorded class" "crash" cls
+      | q -> Alcotest.fail (Fmt.str "expected 1 quarantine entry, got %d"
+                              (List.length q)))
+
+(* The acceptance sweep of the supervision issue: an injected Eq. 1
+   fault, a forced watchdog timeout and a crashing job all complete
+   under keep-going semantics with the right classes, bit-identically at
+   jobs=1 and jobs=4; a second run against the same journal re-executes
+   only tasks it has not seen. *)
+type acceptance_task = Good of string | Fault | Forced_timeout | Crashing
+
+let acceptance_key = function
+  | Good s -> "good:" ^ s
+  | Fault -> "fault"
+  | Forced_timeout -> "forced-timeout"
+  | Crashing -> "crashing"
+
+let test_supervised_acceptance () =
+  let executed = Atomic.make 0 in
+  let f ~deadline:_ task =
+    Atomic.incr executed;
+    match task with
+    | Good _ ->
+        Exec.Outcome.of_sim_run
+          (Sim.Engine.run (Crush.Paper_examples.fig1 ()).Crush.Paper_examples.graph)
+    | Fault ->
+        let built = Crush.Paper_examples.fig1 () in
+        let g = Crush.Faults.inject built (List.hd Crush.Faults.all) in
+        Exec.Outcome.of_sim_run (Sim.Engine.run ~max_cycles:100_000 g)
+    | Forced_timeout ->
+        Exec.Outcome.of_sim_run
+          (Sim.Engine.run ~deadline:(fun () -> true)
+             (Crush.Paper_examples.fig1 ()).Crush.Paper_examples.graph)
+    | Crashing -> failwith "injected worker crash"
+  in
+  let encode = Exec.Outcome.stats_to_json and decode = Exec.Outcome.stats_of_json in
+  let tasks = [ Good "a"; Fault; Forced_timeout; Crashing; Good "b" ] in
+  let fp (_, o) =
+    fingerprint (fun (s : Sim.Engine.stats) -> string_of_int s.Sim.Engine.cycles) o
+  in
+  let classes out = List.map (fun (_, o) -> Exec.Outcome.class_name o) out in
+  (* jobs=1 and jobs=4, fresh journals: identical classified outcomes *)
+  let serial, parallel =
+    with_temp_journal (fun j1 ->
+        with_temp_journal (fun j4 ->
+            let run jobs journal =
+              Exec.Campaign.map_outcomes ~jobs
+                ~sup:(Exec.Campaign.supervision ~journal ())
+                ~key:acceptance_key ~encode ~decode f tasks
+            in
+            (run 1 j1, run 4 j4)))
+  in
+  check
+    Alcotest.(list string)
+    "every class lands where the taxonomy says"
+    [ "ok"; "deadlock"; "timeout"; "crash"; "ok" ]
+    (classes serial);
+  check
+    Alcotest.(list string)
+    "jobs=1 and jobs=4 bit-identical" (List.map fp serial) (List.map fp parallel);
+  (* checkpoint/resume: the journalled run re-executes only new work *)
+  with_temp_journal (fun journal ->
+      let sup = Exec.Campaign.supervision ~journal () in
+      Atomic.set executed 0;
+      let first =
+        Exec.Campaign.map_outcomes ~jobs:4 ~sup ~key:acceptance_key ~encode
+          ~decode f tasks
+      in
+      checki "first run executed everything" 5 (Atomic.get executed);
+      let extended = tasks @ [ Good "c" ] in
+      checki "only the new task is pending" 1
+        (Exec.Campaign.pending_count ~sup ~key:acceptance_key extended);
+      let second =
+        Exec.Campaign.map_outcomes ~jobs:4 ~sup ~key:acceptance_key ~encode
+          ~decode f extended
+      in
+      checki "second run executed only the new task" 6 (Atomic.get executed);
+      check
+        Alcotest.(list string)
+        "resumed outcomes identical to the first run" (List.map fp first)
+        (List.map fp (List.filteri (fun i _ -> i < 5) second));
+      check Alcotest.string "new task completed" "ok"
+        (Exec.Outcome.class_name (snd (List.nth second 5)));
+      (* the failed jobs are on the quarantine manifest *)
+      let quarantined =
+        List.map (fun (k, _, _) -> k)
+          (Exec.Journal.load_quarantine (Exec.Journal.quarantine_path journal))
+      in
+      check
+        Alcotest.(slist string compare)
+        "deadlock, timeout and crash are quarantined"
+        [ "fault"; "forced-timeout"; "crashing" ]
+        quarantined)
+
 let suite =
   [
     Alcotest.test_case "campaign: map = serial map" `Quick test_map_matches_serial;
@@ -255,4 +551,17 @@ let suite =
     Alcotest.test_case "engine: observer path counts agree" `Quick
       test_observer_counts_match;
     Alcotest.test_case "engine: atax cycle pin" `Quick test_kernel_cycle_pin;
+    test_isolation_property;
+    Alcotest.test_case "engine: watchdog poll determinism" `Quick
+      test_engine_watchdog;
+    Alcotest.test_case "supervised: zero-timeout sims deterministic" `Quick
+      test_supervised_sims_deterministic;
+    Alcotest.test_case "supervised: journal round-trip" `Quick
+      test_journal_roundtrip;
+    Alcotest.test_case "supervised: resume skips completed" `Quick
+      test_resume_skips_completed;
+    Alcotest.test_case "supervised: retry and quarantine" `Quick
+      test_retry_and_quarantine;
+    Alcotest.test_case "supervised: acceptance sweep" `Quick
+      test_supervised_acceptance;
   ]

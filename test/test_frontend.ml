@@ -42,11 +42,34 @@ let test_lexer_errors () =
   (try
      ignore (toks "a $ b");
      Alcotest.fail "no error"
-   with Lexer.Error _ -> ());
+   with Frontend.Error e ->
+     checkb "lex phase" (e.Frontend.phase = Frontend.Lex);
+     check Alcotest.(option string) "offending token" (Some "$") e.Frontend.token);
   try
     ignore (toks "/* unterminated");
     Alcotest.fail "no error"
-  with Lexer.Error _ -> ()
+  with Frontend.Error e -> checkb "lex phase" (e.Frontend.phase = Frontend.Lex)
+
+let test_located_errors () =
+  (* Errors carry 1-based line/column of the offending token. *)
+  (try
+     ignore (toks "ok;\n  ?");
+     Alcotest.fail "lexer accepted '?'"
+   with Frontend.Error e ->
+     check
+       Alcotest.(option (pair int int))
+       "lexer loc" (Some (2, 3))
+       (Option.map (fun l -> (l.Frontend.line, l.Frontend.column)) e.Frontend.loc));
+  try
+    ignore (Parser.parse_kernel "void f() {\n  int x = ;\n}");
+    Alcotest.fail "parser accepted 'int x = ;'"
+  with Frontend.Error e ->
+    checkb "parse phase" (e.Frontend.phase = Frontend.Parse);
+    check Alcotest.(option string) "parse token" (Some ";") e.Frontend.token;
+    check
+      Alcotest.(option (pair int int))
+      "parser loc" (Some (2, 11))
+      (Option.map (fun l -> (l.Frontend.line, l.Frontend.column)) e.Frontend.loc)
 
 (* ------------------------------------------------------------------ *)
 (* Parser *)
@@ -99,7 +122,7 @@ let test_parser_errors () =
     try
       ignore (parse src);
       Alcotest.failf "parsed bad input: %s" src
-    with Parser.Error _ | Lexer.Error _ -> ()
+    with Frontend.Error _ -> ()
   in
   bad "void f() { for (i = 0; j < 3; i++) { } }";  (* wrong cond var *)
   bad "void f() { x 5; }";
@@ -128,7 +151,7 @@ let test_sema_rejects () =
     try
       ignore (check_src src);
       Alcotest.failf "sema accepted %s" msg
-    with Sema.Error _ -> ()
+    with Frontend.Error e -> checkb msg (e.Frontend.phase = Frontend.Sema)
   in
   bad "undeclared" "void f() { x = 1; }";
   bad "redeclaration" "void f() { int x = 0; float x = 1.0; }";
@@ -319,6 +342,7 @@ let suite =
     ("lexer: comments", `Quick, test_lexer_comments);
     ("lexer: two-char ops", `Quick, test_lexer_two_char_ops);
     ("lexer: errors", `Quick, test_lexer_errors);
+    ("frontend: located errors", `Quick, test_located_errors);
     ("parser: kernel shape", `Quick, test_parser_kernel_shape);
     ("parser: precedence", `Quick, test_parser_precedence);
     ("parser: compound assign", `Quick, test_parser_compound_assign);
