@@ -1,11 +1,13 @@
 # Convenience driver.  `make check` is the tier-1 gate: full build,
 # unit + property tests, a short fixed-seed chaos sweep over all
-# kernels plus the fault-injection detection check, and the bounded
-# simulation-throughput smoke bench with its regression gate.
+# kernels plus the fault-injection detection check, the sanitizer
+# smoke (faults convicted early, clean circuits silent), and the
+# bounded simulation-throughput smoke bench with its regression gate.
 
 DUNE ?= dune
 
-.PHONY: all build test chaos chaos-supervised bench-smoke check clean
+.PHONY: all build test chaos chaos-supervised sanitize-smoke bench-smoke \
+  check clean
 
 all: build
 
@@ -31,6 +33,14 @@ chaos-supervised: build
 	$(DUNE) exec bin/crush_cli.exe -- chaos --keep-going --inject-faults \
 	  --trials 2 --seed 1 --kernel atax --jobs 2
 
+# Elastic-protocol sanitizer smoke: the three Eq. 1 fault circuits must
+# each be convicted strictly earlier than quiescence deadlock detection,
+# and every kernel x both codegen strategies x {unperturbed, 2 chaos
+# seeds} must run to a correct result with zero violations.  Any
+# violation on a clean circuit or a late/missed conviction exits 1.
+sanitize-smoke: build
+	$(DUNE) exec bin/crush_cli.exe -- sanitize --trials 2 --seed 1
+
 # Bounded (<60s) perf smoke: every kernel x 2 seeds, serial vs
 # parallel campaign, written to BENCH_sim.json.  Refuses to overwrite
 # the baseline on a >20% serial cycles/sec regression; export
@@ -39,7 +49,7 @@ chaos-supervised: build
 bench-smoke: build
 	$(DUNE) exec bench/main.exe -- smoke --jobs 4
 
-check: build test chaos chaos-supervised bench-smoke
+check: build test chaos chaos-supervised sanitize-smoke bench-smoke
 
 clean:
 	$(DUNE) clean

@@ -448,12 +448,12 @@ let smoke_tasks () =
     (fun (b : Kernels.Registry.bench) -> [ (b, 42); (b, 43) ])
     Kernels.Registry.all
 
-let smoke_run_one ((b : Kernels.Registry.bench), seed) =
+let smoke_run_one ?monitor ((b : Kernels.Registry.bench), seed) =
   let c = Minic.Codegen.compile_source b.Kernels.Registry.source in
   ignore
     (Crush.Share.crush c.Minic.Codegen.graph
        ~critical_loops:c.Minic.Codegen.critical_loops);
-  let v = Kernels.Harness.run_circuit ~seed b c.Minic.Codegen.graph in
+  let v = Kernels.Harness.run_circuit ?monitor ~seed b c.Minic.Codegen.graph in
   if not v.Kernels.Harness.functionally_correct then
     failwith (Fmt.str "smoke: %s (seed %d) produced wrong results"
                 b.Kernels.Registry.name seed);
@@ -511,6 +511,15 @@ let smoke () =
      improvement shows up here, independent of parallel fan-out. *)
   let single_task = (Kernels.Registry.find "syr2k", 42) in
   let single_cycles, single_s = wall (fun () -> smoke_run_one single_task) in
+  (* Sanitizer overhead on the same sim, reported but never gated: the
+     monitors are off by default on every hot path, so this measures
+     what `--sanitize` costs when opted into, not a regression risk. *)
+  let sanitized_cycles, sanitized_s =
+    wall (fun () ->
+        smoke_run_one ~monitor:(Sim.Sanitizer.monitor ()) single_task)
+  in
+  if sanitized_cycles <> single_cycles then
+    failwith "smoke: sanitizer monitor changed the simulated cycle count";
   let serial_cycles, serial_s =
     wall (fun () -> Exec.Campaign.map ~jobs:1 smoke_run_one tasks)
   in
@@ -524,10 +533,16 @@ let smoke () =
   let serial_cps = float_of_int total_cycles /. Float.max 1e-9 serial_s in
   let parallel_cps = float_of_int total_cycles /. Float.max 1e-9 parallel_s in
   let single_cps = float_of_int single_cycles /. Float.max 1e-9 single_s in
+  let sanitized_cps =
+    float_of_int sanitized_cycles /. Float.max 1e-9 sanitized_s
+  in
+  let sanitizer_overhead = sanitized_s /. Float.max 1e-9 single_s in
   speak "  serial:   %7.2f s  (%.0f cycles/sec)@." serial_s serial_cps;
   speak "  parallel: %7.2f s  (%.0f cycles/sec, %.2fx speedup at jobs=%d)@."
     parallel_s parallel_cps speedup n_jobs;
   speak "  single-sim engine throughput: %.0f cycles/sec (syr2k)@." single_cps;
+  speak "  sanitized: %.0f cycles/sec (%.2fx wall, not gated)@." sanitized_cps
+    sanitizer_overhead;
   (* Regression gate on engine throughput: the serial number is the
      stable one (parallel depends on machine load and core count). *)
   (match previous_metric "serial_cycles_per_sec" with
@@ -559,11 +574,14 @@ let smoke () =
     \  \"single_sim_kernel\": \"syr2k\",\n\
     \  \"single_sim_cycles\": %d,\n\
     \  \"single_sim_wall_s\": %.4f,\n\
-    \  \"single_sim_cycles_per_sec\": %.1f\n\
+    \  \"single_sim_cycles_per_sec\": %.1f,\n\
+    \  \"sanitized_sim_wall_s\": %.4f,\n\
+    \  \"sanitized_sim_cycles_per_sec\": %.1f,\n\
+    \  \"sanitizer_overhead_x\": %.3f\n\
      }\n"
     Exec.Journal.schema_version (List.length tasks) n_jobs total_cycles
     serial_s parallel_s speedup serial_cps parallel_cps single_cycles single_s
-    single_cps;
+    single_cps sanitized_s sanitized_cps sanitizer_overhead;
   close_out oc;
   speak "  wrote %s@." bench_json
 

@@ -302,6 +302,79 @@ let inject_faults_arg =
            the sweep as tasks that $(i,must) classify as deadlocks; a fault \
            that completes or misclassifies fails the run.")
 
+let sanitize_arg =
+  Arg.(
+    value & flag
+    & info [ "sanitize" ]
+        ~doc:
+          "Run every simulation under the elastic-protocol sanitizers \
+           ($(b,Sim.Sanitizer)); a violated invariant classifies the task \
+           as $(b,sanitizer) instead of waiting for the wreckage to \
+           quiesce into a deadlock.")
+
+let auto_reduce_arg =
+  Arg.(
+    value & flag
+    & info [ "auto-reduce" ]
+        ~doc:
+          "On a sanitizer violation, minimize the failing circuit with the \
+           ddmin reducer and journal the path of the $(i,.repro.json) it \
+           writes (implies $(b,--sanitize)).")
+
+let repro_dir_arg =
+  Arg.(
+    value
+    & opt string "repros"
+    & info [ "repro-dir" ] ~docv:"DIR"
+        ~doc:"Directory for minimized reproducers written by \
+              $(b,--auto-reduce).")
+
+let fault_slug = function
+  | Crush.Faults.Overallocated_credits _ -> "overalloc"
+  | Crush.Faults.Creditless_naive -> "creditless"
+  | Crush.Faults.Reversed_rotation -> "rotation"
+
+let fault_conv =
+  let parse = function
+    | "overalloc" -> Ok (Crush.Faults.Overallocated_credits 2)
+    | "creditless" -> Ok Crush.Faults.Creditless_naive
+    | "rotation" -> Ok Crush.Faults.Reversed_rotation
+    | s ->
+        Error
+          (`Msg
+            (Fmt.str "unknown fault %s (overalloc | creditless | rotation)" s))
+  in
+  let print ppf f = Fmt.string ppf (fault_slug f) in
+  Arg.conv (parse, print)
+
+let fault_circuit fault =
+  Crush.Faults.inject (Crush.Paper_examples.fig1 ()) fault
+
+(** Run [f] under a fresh sanitizer; on a violation, optionally minimize
+    [g] and return the {!Exec.Outcome.Sanitizer_violation} carrying the
+    repro path.  Reduction happens inside the task function — before the
+    outcome is journalled — so a campaign's journal is bit-identical at
+    any $(b,--jobs) level. *)
+let sanitized ~auto_reduce ~repro_dir ~name g f =
+  match f (Sim.Sanitizer.monitor ()) with
+  | result -> result
+  | exception Sim.Sanitizer.Violation v ->
+      let repro =
+        if not auto_reduce then None
+        else
+          Option.map fst
+            (Exec.Reduce.reduce_to_files ~dir:repro_dir ~name ~fault:name
+               ~invariant:v.Sim.Sanitizer.invariant g)
+      in
+      Exec.Outcome.Sanitizer_violation
+        {
+          cycle = v.Sim.Sanitizer.cycle;
+          unit_label = v.Sim.Sanitizer.unit_label;
+          invariant = v.Sim.Sanitizer.invariant;
+          detail = v.Sim.Sanitizer.detail;
+          repro;
+        }
+
 (** Sweep every CRUSH-shared kernel across chaos seeds: every trial must
     complete with outputs identical to the software reference.  The
     (kernel, trial) grid fans out over [jobs] domains; each task compiles
@@ -412,6 +485,8 @@ let refail : 'a Exec.Outcome.t -> 'b Exec.Outcome.t = function
       Out_of_fuel { fuel; still_firing; exit_tokens }
   | Job_timeout { cycles } -> Job_timeout { cycles }
   | Worker_crash { exn; backtrace } -> Worker_crash { exn; backtrace }
+  | Sanitizer_violation { cycle; unit_label; invariant; detail; repro } ->
+      Sanitizer_violation { cycle; unit_label; invariant; detail; repro }
 
 (** One supervised chaos task: a (kernel, chaos-seed) trial, or one of
     the deliberately broken Eq. 1 circuits that must deadlock. *)
@@ -437,30 +512,38 @@ let chaos_decode j =
   | Some c, Some n -> Some (c, n)
   | _ -> None
 
-let run_chaos_task ~deadline = function
+let run_chaos_task ~sanitize ~auto_reduce ~repro_dir ~deadline task =
+  let with_monitor name g f =
+    if sanitize then sanitized ~auto_reduce ~repro_dir ~name g f
+    else f (fun _ ~cycle:_ _ -> ())
+  in
+  match task with
   | Trial (b, s) ->
       let c = Minic.Codegen.compile_source b.Kernels.Registry.source in
       ignore
         (Crush.Share.crush c.Minic.Codegen.graph
            ~critical_loops:c.Minic.Codegen.critical_loops);
-      let chaos = Sim.Chaos.default ~seed:s in
-      let out, v =
-        Kernels.Harness.run_circuit_full ~deadline ~chaos b
-          c.Minic.Codegen.graph
-      in
-      (match Exec.Outcome.of_sim_run out with
-      | Exec.Outcome.Ok _ ->
-          Exec.Outcome.Ok
-            (v.Kernels.Harness.functionally_correct, v.Kernels.Harness.cycles)
-      | failure -> refail failure)
+      let name = Fmt.str "trial_%s_%d" b.Kernels.Registry.name s in
+      with_monitor name c.Minic.Codegen.graph (fun monitor ->
+          let chaos = Sim.Chaos.default ~seed:s in
+          let out, v =
+            Kernels.Harness.run_circuit_full ~deadline ~monitor ~chaos b
+              c.Minic.Codegen.graph
+          in
+          match Exec.Outcome.of_sim_run out with
+          | Exec.Outcome.Ok _ ->
+              Exec.Outcome.Ok
+                ( v.Kernels.Harness.functionally_correct,
+                  v.Kernels.Harness.cycles )
+          | failure -> refail failure)
   | Fault fault ->
-      let built = Crush.Paper_examples.fig1 () in
-      let g = Crush.Faults.inject built fault in
-      let out = Sim.Engine.run ~max_cycles:100_000 ~deadline g in
-      (match Exec.Outcome.of_sim_run out with
-      | Exec.Outcome.Ok stats ->
-          Exec.Outcome.Ok (true, stats.Sim.Engine.cycles)
-      | failure -> refail failure)
+      let g = fault_circuit fault in
+      with_monitor ("fault_" ^ fault_slug fault) g (fun monitor ->
+          let out = Sim.Engine.run ~max_cycles:100_000 ~deadline ~monitor g in
+          match Exec.Outcome.of_sim_run out with
+          | Exec.Outcome.Ok stats ->
+              Exec.Outcome.Ok (true, stats.Sim.Engine.cycles)
+          | failure -> refail failure)
 
 (** JSON campaign report (schema-versioned, like the journal). *)
 let write_chaos_report path ~trials ~seed ~jobs summary results =
@@ -495,6 +578,7 @@ let write_chaos_report path ~trials ~seed ~jobs summary results =
               ("out_of_fuel", Int summary.Exec.Outcome.n_out_of_fuel);
               ("timeout", Int summary.Exec.Outcome.n_timeout);
               ("crash", Int summary.Exec.Outcome.n_crash);
+              ("sanitizer", Int summary.Exec.Outcome.n_sanitizer);
             ] );
         ("tasks", List (List.map task_json results));
       ]
@@ -509,7 +593,8 @@ let write_chaos_report path ~trials ~seed ~jobs summary results =
     the batch always drains, and the summary table plus per-class exit
     code replace the legacy first-failure abort.  Fault-injection tasks
     are expected to classify as deadlocks; anything else is a miss. *)
-let chaos_supervised ~jobs ~trials ~seed ~sup ~inject_faults ~report benches =
+let chaos_supervised ~jobs ~trials ~seed ~sup ~inject_faults ~sanitize
+    ~auto_reduce ~repro_dir ~report benches =
   let tasks =
     List.concat_map
       (fun (b : Kernels.Registry.bench) ->
@@ -525,12 +610,15 @@ let chaos_supervised ~jobs ~trials ~seed ~sup ~inject_faults ~report benches =
       (List.length tasks) pending;
   let results =
     Exec.Campaign.map_outcomes ~jobs ~sup ~key:chaos_key ~encode:chaos_encode
-      ~decode:chaos_decode run_chaos_task tasks
+      ~decode:chaos_decode
+      (run_chaos_task ~sanitize ~auto_reduce ~repro_dir)
+      tasks
   in
   (* Trials: any non-[Ok] outcome is a failure; [Ok] with wrong results
-     too.  Faults: exactly [Sim_deadlock] is a detection, all else is a
-     miss (a crash or timeout there is an infrastructure bug, not a
-     detected deadlock). *)
+     too.  Faults: [Sim_deadlock] is a detection — and under --sanitize,
+     so is [Sanitizer_violation], which convicts strictly earlier; all
+     else is a miss (a crash or timeout there is an infrastructure bug,
+     not a detected deadlock). *)
   let wrong = ref 0 and missed = ref 0 in
   List.iter
     (fun (task, o) ->
@@ -546,6 +634,12 @@ let chaos_supervised ~jobs ~trials ~seed ~sup ~inject_faults ~report benches =
       | Fault _, Exec.Outcome.Sim_deadlock { cycle; _ } ->
           Fmt.pr "fault detected: %s — deadlock at cycle %d@." (chaos_key task)
             cycle
+      | Fault _, Exec.Outcome.Sanitizer_violation { cycle; invariant; repro; _ }
+        when sanitize ->
+          Fmt.pr "fault convicted: %s — %s at cycle %d%a@." (chaos_key task)
+            invariant cycle
+            Fmt.(option (any ", repro " ++ string))
+            repro
       | Fault _, o ->
           incr missed;
           Fmt.pr "FAULT MISSED: %s classified %s (expected deadlock)@."
@@ -583,10 +677,11 @@ let chaos_cmd =
      restart."
   in
   let run trials seed kernel report jobs keep_going timeout_s retries journal
-      inject_faults =
+      inject_faults sanitize auto_reduce repro_dir =
     (match report with
     | Some path -> if Sys.file_exists path then Sys.remove path
     | None -> ());
+    let sanitize = sanitize || auto_reduce in
     let benches =
       match kernel with
       | Some k -> [ Kernels.Registry.find k ]
@@ -594,11 +689,12 @@ let chaos_cmd =
     in
     let supervised =
       keep_going || inject_faults || timeout_s <> None || retries > 0
-      || journal <> None
+      || journal <> None || sanitize
     in
     if supervised then
       let sup = Exec.Campaign.supervision ?timeout_s ~retries ?journal () in
-      chaos_supervised ~jobs ~trials ~seed ~sup ~inject_faults ~report benches
+      chaos_supervised ~jobs ~trials ~seed ~sup ~inject_faults ~sanitize
+        ~auto_reduce ~repro_dir ~report benches
     else begin
       let failures = chaos_sweep ~jobs ~trials ~seed benches in
       let misses = chaos_fault_check ~report () in
@@ -618,13 +714,228 @@ let chaos_cmd =
     Term.(
       const run $ trials_arg $ seed_arg $ kernel_arg $ report_arg $ jobs_arg
       $ keep_going_arg $ timeout_arg $ retries_arg $ journal_arg
-      $ inject_faults_arg)
+      $ inject_faults_arg $ sanitize_arg $ auto_reduce_arg $ repro_dir_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sanitize: sanitizer self-test + clean-circuit zero-violation sweep  *)
+
+(** Each Eq. 1 fault circuit must be convicted by the sanitizers
+    strictly earlier than the engine's quiescence-based deadlock
+    detection would have reported it.  Returns the failure count. *)
+let sanitize_fault_check () =
+  let failures = ref 0 in
+  List.iter
+    (fun fault ->
+      let unmonitored = Sim.Engine.run ~max_cycles:100_000 (fault_circuit fault) in
+      let deadlock_cycle =
+        match unmonitored.Sim.Engine.stats.Sim.Engine.status with
+        | Sim.Engine.Deadlock c -> c
+        | _ -> max_int
+      in
+      match
+        Sim.Engine.run ~max_cycles:100_000
+          ~monitor:(Sim.Sanitizer.monitor ())
+          (fault_circuit fault)
+      with
+      | (_ : Sim.Engine.outcome) ->
+          incr failures;
+          Fmt.pr "SANITIZER MISS: %s raised no violation@."
+            (Crush.Faults.describe fault)
+      | exception Sim.Sanitizer.Violation v ->
+          if v.Sim.Sanitizer.cycle < deadlock_cycle then
+            Fmt.pr "convicted %-10s %-22s cycle %d (quiescence deadlock: %s)@."
+              (fault_slug fault) v.Sim.Sanitizer.invariant
+              v.Sim.Sanitizer.cycle
+              (if deadlock_cycle = max_int then "never"
+               else string_of_int deadlock_cycle)
+          else begin
+            incr failures;
+            Fmt.pr "SANITIZER LATE: %s convicted at cycle %d, not earlier \
+                    than deadlock cycle %d@."
+              (fault_slug fault) v.Sim.Sanitizer.cycle deadlock_cycle
+          end)
+    Crush.Faults.all;
+  !failures
+
+(** Every kernel x codegen strategy x chaos seed (plus one unperturbed
+    run each) must complete, correctly, with zero sanitizer violations.
+    Returns the failure count. *)
+let sanitize_sweep ~trials ~seed benches =
+  let failures = ref 0 in
+  List.iter
+    (fun (b : Kernels.Registry.bench) ->
+      List.iter
+        (fun strategy ->
+          for t = 0 to trials do
+            let c =
+              Minic.Codegen.compile_source ~strategy b.Kernels.Registry.source
+            in
+            ignore
+              (Crush.Share.crush c.Minic.Codegen.graph
+                 ~critical_loops:c.Minic.Codegen.critical_loops);
+            let chaos =
+              if t = 0 then None
+              else Some (Sim.Chaos.default ~seed:(seed + (7919 * t)))
+            in
+            let where () =
+              Fmt.str "%s/%s%s" b.Kernels.Registry.name
+                (Minic.Codegen.string_of_strategy strategy)
+                (if t = 0 then "" else Fmt.str "/seed+%d" (7919 * t))
+            in
+            match
+              Kernels.Harness.run_circuit
+                ~monitor:(Sim.Sanitizer.monitor ())
+                ?chaos b c.Minic.Codegen.graph
+            with
+            | v ->
+                if not v.Kernels.Harness.functionally_correct then begin
+                  incr failures;
+                  Fmt.pr "  FAIL %s: %a@." (where ()) Kernels.Harness.pp_verdict
+                    v
+                end
+            | exception Sim.Sanitizer.Violation v ->
+                incr failures;
+                Fmt.pr "  VIOLATION %s: %a@." (where ())
+                  Sim.Sanitizer.pp_violation v
+          done)
+        [ Minic.Codegen.Bb_ordered; Minic.Codegen.Fast_token ])
+    benches;
+  !failures
+
+let skip_faults_arg =
+  Arg.(
+    value & flag
+    & info [ "skip-faults" ]
+        ~doc:"Skip the fault-injection self-test; run only the clean sweep.")
+
+let sanitize_cmd =
+  let doc =
+    "Self-test the elastic-protocol sanitizers: the three Eq. 1 fault \
+     circuits must be convicted strictly earlier than quiescence-based \
+     deadlock detection, and every kernel x codegen strategy x chaos seed \
+     must complete with zero violations (the sanitizers never cry wolf)."
+  in
+  let run trials seed kernel skip_faults =
+    let benches =
+      match kernel with
+      | Some k -> [ Kernels.Registry.find k ]
+      | None -> Kernels.Registry.all
+    in
+    let fault_failures = if skip_faults then 0 else sanitize_fault_check () in
+    let sweep_failures = sanitize_sweep ~trials ~seed benches in
+    if fault_failures = 0 && sweep_failures = 0 then
+      Fmt.pr
+        "sanitize: %d kernels x 2 strategies x %d runs clean%s@."
+        (List.length benches) (trials + 1)
+        (if skip_faults then "" else ", all 3 faults convicted early")
+    else begin
+      Fmt.pr "sanitize: %d self-test failure(s), %d sweep failure(s)@."
+        fault_failures sweep_failures;
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "sanitize" ~doc)
+    Term.(const run $ trials_arg $ seed_arg $ kernel_arg $ skip_faults_arg)
+
+(* ------------------------------------------------------------------ *)
+(* reduce: ddmin minimization of failing circuits                      *)
+
+let reduce_cmd =
+  let doc =
+    "Minimize a failing circuit with the ddmin reducer: shrink one of the \
+     Eq. 1 fault circuits to a handful of units that still trip the same \
+     sanitizer invariant ($(b,--fault)), or replay a previously written \
+     reproducer ($(b,--replay))."
+  in
+  let fault_arg =
+    Arg.(
+      value
+      & opt (some fault_conv) None
+      & info [ "fault" ] ~docv:"F"
+          ~doc:"Fault circuit to minimize: overalloc, creditless or rotation.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "repros"
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Directory for the $(i,.repro.json) and DOT outputs.")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt int 250
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Predicate-evaluation budget (validate + simulate per \
+                candidate).")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Re-run a $(i,.repro.json) and check it still trips the \
+                recorded invariant at the recorded cycle.")
+  in
+  let run fault out budget replay =
+    match (replay, fault) with
+    | Some path, _ -> (
+        match Exec.Reduce.load_repro path with
+        | None ->
+            Fmt.epr "cannot load %s@." path;
+            exit 1
+        | Some (meta, g) -> (
+            match Exec.Reduce.simulate ~max_cycles:100_000 g with
+            | Some v
+              when v.Sim.Sanitizer.invariant = meta.Exec.Reduce.invariant
+                   && v.Sim.Sanitizer.cycle = meta.Exec.Reduce.cycle ->
+                Fmt.pr "repro %s: %s at cycle %d, as recorded@." path
+                  meta.Exec.Reduce.invariant meta.Exec.Reduce.cycle
+            | Some v ->
+                Fmt.pr
+                  "repro %s DRIFTED: got %s at cycle %d, recorded %s at %d@."
+                  path v.Sim.Sanitizer.invariant v.Sim.Sanitizer.cycle
+                  meta.Exec.Reduce.invariant meta.Exec.Reduce.cycle;
+                exit 1
+            | None ->
+                Fmt.pr "repro %s no longer trips any invariant@." path;
+                exit 1))
+    | None, None ->
+        Fmt.epr "reduce: need --fault or --replay@.";
+        exit 2
+    | None, Some fault -> (
+        let g = fault_circuit fault in
+        let before = Dataflow.Graph.live_unit_count g in
+        match
+          Exec.Reduce.reduce_to_files ~budget ~dir:out
+            ~name:("fault_" ^ fault_slug fault)
+            ~fault:(Crush.Faults.describe fault)
+            g
+        with
+        | None ->
+            Fmt.pr "reduce: %s trips no sanitizer invariant@."
+              (fault_slug fault);
+            exit 1
+        | Some (path, r) ->
+            Fmt.pr
+              "reduced %s: %d -> %d units (%d predicate evals), %s at cycle \
+               %d@.wrote %s@."
+              (fault_slug fault) before r.Exec.Reduce.kept_units
+              r.Exec.Reduce.evals
+              r.Exec.Reduce.violation.Sim.Sanitizer.invariant
+              r.Exec.Reduce.violation.Sim.Sanitizer.cycle path)
+  in
+  Cmd.v (Cmd.info "reduce" ~doc)
+    Term.(const run $ fault_arg $ out_arg $ budget_arg $ replay_arg)
 
 let main =
   let doc = "CRUSH: credit-based functional-unit sharing for dataflow circuits" in
   Cmd.group
     (Cmd.info "crush" ~version:"1.0.0" ~doc)
-    [ list_cmd; compile_cmd; analyze_cmd; run_cmd; stats_cmd; chaos_cmd ]
+    [
+      list_cmd; compile_cmd; analyze_cmd; run_cmd; stats_cmd; chaos_cmd;
+      sanitize_cmd; reduce_cmd;
+    ]
 
 let () =
   (* Worker_crash outcomes carry the backtrace of the escaping

@@ -53,7 +53,7 @@ let op_cost = function
     breakdown of Figure 10 is obtained by summing these per kind). *)
 let unit_cost (k : kind) =
   match k with
-  | Entry _ | Exit | Sink -> zero
+  | Entry _ | Exit | Sink | Stub -> zero
   | Const _ -> { luts = 2; ffs = 0; dsps = 0 }
   | Fork { outputs; lazy_ = false } -> { luts = 2 * outputs; ffs = outputs; dsps = 0 }
   | Fork { outputs; lazy_ = true } -> { luts = 3 * outputs; ffs = 0; dsps = 0 }

@@ -18,7 +18,7 @@ open Types
     reproduce the CP growth of wide sharing wrappers (Section 6.4). *)
 let unit_delay (k : kind) =
   match k with
-  | Entry _ | Exit | Sink -> 0.0
+  | Entry _ | Exit | Sink | Stub -> 0.0
   | Const _ -> 0.02
   | Fork { lazy_ = false; _ } -> 0.05
   | Fork { lazy_ = true; outputs } -> 0.08 +. (0.02 *. float_of_int outputs)

@@ -74,3 +74,72 @@ let optimize g ~profile =
 
 let saved_slots resizes =
   List.fold_left (fun acc r -> acc + (r.old_slots - r.new_slots)) 0 resizes
+
+(** {2 Cauterized unit removal} — the ddmin reducer's cut primitive.
+
+    Removing an arbitrary unit subset leaves severed channels on the
+    survivors; a dataflow circuit with dangling handshakes is not even
+    well-formed, let alone simulable.  [excise] therefore {e cauterizes}
+    every cut: a severed incoming channel (live producer, dead consumer)
+    is retargeted to a fresh always-ready [Sink]; a severed outgoing
+    channel (dead producer, live consumer) is re-sourced from a small
+    opaque token reservoir — a [Stub] (never valid) feeding a pre-filled
+    [Buffer] — so the surviving consumer sees a finite supply of tokens
+    and then silence, exactly like a producer that wedged.  Channels
+    internal to the cut set are simply dropped.
+
+    All artifacts carry a ["cut_"] label prefix so the reducer's
+    kept-unit metric (and a human reading the minimized DOT) can tell
+    scaffolding from the circuit under test. *)
+
+(** Tokens pre-loaded into each cut-source reservoir.  Enough to keep a
+    severed consumer briefly fed (so downstream invariants can still
+    trip), small enough not to mask starvation. *)
+let cut_source_tokens = 4
+
+let excise g uids =
+  let dead = Hashtbl.create 16 in
+  List.iter (fun u -> Hashtbl.replace dead u ()) uids;
+  let is_dead u = Hashtbl.mem dead u in
+  List.iter
+    (fun uid ->
+      let u = Graph.unit_exn g uid in
+      let n_in, n_out = Types.arity u.Graph.kind in
+      for p = 0 to n_out - 1 do
+        match Graph.out_channel g uid p with
+        | None -> ()
+        | Some c ->
+            if is_dead c.Graph.dst.Graph.unit_id then
+              Graph.disconnect g c.Graph.id
+            else begin
+              let stub = Graph.add_unit ~label:"cut_stub" g Types.Stub in
+              let init =
+                List.init cut_source_tokens (fun _ -> Types.VInt 0)
+              in
+              let src =
+                Graph.add_unit ~label:"cut_src" g
+                  (Types.Buffer
+                     {
+                       slots = cut_source_tokens;
+                       transparent = false;
+                       init;
+                       narrow = false;
+                     })
+              in
+              ignore (Graph.connect g (stub, 0) (src, 0));
+              Graph.retarget_src g c.Graph.id (src, 0)
+            end
+      done;
+      for p = 0 to n_in - 1 do
+        match Graph.in_channel g uid p with
+        | None -> ()
+        | Some c ->
+            if is_dead c.Graph.src.Graph.unit_id then
+              Graph.disconnect g c.Graph.id
+            else begin
+              let sink = Graph.add_unit ~label:"cut_sink" g Types.Sink in
+              Graph.retarget_dst g c.Graph.id (sink, 0)
+            end
+      done;
+      Graph.remove_unit g uid)
+    uids

@@ -25,3 +25,17 @@ val optimize :
 
 (** Buffer slots saved by a set of resizes. *)
 val saved_slots : resize list -> int
+
+(** Tokens pre-loaded into each cut-source reservoir created by
+    {!excise}. *)
+val cut_source_tokens : int
+
+(** [excise g uids] removes the units [uids] and cauterizes every
+    severed channel: incoming channels from surviving producers end at
+    fresh ["cut_"]-labelled {!Dataflow.Types.Sink}s; outgoing channels
+    to surviving consumers restart from ["cut_"]-labelled finite token
+    reservoirs ({!Dataflow.Types.Stub} feeding a pre-filled opaque
+    buffer); channels internal to the cut set are dropped.  The result
+    is a well-formed circuit in which the cut subset behaves like a
+    wedged neighbour — the ddmin reducer's removal primitive. *)
+val excise : Dataflow.Graph.t -> int list -> unit

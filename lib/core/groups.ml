@@ -39,38 +39,81 @@ let check_r2 ctx ops =
       sum <= cap +. 1e-9)
     ctx.Context.critical
 
-let check_r3 ctx ops =
+(** Memo for the R3 distance probes.  Greedy merging re-tests the same
+    operation pairs every round, and each test walks max-distance
+    enumerations from every SCC member — identical work each time, since
+    the SCC structure is fixed for the lifetime of the context.  Keyed
+    by (loop, component, source, target). *)
+type r3_cache =
+  (int * int * int * int, (int option, [ `Budget_exhausted ]) result) Hashtbl.t
+
+let r3_cache () : r3_cache = Hashtbl.create 997
+
+(** SCCs above this size are refused outright.  Dataflow SCCs are
+    sparse rings in real kernels; a dense SCC (e.g. a machine-generated
+    expression forest feeding one accumulator) exhausts the
+    path-enumeration budget on essentially every probe, which already
+    means "conservatively forbid the merge" — refusing upfront gives the
+    same verdict without burning the budget once per (member, pair). *)
+let max_r3_scc_members = 48
+
+let check_r3 ?cache ctx ops =
+  let cache = match cache with Some c -> c | None -> r3_cache () in
   List.for_all
     (fun (cfc : Analysis.Cfc.t) ->
       let scc = Context.sccs_of ctx cfc.loop_id in
       let in_cfc = List.filter (fun o -> Analysis.Cfc.mem cfc o) ops in
       (* Every pair of group members in the same SCC must be
          distance-distinguishable from every other SCC member. *)
+      let pair_ok o o' =
+        if not (Analysis.Scc.same_component scc o o') then true
+        else begin
+          match Analysis.Scc.component_of scc o with
+          | None -> true
+          | Some cid ->
+              let members = Analysis.Scc.members scc cid in
+              if List.length members > max_r3_scc_members then false
+              else begin
+                let scope = Hashtbl.create 17 in
+                List.iter (fun u -> Hashtbl.replace scope u ()) members;
+                let succ = Context.succ_in ctx.Context.graph scope in
+                let dist u target =
+                  let key = (cfc.loop_id, cid, u, target) in
+                  match Hashtbl.find_opt cache key with
+                  | Some r -> r
+                  | None ->
+                      let r =
+                        Analysis.Distances.max_distance ~succ
+                          ~in_scope:(Hashtbl.mem scope) ~budget:20_000 u target
+                      in
+                      Hashtbl.replace cache key r;
+                      r
+                in
+                List.for_all
+                  (fun u ->
+                    if u = o || u = o' then true
+                    else begin
+                      match (dist u o, dist u o') with
+                      | Ok (Some di), Ok (Some dj) -> di <> dj
+                      | Ok None, Ok _ | Ok _, Ok None -> true
+                      | Error `Budget_exhausted, _ | _, Error `Budget_exhausted
+                        ->
+                          (* Conservative: equidistant, forbid the merge. *)
+                          false
+                    end)
+                  members
+              end
+        end
+      in
       let rec pairs = function
         | [] -> true
-        | o :: rest ->
-            List.for_all
-              (fun o' ->
-                if not (Analysis.Scc.same_component scc o o') then true
-                else begin
-                  match Analysis.Scc.component_of scc o with
-                  | None -> true
-                  | Some cid ->
-                      let members = Analysis.Scc.members scc cid in
-                      let scope = Hashtbl.create 17 in
-                      List.iter (fun u -> Hashtbl.replace scope u ()) members;
-                      Analysis.Distances.distinct_distances
-                        ~succ:(Context.succ_in ctx.Context.graph scope)
-                        ~members o o'
-                end)
-              rest
-            && pairs rest
+        | o :: rest -> List.for_all (pair_ok o) rest && pairs rest
       in
       pairs in_cfc)
     ctx.Context.critical
 
 (** One grouping step: try to merge any two groups; [true] if merged. *)
-let try_merge ?(enforce_r3 = true) ctx groups =
+let try_merge ?(enforce_r3 = true) ?cache ctx groups =
   let arr = Array.of_list groups in
   let n = Array.length arr in
   let result = ref None in
@@ -80,7 +123,7 @@ let try_merge ?(enforce_r3 = true) ctx groups =
          let merged = arr.(i).ops @ arr.(j).ops in
          if
            check_r1 ctx merged && check_r2 ctx merged
-           && ((not enforce_r3) || check_r3 ctx merged)
+           && ((not enforce_r3) || check_r3 ?cache ctx merged)
          then begin
            let op = Option.get (Context.opcode_of ctx (List.hd merged)) in
            let credit =
@@ -107,10 +150,11 @@ let try_merge ?(enforce_r3 = true) ctx groups =
     [enforce_r3] exists for the ablation study of rule R3 only. *)
 let infer ?shareable ?enforce_r3 ctx =
   let candidates = Context.candidates ?shareable ctx in
+  let cache = r3_cache () in
   let groups = ref (List.map (fun o -> { ops = [ o ] }) candidates) in
   let continue_ = ref true in
   while !continue_ do
-    match try_merge ?enforce_r3 ctx !groups with
+    match try_merge ?enforce_r3 ~cache ctx !groups with
     | Some gs -> groups := gs
     | None -> continue_ := false
   done;

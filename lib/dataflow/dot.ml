@@ -15,7 +15,7 @@ let shape_of = function
   | Load _ | Store _ -> "house"
   | Credit_counter _ -> "octagon"
   | Const _ -> "plaintext"
-  | Sink -> "point"
+  | Sink | Stub -> "point"
 
 let color_of = function
   | Operator { op = Fadd | Fsub | Fmul | Fdiv; _ } -> "lightsalmon"

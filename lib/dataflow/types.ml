@@ -82,7 +82,12 @@ type arbiter_policy =
     - [Credit_counter]: holds [init] dataless credits; output valid while
       credits remain, each grant consumes one, each input token returns
       one.  A credit returned in cycle [t] is usable from [t+1] only.
-    - [Sink]: always-ready token consumer. *)
+    - [Sink]: always-ready token consumer.
+    - [Stub]: never-valid token source.  A cauterization artifact: when
+      the failing-case reducer elides a unit subset, the channels that
+      used to leave the elided region are re-sourced from stubs so the
+      rest of the circuit stays structurally well-formed while the cut
+      region provably contributes no tokens. *)
 type kind =
   | Entry of value
   | Exit
@@ -106,6 +111,7 @@ type kind =
   | Store of { memory : string }
   | Credit_counter of { init : int }
   | Sink
+  | Stub
 
 (** Number of (input, output) ports of a unit kind. *)
 let arity = function
@@ -124,6 +130,7 @@ let arity = function
   | Store _ -> (2, 1)
   | Credit_counter _ -> (1, 1)
   | Sink -> (1, 0)
+  | Stub -> (0, 1)
 
 let op_arity = function
   | Iadd | Isub | Imul | Idiv | Fadd | Fsub | Fmul | Fdiv -> 2
@@ -185,3 +192,4 @@ let kind_name = function
   | Store _ -> "store"
   | Credit_counter _ -> "credits"
   | Sink -> "sink"
+  | Stub -> "stub"

@@ -42,10 +42,13 @@ let entry_of_line line =
 
 (** Load a journal into a key-indexed table; unparsable or
     foreign-schema lines are skipped (a torn write must not poison the
-    resume), and a later record for the same key wins.  Missing file =
-    empty journal. *)
-let load path =
+    resume), and a later record for the same key wins.  Duplicate keys
+    are legitimate only across crashed-and-resumed runs; a high count
+    means two live campaigns share one journal, so [load] reports how
+    many records were superseded. *)
+let load_with_duplicates path =
   let tbl : (string, entry) Hashtbl.t = Hashtbl.create 64 in
+  let dups = ref 0 in
   (if Sys.file_exists path then
      let ic = open_in path in
      Fun.protect
@@ -54,10 +57,20 @@ let load path =
          try
            while true do
              match entry_of_line (input_line ic) with
-             | Some e -> Hashtbl.replace tbl e.key e
+             | Some e ->
+                 if Hashtbl.mem tbl e.key then incr dups;
+                 Hashtbl.replace tbl e.key e
              | None -> ()
            done
          with End_of_file -> ()));
+  (tbl, !dups)
+
+let load path =
+  let tbl, dups = load_with_duplicates path in
+  if dups > 0 then
+    Fmt.epr "journal %s: %d duplicate key record%s superseded (last wins)@."
+      path dups
+      (if dups = 1 then "" else "s");
   tbl
 
 (* ------------------------------------------------------------------ *)

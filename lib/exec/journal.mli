@@ -19,8 +19,15 @@ type entry = {
 
 (** Load a journal into a key-indexed table.  Missing file = empty;
     unparsable lines (e.g. a torn final write) are skipped; a later
-    record for the same key wins.  Never raises on malformed content. *)
+    record for the same key wins.  Never raises on malformed content.
+    When duplicate keys were superseded, prints one counted warning to
+    stderr (a handful is a normal resume; many means two live campaigns
+    share the journal). *)
 val load : string -> (string, entry) Hashtbl.t
+
+(** Like {!load}, but returns the superseded-record count instead of
+    warning — for callers (and tests) that want the number. *)
+val load_with_duplicates : string -> (string, entry) Hashtbl.t * int
 
 (** An open journal in append mode. *)
 type t

@@ -31,17 +31,25 @@ type 'a t =
     }
   | Job_timeout of { cycles : int }  (** simulated cycles when interrupted *)
   | Worker_crash of { exn : string; backtrace : string }
+  | Sanitizer_violation of {
+      cycle : int;
+      unit_label : string;
+      invariant : string;   (** stable name, e.g. ["eq1-credit-capacity"] *)
+      detail : string;
+      repro : string option;
+          (** path of a minimized reproducer, once {!Reduce} produced one *)
+    }
 
 let is_ok = function Ok _ -> true | _ -> false
 
 (** Transient failures are worth retrying: a wall-clock timeout can be a
     loaded machine, a crash can be a resource blip.  The deterministic
-    classes (frontend, validation, deadlock, out-of-fuel) would fail
-    identically on every retry. *)
+    classes (frontend, validation, deadlock, out-of-fuel, sanitizer)
+    would fail identically on every retry. *)
 let is_transient = function
   | Job_timeout _ | Worker_crash _ -> true
   | Ok _ | Frontend_error _ | Validation_error _ | Sim_deadlock _
-  | Out_of_fuel _ ->
+  | Out_of_fuel _ | Sanitizer_violation _ ->
       false
 
 let class_name = function
@@ -52,11 +60,13 @@ let class_name = function
   | Out_of_fuel _ -> "out-of-fuel"
   | Job_timeout _ -> "timeout"
   | Worker_crash _ -> "crash"
+  | Sanitizer_violation _ -> "sanitizer"
 
-(** Per-failure-class process exit codes.  10..15 keeps clear of the
+(** Per-failure-class process exit codes.  10..16 keeps clear of the
     small codes cmdliner uses and of the shell's 124/125/126/127
     conventions; a supervised run exits with the code of its most severe
-    failure class (crash > timeout > the deterministic classes > ok). *)
+    failure class (crash > sanitizer > timeout > the deterministic
+    classes > ok). *)
 let exit_code = function
   | Ok _ -> 0
   | Frontend_error _ -> 10
@@ -65,6 +75,7 @@ let exit_code = function
   | Out_of_fuel _ -> 13
   | Job_timeout _ -> 14
   | Worker_crash _ -> 15
+  | Sanitizer_violation _ -> 16
 
 (* ------------------------------------------------------------------ *)
 (* Classification                                                      *)
@@ -95,6 +106,15 @@ let of_exn exn =
   | Invalid_argument m when string_has_prefix ~prefix:"invalid circuit" m ->
       Validation_error { message = m }
   | Sim.Engine.Timeout { cycles } -> Job_timeout { cycles }
+  | Sim.Sanitizer.Violation v ->
+      Sanitizer_violation
+        {
+          cycle = v.Sim.Sanitizer.cycle;
+          unit_label = v.Sim.Sanitizer.unit_label;
+          invariant = v.Sim.Sanitizer.invariant;
+          detail = v.Sim.Sanitizer.detail;
+          repro = None;
+        }
   | e -> Worker_crash { exn = Printexc.to_string e; backtrace }
 
 (** Classify a finished simulation: completion is [Ok stats], a deadlock
@@ -149,6 +169,7 @@ type summary = {
   n_out_of_fuel : int;
   n_timeout : int;
   n_crash : int;
+  n_sanitizer : int;
 }
 
 let summarize outcomes =
@@ -162,7 +183,8 @@ let summarize outcomes =
       | Sim_deadlock _ -> { s with n_deadlock = s.n_deadlock + 1 }
       | Out_of_fuel _ -> { s with n_out_of_fuel = s.n_out_of_fuel + 1 }
       | Job_timeout _ -> { s with n_timeout = s.n_timeout + 1 }
-      | Worker_crash _ -> { s with n_crash = s.n_crash + 1 })
+      | Worker_crash _ -> { s with n_crash = s.n_crash + 1 }
+      | Sanitizer_violation _ -> { s with n_sanitizer = s.n_sanitizer + 1 })
     {
       total = 0;
       n_ok = 0;
@@ -172,6 +194,7 @@ let summarize outcomes =
       n_out_of_fuel = 0;
       n_timeout = 0;
       n_crash = 0;
+      n_sanitizer = 0;
     }
     outcomes
 
@@ -179,6 +202,7 @@ let summarize outcomes =
     present, 0 when everything is ok. *)
 let summary_exit_code s =
   if s.n_crash > 0 then 15
+  else if s.n_sanitizer > 0 then 16
   else if s.n_timeout > 0 then 14
   else if s.n_out_of_fuel > 0 then 13
   else if s.n_deadlock > 0 then 12
@@ -195,6 +219,7 @@ let pp_summary ppf s =
   line "out-of-fuel" s.n_out_of_fuel;
   line "timeout" s.n_timeout;
   line "crash" s.n_crash;
+  line "sanitizer" s.n_sanitizer;
   Fmt.pf ppf "@]"
 
 (* ------------------------------------------------------------------ *)
@@ -220,6 +245,12 @@ let pp pp_ok ppf = function
   | Job_timeout { cycles } ->
       Fmt.pf ppf "timed out after %d simulated cycles" cycles
   | Worker_crash { exn; _ } -> Fmt.pf ppf "crash: %s" exn
+  | Sanitizer_violation { cycle; unit_label; invariant; detail; repro } ->
+      Fmt.pf ppf "sanitizer: %s at cycle %d on %s: %s%s" invariant cycle
+        unit_label detail
+        (match repro with
+        | Some p -> Fmt.str " (repro: %s)" p
+        | None -> "")
 
 (* ------------------------------------------------------------------ *)
 (* JSON codec (for the journal)                                        *)
@@ -269,6 +300,16 @@ let to_json encode = function
           ("exn", Jsonl.String exn);
           ("backtrace", Jsonl.String backtrace);
         ]
+  | Sanitizer_violation { cycle; unit_label; invariant; detail; repro } ->
+      Jsonl.Obj
+        [
+          ("class", Jsonl.String "sanitizer");
+          ("cycle", Jsonl.Int cycle);
+          ("unit", Jsonl.String unit_label);
+          ("invariant", Jsonl.String invariant);
+          ("detail", Jsonl.String detail);
+          ("repro", opt_str repro);
+        ]
 
 let of_json decode j =
   let ( let* ) = Option.bind in
@@ -313,6 +354,14 @@ let of_json decode j =
       let* exn = str "exn" in
       let* backtrace = str "backtrace" in
       Some (Worker_crash { exn; backtrace })
+  | "sanitizer" ->
+      let* cycle = int "cycle" in
+      let* unit_label = str "unit" in
+      let* invariant = str "invariant" in
+      let* detail = str "detail" in
+      Some
+        (Sanitizer_violation
+           { cycle; unit_label; invariant; detail; repro = str "repro" })
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -360,6 +409,27 @@ let status_of_json j =
   | "out-of-fuel" -> Some (Sim.Engine.Out_of_fuel c)
   | _ -> None
 
+let counters_to_json (c : Sim.Chaos.counters) =
+  Jsonl.Obj
+    [
+      ("stalls", Jsonl.Int c.Sim.Chaos.stalls);
+      ("port_jitters", Jsonl.Int c.Sim.Chaos.port_jitters);
+      ("arbiter_permutes", Jsonl.Int c.Sim.Chaos.arbiter_permutes);
+      ("extra_stages", Jsonl.Int c.Sim.Chaos.extra_stages);
+    ]
+
+let counters_of_json j =
+  let int k = Option.bind (Jsonl.member k j) Jsonl.to_int in
+  let field k =
+    Option.value (int k) ~default:0 (* tolerate pre-counter journals *)
+  in
+  {
+    Sim.Chaos.stalls = field "stalls";
+    port_jitters = field "port_jitters";
+    arbiter_permutes = field "arbiter_permutes";
+    extra_stages = field "extra_stages";
+  }
+
 let stats_to_json (s : Sim.Engine.stats) =
   Jsonl.Obj
     [
@@ -368,6 +438,7 @@ let stats_to_json (s : Sim.Engine.stats) =
       ("transfers", Jsonl.Int s.Sim.Engine.transfers);
       ( "exit_values",
         Jsonl.List (List.map value_to_json s.Sim.Engine.exit_values) );
+      ("perturbations", counters_to_json s.Sim.Engine.perturbations);
     ]
 
 let stats_of_json j =
@@ -379,10 +450,18 @@ let stats_of_json j =
   let exit_values = List.filter_map value_of_json exits in
   if List.length exit_values <> List.length exits then None
   else
+    (* Entries journalled before perturbation counters existed decode to
+       zeros — a resumed campaign must not refuse its own checkpoints. *)
+    let perturbations =
+      match Jsonl.member "perturbations" j with
+      | Some pj -> counters_of_json pj
+      | None -> Sim.Chaos.zero_counters
+    in
     Some
       {
         Sim.Engine.status;
         cycles;
         transfers;
         exit_values;
+        perturbations;
       }

@@ -29,6 +29,15 @@ type 'a t =
     }
   | Job_timeout of { cycles : int }  (** simulated cycles when interrupted *)
   | Worker_crash of { exn : string; backtrace : string }
+  | Sanitizer_violation of {
+      cycle : int;
+      unit_label : string;
+      invariant : string;
+          (** stable invariant name, e.g. ["eq1-credit-capacity"] *)
+      detail : string;
+      repro : string option;
+          (** path of a minimized reproducer, once {!Reduce} made one *)
+    }
 
 val is_ok : 'a t -> bool
 
@@ -37,11 +46,11 @@ val is_ok : 'a t -> bool
 val is_transient : 'a t -> bool
 
 (** Stable lowercase class label ("ok", "frontend", "validation",
-    "deadlock", "out-of-fuel", "timeout", "crash") — used in journals,
-    reports and test assertions. *)
+    "deadlock", "out-of-fuel", "timeout", "crash", "sanitizer") — used
+    in journals, reports and test assertions. *)
 val class_name : 'a t -> string
 
-(** Per-class process exit code: 0 for ok, 10..15 for the failure
+(** Per-class process exit code: 0 for ok, 10..16 for the failure
     classes in taxonomy order (clear of cmdliner's and the shell's
     reserved codes). *)
 val exit_code : 'a t -> int
@@ -64,6 +73,7 @@ type summary = {
   n_out_of_fuel : int;
   n_timeout : int;
   n_crash : int;
+  n_sanitizer : int;
 }
 
 val summarize : 'a t list -> summary

@@ -15,11 +15,15 @@ type verdict = {
     [deadline] is the supervised-campaign watchdog predicate, passed
     through to {!Sim.Engine.run} (which raises [Timeout] when it fires).
     [chaos] perturbs the run adversarially ({!Sim.Chaos}); a valid
-    circuit must still complete with the same results. *)
+    circuit must still complete with the same results.  [monitor] is the
+    per-cycle hook of {!Sim.Engine.run} — pass
+    [Sim.Sanitizer.monitor ()] to run the elastic-protocol sanitizers
+    (a raised {!Sim.Sanitizer.Violation} escapes this function). *)
 val run_circuit :
   ?seed:int ->
   ?max_cycles:int ->
   ?deadline:(unit -> bool) ->
+  ?monitor:(Sim.Engine.t -> cycle:int -> Sim.Engine.monitor_phase -> unit) ->
   ?chaos:Sim.Chaos.config ->
   Registry.bench ->
   Dataflow.Graph.t ->
@@ -31,6 +35,7 @@ val run_circuit_full :
   ?seed:int ->
   ?max_cycles:int ->
   ?deadline:(unit -> bool) ->
+  ?monitor:(Sim.Engine.t -> cycle:int -> Sim.Engine.monitor_phase -> unit) ->
   ?chaos:Sim.Chaos.config ->
   Registry.bench ->
   Dataflow.Graph.t ->
@@ -42,6 +47,7 @@ val compile_and_run :
   ?seed:int ->
   ?max_cycles:int ->
   ?deadline:(unit -> bool) ->
+  ?monitor:(Sim.Engine.t -> cycle:int -> Sim.Engine.monitor_phase -> unit) ->
   ?chaos:Sim.Chaos.config ->
   ?strategy:Minic.Codegen.strategy ->
   ?transform:(Minic.Codegen.compiled -> Minic.Codegen.compiled) ->

@@ -32,11 +32,45 @@ let stalls_only ~seed ~stall_prob =
     permute_arbiters = false;
   }
 
-type t = { config : config; mutable cycle : int }
+type counters = {
+  stalls : int;
+  port_jitters : int;
+  arbiter_permutes : int;
+  extra_stages : int;
+}
 
-let make config = { config; cycle = 0 }
+let zero_counters =
+  { stalls = 0; port_jitters = 0; arbiter_permutes = 0; extra_stages = 0 }
+
+type t = {
+  config : config;
+  mutable cycle : int;
+  mutable n_stalls : int;
+  mutable n_port_jitters : int;
+  mutable n_arbiter_permutes : int;
+  mutable n_extra_stages : int;
+}
+
+let make config =
+  {
+    config;
+    cycle = 0;
+    n_stalls = 0;
+    n_port_jitters = 0;
+    n_arbiter_permutes = 0;
+    n_extra_stages = 0;
+  }
+
 let config t = t.config
 let begin_cycle t ~cycle = t.cycle <- cycle
+
+let counters t =
+  {
+    stalls = t.n_stalls;
+    port_jitters = t.n_port_jitters;
+    arbiter_permutes = t.n_arbiter_permutes;
+    extra_stages = t.n_extra_stages;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic hashing (splitmix64 finalizer)                        *)
@@ -72,21 +106,39 @@ let tag_arbiter = 4
 
 let extra_latency t ~uid =
   if t.config.latency_slack <= 0 then 0
-  else to_nat (hash t [ tag_latency; uid ]) mod (t.config.latency_slack + 1)
+  else begin
+    let e = to_nat (hash t [ tag_latency; uid ]) mod (t.config.latency_slack + 1) in
+    t.n_extra_stages <- t.n_extra_stages + e;
+    e
+  end
 
 let stalled t ~uid =
-  t.config.stall_prob > 0.0
-  && unit_float t [ tag_stall; t.cycle; uid ] < t.config.stall_prob
+  let s =
+    t.config.stall_prob > 0.0
+    && unit_float t [ tag_stall; t.cycle; uid ] < t.config.stall_prob
+  in
+  if s then t.n_stalls <- t.n_stalls + 1;
+  s
 
 let port_offset t ~port ~width =
   if (not t.config.jitter_ports) || width <= 1 then 0
-  else to_nat (hash t [ tag_port; t.cycle; port ]) mod width
+  else begin
+    let off = to_nat (hash t [ tag_port; t.cycle; port ]) mod width in
+    if off <> 0 then t.n_port_jitters <- t.n_port_jitters + 1;
+    off
+  end
 
 let permute_priority t ~uid order =
   if not t.config.permute_arbiters then order
-  else
-    List.map snd
-      (List.sort compare
-         (List.map
-            (fun p -> (to_nat (hash t [ tag_arbiter; t.cycle; uid; p ]), p))
-            order))
+  else begin
+    let order' =
+      List.map snd
+        (List.sort compare
+           (List.map
+              (fun p -> (to_nat (hash t [ tag_arbiter; t.cycle; uid; p ]), p))
+              order))
+    in
+    if order' <> order then
+      t.n_arbiter_permutes <- t.n_arbiter_permutes + 1;
+    order'
+  end

@@ -34,11 +34,32 @@ val default : seed:int -> config
 (** A config that only stalls sinks — the pure backpressure fuzzer. *)
 val stalls_only : seed:int -> stall_prob:float -> config
 
+(** How often each perturbation family actually bit during a run.  The
+    counts are deterministic for a given (circuit, seed) pair: every
+    decision draw is a pure hash, and the engine consults the streams in
+    a fixed order, so the same run always reports the same counters —
+    parallel campaigns stay bit-identical across [--jobs] settings. *)
+type counters = {
+  stalls : int;            (** sink/exit ready-deassertions drawn true *)
+  port_jitters : int;      (** non-zero memory-port grant rotations *)
+  arbiter_permutes : int;
+      (** non-identity tie-break permutations, counted per arbiter
+          evaluation (the combinational fixpoint may consult the stream
+          more than once per cycle, deterministically) *)
+  extra_stages : int;      (** total extra pipeline stages inflicted *)
+}
+
+(** All-zero counters: what an unperturbed run reports. *)
+val zero_counters : counters
+
 (** Per-run chaos state (holds the current cycle). *)
 type t
 
 val make : config -> t
 val config : t -> config
+
+(** Perturbation counts accumulated so far. *)
+val counters : t -> counters
 
 (** Set the cycle all per-cycle decisions below are drawn for. *)
 val begin_cycle : t -> cycle:int -> unit

@@ -69,6 +69,8 @@ type stats = {
   cycles : int;             (** total simulated cycles until quiescence *)
   transfers : int;          (** total tokens moved across channels *)
   exit_values : value list; (** tokens received by Exit units *)
+  perturbations : Chaos.counters;
+      (** how often each chaos family bit; all zeros without chaos *)
 }
 
 (** One memory port (a load port or a store port of one array): the units
@@ -561,6 +563,7 @@ let eval_unit t u =
   | Credit_counter _, S_credit { count } ->
       drive_out t u 0 ~valid:(count > 0) ~data:VUnit;
       drive_ready t u 0 true
+  | Stub, _ -> drive_out t u 0 ~valid:false ~data:VUnit
   | _ ->
       invalid_arg
         (Fmt.str "Engine: inconsistent state for unit %s" (Graph.label_of t.g u))
@@ -765,6 +768,15 @@ let buffer_high_water t uid =
 
 type outcome = { stats : stats; sim : t }
 
+(** Phases at which a {!run} [monitor] is consulted.  [After_settle]
+    fires once the combinational fixpoint is reached: handshake signals
+    are final for the cycle but no sequential state has advanced — the
+    monitor sees which channels are about to fire and the pre-transfer
+    unit state.  [After_step] fires once the sequential phase completes:
+    the monitor sees the post-transfer state and can check the
+    conservation deltas of the cycle. *)
+type monitor_phase = After_settle | After_step
+
 (** Per-cycle chaos prologue.  Re-draws the sink stalls, port jitter and
     arbiter permutations for this cycle and wakes every unit whose
     signals they touch (the worklist only tracks channel changes, not
@@ -813,8 +825,14 @@ let chaos_prologue t ch ~cycle ~quiet =
     quiescence without completion is a deadlock.  [chaos] perturbs the
     run adversarially (see {!Chaos}); a valid elastic circuit must
     produce the same exit values and still complete under any seed. *)
-let run ?(max_cycles = 2_000_000) ?deadline ?observer ?chaos ?memory g =
+let run ?(max_cycles = 2_000_000) ?deadline ?observer ?monitor ?chaos ?memory g
+    =
   let t = create ?chaos ?memory g in
+  let monitor_call =
+    match monitor with
+    | None -> fun ~cycle:_ _ -> ()
+    | Some f -> fun ~cycle phase -> f t ~cycle phase
+  in
   let cycle = ref 0 in
   let quiet = ref 0 in
   let last_event = ref (-1) in
@@ -835,6 +853,7 @@ let run ?(max_cycles = 2_000_000) ?deadline ?observer ?chaos ?memory g =
       | Some ch -> chaos_prologue t ch ~cycle:!cycle ~quiet
       | None -> ());
       settle ~cycle:!cycle t;
+      monitor_call ~cycle:!cycle After_settle;
       let moved_tokens = count_transfers ?observer ~cycle:!cycle t in
       t.transfers <- t.transfers + moved_tokens;
       let state_changed = ref false in
@@ -848,6 +867,7 @@ let run ?(max_cycles = 2_000_000) ?deadline ?observer ?chaos ?memory g =
             enqueue t u
           end)
         t.step_units;
+      monitor_call ~cycle:!cycle After_step;
       if moved_tokens > 0 || !state_changed then begin
         quiet := 0;
         last_event := !cycle;
@@ -871,6 +891,10 @@ let run ?(max_cycles = 2_000_000) ?deadline ?observer ?chaos ?memory g =
         cycles = (match status with Completed c -> c + 1 | _ -> !cycle);
         transfers = t.transfers;
         exit_values = List.rev t.exit_values;
+        perturbations =
+          (match t.chaos with
+          | Some ch -> Chaos.counters ch
+          | None -> Chaos.zero_counters);
       };
     sim = t;
   }
@@ -884,6 +908,19 @@ let graph_of t = t.g
 let channel_valid t cid = t.cvalid.(cid)
 let channel_ready t cid = t.cready.(cid)
 let channel_data t cid = t.cdata.(cid)
+
+(** Both valid and ready: this channel transfers a token this cycle
+    (meaningful between settle and step, i.e. at [After_settle]). *)
+let channel_fired t cid = fired t cid
+
+(** The engine's incremental count of channels currently firing — what
+    the per-cycle transfer accounting uses.  Sanitizers recount fired
+    channels independently and compare against this. *)
+let fired_count t = t.n_fired
+
+(** Whether this run is chaos-perturbed (some checks — e.g. strict
+    priority order — are only sound under deterministic semantics). *)
+let has_chaos t = t.chaos <> None
 
 (** Remaining credits of a credit counter, [None] for other units. *)
 let credit_count t uid =

@@ -37,12 +37,25 @@ type stats = {
   transfers : int;       (** total tokens moved across channels *)
   exit_values : Dataflow.Types.value list;
       (** tokens received by Exit units, in arrival order *)
+  perturbations : Chaos.counters;
+      (** how often each chaos family actually bit during the run;
+          {!Chaos.zero_counters} for unperturbed runs *)
 }
 
 (** Live simulator state (exposed for diagnostics). *)
 type t
 
 type outcome = { stats : stats; sim : t }
+
+(** Phases at which a {!run} [monitor] is consulted, once per cycle
+    each.  [After_settle]: the combinational fixpoint is reached, the
+    handshake signals are final for the cycle, no sequential state has
+    advanced yet — the monitor sees which channels are about to fire and
+    the pre-transfer unit state.  [After_step]: the sequential phase is
+    done — the monitor sees post-transfer state and can check the
+    cycle's conservation deltas.  A monitor that raises aborts the run
+    with its exception (how {!Sanitizer} reports violations). *)
+type monitor_phase = After_settle | After_step
 
 (** [run g] simulates until quiescence or [max_cycles].  Completion means
     every Exit unit received a token before the circuit went quiet.
@@ -61,6 +74,7 @@ val run :
   ?max_cycles:int ->
   ?deadline:(unit -> bool) ->
   ?observer:(int -> Dataflow.Graph.channel -> Dataflow.Types.value -> unit) ->
+  ?monitor:(t -> cycle:int -> monitor_phase -> unit) ->
   ?chaos:Chaos.config ->
   ?memory:Memory.t ->
   Dataflow.Graph.t ->
@@ -84,6 +98,20 @@ val graph_of : t -> Dataflow.Graph.t
 val channel_valid : t -> int -> bool
 val channel_ready : t -> int -> bool
 val channel_data : t -> int -> Dataflow.Types.value
+
+(** Both valid and ready: the channel transfers a token this cycle
+    (meaningful at [After_settle], before the sequential phase). *)
+val channel_fired : t -> int -> bool
+
+(** The engine's incrementally maintained count of firing channels —
+    what the per-cycle transfer accounting uses.  {!Sanitizer} recounts
+    fired channels independently and cross-checks this. *)
+val fired_count : t -> int
+
+(** Whether the run is chaos-perturbed.  Checks that assume the
+    deterministic baseline semantics (e.g. strict priority-order
+    compliance) must be skipped on perturbed runs. *)
+val has_chaos : t -> bool
 
 (** Remaining credits of a credit counter, [None] for other units. *)
 val credit_count : t -> int -> int option

@@ -43,7 +43,17 @@ type report = { cycle : int; edges : edge list; cores : core list }
 
 type flavor = As_producer | As_consumer
 
-let demanded_edges sim g uid flavor =
+(** [conservative] suppresses the edges that are only exact once the
+    circuit has quiesced, so that a mid-flight probe never reports a
+    cycle that in-flight tokens could still break:
+
+    - a Merge's producer-demand is an OR-wait approximated as an AND —
+      exact at quiescence (an alternative branch that could fire would
+      have), unsound mid-flight;
+    - a pipelined unit (operator/load/store) with tokens in flight will
+      deliver its output without consuming anything, so demanding its
+      inputs mid-flight manufactures waits that drain on their own. *)
+let demanded_edges ?(conservative = false) sim g uid flavor =
   let kind = Graph.kind_of g uid in
   let valid p =
     match Graph.in_channel g uid p with
@@ -66,11 +76,17 @@ let demanded_edges sim g uid flavor =
       ports
   in
   let gated () =
+    (* Cross-gated units (arbiter, lazy fork) assert VALID on every
+       output while a grant is pending, so an output that shows no
+       VALID carries no obligation — an edge over it would pair with
+       the consumer's own awaiting-token edge into a vacuous cycle. *)
     let _, n_out = Types.arity kind in
     List.filter_map
       (fun p ->
         match Graph.out_channel g uid p with
-        | Some c when not (Engine.channel_ready sim c.Graph.id) ->
+        | Some c
+          when Engine.channel_valid sim c.Graph.id
+               && not (Engine.channel_ready sim c.Graph.id) ->
             Some
               {
                 src = uid;
@@ -100,12 +116,19 @@ let demanded_edges sim g uid flavor =
   let arbiter_needs inputs policy =
     match policy with
     | Priority _ ->
-        (* Any requester is served, so it starves only with none. *)
-        if List.exists valid (iota inputs) then [] else iota inputs
+        (* Any requester is served, so it starves only with none.  The
+           all-inputs demand is an OR-wait (one arrival suffices), exact
+           only at quiescence — a conservative probe stays silent. *)
+        if List.exists valid (iota inputs) then []
+        else if conservative then []
+        else iota inputs
     | Rotation _ | Phased _ -> (
-        (* Only the turn holder(s) can be served (Figure 1d). *)
+        (* Only the turn holder(s) can be served (Figure 1d).  A phased
+           arbiter with several clusters holds an OR-wait across their
+           holders; conservatively only a lone holder is a real wait. *)
         match Engine.arbiter_turn_holders sim uid with
-        | Some holders -> holders
+        | Some holders ->
+            if conservative && List.length holders > 1 then [] else holders
         | None -> [])
   in
   (* Output-gating edges are only genuine for units whose output VALID
@@ -115,23 +138,31 @@ let demanded_edges sim g uid flavor =
      as a base [valid && not ready] edge — emitting gated edges for them
      too would manufacture false cycles through channels that carry no
      obligation (e.g. an eager fork's already-delivered outputs). *)
+  let busy () =
+    match Engine.pipeline_busy sim uid with
+    | Some (n, _) -> n > 0
+    | None -> false
+  in
   match flavor with
   | As_producer -> (
       match kind with
-      | Entry _ -> [] (* a source: if exhausted, nothing can revive it *)
-      | Exit | Sink | Const _ | Buffer _ | Load _ -> await [ 0 ]
+      | Entry _ | Stub -> [] (* a source: if exhausted, nothing can revive it *)
+      | Exit | Sink | Const _ | Buffer _ -> await [ 0 ]
+      | Load _ -> if conservative && busy () then [] else await [ 0 ]
       | Fork { lazy_ = false; _ } -> await [ 0 ]
       | Fork { lazy_ = true; _ } ->
           (* All-or-nothing: every sibling must be ready too. *)
           if valid 0 then gated () else await [ 0 ]
       | Join { inputs; _ } -> await (iota inputs)
-      | Operator { ports; _ } -> await (iota ports)
-      | Store _ -> await [ 0; 1 ]
+      | Operator { ports; _ } ->
+          if conservative && busy () then [] else await (iota ports)
+      | Store _ -> if conservative && busy () then [] else await [ 0; 1 ]
       | Merge { inputs } ->
           (* An OR-wait; but the circuit is quiesced, so an alternative
              producer that could fire would have — all branches are dead
-             and the AND approximation is exact. *)
-          await (iota inputs)
+             and the AND approximation is exact.  Mid-flight that
+             reasoning fails, so a conservative probe stays silent. *)
+          if conservative then [] else await (iota inputs)
       | Mux { inputs } -> await (mux_needs inputs)
       | Branch _ -> await [ 0; 1 ]
       | Arbiter { inputs; policy } -> (
@@ -152,8 +183,12 @@ let demanded_edges sim g uid flavor =
          edges here: the block is visible as a base edge already. *)
       match kind with
       | Join { inputs; _ } -> await (iota inputs)
-      | Operator { ports; _ } -> await (iota ports)
-      | Store _ -> await [ 0; 1 ]
+      | Operator { ports; _ } ->
+          (* A busy pipeline may refuse an operand merely until a stage
+             advances or its output drains — mid-flight that refusal
+             resolves on its own, so a conservative probe stays silent. *)
+          if conservative && busy () then [] else await (iota ports)
+      | Store _ -> if conservative && busy () then [] else await [ 0; 1 ]
       | Mux { inputs } -> await (mux_needs inputs)
       | Branch _ -> await [ 0; 1 ]
       | Arbiter { inputs; policy } -> (
@@ -161,13 +196,14 @@ let demanded_edges sim g uid flavor =
           | [] -> gated ()
           | starved -> starved)
       | Fork { lazy_ = true; _ } -> gated ()
-      | Entry _ | Exit | Sink | Const _
+      | Entry _ | Exit | Sink | Stub | Const _
       | Fork { lazy_ = false; _ }
       | Buffer _ | Load _ | Merge _ | Credit_counter _ ->
           [])
 
-(** The full wait-for graph of a quiesced simulator state. *)
-let wait_edges sim =
+(** The full wait-for graph of a quiesced simulator state (or, with
+    [~conservative:true], a sound under-approximation of it mid-flight). *)
+let wait_edges ?conservative sim =
   let g = Engine.graph_of sim in
   let edges = ref [] in
   let seen = Hashtbl.create 64 in
@@ -205,7 +241,7 @@ let wait_edges sim =
       if u.Graph.kind = Exit then demand u.Graph.uid As_producer);
   while not (Queue.is_empty frontier) do
     let u, flavor = Queue.pop frontier in
-    List.iter add (demanded_edges sim g u flavor)
+    List.iter add (demanded_edges ?conservative sim g u flavor)
   done;
   List.rev !edges
 
@@ -300,58 +336,64 @@ let pp_livelock ppf l =
     l.recent;
   Fmt.pf ppf "@]"
 
+let build_report ?conservative sim ~cycle =
+  let g = Engine.graph_of sim in
+  let edges = wait_edges ?conservative sim in
+  let succ_tbl = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let l =
+        match Hashtbl.find_opt succ_tbl e.src with Some l -> l | None -> []
+      in
+      Hashtbl.replace succ_tbl e.src (e.dst :: l))
+    edges;
+  let succ u =
+    match Hashtbl.find_opt succ_tbl u with Some l -> l | None -> []
+  in
+  let nodes =
+    Graph.fold_units g (fun acc u -> u.Graph.uid :: acc) [] |> List.rev
+  in
+  let scc = Analysis.Scc.compute ~nodes ~succ in
+  (* A cyclic core is a component of size > 1, or a single unit
+     waiting on itself. *)
+  let cores = ref [] in
+  for c = Analysis.Scc.n_components scc - 1 downto 0 do
+    let members = List.sort compare (Analysis.Scc.members scc c) in
+    let cyclic =
+      match members with
+      | [] -> false
+      | [ u ] -> List.exists (fun e -> e.src = u && e.dst = u) edges
+      | _ -> true
+    in
+    if cyclic then begin
+      let inside u = List.mem u members in
+      let core_edges =
+        List.filter (fun e -> inside e.src && inside e.dst) edges
+      in
+      let notes =
+        List.map
+          (fun u ->
+            { unit_id = u; label = Graph.label_of g u; state = state_note sim u })
+          members
+      in
+      cores := { members; core_edges; notes } :: !cores
+    end
+  done;
+  { cycle; edges; cores = !cores }
+
 let analyze (outcome : Engine.outcome) =
   match outcome.Engine.stats.Engine.status with
   | Engine.Completed _ | Engine.Out_of_fuel _ -> None
-  | Engine.Deadlock cycle ->
-      let sim = outcome.Engine.sim in
-      let g = Engine.graph_of sim in
-      let edges = wait_edges sim in
-      let succ_tbl = Hashtbl.create 64 in
-      List.iter
-        (fun e ->
-          let l =
-            match Hashtbl.find_opt succ_tbl e.src with Some l -> l | None -> []
-          in
-          Hashtbl.replace succ_tbl e.src (e.dst :: l))
-        edges;
-      let succ u =
-        match Hashtbl.find_opt succ_tbl u with Some l -> l | None -> []
-      in
-      let nodes =
-        Graph.fold_units g (fun acc u -> u.Graph.uid :: acc) [] |> List.rev
-      in
-      let scc = Analysis.Scc.compute ~nodes ~succ in
-      (* A cyclic core is a component of size > 1, or a single unit
-         waiting on itself. *)
-      let cores = ref [] in
-      for c = Analysis.Scc.n_components scc - 1 downto 0 do
-        let members = List.sort compare (Analysis.Scc.members scc c) in
-        let cyclic =
-          match members with
-          | [] -> false
-          | [ u ] -> List.exists (fun e -> e.src = u && e.dst = u) edges
-          | _ -> true
-        in
-        if cyclic then begin
-          let inside u = List.mem u members in
-          let core_edges =
-            List.filter (fun e -> inside e.src && inside e.dst) edges
-          in
-          let notes =
-            List.map
-              (fun u ->
-                {
-                  unit_id = u;
-                  label = Graph.label_of g u;
-                  state = state_note sim u;
-                })
-              members
-          in
-          cores := { members; core_edges; notes } :: !cores
-        end
-      done;
-      Some { cycle; edges; cores = !cores }
+  | Engine.Deadlock cycle -> Some (build_report outcome.Engine.sim ~cycle)
+
+(** Mid-flight probe over a still-running simulation: the conservative
+    wait-for graph (no merge OR-waits, no busy pipelines demanded) only
+    contains edges whose wait cannot resolve on its own, so any cyclic
+    core it reports is already a sustained deadlock — even while other
+    parts of the circuit are still making progress.  This is what lets
+    the sanitizer convict a wedged sharing wrapper long before global
+    quiescence. *)
+let probe sim ~cycle = build_report ~conservative:true sim ~cycle
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)

@@ -50,6 +50,15 @@ type report = {
 (** [Some report] when the outcome is a deadlock, [None] otherwise. *)
 val analyze : Engine.outcome -> report option
 
+(** Mid-flight probe over a still-running simulation.  Builds a
+    conservative wait-for graph — merge OR-waits and busy pipelines are
+    never demanded, since those waits can resolve on their own — so any
+    cyclic core reported is already a sustained deadlock even while the
+    rest of the circuit is still making progress.  An empty [cores] list
+    means nothing is provably wedged (yet).  Used by {!Sanitizer} to
+    convict a wedged sharing wrapper long before global quiescence. *)
+val probe : Engine.t -> cycle:int -> report
+
 (** {2 Livelock snapshot}
 
     An [Out_of_fuel] run never quiesced, so the wait-for analysis above

@@ -13,4 +13,5 @@ let () =
       ("properties", Test_properties.suite);
       ("robustness", Test_robustness.suite);
       ("exec", Test_exec.suite);
+      ("sanitize", Test_sanitize.suite);
     ]

@@ -369,6 +369,107 @@ let test_journal_roundtrip () =
       checki "torn line skipped" (List.length entries)
         (Hashtbl.length (Exec.Journal.load path)))
 
+(* ------------------------------------------------------------------ *)
+(* Jsonl fuzz: generated values round-trip exactly; arbitrary bytes
+   parse or fail with a located error, never an escaping exception.     *)
+
+let gen_jsonl =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+      let scalar =
+        oneof
+          [
+            return Exec.Jsonl.Null;
+            map (fun b -> Exec.Jsonl.Bool b) bool;
+            map (fun i -> Exec.Jsonl.Int i) int;
+            (* non-finite floats included: the codec must survive
+               nan/inf, which plain JSON cannot spell *)
+            map
+              (fun f -> Exec.Jsonl.Float f)
+              (oneof
+                 [
+                   float;
+                   oneofl [ Float.nan; Float.infinity; Float.neg_infinity ];
+                 ]);
+            (* arbitrary bytes: quotes, backslashes, control chars,
+               non-ASCII — everything the string escaper must handle *)
+            map (fun s -> Exec.Jsonl.String s) string;
+          ]
+      in
+      if n <= 0 then scalar
+      else
+        frequency
+          [
+            (3, scalar);
+            ( 1,
+              map
+                (fun xs -> Exec.Jsonl.List xs)
+                (list_size (int_bound 4) (self (n / 2))) );
+            ( 1,
+              map
+                (fun kvs -> Exec.Jsonl.Obj kvs)
+                (list_size (int_bound 4)
+                   (pair string (self (n / 2)))) );
+          ])
+
+let test_jsonl_roundtrip =
+  qtest ~count:300 "jsonl: to_string |> parse is the identity" gen_jsonl
+    (fun j ->
+      match Exec.Jsonl.parse (Exec.Jsonl.to_string j) with
+      (* structural compare: nan = nan, unlike (=) *)
+      | Ok j' -> compare j j' = 0
+      | Error e -> QCheck2.Test.fail_reportf "parse failed: %s" e)
+
+let test_jsonl_parse_total =
+  qtest ~count:500 "jsonl: arbitrary bytes parse or located-error"
+    QCheck2.Gen.string (fun s ->
+      match Exec.Jsonl.parse s with
+      | Ok _ -> true
+      | Error e -> String.length e > 0)
+
+let test_journal_duplicate_keys () =
+  with_temp_journal (fun path ->
+      Sys.remove path;
+      let entry key attempts =
+        { Exec.Journal.key; attempts; outcome = Exec.Jsonl.Int attempts }
+      in
+      let w = Exec.Journal.open_append path in
+      List.iter (Exec.Journal.record w)
+        [ entry "a" 1; entry "b" 1; entry "a" 2; entry "a" 3; entry "c" 1 ];
+      Exec.Journal.close w;
+      let tbl, dups = Exec.Journal.load_with_duplicates path in
+      checki "three distinct keys" 3 (Hashtbl.length tbl);
+      checki "two superseded records counted" 2 dups;
+      checki "last record wins" 3 (Hashtbl.find tbl "a").Exec.Journal.attempts;
+      (* the warning path must agree with the counting path *)
+      checki "load agrees" 3 (Hashtbl.length (Exec.Journal.load path)))
+
+let test_outcome_sanitizer_codec () =
+  let roundtrip o =
+    let j = Exec.Outcome.to_json (fun _ -> Exec.Jsonl.Null) o in
+    match Exec.Outcome.of_json (fun _ -> Some ()) j with
+    | None -> Alcotest.fail "sanitizer outcome did not decode"
+    | Some o' ->
+        check Alcotest.string "codec stable"
+          (Exec.Jsonl.to_string j)
+          (Exec.Jsonl.to_string (Exec.Outcome.to_json (fun _ -> Exec.Jsonl.Null) o'))
+  in
+  let v repro =
+    Exec.Outcome.Sanitizer_violation
+      {
+        cycle = 17;
+        unit_label = "cc_imul0";
+        invariant = "eq1-credit-capacity";
+        detail = "in flight 3 > 1 slots";
+        repro;
+      }
+  in
+  roundtrip (v None);
+  roundtrip (v (Some "repros/fault_overalloc.repro.json"));
+  checki "sanitizer exit code" 16 (Exec.Outcome.exit_code (v None));
+  check Alcotest.string "sanitizer class" "sanitizer"
+    (Exec.Outcome.class_name (v None))
+
 let test_resume_skips_completed () =
   with_temp_journal (fun journal ->
       let sup = Exec.Campaign.supervision ~journal () in
@@ -558,6 +659,12 @@ let suite =
       test_supervised_sims_deterministic;
     Alcotest.test_case "supervised: journal round-trip" `Quick
       test_journal_roundtrip;
+    test_jsonl_roundtrip;
+    test_jsonl_parse_total;
+    Alcotest.test_case "journal: duplicate keys counted, last wins" `Quick
+      test_journal_duplicate_keys;
+    Alcotest.test_case "outcome: sanitizer violation codec" `Quick
+      test_outcome_sanitizer_codec;
     Alcotest.test_case "supervised: resume skips completed" `Quick
       test_resume_skips_completed;
     Alcotest.test_case "supervised: retry and quarantine" `Quick

@@ -243,9 +243,50 @@ let test_out_of_fuel_carries_budget () =
   | Sim.Engine.Out_of_fuel budget -> checki "budget reported" 217 budget
   | st -> Alcotest.failf "expected out of fuel, got %a" Sim.Engine.pp_status st
 
+let test_chaos_counters () =
+  (* Unperturbed runs report all-zero perturbation counters. *)
+  let out0, _ = run_fig1c () in
+  checkb "no chaos, zero counters"
+    (out0.Sim.Engine.stats.Sim.Engine.perturbations = Sim.Chaos.zero_counters);
+  (* Across a small seed sweep on a CRUSH-shared kernel, every
+     perturbation family must actually bite at least once — otherwise
+     the chaos harness is shadow-boxing. *)
+  let b = Kernels.Registry.find "atax" in
+  let add (a : Sim.Chaos.counters) (c : Sim.Chaos.counters) =
+    Sim.Chaos.
+      {
+        stalls = a.stalls + c.stalls;
+        port_jitters = a.port_jitters + c.port_jitters;
+        arbiter_permutes = a.arbiter_permutes + c.arbiter_permutes;
+        extra_stages = a.extra_stages + c.extra_stages;
+      }
+  in
+  let total =
+    List.fold_left
+      (fun acc seed ->
+        let c = Minic.Codegen.compile_source b.Kernels.Registry.source in
+        ignore
+          (Crush.Share.crush c.Minic.Codegen.graph
+             ~critical_loops:c.Minic.Codegen.critical_loops);
+        let out, v =
+          Kernels.Harness.run_circuit_full
+            ~chaos:(Sim.Chaos.default ~seed) b c.Minic.Codegen.graph
+        in
+        checkb
+          (Fmt.str "seed %d correct" seed)
+          v.Kernels.Harness.functionally_correct;
+        add acc out.Sim.Engine.stats.Sim.Engine.perturbations)
+      Sim.Chaos.zero_counters [ 0; 1; 2 ]
+  in
+  checkb "stalls fired" (total.Sim.Chaos.stalls > 0);
+  checkb "port jitter fired" (total.Sim.Chaos.port_jitters > 0);
+  checkb "arbiter permutation fired" (total.Sim.Chaos.arbiter_permutes > 0);
+  checkb "latency inflation fired" (total.Sim.Chaos.extra_stages > 0)
+
 let suite =
   [
     ("chaos: deterministic per seed", `Quick, test_chaos_deterministic);
+    ("chaos: every perturbation kind fires", `Slow, test_chaos_counters);
     ("chaos: outputs invariant across seeds", `Quick, test_chaos_output_invariance);
     ("chaos: stalls delay but preserve results", `Quick, test_chaos_delays_completion);
     ("chaos: shared kernel stays correct", `Slow, test_chaos_kernel_correct);
