@@ -7,7 +7,7 @@
 DUNE ?= dune
 
 .PHONY: all build test chaos chaos-supervised sanitize-smoke bench-smoke \
-  check clean
+  fmt check clean
 
 all: build
 
@@ -48,6 +48,12 @@ sanitize-smoke: build
 # (e.g. after moving to different hardware).
 bench-smoke: build
 	$(DUNE) exec bench/main.exe -- smoke --jobs 4
+
+# Reformat the tree with the ocamlformat version pinned in .ocamlformat.
+# Requires `opam install ocamlformat.0.27.0`; CI runs the check-only
+# variant (`dune build @fmt`) as an advisory job.
+fmt:
+	$(DUNE) build @fmt --auto-promote
 
 check: build test chaos chaos-supervised sanitize-smoke bench-smoke
 

@@ -32,6 +32,13 @@
      --retries N        retry transient failures (timeout/crash) N times
      --journal FILE     JSONL checkpoint; reruns skip recorded cells
 
+   Observability flags (table2 / table3 / smoke / all):
+
+     --profile          after the artifact, print a per-kernel profile
+                        report (II, contention, stalls; lib/obs)
+     --trace PREFIX     also write PREFIX.<kernel>.vcd and
+                        PREFIX.<kernel>.trace.json waveforms
+
    The simulated tables reuse one measurement set per strategy; figures 7
    and 8 are derived from table 2, figure 11 from table 3. *)
 
@@ -45,6 +52,12 @@ let keep_going = ref false
 let timeout_s = ref None
 let retries = ref 0
 let journal = ref None
+
+(* Observability knobs: --profile prints a per-kernel profile report
+   after the table/smoke runs; --trace PREFIX writes
+   PREFIX.<kernel>.vcd and PREFIX.<kernel>.trace.json waveforms. *)
+let profile = ref false
+let trace_prefix = ref None
 
 let supervised () =
   !keep_going || !timeout_s <> None || !retries > 0 || !journal <> None
@@ -586,6 +599,56 @@ let smoke () =
   speak "  wrote %s@." bench_json
 
 (* ------------------------------------------------------------------ *)
+(* --profile / --trace: the observability pass over the table kernels  *)
+
+(* One instrumented CRUSH-shared run per kernel, after the requested
+   artifact: prints the profile report and/or writes trace files.  Kept
+   out of the timed/measured paths so the numbers stay comparable. *)
+let observe_kernels benches =
+  if !profile || !trace_prefix <> None then
+    List.iter
+      (fun (b : Kernels.Registry.bench) ->
+        let name = b.Kernels.Registry.name in
+        let c = Minic.Codegen.compile_source b.Kernels.Registry.source in
+        ignore
+          (Crush.Share.crush c.Minic.Codegen.graph
+             ~critical_loops:c.Minic.Codegen.critical_loops);
+        let g = c.Minic.Codegen.graph in
+        let m = Obs.Metrics.create g in
+        let vcd = Obs.Vcd.create g in
+        let chrome = Obs.Chrome_trace.create g in
+        let sinks =
+          Obs.Metrics.sink m
+          ::
+          (if !trace_prefix <> None then [ Obs.Chrome_trace.sink chrome ]
+           else [])
+        in
+        let monitor =
+          if !trace_prefix <> None then Some (Obs.Vcd.monitor vcd) else None
+        in
+        let out, _v =
+          Kernels.Harness.run_circuit_full ?monitor
+            ~sink:(Obs.Events.tee sinks) b g
+        in
+        if !profile then
+          speak "%a"
+            (Obs.Profile.pp_report ~top:5)
+            (Obs.Metrics.finish m ~kernel:name
+               ~total_cycles:out.Sim.Engine.stats.Sim.Engine.cycles);
+        match !trace_prefix with
+        | Some prefix ->
+            let write path contents =
+              let oc = open_out path in
+              output_string oc contents;
+              close_out oc;
+              speak "wrote %s@." path
+            in
+            write (Fmt.str "%s.%s.vcd" prefix name) (Obs.Vcd.to_string vcd);
+            write
+              (Fmt.str "%s.%s.trace.json" prefix name)
+              (Obs.Chrome_trace.to_string chrome)
+        | None -> ())
+      benches
 
 let () =
   Printexc.record_backtrace true;
@@ -630,6 +693,13 @@ let () =
     | "--keep-going" :: rest ->
         keep_going := true;
         parse cmd rest
+    | "--profile" :: rest ->
+        profile := true;
+        parse cmd rest
+    | "--trace" :: rest ->
+        let v, rest = needs_value "--trace" rest in
+        trace_prefix := Some v;
+        parse cmd rest
     | arg :: rest -> (
         match cmd with
         | None -> parse (Some arg) rest
@@ -664,5 +734,14 @@ let () =
   | other ->
       Fmt.epr "unknown command %s@." other;
       exit 2);
+  (* Observability pass last, so the timed paths above stay unperturbed:
+     the table commands observe every kernel, smoke just its single-sim
+     kernel. *)
+  (match cmd with
+  | "table2" | "table3" | "all" -> observe_kernels Kernels.Registry.all
+  | "smoke" -> observe_kernels [ Kernels.Registry.find "syr2k" ]
+  | _ ->
+      if !profile || !trace_prefix <> None then
+        speak "(--profile/--trace apply to table2, table3, smoke and all)@.");
   (* Under --keep-going the artifacts all ran; now report the damage. *)
   if !worst_exit <> 0 then exit !worst_exit

@@ -211,6 +211,172 @@ let stats_cmd =
     Term.(const run $ bench_arg $ strategy_arg $ technique_arg)
 
 (* ------------------------------------------------------------------ *)
+(* trace / profile: cycle-level observability (lib/obs)                *)
+
+(** Kernel name resolution shared by [trace] and [profile]: the paper's
+    motivating circuits by figure name, or any registry benchmark
+    (compiled with [strategy], shared with [technique]). *)
+let paper_example = function
+  | "fig1" -> Some (Crush.Paper_examples.fig1 ()).Crush.Paper_examples.graph
+  | "fig2" ->
+      (* Figure 2: the Figure 1 circuit with M1 and M3 out-of-order
+         shared behind a priority arbiter. *)
+      let b = Crush.Paper_examples.fig1 () in
+      Some
+        (Crush.Paper_examples.share_pair b
+           ~ops:[ b.Crush.Paper_examples.m1; b.Crush.Paper_examples.m3 ]
+           (`Priority [ 0; 1 ]))
+  | "fig5" -> Some (Crush.Paper_examples.fig5 ()).Crush.Paper_examples.graph
+  | _ -> None
+
+(** Resolve [name] to (graph, runner); the runner simulates once with
+    the given observability hooks attached and returns the stats. *)
+let obs_subject name strategy technique =
+  match paper_example name with
+  | Some g ->
+      ( g,
+        fun ?monitor ?sink () ->
+          (Sim.Engine.run ~max_cycles:2_000_000 ?monitor ?sink g)
+            .Sim.Engine.stats )
+  | None ->
+      let b, c = compile_bench name strategy in
+      apply_technique technique c;
+      let g = c.Minic.Codegen.graph in
+      ( g,
+        fun ?monitor ?sink () ->
+          let out, v = Kernels.Harness.run_circuit_full ?monitor ?sink b g in
+          if not v.Kernels.Harness.functionally_correct then
+            Fmt.epr "warning: %s produced wrong results@." name;
+          out.Sim.Engine.stats )
+
+let obs_kernel_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"KERNEL"
+        ~doc:
+          "Benchmark name (see $(b,crush list)) or paper example: fig1 \
+           (unshared), fig2 (M1/M3 priority-shared), fig5.")
+
+let max_events_arg =
+  Arg.(
+    value
+    & opt int 1_000_000
+    & info [ "max-events" ] ~docv:"N"
+        ~doc:
+          "Ring-buffer bound on recorded trace events/changes; past it \
+           the trace is truncated (and says so) instead of growing \
+           without bound.")
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Fmt.pr "wrote %s@." path
+
+let trace_cmd =
+  let doc =
+    "Simulate a kernel with the trace recorders attached and write a VCD \
+     waveform (channel valid/ready, credit counts, buffer occupancy — \
+     open in GTKWave) plus a Chrome trace_event JSON (per-unit fire \
+     spans, arbiter grants, credit counters — open in Perfetto)."
+  in
+  let vcd_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "vcd" ] ~docv:"FILE"
+          ~doc:"VCD output path (default $(i,KERNEL).vcd).")
+  in
+  let chrome_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:"Chrome trace output path (default $(i,KERNEL).trace.json).")
+  in
+  let run name strategy technique vcd_path chrome_path max_events =
+    let g, runner = obs_subject name strategy technique in
+    let vcd = Obs.Vcd.create ~max_changes:max_events g in
+    let chrome = Obs.Chrome_trace.create ~max_events g in
+    let stats =
+      runner ~monitor:(Obs.Vcd.monitor vcd)
+        ~sink:(Obs.Chrome_trace.sink chrome) ()
+    in
+    Fmt.pr "%s: %a (%d cycles, %d transfers)@." name Sim.Engine.pp_status
+      stats.Sim.Engine.status stats.Sim.Engine.cycles
+      stats.Sim.Engine.transfers;
+    if Obs.Vcd.dropped vcd > 0 then
+      Fmt.pr "vcd: truncated, %d changes dropped (raise --max-events)@."
+        (Obs.Vcd.dropped vcd);
+    if Obs.Chrome_trace.dropped chrome > 0 then
+      Fmt.pr "chrome: truncated, %d events dropped (raise --max-events)@."
+        (Obs.Chrome_trace.dropped chrome);
+    write_file
+      (Option.value vcd_path ~default:(name ^ ".vcd"))
+      (Obs.Vcd.to_string vcd);
+    write_file
+      (Option.value chrome_path ~default:(name ^ ".trace.json"))
+      (Obs.Chrome_trace.to_string chrome)
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const run $ obs_kernel_arg $ strategy_arg $ technique_arg $ vcd_arg
+      $ chrome_arg $ max_events_arg)
+
+let profile_cmd =
+  let doc =
+    "Simulate a kernel with the metrics pass attached and print the \
+     profile report: measured vs assumed II per loop, the most contended \
+     shared unit, credit-counter pressure, top stalled channels with \
+     stall reasons, busiest units and buffer occupancy."
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also append the full metrics record as one JSONL line to \
+                $(docv).")
+  in
+  let top_arg =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "top" ] ~docv:"N"
+          ~doc:"List at most $(docv) stalled channels / busiest units.")
+  in
+  let run name strategy technique json_path top =
+    let g, runner = obs_subject name strategy technique in
+    let m = Obs.Metrics.create g in
+    let stats = runner ~sink:(Obs.Metrics.sink m) () in
+    let report =
+      Obs.Metrics.finish m ~kernel:name
+        ~total_cycles:stats.Sim.Engine.cycles
+    in
+    Fmt.pr "status: %a@." Sim.Engine.pp_status stats.Sim.Engine.status;
+    Fmt.pr "%a" (Obs.Profile.pp_report ~top) report;
+    (match json_path with
+    | Some path ->
+        let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+        output_string oc
+          (Exec.Jsonl.to_string (Obs.Metrics.report_to_json report));
+        output_string oc "\n";
+        close_out oc;
+        Fmt.pr "appended metrics record to %s@." path
+    | None -> ());
+    (* Scripted sweeps must not silently pass over a wedged circuit
+       (same contract as [crush stats]). *)
+    match stats.Sim.Engine.status with
+    | Sim.Engine.Completed _ -> ()
+    | _ -> exit 1
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const run $ obs_kernel_arg $ strategy_arg $ technique_arg $ json_arg
+      $ top_arg)
+
+(* ------------------------------------------------------------------ *)
 (* chaos: adversarial robustness sweep + fault-injection self-test     *)
 
 let trials_arg =
@@ -328,6 +494,74 @@ let repro_dir_arg =
     & info [ "repro-dir" ] ~docv:"DIR"
         ~doc:"Directory for minimized reproducers written by \
               $(b,--auto-reduce).")
+
+let chaos_profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "After the sweep, re-run one chaos trial per kernel (the base \
+           seed) with the metrics pass attached and print its profile \
+           report — II, contention and stall attribution as seen under \
+           perturbation.")
+
+let chaos_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"PREFIX"
+        ~doc:
+          "After the sweep, re-run one chaos trial per kernel (the base \
+           seed) with the trace recorders attached and write \
+           $(docv).$(i,KERNEL).vcd and $(docv).$(i,KERNEL).trace.json.")
+
+(** The post-sweep observability pass of [chaos --profile/--trace]: one
+    extra chaos-perturbed trial per kernel (base seed), compiled and
+    shared exactly like the sweep's trials. *)
+let chaos_observe ~seed ~profile ~trace benches =
+  if profile || trace <> None then
+    List.iter
+      (fun (b : Kernels.Registry.bench) ->
+        let name = b.Kernels.Registry.name in
+        let c = Minic.Codegen.compile_source b.Kernels.Registry.source in
+        ignore
+          (Crush.Share.crush c.Minic.Codegen.graph
+             ~critical_loops:c.Minic.Codegen.critical_loops);
+        let g = c.Minic.Codegen.graph in
+        let chaos = Sim.Chaos.default ~seed in
+        let m = Obs.Metrics.create g in
+        let vcd = Obs.Vcd.create g in
+        let chrome = Obs.Chrome_trace.create g in
+        let sinks =
+          Obs.Metrics.sink m
+          :: (if trace <> None then [ Obs.Chrome_trace.sink chrome ] else [])
+        in
+        let monitor =
+          if trace <> None then Some (Obs.Vcd.monitor vcd) else None
+        in
+        let out, _v =
+          Kernels.Harness.run_circuit_full ?monitor ~chaos
+            ~sink:(Obs.Events.tee sinks) b g
+        in
+        if profile then
+          Fmt.pr "%a"
+            (Obs.Profile.pp_report ~top:5)
+            (Obs.Metrics.finish m ~kernel:(name ^ "+chaos")
+               ~total_cycles:out.Sim.Engine.stats.Sim.Engine.cycles);
+        match trace with
+        | Some prefix ->
+            let write path contents =
+              let oc = open_out path in
+              output_string oc contents;
+              close_out oc;
+              Fmt.pr "wrote %s@." path
+            in
+            write (Fmt.str "%s.%s.vcd" prefix name) (Obs.Vcd.to_string vcd);
+            write
+              (Fmt.str "%s.%s.trace.json" prefix name)
+              (Obs.Chrome_trace.to_string chrome)
+        | None -> ())
+      benches
 
 let fault_slug = function
   | Crush.Faults.Overallocated_credits _ -> "overalloc"
@@ -677,7 +911,7 @@ let chaos_cmd =
      restart."
   in
   let run trials seed kernel report jobs keep_going timeout_s retries journal
-      inject_faults sanitize auto_reduce repro_dir =
+      inject_faults sanitize auto_reduce repro_dir profile trace =
     (match report with
     | Some path -> if Sys.file_exists path then Sys.remove path
     | None -> ());
@@ -691,13 +925,16 @@ let chaos_cmd =
       keep_going || inject_faults || timeout_s <> None || retries > 0
       || journal <> None || sanitize
     in
-    if supervised then
+    if supervised then begin
       let sup = Exec.Campaign.supervision ?timeout_s ~retries ?journal () in
+      chaos_observe ~seed ~profile ~trace benches;
       chaos_supervised ~jobs ~trials ~seed ~sup ~inject_faults ~sanitize
         ~auto_reduce ~repro_dir ~report benches
+    end
     else begin
       let failures = chaos_sweep ~jobs ~trials ~seed benches in
       let misses = chaos_fault_check ~report () in
+      chaos_observe ~seed ~profile ~trace benches;
       if failures = 0 && misses = 0 then
         Fmt.pr "chaos: all %d kernels x %d trials ok, %d/%d faults detected@."
           (List.length benches) trials
@@ -714,7 +951,8 @@ let chaos_cmd =
     Term.(
       const run $ trials_arg $ seed_arg $ kernel_arg $ report_arg $ jobs_arg
       $ keep_going_arg $ timeout_arg $ retries_arg $ journal_arg
-      $ inject_faults_arg $ sanitize_arg $ auto_reduce_arg $ repro_dir_arg)
+      $ inject_faults_arg $ sanitize_arg $ auto_reduce_arg $ repro_dir_arg
+      $ chaos_profile_arg $ chaos_trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sanitize: sanitizer self-test + clean-circuit zero-violation sweep  *)
@@ -933,12 +1171,25 @@ let main =
   Cmd.group
     (Cmd.info "crush" ~version:"1.0.0" ~doc)
     [
-      list_cmd; compile_cmd; analyze_cmd; run_cmd; stats_cmd; chaos_cmd;
-      sanitize_cmd; reduce_cmd;
+      list_cmd; compile_cmd; analyze_cmd; run_cmd; stats_cmd; trace_cmd;
+      profile_cmd; chaos_cmd; sanitize_cmd; reduce_cmd;
     ]
+
+let usage_line = "usage: crush COMMAND [OPTION]…  (try crush --help)"
 
 let () =
   (* Worker_crash outcomes carry the backtrace of the escaping
      exception; without this it is empty in production builds. *)
   Printexc.record_backtrace true;
-  exit (Cmd.eval main)
+  (* Exit-code contract (pinned by the test suite): 0 success, 2 for
+     CLI usage errors (unknown flag / missing argument / unknown
+     subcommand, with a one-line usage pointer), 125 for an escaped
+     exception; 10..16 are the per-class failure codes the subcommands
+     exit with themselves ({!Exec.Outcome.exit_code}). *)
+  match Cmd.eval_value main with
+  | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit 0
+  | Error (`Parse | `Term) ->
+      (* cmdliner already printed the specific complaint on stderr. *)
+      prerr_endline usage_line;
+      exit 2
+  | Error `Exn -> exit 125

@@ -18,13 +18,16 @@ type verdict = {
     circuit must still complete with the same results.  [monitor] is the
     per-cycle hook of {!Sim.Engine.run} — pass
     [Sim.Sanitizer.monitor ()] to run the elastic-protocol sanitizers
-    (a raised {!Sim.Sanitizer.Violation} escapes this function). *)
+    (a raised {!Sim.Sanitizer.Violation} escapes this function).
+    [sink] attaches the observability event stream ({!Sim.Engine.sink})
+    for the [Obs] trace writers and metrics pass. *)
 val run_circuit :
   ?seed:int ->
   ?max_cycles:int ->
   ?deadline:(unit -> bool) ->
   ?monitor:(Sim.Engine.t -> cycle:int -> Sim.Engine.monitor_phase -> unit) ->
   ?chaos:Sim.Chaos.config ->
+  ?sink:Sim.Engine.sink ->
   Registry.bench ->
   Dataflow.Graph.t ->
   verdict
@@ -37,6 +40,7 @@ val run_circuit_full :
   ?deadline:(unit -> bool) ->
   ?monitor:(Sim.Engine.t -> cycle:int -> Sim.Engine.monitor_phase -> unit) ->
   ?chaos:Sim.Chaos.config ->
+  ?sink:Sim.Engine.sink ->
   Registry.bench ->
   Dataflow.Graph.t ->
   Sim.Engine.outcome * verdict
@@ -49,6 +53,7 @@ val compile_and_run :
   ?deadline:(unit -> bool) ->
   ?monitor:(Sim.Engine.t -> cycle:int -> Sim.Engine.monitor_phase -> unit) ->
   ?chaos:Sim.Chaos.config ->
+  ?sink:Sim.Engine.sink ->
   ?strategy:Minic.Codegen.strategy ->
   ?transform:(Minic.Codegen.compiled -> Minic.Codegen.compiled) ->
   Registry.bench ->

@@ -1,0 +1,123 @@
+module G = Dataflow.Graph
+module E = Sim.Engine
+
+type span = { uid : int; start : int; stop : int } (* inclusive cycles *)
+type grant = { gcycle : int; guid : int; port : int }
+type counter = { ccycle : int; cuid : int; count : int }
+
+type t = {
+  labels : string array;
+  (* open span per unit: [start, last] of a run of consecutive fires *)
+  open_start : int array;
+  open_last : int array;
+  mutable spans : span list; (* newest first *)
+  mutable grants : grant list;
+  mutable counters : counter list;
+  mutable n_events : int;
+  max_events : int;
+  mutable dropped : int;
+}
+
+let create ?(max_events = 1_000_000) g =
+  let n = G.fold_units g (fun acc (u : G.unit_node) -> max acc (u.uid + 1)) 0 in
+  let labels = Array.make n "" in
+  G.iter_units g (fun u -> labels.(u.uid) <- u.label);
+  {
+    labels;
+    open_start = Array.make n min_int;
+    open_last = Array.make n min_int;
+    spans = [];
+    grants = [];
+    counters = [];
+    n_events = 0;
+    max_events;
+    dropped = 0;
+  }
+
+let has_room t =
+  if t.n_events >= t.max_events then begin
+    t.dropped <- t.dropped + 1;
+    false
+  end
+  else begin
+    t.n_events <- t.n_events + 1;
+    true
+  end
+
+let flush_span t uid =
+  if t.open_start.(uid) <> min_int then begin
+    if has_room t then
+      t.spans <-
+        { uid; start = t.open_start.(uid); stop = t.open_last.(uid) } :: t.spans;
+    t.open_start.(uid) <- min_int
+  end
+
+let sink t (ev : E.event) =
+  match ev with
+  | E_fire { cycle; uid } ->
+      if t.open_start.(uid) <> min_int && t.open_last.(uid) = cycle - 1 then
+        t.open_last.(uid) <- cycle
+      else begin
+        flush_span t uid;
+        t.open_start.(uid) <- cycle;
+        t.open_last.(uid) <- cycle
+      end
+  | E_grant { cycle; uid; port } ->
+      if has_room t then
+        t.grants <- { gcycle = cycle; guid = uid; port } :: t.grants
+  | E_credit { cycle; uid; delta; count } ->
+      if has_room t then
+        t.counters <-
+          { ccycle = cycle; cuid = uid; count = count + delta } :: t.counters
+  | E_transfer _ | E_stall _ -> ()
+
+let dropped t = t.dropped
+
+let json_str s = Exec.Jsonl.to_string (Exec.Jsonl.String s)
+
+let to_string t =
+  (* close still-open runs *)
+  Array.iteri (fun uid s -> if s <> min_int then flush_span t uid) t.open_start;
+  let buf = Buffer.create 4096 in
+  let add = Buffer.add_string buf in
+  let sep = ref "" in
+  let event line = add !sep; add line; sep := ",\n" in
+  add "{\"traceEvents\":[\n";
+  event
+    (Fmt.str
+       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"crush\"}}");
+  Array.iteri
+    (fun uid label ->
+      if label <> "" then
+        event
+          (Fmt.str
+             "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":%s}}"
+             uid (json_str label)))
+    t.labels;
+  List.iter
+    (fun { uid; start; stop } ->
+      event
+        (Fmt.str
+           "{\"name\":%s,\"cat\":\"fire\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%d,\"dur\":%d}"
+           (json_str t.labels.(uid)) uid start (stop - start + 1)))
+    (List.rev t.spans);
+  List.iter
+    (fun { gcycle; guid; port } ->
+      event
+        (Fmt.str
+           "{\"name\":\"grant\",\"cat\":\"arb\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,\"ts\":%d,\"args\":{\"port\":%d}}"
+           guid gcycle port))
+    (List.rev t.grants);
+  List.iter
+    (fun { ccycle; cuid; count } ->
+      event
+        (Fmt.str
+           "{\"name\":%s,\"ph\":\"C\",\"pid\":0,\"tid\":%d,\"ts\":%d,\"args\":{\"credits\":%d}}"
+           (json_str ("credits_" ^ t.labels.(cuid))) cuid ccycle count))
+    (List.rev t.counters);
+  add "\n],\"displayTimeUnit\":\"ms\"";
+  if t.dropped > 0 then add (Fmt.str ",\"crushDropped\":%d" t.dropped);
+  add "}\n";
+  Buffer.contents buf
+
+let write t oc = output_string oc (to_string t)

@@ -1,0 +1,24 @@
+(** Chrome [trace_event] JSON writer (Perfetto / chrome://tracing).
+
+    Each unit is drawn as one thread (tid = unit id, named with the
+    unit's label).  Runs of consecutive fire cycles merge into one
+    complete ("X") span, so a unit pinned busy shows as a solid bar and
+    a stuttering unit as a picket fence; 1 cycle = 1 µs of trace time.
+    Arbiter grants appear as instant events carrying the granted input
+    port, and credit counters as "C" counter tracks.
+
+    Recording is bounded by [max_events]; past the bound new records are
+    refused and counted, so the trace is a valid prefix of the run. *)
+
+type t
+
+val create : ?max_events:int -> Dataflow.Graph.t -> t
+
+(** Attach as [Sim.Engine.run ~sink:(sink t)]. *)
+val sink : t -> Sim.Engine.sink
+
+(** Records refused because the buffer was full. *)
+val dropped : t -> int
+
+val write : t -> out_channel -> unit
+val to_string : t -> string

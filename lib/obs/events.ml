@@ -1,0 +1,50 @@
+type ring = {
+  capacity : int;
+  buf : Sim.Engine.event option array;
+  mutable head : int; (* next write slot *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let ring ~capacity =
+  if capacity <= 0 then invalid_arg "Events.ring: capacity must be positive";
+  { capacity; buf = Array.make capacity None; head = 0; len = 0; dropped = 0 }
+
+let push r ev =
+  r.buf.(r.head) <- Some ev;
+  r.head <- (r.head + 1) mod r.capacity;
+  if r.len < r.capacity then r.len <- r.len + 1 else r.dropped <- r.dropped + 1
+
+let sink r ev = push r ev
+let length r = r.len
+let dropped r = r.dropped
+
+let to_list r =
+  let start = (r.head - r.len + r.capacity * 2) mod r.capacity in
+  List.init r.len (fun i ->
+      match r.buf.((start + i) mod r.capacity) with
+      | Some ev -> ev
+      | None -> assert false)
+
+let tee sinks ev = List.iter (fun s -> s ev) sinks
+
+let cycle_of : Sim.Engine.event -> int = function
+  | E_fire { cycle; _ }
+  | E_transfer { cycle; _ }
+  | E_stall { cycle; _ }
+  | E_credit { cycle; _ }
+  | E_grant { cycle; _ } ->
+      cycle
+
+let pp ppf (ev : Sim.Engine.event) =
+  match ev with
+  | E_fire { cycle; uid } -> Fmt.pf ppf "@%d fire u%d" cycle uid
+  | E_transfer { cycle; cid; data } ->
+      Fmt.pf ppf "@%d xfer c%d %a" cycle cid Dataflow.Types.pp_value data
+  | E_stall { cycle; cid; reason } ->
+      Fmt.pf ppf "@%d stall c%d %s" cycle cid
+        (Sim.Engine.string_of_stall_reason reason)
+  | E_credit { cycle; uid; delta; count } ->
+      Fmt.pf ppf "@%d credit u%d %+d (was %d)" cycle uid delta count
+  | E_grant { cycle; uid; port } ->
+      Fmt.pf ppf "@%d grant u%d port %d" cycle uid port

@@ -1,0 +1,37 @@
+(** Bounded buffering and fan-out for the engine's observability events.
+
+    Trace writers buffer in memory and serialize at the end of a run, so
+    an unbounded event list would OOM a long campaign.  The {!ring} is
+    the shared answer: a fixed-capacity circular buffer that keeps the
+    {e newest} events, counts what it dropped, and never allocates past
+    its capacity. *)
+
+(** Fixed-capacity circular event buffer. *)
+type ring
+
+(** [ring ~capacity] holds at most [capacity] events; pushing past that
+    evicts the oldest.  [capacity] must be positive. *)
+val ring : capacity:int -> ring
+
+val push : ring -> Sim.Engine.event -> unit
+
+(** The ring as an engine sink: [Sim.Engine.run ~sink:(sink r)]. *)
+val sink : ring -> Sim.Engine.sink
+
+(** Buffered events, oldest first. *)
+val to_list : ring -> Sim.Engine.event list
+
+(** Events currently buffered. *)
+val length : ring -> int
+
+(** Events evicted to stay within capacity. *)
+val dropped : ring -> int
+
+(** Fan one event stream out to several sinks, in list order. *)
+val tee : Sim.Engine.sink list -> Sim.Engine.sink
+
+(** Cycle stamp of any event. *)
+val cycle_of : Sim.Engine.event -> int
+
+(** Compact one-line rendering, for debugging and goldens. *)
+val pp : Sim.Engine.event Fmt.t

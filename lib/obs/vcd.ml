@@ -1,0 +1,159 @@
+module G = Dataflow.Graph
+module E = Sim.Engine
+
+type probe =
+  | Chan_valid of int
+  | Chan_ready of int
+  | Credit of int
+  | Occupancy of int
+
+type signal = { name : string; width : int; probe : probe }
+
+type t = {
+  signals : signal array;
+  prev : int array;
+  (* change records, packed as (cycle, signal index, value) *)
+  mutable rec_cycle : int array;
+  mutable rec_sig : int array;
+  mutable rec_val : int array;
+  mutable n_rec : int;
+  max_changes : int;
+  mutable dropped : int;
+}
+
+let sanitize s =
+  String.map (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_') s
+
+let signals_of_graph g =
+  let acc = ref [] in
+  G.iter_units g (fun (u : G.unit_node) ->
+      match u.kind with
+      | Dataflow.Types.Credit_counter _ ->
+          acc :=
+            { name = Fmt.str "credits_%s" (sanitize u.label); width = 32;
+              probe = Credit u.uid }
+            :: !acc
+      | Dataflow.Types.Buffer _ ->
+          acc :=
+            { name = Fmt.str "occ_%s" (sanitize u.label); width = 32;
+              probe = Occupancy u.uid }
+            :: !acc
+      | _ -> ());
+  G.iter_channels g (fun (c : G.channel) ->
+      acc :=
+        { name = Fmt.str "c%d_ready" c.id; width = 1; probe = Chan_ready c.id }
+        :: { name = Fmt.str "c%d_valid" c.id; width = 1;
+             probe = Chan_valid c.id }
+        :: !acc);
+  (* iter order reversed by consing; restore channel-id / unit-id order *)
+  Array.of_list (List.rev !acc)
+
+let create ?(max_changes = 1_000_000) g =
+  let signals = signals_of_graph g in
+  {
+    signals;
+    prev = Array.make (Array.length signals) min_int;
+    rec_cycle = Array.make 1024 0;
+    rec_sig = Array.make 1024 0;
+    rec_val = Array.make 1024 0;
+    n_rec = 0;
+    max_changes;
+    dropped = 0;
+  }
+
+let record t ~cycle ~idx ~value =
+  if t.n_rec >= t.max_changes then t.dropped <- t.dropped + 1
+  else begin
+    if t.n_rec = Array.length t.rec_cycle then begin
+      let grow a = Array.append a (Array.make (Array.length a) 0) in
+      t.rec_cycle <- grow t.rec_cycle;
+      t.rec_sig <- grow t.rec_sig;
+      t.rec_val <- grow t.rec_val
+    end;
+    t.rec_cycle.(t.n_rec) <- cycle;
+    t.rec_sig.(t.n_rec) <- idx;
+    t.rec_val.(t.n_rec) <- value;
+    t.n_rec <- t.n_rec + 1
+  end
+
+let sample sim probe =
+  match probe with
+  | Chan_valid cid -> if E.channel_valid sim cid then 1 else 0
+  | Chan_ready cid -> if E.channel_ready sim cid then 1 else 0
+  | Credit uid -> ( match E.credit_count sim uid with Some n -> n | None -> 0)
+  | Occupancy uid -> (
+      match E.buffer_occupancy sim uid with Some (n, _) -> n | None -> 0)
+
+let monitor t sim ~cycle phase =
+  match (phase : E.monitor_phase) with
+  | After_step -> ()
+  | After_settle ->
+      Array.iteri
+        (fun idx s ->
+          let v = sample sim s.probe in
+          if v <> t.prev.(idx) then begin
+            t.prev.(idx) <- v;
+            record t ~cycle ~idx ~value:v
+          end)
+        t.signals
+
+let dropped t = t.dropped
+
+(* VCD identifier codes: printable ASCII 33..126, little-endian base 94. *)
+let code_of idx =
+  let b = Buffer.create 4 in
+  let rec go n =
+    Buffer.add_char b (Char.chr (33 + (n mod 94)));
+    if n >= 94 then go ((n / 94) - 1)
+  in
+  go idx;
+  Buffer.contents b
+
+let binary_of v =
+  if v = 0 then "0"
+  else begin
+    let b = Buffer.create 8 in
+    let rec go n = if n > 0 then begin go (n lsr 1); Buffer.add_char b (if n land 1 = 1 then '1' else '0') end in
+    go v;
+    Buffer.contents b
+  end
+
+let emit_value buf s code v =
+  if s.width = 1 then Buffer.add_string buf (Fmt.str "%d%s\n" (min 1 v) code)
+  else Buffer.add_string buf (Fmt.str "b%s %s\n" (binary_of v) code)
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  let add = Buffer.add_string buf in
+  add "$version crush obs $end\n";
+  add "$timescale 1ns $end\n";
+  if t.dropped > 0 then
+    add (Fmt.str "$comment truncated: %d changes dropped $end\n" t.dropped);
+  add "$scope module crush $end\n";
+  Array.iteri
+    (fun idx s ->
+      add
+        (Fmt.str "$var %s %d %s %s $end\n"
+           (if s.width = 1 then "wire" else "reg")
+           s.width (code_of idx) s.name))
+    t.signals;
+  add "$upscope $end\n";
+  add "$enddefinitions $end\n";
+  let in_dumpvars = ref false in
+  let cur_cycle = ref min_int in
+  for i = 0 to t.n_rec - 1 do
+    let cycle = t.rec_cycle.(i) in
+    if cycle <> !cur_cycle then begin
+      if !in_dumpvars then begin add "$end\n"; in_dumpvars := false end;
+      add (Fmt.str "#%d\n" cycle);
+      if i = 0 then begin add "$dumpvars\n"; in_dumpvars := true end;
+      cur_cycle := cycle
+    end;
+    let idx = t.rec_sig.(i) in
+    emit_value buf t.signals.(idx) (code_of idx) t.rec_val.(i)
+  done;
+  if !in_dumpvars then add "$end\n";
+  Buffer.contents buf
+
+let write t oc = output_string oc (to_string t)

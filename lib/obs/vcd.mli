@@ -1,0 +1,30 @@
+(** VCD (Value Change Dump) trace writer.
+
+    Samples the handshake state of every channel (valid/ready), the
+    count of every credit counter, and the occupancy of every buffer at
+    each cycle's combinational fixpoint, and serializes the changes as a
+    standard VCD waveform (1 cycle = 1 ns) viewable in GTKWave.
+
+    Recording is bounded: once [max_changes] change records are buffered
+    the writer stops recording and counts what it refused, so the output
+    is always a valid prefix of the run. *)
+
+type t
+
+(** [create g] prepares a recorder for circuit [g].  [max_changes]
+    bounds the buffered change records (default 1_000_000). *)
+val create : ?max_changes:int -> Dataflow.Graph.t -> t
+
+(** Attach as [Sim.Engine.run ~monitor:(monitor t)].  Samples at
+    [After_settle]; [After_step] is ignored.  Composes with other
+    monitors by manual chaining. *)
+val monitor : t -> Sim.Engine.t -> cycle:int -> Sim.Engine.monitor_phase -> unit
+
+(** Change records refused because the buffer was full. *)
+val dropped : t -> int
+
+(** Serialize the buffered waveform. *)
+val write : t -> out_channel -> unit
+
+(** [write] into a string (goldens and tests). *)
+val to_string : t -> string

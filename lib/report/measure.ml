@@ -20,6 +20,8 @@ type t = {
   exec_us : float;
   opt_time_s : float;
   correct : bool;
+  ii : float;    (** worst measured loop II (Obs metrics); 0 when loop-free *)
+  util : float;  (** peak functional-unit utilization over the run *)
 }
 
 let fu_to_string fus =
@@ -30,10 +32,31 @@ let fu_to_string fus =
     passed through to the simulator. *)
 let circuit ?deadline ~technique ~opt_time_s (bench : Kernels.Registry.bench)
     graph =
-  let verdict = Kernels.Harness.run_circuit ?deadline bench graph in
+  let metrics = Obs.Metrics.create graph in
+  let verdict =
+    Kernels.Harness.run_circuit ?deadline ~sink:(Obs.Metrics.sink metrics)
+      bench graph
+  in
   let area = Analysis.Area.total graph in
   let cp = Analysis.Timing.critical_path graph in
   let cycles = verdict.Kernels.Harness.cycles in
+  let report =
+    Obs.Metrics.finish metrics ~kernel:bench.Kernels.Registry.name
+      ~total_cycles:cycles
+  in
+  let ii =
+    List.fold_left
+      (fun a (l : Obs.Metrics.loop_row) -> Float.max a l.measured_ii)
+      0.0 report.Obs.Metrics.loops
+  in
+  let util =
+    List.fold_left
+      (fun a (u : Obs.Metrics.unit_row) ->
+        if String.length u.ukind >= 9 && String.sub u.ukind 0 9 = "operator:"
+        then Float.max a u.utilization
+        else a)
+      0.0 report.Obs.Metrics.units
+  in
   {
     bench = bench.Kernels.Registry.name;
     technique;
@@ -47,6 +70,8 @@ let circuit ?deadline ~technique ~opt_time_s (bench : Kernels.Registry.bench)
     exec_us = cp *. float_of_int cycles /. 1000.0;
     opt_time_s;
     correct = verdict.Kernels.Harness.functionally_correct;
+    ii;
+    util;
   }
 
 type technique = Naive | In_order | Crush
@@ -106,12 +131,18 @@ let to_json (m : t) =
       ("exec_us", Exec.Jsonl.Float m.exec_us);
       ("opt_time_s", Exec.Jsonl.Float m.opt_time_s);
       ("correct", Exec.Jsonl.Bool m.correct);
+      ("ii", Exec.Jsonl.Float m.ii);
+      ("util", Exec.Jsonl.Float m.util);
     ]
 
 let of_json j =
   let open Exec.Jsonl in
   let get f k =
     match Option.bind (member k j) f with Some v -> v | None -> raise Exit
+  in
+  (* pre-observability journal rows lack these; default rather than drop *)
+  let get_float_or d k =
+    match Option.bind (member k j) to_float with Some v -> v | None -> d
   in
   try
     let fu = function
@@ -132,16 +163,19 @@ let of_json j =
         exec_us = get to_float "exec_us";
         opt_time_s = get to_float "opt_time_s";
         correct = get to_bool "correct";
+        ii = get_float_or 0.0 "ii";
+        util = get_float_or 0.0 "util";
       }
   with Exit -> None
 
 let pp_header ppf () =
-  Fmt.pf ppf "%-10s %-8s %-16s %4s %6s %6s %6s %6s %8s %9s %8s %s" "Benchmark"
-    "Tech" "Functional units" "DSPs" "Slices" "LUTs" "FFs" "CP(ns)" "Cycles"
-    "Exec(us)" "Opt(s)" "OK"
+  Fmt.pf ppf "%-10s %-8s %-16s %4s %6s %6s %6s %6s %8s %9s %8s %6s %5s %s"
+    "Benchmark" "Tech" "Functional units" "DSPs" "Slices" "LUTs" "FFs"
+    "CP(ns)" "Cycles" "Exec(us)" "Opt(s)" "II" "Util" "OK"
 
 let pp_row ppf r =
-  Fmt.pf ppf "%-10s %-8s %-16s %4d %6d %6d %6d %6.1f %8d %9.1f %8.3f %s"
+  Fmt.pf ppf
+    "%-10s %-8s %-16s %4d %6d %6d %6d %6.1f %8d %9.1f %8.3f %6.2f %4.0f%% %s"
     r.bench r.technique (fu_to_string r.fus) r.dsps r.slices r.luts r.ffs
-    r.cp_ns r.cycles r.exec_us r.opt_time_s
+    r.cp_ns r.cycles r.exec_us r.opt_time_s r.ii (100.0 *. r.util)
     (if r.correct then "yes" else "NO!")

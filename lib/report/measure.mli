@@ -17,6 +17,8 @@ type t = {
   exec_us : float;
   opt_time_s : float;
   correct : bool;
+  ii : float;    (** worst measured loop II over the run; 0 when loop-free *)
+  util : float;  (** peak functional-unit utilization over the run *)
 }
 
 val fu_to_string : (string * int) list -> string

@@ -51,6 +51,48 @@ type status =
   | Deadlock of int    (** cycle at which the circuit wedged *)
   | Out_of_fuel of int (** the fuel budget that elapsed without quiescence *)
 
+(* ------------------------------------------------------------------ *)
+(* Observability: the per-cycle event sink                             *)
+
+(** Why a channel presenting a token was refused this cycle.  The engine
+    classifies each stalled channel from the consumer's own state, so the
+    reasons stay faithful to the simulated microarchitecture rather than
+    being reverse-engineered from the waveform afterwards. *)
+type stall_reason =
+  | Backpressure      (** consumer refuses and no finer cause applies *)
+  | Pipeline_full     (** single-enable pipeline with a blocked head token *)
+  | Contention
+      (** the consumer lost this cycle's arbitration: a load/store without
+          its memory-port grant, or a sharing-wrapper arbiter input that
+          was not served *)
+  | No_credit
+      (** consumer is a join gated by a drained credit counter — the
+          credit-stall the CRUSH wrapper is designed to make rare *)
+  | Operand_starved   (** multi-input consumer waiting on a sibling input *)
+
+let string_of_stall_reason = function
+  | Backpressure -> "backpressure"
+  | Pipeline_full -> "pipeline-full"
+  | Contention -> "contention"
+  | No_credit -> "no-credit"
+  | Operand_starved -> "operand-starved"
+
+(** One cycle-stamped observation from the transfer/settle loop.
+    [E_transfer] and [E_stall] describe channels at the combinational
+    fixpoint (the same instant the sanitizers see); [E_fire] marks a
+    unit whose sequential state advanced; [E_credit] carries the grant
+    ([delta = -1]) / return ([delta = +1]) traffic of a credit counter
+    with the pre-transfer count; [E_grant] records which input an
+    arbiter served. *)
+type event =
+  | E_fire of { cycle : int; uid : int }
+  | E_transfer of { cycle : int; cid : int; data : value }
+  | E_stall of { cycle : int; cid : int; reason : stall_reason }
+  | E_credit of { cycle : int; uid : int; delta : int; count : int }
+  | E_grant of { cycle : int; uid : int; port : int }
+
+type sink = event -> unit
+
 (** Raised by {!run} when the caller-provided [deadline] reports the
     job's wall-clock budget exhausted.  The deadline is polled
     cooperatively every {!deadline_poll_period} cycles, so for a
@@ -120,6 +162,9 @@ type t = {
       (** per unit: the last cycle at which its sequential state changed,
           [-1] if it never did — the raw material of the livelock
           snapshot {!Forensics} builds for [Out_of_fuel] runs *)
+  sink : sink option;
+      (** observability event sink; [None] keeps every emission site on
+          its zero-cost branch (a single [match] per site per cycle) *)
   chaos : Chaos.t option;
   chaos_stall : bool;           (** sinks can stall (config + sinks exist) *)
   chaos_jitter : bool;          (** ports are jittered (config + ports exist) *)
@@ -153,7 +198,7 @@ let init_state ~extra (k : kind) =
       S_phased { turns = Array.make (List.length clusters) 0 }
   | _ -> S_stateless
 
-let create ?chaos ?memory g =
+let create ?chaos ?memory ?sink g =
   Validate.check_exn g;
   let chaos = Option.map Chaos.make chaos in
   let memory = match memory with Some m -> m | None -> Memory.of_graph g in
@@ -253,6 +298,7 @@ let create ?chaos ?memory g =
     exit_values = [];
     transfers = 0;
     last_fire = Array.make (max 1 n_units) (-1);
+    sink;
     chaos;
     chaos_stall =
       chaos_on (fun c -> c.Chaos.stall_prob > 0.0) && chaos_sinks <> [];
@@ -760,6 +806,91 @@ let stalled_channels t =
         acc := c.Graph.id :: !acc);
   List.rev !acc
 
+(* ------------------------------------------------------------------ *)
+(* Event emission (only on runs with an attached sink)                 *)
+
+(** Why channel [c] — valid but not ready at this cycle's fixpoint — is
+    refused, judged from the consumer's own state.  Pure reads: no chaos
+    stream is consulted (recomputing a permuted arbiter grant would
+    double-count the chaos counters), so classification never perturbs
+    the run it observes. *)
+let classify_stall t (c : Graph.channel) =
+  let dst = c.Graph.dst.unit_id in
+  let k = Graph.kind_of t.g dst in
+  match (k, t.state.(dst)) with
+  | Operator { ports; _ }, S_pipeline { stages } ->
+      let head = stages.(Array.length stages - 1) in
+      if head <> None && not (out_ready t dst 0) then Pipeline_full
+      else if not (all_inputs_valid t dst ports) then Operand_starved
+      else Backpressure
+  | Load _, S_pipeline { stages } ->
+      let head = stages.(Array.length stages - 1) in
+      if head <> None && not (out_ready t dst 0) then Pipeline_full
+      else if t.requesting.(dst) && not (granted t dst) then Contention
+      else Backpressure
+  | Store _, S_pipeline { stages } ->
+      if stages.(0) <> None && not (out_ready t dst 0) then Pipeline_full
+      else if not (all_inputs_valid t dst 2) then Operand_starved
+      else if t.requesting.(dst) && not (granted t dst) then Contention
+      else Backpressure
+  | Join { inputs; _ }, _ ->
+      if all_inputs_valid t dst inputs then Backpressure
+      else begin
+        (* A missing sibling fed by a drained credit counter is the
+           credit stall of Section 4.3; any other missing sibling is
+           ordinary operand starvation. *)
+        let credit_starved = ref false in
+        for p = 0 to inputs - 1 do
+          if not (in_valid t dst p) then
+            match Graph.in_channel t.g dst p with
+            | Some sib -> (
+                match t.state.(sib.Graph.src.unit_id) with
+                | S_credit { count } when count = 0 -> credit_starved := true
+                | _ -> ())
+            | None -> ()
+        done;
+        if !credit_starved then No_credit else Operand_starved
+      end
+  | Arbiter _, _ ->
+      (* If both wrapper outputs could accept, the only way to refuse a
+         valid request is to serve (or reserve the turn for) another
+         input. *)
+      if out_ready t dst 0 && out_ready t dst 1 then Contention
+      else Backpressure
+  | Operator { ports; _ }, _ ->
+      if not (all_inputs_valid t dst ports) then Operand_starved
+      else Backpressure
+  | (Mux _ | Branch _), _ -> Operand_starved
+  | _ -> Backpressure
+
+(** Emit this cycle's channel-level events: one [E_transfer] per firing
+    channel — enriched with [E_credit] at credit-counter endpoints and
+    [E_grant] at arbiter inputs — and one [E_stall] per refused token.
+    Runs at the combinational fixpoint, before the sequential phase, so
+    credit counts are the pre-transfer values. *)
+let emit_channel_events t ~cycle f =
+  Graph.iter_channels t.g (fun c ->
+      let cid = c.Graph.id in
+      if t.cvalid.(cid) then
+        if t.cready.(cid) then begin
+          f (E_transfer { cycle; cid; data = t.cdata.(cid) });
+          (match t.state.(c.Graph.src.unit_id) with
+          | S_credit { count } ->
+              f (E_credit { cycle; uid = c.Graph.src.unit_id; delta = -1; count })
+          | _ -> ());
+          (match t.state.(c.Graph.dst.unit_id) with
+          | S_credit { count } ->
+              f (E_credit { cycle; uid = c.Graph.dst.unit_id; delta = 1; count })
+          | _ -> ());
+          match Graph.kind_of t.g c.Graph.dst.unit_id with
+          | Arbiter _ ->
+              f
+                (E_grant
+                   { cycle; uid = c.Graph.dst.unit_id; port = c.Graph.dst.port })
+          | _ -> ()
+        end
+        else f (E_stall { cycle; cid; reason = classify_stall t c }))
+
 (** Maximum occupancy a buffer reached during the run (its own initial
     tokens included); 0 for non-buffer units.  Profile data for the
     output-buffer shrinking pass (paper Section 6.4). *)
@@ -825,9 +956,9 @@ let chaos_prologue t ch ~cycle ~quiet =
     quiescence without completion is a deadlock.  [chaos] perturbs the
     run adversarially (see {!Chaos}); a valid elastic circuit must
     produce the same exit values and still complete under any seed. *)
-let run ?(max_cycles = 2_000_000) ?deadline ?observer ?monitor ?chaos ?memory g
-    =
-  let t = create ?chaos ?memory g in
+let run ?(max_cycles = 2_000_000) ?deadline ?observer ?monitor ?chaos ?memory
+    ?sink g =
+  let t = create ?chaos ?memory ?sink g in
   let monitor_call =
     match monitor with
     | None -> fun ~cycle:_ _ -> ()
@@ -854,6 +985,12 @@ let run ?(max_cycles = 2_000_000) ?deadline ?observer ?monitor ?chaos ?memory g
       | None -> ());
       settle ~cycle:!cycle t;
       monitor_call ~cycle:!cycle After_settle;
+      (* Observability: channel-level events are derived at the settled
+         fixpoint, exactly where the sanitizers read; runs without a
+         sink pay one [None] branch per cycle. *)
+      (match t.sink with
+      | Some f -> emit_channel_events t ~cycle:!cycle f
+      | None -> ());
       let moved_tokens = count_transfers ?observer ~cycle:!cycle t in
       t.transfers <- t.transfers + moved_tokens;
       let state_changed = ref false in
@@ -864,6 +1001,9 @@ let run ?(max_cycles = 2_000_000) ?deadline ?observer ?monitor ?chaos ?memory g
           if step_unit t u then begin
             state_changed := true;
             t.last_fire.(u) <- !cycle;
+            (match t.sink with
+            | Some f -> f (E_fire { cycle = !cycle; uid = u })
+            | None -> ());
             enqueue t u
           end)
         t.step_units;

@@ -21,6 +21,49 @@ type status =
   | Deadlock of int    (** cycle at which the circuit wedged *)
   | Out_of_fuel of int (** the fuel budget that elapsed without quiescence *)
 
+(** {2 Observability events}
+
+    The engine can narrate a run to an attached {!type:sink}: one typed,
+    cycle-stamped event per observable fact of the token game.  With no
+    sink attached every emission site reduces to a single [None] branch,
+    so untraced runs are bit-identical to the pre-observability engine
+    (pinned by the test suite) at negligible cost. *)
+
+(** Why a channel presenting a token was refused this cycle, judged from
+    the consumer's own microarchitectural state. *)
+type stall_reason =
+  | Backpressure      (** consumer refuses and no finer cause applies *)
+  | Pipeline_full     (** single-enable pipeline with a blocked head token *)
+  | Contention
+      (** lost this cycle's arbitration: a load/store without its
+          memory-port grant, or an unserved sharing-arbiter input *)
+  | No_credit
+      (** consumer is a join gated by a drained credit counter — the
+          credit stall the CRUSH wrapper is designed to make rare *)
+  | Operand_starved   (** multi-input consumer waiting on a sibling input *)
+
+(** Stable lowercase slug, e.g. ["no-credit"] — used by trace writers,
+    metric records and test assertions. *)
+val string_of_stall_reason : stall_reason -> string
+
+(** One observation from the transfer/settle loop.  [E_transfer] and
+    [E_stall] describe channels at the combinational fixpoint (the same
+    instant the sanitizers read); [E_fire] marks a unit whose sequential
+    state advanced this cycle; [E_credit] is credit-counter traffic
+    ([delta = -1] grant, [+1] return, [count] pre-transfer); [E_grant]
+    records which input an arbiter served. *)
+type event =
+  | E_fire of { cycle : int; uid : int }
+  | E_transfer of { cycle : int; cid : int; data : Dataflow.Types.value }
+  | E_stall of { cycle : int; cid : int; reason : stall_reason }
+  | E_credit of { cycle : int; uid : int; delta : int; count : int }
+  | E_grant of { cycle : int; uid : int; port : int }
+
+(** An event consumer, called synchronously from the simulation loop in
+    deterministic order (channels by id within a cycle, then unit fires
+    in active-set order).  Sinks must not mutate the engine. *)
+type sink = event -> unit
+
 (** Raised by {!run} when the caller-provided [deadline] reports the
     job's wall-clock budget exhausted; carries the cycle at which the
     simulation was interrupted.  The deadline is polled cooperatively
@@ -66,7 +109,9 @@ type monitor_phase = After_settle | After_step
     circuit must produce the same exit values and still complete under
     every chaos seed.  [deadline] is the per-job watchdog: a predicate
     polled every {!deadline_poll_period} cycles that returns [true] when
-    the job's wall-clock budget is exhausted.
+    the job's wall-clock budget is exhausted.  [sink] attaches the
+    observability event stream (see {!type:event}); a run without one is
+    bit-identical to a run of the pre-observability engine.
 
     @raise Timeout if [deadline] fires.
     @raise Dataflow.Validate.Invalid if the graph fails validation. *)
@@ -77,6 +122,7 @@ val run :
   ?monitor:(t -> cycle:int -> monitor_phase -> unit) ->
   ?chaos:Chaos.config ->
   ?memory:Memory.t ->
+  ?sink:sink ->
   Dataflow.Graph.t ->
   outcome
 

@@ -14,4 +14,5 @@ let () =
       ("robustness", Test_robustness.suite);
       ("exec", Test_exec.suite);
       ("sanitize", Test_sanitize.suite);
+      ("obs", Test_obs.suite);
     ]
