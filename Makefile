@@ -6,8 +6,8 @@
 
 DUNE ?= dune
 
-.PHONY: all build test chaos chaos-supervised sanitize-smoke bench-smoke \
-  fmt check clean
+.PHONY: all build test chaos chaos-supervised crash-chaos sanitize-smoke \
+  bench-smoke fmt check clean
 
 all: build
 
@@ -33,6 +33,19 @@ chaos-supervised: build
 	$(DUNE) exec bin/crush_cli.exe -- chaos --keep-going --inject-faults \
 	  --trials 2 --seed 1 --kernel atax --jobs 2
 
+# Crash-chaos acceptance: a sharded sweep across 3 worker processes
+# with 2 seeded SIGKILLs delivered mid-campaign and one injected hard
+# hang that only the supervisor's heartbeat watchdog can end.  The
+# sweep must complete every task, then the CLI re-runs the same tasks
+# serially (--jobs 1) and byte-compares the merged shard journal
+# against the serial one — any divergence, missed kill or unpreempted
+# hang exits nonzero.  Journals are left in place for CI artifacts.
+crash-chaos: build
+	rm -f crash-chaos.jsonl crash-chaos.jsonl.*
+	$(DUNE) exec bin/crush_cli.exe -- chaos --kernel atax --trials 4 \
+	  --shards 3 --crash-workers 2 --seed 1 --timeout-s 30 --retries 1 \
+	  --heartbeat-s 2 --fsync --journal crash-chaos.jsonl
+
 # Elastic-protocol sanitizer smoke: the three Eq. 1 fault circuits must
 # each be convicted strictly earlier than quiescence deadlock detection,
 # and every kernel x both codegen strategies x {unperturbed, 2 chaos
@@ -55,7 +68,9 @@ bench-smoke: build
 fmt:
 	$(DUNE) build @fmt --auto-promote
 
-check: build test chaos chaos-supervised sanitize-smoke bench-smoke
+check: build test chaos chaos-supervised crash-chaos sanitize-smoke \
+  bench-smoke
 
 clean:
 	$(DUNE) clean
+	rm -f crash-chaos.jsonl crash-chaos.jsonl.*

@@ -27,10 +27,16 @@
    outcome instead of aborting the whole table):
 
      --keep-going       continue through failed cells; exit at the end
-                        with the most severe class code (10..15)
+                        with the most severe class code (10..17)
      --timeout-s S      per-cell wall-clock watchdog -> "timeout" class
      --retries N        retry transient failures (timeout/crash) N times
      --journal FILE     JSONL checkpoint; reruns skip recorded cells
+     --shards N         run table2/table3 cells across N crash-isolated
+                        worker processes (Exec.Supervisor): a segfaulting
+                        or hard-hung cell costs one worker, not the
+                        table.  The merged journal (--journal FILE gets a
+                        .tableN suffix per table) is byte-identical to a
+                        serial run
 
    Observability flags (table2 / table3 / smoke / all):
 
@@ -52,6 +58,9 @@ let keep_going = ref false
 let timeout_s = ref None
 let retries = ref 0
 let journal = ref None
+
+(* Worker-process count for the sharded tables; 0 = in-process. *)
+let shards = ref 0
 
 (* Observability knobs: --profile prints a per-kernel profile report
    after the table/smoke runs; --trace PREFIX writes
@@ -150,12 +159,35 @@ let run_bechamel () =
    derive ratios from a table and are skipped when it is incomplete. *)
 let cached_table2 = ref None
 
+(* The sharded table path: every cell in a crash-isolated worker
+   process, failures classified per cell like the supervised in-process
+   path (and reported through the same [report_failures]). *)
+let sharded_table_rows what ~table () =
+  let outcomes, stats =
+    Report.Experiments.table_sharded ~shards:!shards ?timeout_s:!timeout_s
+      ~retries:!retries
+      ?journal:(Option.map (fun j -> Fmt.str "%s.table%d" j table) !journal)
+      ~table ()
+  in
+  speak
+    "%s: %d shard worker(s), %d resumed, %d preempted, %d lost, %d \
+     respawn(s), %d poisoned@."
+    what !shards stats.Exec.Supervisor.n_resumed
+    stats.Exec.Supervisor.n_preempted stats.Exec.Supervisor.n_lost
+    stats.Exec.Supervisor.n_respawns stats.Exec.Supervisor.n_poisoned;
+  let failed = report_failures what outcomes in
+  ( List.filter_map
+      (fun (_, o) -> match o with Exec.Outcome.Ok row -> Some row | _ -> None)
+      outcomes,
+    failed )
+
 let table2_rows_checked () =
   match !cached_table2 with
   | Some r -> r
   | None ->
       let r =
-        if supervised () then begin
+        if !shards > 0 then sharded_table_rows "table2" ~table:2 ()
+        else if supervised () then begin
           let res =
             Report.Experiments.table2_outcomes ~jobs:!jobs ~sup:(supervision ())
               ()
@@ -186,7 +218,8 @@ let table3_rows_checked () =
   | Some r -> r
   | None ->
       let r =
-        if supervised () then begin
+        if !shards > 0 then sharded_table_rows "table3" ~table:3 ()
+        else if supervised () then begin
           let res =
             Report.Experiments.table3_outcomes ~jobs:!jobs ~sup:(supervision ())
               ()
@@ -571,7 +604,9 @@ let smoke () =
         (serial_cps /. prev) prev serial_cps bench_json;
       exit 1
   | _ -> ());
-  let oc = open_out bench_json in
+  (* Written atomically (temp + rename): a kill mid-write must never
+     leave a torn baseline for the next run's regression gate. *)
+  Exec.Journal.write_atomic bench_json (fun oc ->
   Printf.fprintf oc
     "{\n\
     \  \"schema_version\": %d,\n\
@@ -594,8 +629,7 @@ let smoke () =
      }\n"
     Exec.Journal.schema_version (List.length tasks) n_jobs total_cycles
     serial_s parallel_s speedup serial_cps parallel_cps single_cycles single_s
-    single_cps sanitized_s sanitized_cps sanitizer_overhead;
-  close_out oc;
+    single_cps sanitized_s sanitized_cps sanitizer_overhead);
   speak "  wrote %s@." bench_json
 
 (* ------------------------------------------------------------------ *)
@@ -652,6 +686,18 @@ let observe_kernels benches =
 
 let () =
   Printexc.record_backtrace true;
+  (* Hidden worker mode: [main.exe __worker --kind table ...] is how the
+     shard supervisor re-execs this binary for --shards table runs. *)
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "__worker" then begin
+    let opts = Exec.Supervisor.worker_opts_of_argv Sys.argv in
+    match opts.Exec.Supervisor.kind with
+    | "table" ->
+        Exec.Supervisor.worker_main ~opts
+          ~run:(Report.Experiments.worker_cell_run opts) ()
+    | k ->
+        Fmt.epr "bench __worker: unknown kind %s@." k;
+        exit 2
+  end;
   (* COMMAND plus options in any position. *)
   let args = List.tl (Array.to_list Sys.argv) in
   let needs_value flag = function
@@ -689,6 +735,14 @@ let () =
     | "--journal" :: rest ->
         let v, rest = needs_value "--journal" rest in
         journal := Some v;
+        parse cmd rest
+    | "--shards" :: rest ->
+        let v, rest = needs_value "--shards" rest in
+        (match int_of_string_opt v with
+        | Some n when n >= 1 -> shards := n
+        | _ ->
+            Fmt.epr "bad --shards value %s@." v;
+            exit 2);
         parse cmd rest
     | "--keep-going" :: rest ->
         keep_going := true;

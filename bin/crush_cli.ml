@@ -427,7 +427,7 @@ let keep_going_arg =
            (ok / frontend / validation / deadlock / out-of-fuel / timeout / \
            crash) and keep draining the batch instead of aborting on the \
            first failure.  The exit code is that of the most severe class \
-           observed (0, or 10..15).")
+           observed (0, or 10..17).")
 
 let timeout_arg =
   Arg.(
@@ -589,7 +589,7 @@ let fault_circuit fault =
     repro path.  Reduction happens inside the task function — before the
     outcome is journalled — so a campaign's journal is bit-identical at
     any $(b,--jobs) level. *)
-let sanitized ~auto_reduce ~repro_dir ~name g f =
+let sanitized ?deadline ~auto_reduce ~repro_dir ~name g f =
   match f (Sim.Sanitizer.monitor ()) with
   | result -> result
   | exception Sim.Sanitizer.Violation v ->
@@ -597,8 +597,8 @@ let sanitized ~auto_reduce ~repro_dir ~name g f =
         if not auto_reduce then None
         else
           Option.map fst
-            (Exec.Reduce.reduce_to_files ~dir:repro_dir ~name ~fault:name
-               ~invariant:v.Sim.Sanitizer.invariant g)
+            (Exec.Reduce.reduce_to_files ?deadline ~dir:repro_dir ~name
+               ~fault:name ~invariant:v.Sim.Sanitizer.invariant g)
       in
       Exec.Outcome.Sanitizer_violation
         {
@@ -721,6 +721,8 @@ let refail : 'a Exec.Outcome.t -> 'b Exec.Outcome.t = function
   | Worker_crash { exn; backtrace } -> Worker_crash { exn; backtrace }
   | Sanitizer_violation { cycle; unit_label; invariant; detail; repro } ->
       Sanitizer_violation { cycle; unit_label; invariant; detail; repro }
+  | Worker_lost { shard; reason } -> Worker_lost { shard; reason }
+  | Worker_killed { shard; after_s } -> Worker_killed { shard; after_s }
 
 (** One supervised chaos task: a (kernel, chaos-seed) trial, or one of
     the deliberately broken Eq. 1 circuits that must deadlock. *)
@@ -746,9 +748,10 @@ let chaos_decode j =
   | Some c, Some n -> Some (c, n)
   | _ -> None
 
-let run_chaos_task ~sanitize ~auto_reduce ~repro_dir ~deadline task =
+let run_chaos_task ?poll_every ~sanitize ~auto_reduce ~repro_dir ~deadline task
+    =
   let with_monitor name g f =
-    if sanitize then sanitized ~auto_reduce ~repro_dir ~name g f
+    if sanitize then sanitized ~deadline ~auto_reduce ~repro_dir ~name g f
     else f (fun _ ~cycle:_ _ -> ())
   in
   match task with
@@ -761,8 +764,8 @@ let run_chaos_task ~sanitize ~auto_reduce ~repro_dir ~deadline task =
       with_monitor name c.Minic.Codegen.graph (fun monitor ->
           let chaos = Sim.Chaos.default ~seed:s in
           let out, v =
-            Kernels.Harness.run_circuit_full ~deadline ~monitor ~chaos b
-              c.Minic.Codegen.graph
+            Kernels.Harness.run_circuit_full ?poll_every ~deadline ~monitor
+              ~chaos b c.Minic.Codegen.graph
           in
           match Exec.Outcome.of_sim_run out with
           | Exec.Outcome.Ok _ ->
@@ -773,19 +776,24 @@ let run_chaos_task ~sanitize ~auto_reduce ~repro_dir ~deadline task =
   | Fault fault ->
       let g = fault_circuit fault in
       with_monitor ("fault_" ^ fault_slug fault) g (fun monitor ->
-          let out = Sim.Engine.run ~max_cycles:100_000 ~deadline ~monitor g in
+          let out =
+            Sim.Engine.run ~max_cycles:100_000 ?poll_every ~deadline ~monitor g
+          in
           match Exec.Outcome.of_sim_run out with
           | Exec.Outcome.Ok stats ->
               Exec.Outcome.Ok (true, stats.Sim.Engine.cycles)
           | failure -> refail failure)
 
-(** JSON campaign report (schema-versioned, like the journal). *)
-let write_chaos_report path ~trials ~seed ~jobs summary results =
+(** JSON campaign report (schema-versioned, like the journal), written
+    atomically so a kill mid-report never leaves a torn file.  [results]
+    are (journal key, outcome) pairs so the in-process and sharded
+    sweeps share one writer; [shards = 0] means in-process. *)
+let write_chaos_report path ~trials ~seed ~jobs ~shards summary results =
   let open Exec.Jsonl in
-  let task_json (task, o) =
+  let task_json (key, o) =
     Obj
       [
-        ("key", String (chaos_key task));
+        ("key", String key);
         ("class", String (Exec.Outcome.class_name o));
         ( "correct",
           match o with
@@ -801,6 +809,7 @@ let write_chaos_report path ~trials ~seed ~jobs summary results =
         ("trials", Int trials);
         ("seed", Int seed);
         ("jobs", Int jobs);
+        ("shards", Int shards);
         ( "counts",
           Obj
             [
@@ -813,22 +822,23 @@ let write_chaos_report path ~trials ~seed ~jobs summary results =
               ("timeout", Int summary.Exec.Outcome.n_timeout);
               ("crash", Int summary.Exec.Outcome.n_crash);
               ("sanitizer", Int summary.Exec.Outcome.n_sanitizer);
+              ("worker_lost", Int summary.Exec.Outcome.n_worker_lost);
+              ("worker_killed", Int summary.Exec.Outcome.n_worker_killed);
             ] );
         ("tasks", List (List.map task_json results));
       ]
   in
-  let oc = open_out path in
-  output_string oc (to_string json);
-  output_string oc "\n";
-  close_out oc;
+  Exec.Journal.write_atomic path (fun oc ->
+      output_string oc (to_string json);
+      output_string oc "\n");
   Fmt.pr "wrote %s@." path
 
 (** The supervised sweep: every trial resolves to a classified outcome,
     the batch always drains, and the summary table plus per-class exit
     code replace the legacy first-failure abort.  Fault-injection tasks
     are expected to classify as deadlocks; anything else is a miss. *)
-let chaos_supervised ~jobs ~trials ~seed ~sup ~inject_faults ~sanitize
-    ~auto_reduce ~repro_dir ~report benches =
+let chaos_supervised ?poll_every ~jobs ~trials ~seed ~sup ~inject_faults
+    ~sanitize ~auto_reduce ~repro_dir ~report benches =
   let tasks =
     List.concat_map
       (fun (b : Kernels.Registry.bench) ->
@@ -845,7 +855,7 @@ let chaos_supervised ~jobs ~trials ~seed ~sup ~inject_faults ~sanitize
   let results =
     Exec.Campaign.map_outcomes ~jobs ~sup ~key:chaos_key ~encode:chaos_encode
       ~decode:chaos_decode
-      (run_chaos_task ~sanitize ~auto_reduce ~repro_dir)
+      (run_chaos_task ?poll_every ~sanitize ~auto_reduce ~repro_dir)
       tasks
   in
   (* Trials: any non-[Ok] outcome is a failure; [Ok] with wrong results
@@ -893,9 +903,301 @@ let chaos_supervised ~jobs ~trials ~seed ~sup ~inject_faults ~sanitize
          Fmt.pr "quarantine manifest: %s@." (Exec.Journal.quarantine_path j)
      | _ -> ());
   Option.iter
-    (fun path -> write_chaos_report path ~trials ~seed ~jobs summary results)
+    (fun path ->
+      write_chaos_report path ~trials ~seed ~jobs ~shards:0 summary
+        (List.map (fun (t, o) -> (chaos_key t, o)) results))
     report;
   if !wrong > 0 || !missed > 0 then exit 1;
+  if code <> 0 then exit code
+
+(* ------------------------------------------------------------------ *)
+(* Sharded chaos: crash-isolated worker processes (Exec.Supervisor)    *)
+
+(** The crash-chaos self-test ships one deliberately wedged job: a hot
+    loop that never polls a deadline and never heartbeats, which only
+    the supervisor's preemptive SIGKILL can stop.  Its key is excluded
+    from the journal byte-comparison (a serial run would never finish
+    it). *)
+let hang_key = "hang:injected"
+
+let hang_spec = Exec.Jsonl.Obj [ ("t", Exec.Jsonl.String "hang") ]
+
+(** Self-describing job spec shipped to chaos workers over the wire. *)
+let chaos_spec_of_task = function
+  | Trial (b, s) ->
+      Exec.Jsonl.Obj
+        [
+          ("t", Exec.Jsonl.String "trial");
+          ("bench", Exec.Jsonl.String b.Kernels.Registry.name);
+          ("seed", Exec.Jsonl.Int s);
+        ]
+  | Fault f ->
+      Exec.Jsonl.Obj
+        [
+          ("t", Exec.Jsonl.String "fault");
+          ("fault", Exec.Jsonl.String (fault_slug f));
+        ]
+
+let fault_of_slug = function
+  | "overalloc" -> Crush.Faults.Overallocated_credits 2
+  | "creditless" -> Crush.Faults.Creditless_naive
+  | "rotation" -> Crush.Faults.Reversed_rotation
+  | s -> failwith ("unknown fault slug " ^ s)
+
+let chaos_task_of_spec j =
+  let open Exec.Jsonl in
+  match Option.bind (member "t" j) to_str with
+  | Some "trial" -> (
+      match
+        ( Option.bind (member "bench" j) to_str,
+          Option.bind (member "seed" j) to_int )
+      with
+      | Some b, Some s -> `Task (Trial (Kernels.Registry.find b, s))
+      | _ -> failwith "malformed trial spec")
+  | Some "fault" -> (
+      match Option.bind (member "fault" j) to_str with
+      | Some slug -> `Task (Fault (fault_of_slug slug))
+      | None -> failwith "malformed fault spec")
+  | Some "hang" -> `Hang
+  | _ -> failwith "malformed chaos spec"
+
+(** The worker half of [chaos --shards]: decode each job spec and run it
+    through the {e exact} serial retry loop
+    ({!Exec.Campaign.run_with_retries}), so journalled attempts — and
+    therefore journal bytes — match a [--jobs 1] run.  The supervisor
+    heartbeat piggybacks on the engine's cooperative deadline poll. *)
+let chaos_worker_run opts =
+  let flag_true k = Exec.Supervisor.flag opts k = Some "true" in
+  let timeout_s = Exec.Supervisor.flag_float opts "timeout-s" in
+  let retries =
+    Option.value ~default:0 (Exec.Supervisor.flag_int opts "retries")
+  in
+  let poll_every = Exec.Supervisor.flag_int opts "poll-every" in
+  let sanitize = flag_true "sanitize" in
+  let auto_reduce = flag_true "auto-reduce" in
+  let repro_dir =
+    Option.value ~default:"repros" (Exec.Supervisor.flag opts "repro-dir")
+  in
+  fun ~(ctx : Exec.Supervisor.job_ctx) spec ->
+    match chaos_task_of_spec spec with
+    | `Hang ->
+        (* Burn CPU forever without polling anything: simulates a hard
+           hang the cooperative watchdog cannot classify. *)
+        while true do
+          ignore (Sys.opaque_identity 0)
+        done;
+        assert false
+    | `Task task ->
+        let o, attempts =
+          Exec.Campaign.run_with_retries ?timeout_s ~retries (fun ~deadline ->
+              let deadline () =
+                ctx.Exec.Supervisor.heartbeat ();
+                deadline ()
+              in
+              run_chaos_task ?poll_every ~sanitize ~auto_reduce ~repro_dir
+                ~deadline task)
+        in
+        (Exec.Outcome.to_json chaos_encode o, attempts)
+
+let string_has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let read_lines path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let rec go acc =
+      match input_line ic with
+      | l -> go (l :: acc)
+      | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+    in
+    go []
+  end
+
+(** [chaos --shards N]: the supervised sweep with every shard in its own
+    crash-isolated worker process ({!Exec.Supervisor}).  With
+    [crash_workers > 0] this doubles as the crash-chaos self-test: that
+    many seeded SIGKILLs are delivered to busy workers mid-campaign,
+    one hard-hang job is injected (preempted only by the supervisor's
+    wall-clock/heartbeat kill), and afterwards the merged journal is
+    compared byte-for-byte against a fresh serial [--jobs 1] rerun of
+    the same tasks. *)
+let chaos_sharded ~shards ~trials ~seed ~timeout_s ~retries ~journal ~fsync
+    ~heartbeat_s ~poll_every ~sanitize ~auto_reduce ~repro_dir ~inject_faults
+    ~crash_workers ~report benches =
+  let tasks =
+    List.concat_map
+      (fun (b : Kernels.Registry.bench) ->
+        List.init trials (fun i -> Trial (b, seed + (7919 * i))))
+      benches
+    @ (if inject_faults then List.map (fun f -> Fault f) Crush.Faults.all
+       else [])
+  in
+  let journal_path = Option.value journal ~default:"chaos-shards.jsonl" in
+  let serial_path = journal_path ^ ".serial" in
+  let self_test = crash_workers > 0 in
+  (* The self-test asserts recovery re-runs work, so both sides must
+     start from scratch: a resumed journal would hide the recovery. *)
+  if self_test then begin
+    let rm p = if Sys.file_exists p then Sys.remove p in
+    rm journal_path;
+    rm (Exec.Journal.quarantine_path journal_path);
+    rm serial_path;
+    rm (Exec.Journal.quarantine_path serial_path);
+    for i = 0 to shards - 1 do
+      rm (Exec.Shard.shard_journal journal_path i)
+    done
+  end;
+  let sup_tasks =
+    List.map
+      (fun t ->
+        { Exec.Supervisor.key = chaos_key t; spec = chaos_spec_of_task t })
+      tasks
+    @
+    if self_test then [ { Exec.Supervisor.key = hang_key; spec = hang_spec } ]
+    else []
+  in
+  let worker_args =
+    [ "__worker"; "--kind"; "chaos" ]
+    @ (match timeout_s with
+      | Some t -> [ "--opt"; Fmt.str "timeout-s=%g" t ]
+      | None -> [])
+    @ [ "--opt"; Fmt.str "retries=%d" retries ]
+    @ (match poll_every with
+      | Some n -> [ "--opt"; Fmt.str "poll-every=%d" n ]
+      | None -> [])
+    @ (if sanitize then [ "--opt"; "sanitize=true" ] else [])
+    @ (if auto_reduce then [ "--opt"; "auto-reduce=true" ] else [])
+    @ [ "--opt"; "repro-dir=" ^ repro_dir ]
+  in
+  let r =
+    Exec.Supervisor.run ~shards
+      ?hard_timeout_s:(Option.map (fun t -> (4. *. t) +. 1.) timeout_s)
+      ~heartbeat_s ~retries ~seed ~journal:journal_path ~fsync
+      ~chaos_kills:crash_workers ~worker_args ~tasks:sup_tasks ()
+  in
+  let decoded =
+    List.map
+      (fun (key, _attempts, oj) ->
+        match Exec.Outcome.of_json chaos_decode oj with
+        | Some o -> (key, o)
+        | None ->
+            ( key,
+              Exec.Outcome.Worker_crash
+                { exn = "undecodable journal outcome"; backtrace = "" } ))
+      r.Exec.Supervisor.outcomes
+  in
+  let wrong = ref 0 and missed = ref 0 in
+  List.iter
+    (fun (key, o) ->
+      if string_has_prefix ~prefix:"trial:" key then (
+        match o with
+        | Exec.Outcome.Ok (true, _) -> ()
+        | Exec.Outcome.Ok (false, cycles) ->
+            incr wrong;
+            Fmt.pr "  FAIL %-24s completed (%d cycles) with WRONG RESULTS@."
+              key cycles
+        | failure ->
+            Fmt.pr "  FAIL %-24s %a@." key (Exec.Outcome.pp Fmt.nop) failure)
+      else if key = hang_key then (
+        match o with
+        | Exec.Outcome.Worker_killed { after_s; shard } ->
+            Fmt.pr
+              "hang preempted: shard %d SIGKILLed after %.1fs (classified \
+               worker-killed)@."
+              shard after_s
+        | Exec.Outcome.Worker_lost { shard; reason } ->
+            Fmt.pr "hang preempted: shard %d lost (%s)@." shard reason
+        | o ->
+            incr missed;
+            Fmt.pr
+              "HANG SURVIVED: %s classified %s (expected worker-killed)@." key
+              (Exec.Outcome.class_name o))
+      else
+        match o with
+        | Exec.Outcome.Sim_deadlock { cycle; _ } ->
+            Fmt.pr "fault detected: %s — deadlock at cycle %d@." key cycle
+        | Exec.Outcome.Sanitizer_violation { cycle; invariant; repro; _ }
+          when sanitize ->
+            Fmt.pr "fault convicted: %s — %s at cycle %d%a@." key invariant
+              cycle
+              Fmt.(option (any ", repro " ++ string))
+              repro
+        | o ->
+            incr missed;
+            Fmt.pr "FAULT MISSED: %s classified %s (expected deadlock)@." key
+              (Exec.Outcome.class_name o))
+    decoded;
+  let trial_outcomes =
+    List.filter_map
+      (fun (k, o) -> if string_has_prefix ~prefix:"trial:" k then Some o else None)
+      decoded
+  in
+  let summary = Exec.Outcome.summarize trial_outcomes in
+  Fmt.pr "%a@." Exec.Outcome.pp_summary summary;
+  let st : Exec.Supervisor.stats = r.Exec.Supervisor.stats in
+  Fmt.pr
+    "shards: %d worker(s), %d resumed, %d chaos kill(s), %d preempted, %d \
+     lost, %d respawn(s), %d retired, %d poisoned, %d merged dup(s)@."
+    shards st.n_resumed st.n_chaos_kills st.n_preempted st.n_lost
+    st.n_respawns st.n_retired st.n_poisoned st.merged_dups;
+  let self_test_failed = ref false in
+  if self_test then begin
+    Fmt.pr "crash-chaos: serial rerun for the byte-identity check...@.";
+    let sup =
+      Exec.Campaign.supervision ?timeout_s ~retries ~journal:serial_path
+        ~fsync ?poll_every ()
+    in
+    ignore
+      (Exec.Campaign.map_outcomes ~jobs:1 ~sup ~key:chaos_key
+         ~encode:chaos_encode ~decode:chaos_decode
+         (run_chaos_task ?poll_every ~sanitize ~auto_reduce ~repro_dir)
+         tasks);
+    let keep l =
+      match Exec.Journal.entry_of_line l with
+      | Some e -> e.Exec.Journal.key <> hang_key
+      | None -> true
+    in
+    let merged = List.filter keep (read_lines journal_path) in
+    let serial = read_lines serial_path in
+    if merged = serial then
+      Fmt.pr
+        "crash-chaos: merged journal bit-identical to the serial run (%d \
+         record(s))@."
+        (List.length serial)
+    else begin
+      self_test_failed := true;
+      Fmt.pr
+        "crash-chaos: MERGED JOURNAL DIVERGES from the serial run (%d vs %d \
+         record(s))@."
+        (List.length merged) (List.length serial);
+      let rec first_diff i = function
+        | [], [] -> ()
+        | l :: _, [] | [], l :: _ ->
+            Fmt.pr "  first unmatched record %d: %s@." i l
+        | a :: xs, b :: ys ->
+            if a = b then first_diff (i + 1) (xs, ys)
+            else
+              Fmt.pr "  record %d differs:@.    merged: %s@.    serial: %s@."
+                i a b
+      in
+      first_diff 0 (merged, serial)
+    end
+  end;
+  let code = Exec.Outcome.summary_exit_code summary in
+  (if !wrong > 0 || !missed > 0 || !self_test_failed || code <> 0 then
+     if Sys.file_exists (Exec.Journal.quarantine_path journal_path) then
+       Fmt.pr "quarantine manifest: %s@."
+         (Exec.Journal.quarantine_path journal_path));
+  Option.iter
+    (fun path ->
+      write_chaos_report path ~trials ~seed ~jobs:shards ~shards summary
+        decoded)
+    report;
+  if !wrong > 0 || !missed > 0 || !self_test_failed then exit 1;
   if code <> 0 then exit code
 
 let chaos_cmd =
@@ -911,7 +1213,8 @@ let chaos_cmd =
      restart."
   in
   let run trials seed kernel report jobs keep_going timeout_s retries journal
-      inject_faults sanitize auto_reduce repro_dir profile trace =
+      inject_faults sanitize auto_reduce repro_dir profile trace shards
+      crash_workers fsync poll_every heartbeat_s =
     (match report with
     | Some path -> if Sys.file_exists path then Sys.remove path
     | None -> ());
@@ -921,15 +1224,26 @@ let chaos_cmd =
       | Some k -> [ Kernels.Registry.find k ]
       | None -> Kernels.Registry.all
     in
+    (* Asking for crash chaos without a shard count means "shard it". *)
+    let shards = if crash_workers > 0 && shards = 0 then 2 else shards in
     let supervised =
       keep_going || inject_faults || timeout_s <> None || retries > 0
       || journal <> None || sanitize
     in
-    if supervised then begin
-      let sup = Exec.Campaign.supervision ?timeout_s ~retries ?journal () in
+    if shards > 0 then begin
       chaos_observe ~seed ~profile ~trace benches;
-      chaos_supervised ~jobs ~trials ~seed ~sup ~inject_faults ~sanitize
-        ~auto_reduce ~repro_dir ~report benches
+      chaos_sharded ~shards ~trials ~seed ~timeout_s ~retries ~journal ~fsync
+        ~heartbeat_s ~poll_every ~sanitize ~auto_reduce ~repro_dir
+        ~inject_faults ~crash_workers ~report benches
+    end
+    else if supervised then begin
+      let sup =
+        Exec.Campaign.supervision ?timeout_s ~retries ?journal ~fsync
+          ?poll_every ()
+      in
+      chaos_observe ~seed ~profile ~trace benches;
+      chaos_supervised ?poll_every ~jobs ~trials ~seed ~sup ~inject_faults
+        ~sanitize ~auto_reduce ~repro_dir ~report benches
     end
     else begin
       let failures = chaos_sweep ~jobs ~trials ~seed benches in
@@ -947,12 +1261,62 @@ let chaos_cmd =
       end
     end
   in
+  let shards_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Run the sweep across $(docv) crash-isolated worker processes \
+             (implies supervision).  Each shard journals privately; the \
+             merged journal is bit-identical to a $(b,--jobs 1) run.")
+  in
+  let crash_workers_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "crash-workers" ] ~docv:"N"
+          ~doc:
+            "Crash-chaos self-test: SIGKILL $(docv) random busy workers at \
+             seeded points mid-campaign, inject one hard-hang job that only \
+             the supervisor's preemptive kill can stop, then assert the \
+             sweep recovers and its merged journal is byte-identical to a \
+             fresh serial rerun.")
+  in
+  let fsync_arg =
+    Arg.(
+      value & flag
+      & info [ "fsync" ]
+          ~doc:
+            "fsync every journal record (shard and campaign journals), so \
+             checkpoints survive machine death, not just process death.")
+  in
+  let poll_every_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "poll-every" ] ~docv:"CYCLES"
+          ~doc:
+            "Poll the cooperative watchdog deadline every $(docv) simulated \
+             cycles (default 64); lower values tighten timeout latency at a \
+             small per-cycle cost.")
+  in
+  let heartbeat_arg =
+    Arg.(
+      value
+      & opt float 5.0
+      & info [ "heartbeat-s" ] ~docv:"SECONDS"
+          ~doc:
+            "Sharded mode: SIGKILL a worker silent for longer than $(docv) \
+             (no heartbeat, no result).  0 disables the silence watchdog.")
+  in
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const run $ trials_arg $ seed_arg $ kernel_arg $ report_arg $ jobs_arg
       $ keep_going_arg $ timeout_arg $ retries_arg $ journal_arg
       $ inject_faults_arg $ sanitize_arg $ auto_reduce_arg $ repro_dir_arg
-      $ chaos_profile_arg $ chaos_trace_arg)
+      $ chaos_profile_arg $ chaos_trace_arg $ shards_arg $ crash_workers_arg
+      $ fsync_arg $ poll_every_arg $ heartbeat_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sanitize: sanitizer self-test + clean-circuit zero-violation sweep  *)
@@ -1115,7 +1479,17 @@ let reduce_cmd =
           ~doc:"Re-run a $(i,.repro.json) and check it still trips the \
                 recorded invariant at the recorded cycle.")
   in
-  let run fault out budget replay =
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout-s" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget for the whole reduction.  When it expires \
+             the reducer stops, keeps the smallest reproducer found so far \
+             (still written and valid), and exits 14.")
+  in
+  let run fault out budget replay timeout_s =
     match (replay, fault) with
     | Some path, _ -> (
         match Exec.Reduce.load_repro path with
@@ -1144,8 +1518,15 @@ let reduce_cmd =
     | None, Some fault -> (
         let g = fault_circuit fault in
         let before = Dataflow.Graph.live_unit_count g in
+        let deadline =
+          Option.map
+            (fun s ->
+              let t0 = Unix.gettimeofday () in
+              fun () -> Unix.gettimeofday () -. t0 >= s)
+            timeout_s
+        in
         match
-          Exec.Reduce.reduce_to_files ~budget ~dir:out
+          Exec.Reduce.reduce_to_files ?deadline ~budget ~dir:out
             ~name:("fault_" ^ fault_slug fault)
             ~fault:(Crush.Faults.describe fault)
             g
@@ -1161,10 +1542,18 @@ let reduce_cmd =
               (fault_slug fault) before r.Exec.Reduce.kept_units
               r.Exec.Reduce.evals
               r.Exec.Reduce.violation.Sim.Sanitizer.invariant
-              r.Exec.Reduce.violation.Sim.Sanitizer.cycle path)
+              r.Exec.Reduce.violation.Sim.Sanitizer.cycle path;
+            if r.Exec.Reduce.timed_out then begin
+              Fmt.pr
+                "reduce: wall-clock budget hit; kept the best-so-far \
+                 reproducer@.";
+              (* 14 = the Job_timeout class of the exit-code contract. *)
+              exit 14
+            end)
   in
   Cmd.v (Cmd.info "reduce" ~doc)
-    Term.(const run $ fault_arg $ out_arg $ budget_arg $ replay_arg)
+    Term.(
+      const run $ fault_arg $ out_arg $ budget_arg $ replay_arg $ timeout_arg)
 
 let main =
   let doc = "CRUSH: credit-based functional-unit sharing for dataflow circuits" in
@@ -1181,15 +1570,30 @@ let () =
   (* Worker_crash outcomes carry the backtrace of the escaping
      exception; without this it is empty in production builds. *)
   Printexc.record_backtrace true;
-  (* Exit-code contract (pinned by the test suite): 0 success, 2 for
-     CLI usage errors (unknown flag / missing argument / unknown
-     subcommand, with a one-line usage pointer), 125 for an escaped
-     exception; 10..16 are the per-class failure codes the subcommands
-     exit with themselves ({!Exec.Outcome.exit_code}). *)
-  match Cmd.eval_value main with
-  | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit 0
-  | Error (`Parse | `Term) ->
-      (* cmdliner already printed the specific complaint on stderr. *)
-      prerr_endline usage_line;
-      exit 2
-  | Error `Exn -> exit 125
+  (* Hidden worker mode: [crush __worker --kind chaos --shard N ...] is
+     how the shard supervisor re-execs this binary.  Dispatched before
+     cmdliner ever sees the argv — it is an internal protocol, not a
+     subcommand. *)
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "__worker" then begin
+    let opts = Exec.Supervisor.worker_opts_of_argv Sys.argv in
+    match opts.Exec.Supervisor.kind with
+    | "chaos" ->
+        Exec.Supervisor.worker_main ~opts ~run:(chaos_worker_run opts) ()
+    | k ->
+        Fmt.epr "crush __worker: unknown kind %s@." k;
+        exit 2
+  end
+  else
+    (* Exit-code contract (pinned by the test suite): 0 success, 2 for
+       CLI usage errors (unknown flag / missing argument / unknown
+       subcommand, with a one-line usage pointer), 125 for an escaped
+       exception; 10..17 are the per-class failure codes the subcommands
+       exit with themselves ({!Exec.Outcome.exit_code}), 17 being a lost
+       or preemptively killed worker process. *)
+    match Cmd.eval_value main with
+    | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit 0
+    | Error (`Parse | `Term) ->
+        (* cmdliner already printed the specific complaint on stderr. *)
+        prerr_endline usage_line;
+        exit 2
+    | Error `Exn -> exit 125

@@ -57,14 +57,19 @@ type supervision = {
   timeout_s : float option;
   retries : int;
   journal : string option;
+  fsync : bool;
+  poll_every : int option;
 }
 
-let supervision ?timeout_s ?(retries = 0) ?journal () =
+let supervision ?timeout_s ?(retries = 0) ?journal ?(fsync = false) ?poll_every
+    () =
   if retries < 0 then
     invalid_arg (Fmt.str "Campaign.supervision: retries %d < 0" retries);
-  { timeout_s; retries; journal }
+  { timeout_s; retries; journal; fsync; poll_every }
 
-let no_supervision = { timeout_s = None; retries = 0; journal = None }
+let no_supervision =
+  { timeout_s = None; retries = 0; journal = None; fsync = false;
+    poll_every = None }
 
 (** Deadline predicate for one attempt.  [limit <= 0.0] fires at the
     very first poll — before any wall-clock time elapses — so a zero
@@ -78,6 +83,23 @@ let make_deadline = function
         let t0 = Unix.gettimeofday () in
         fun () -> Unix.gettimeofday () -. t0 >= limit
 
+(** The one attempt-and-retry loop, shared between the in-process
+    campaign below and the out-of-process shard workers
+    ({!Supervisor.worker_main} callers): run [f] under a fresh deadline
+    per attempt, classify escaping exceptions, retry transient outcomes
+    up to [retries] extra times.  Keeping serial and sharded runs on the
+    same loop is what makes their journalled [attempts] counts — and so
+    the journal bytes — identical. *)
+let run_with_retries ?timeout_s ?(retries = 0) f =
+  let rec attempt n =
+    let deadline = make_deadline timeout_s in
+    let o =
+      match f ~deadline with o -> o | exception e -> Outcome.of_exn e
+    in
+    if Outcome.is_transient o && n <= retries then attempt (n + 1) else (o, n)
+  in
+  attempt 1
+
 let map_outcomes ?jobs ?(sup = no_supervision) ~key
     ?(encode = fun _ -> Jsonl.Null) ?(decode = fun _ -> None) f xs =
   let prior =
@@ -85,7 +107,7 @@ let map_outcomes ?jobs ?(sup = no_supervision) ~key
     | Some path -> Journal.load path
     | None -> Hashtbl.create 1
   in
-  let writer = Option.map Journal.open_append sup.journal in
+  let writer = Option.map (Journal.open_append ~fsync:sup.fsync) sup.journal in
   let checkpoint k attempts outcome =
     match writer with
     | None -> ()
@@ -115,17 +137,10 @@ let map_outcomes ?jobs ?(sup = no_supervision) ~key
     match resumed with
     | Some r -> r
     | None ->
-        let rec attempt n =
-          let deadline = make_deadline sup.timeout_s in
-          let o =
-            match f ~deadline x with
-            | o -> o
-            | exception e -> Outcome.of_exn e
-          in
-          if Outcome.is_transient o && n <= sup.retries then attempt (n + 1)
-          else (o, n)
+        let o, attempts =
+          run_with_retries ?timeout_s:sup.timeout_s ~retries:sup.retries
+            (fun ~deadline -> f ~deadline x)
         in
-        let o, attempts = attempt 1 in
         checkpoint k attempts o;
         (o, attempts, false)
   in
@@ -156,14 +171,15 @@ let pending_count ?(sup = no_supervision) ~key xs =
       let prior = Journal.load path in
       List.length (List.filter (fun x -> not (Hashtbl.mem prior (key x))) xs)
 
-let run_sims_supervised ?jobs ?sup ?(key = fun i _ -> Fmt.str "task-%04d" i)
-    tasks =
+let run_sims_supervised ?jobs ?(sup = no_supervision)
+    ?(key = fun i _ -> Fmt.str "task-%04d" i) tasks =
   let indexed = List.mapi (fun i t -> (i, t)) tasks in
-  map_outcomes ?jobs ?sup
+  map_outcomes ?jobs ~sup
     ~key:(fun (i, t) -> key i t)
     ~encode:Outcome.stats_to_json ~decode:Outcome.stats_of_json
     (fun ~deadline (_, { graph; memory; chaos; max_cycles }) ->
       Outcome.of_sim_run
-        (Sim.Engine.run ?max_cycles ~deadline ?chaos ?memory graph))
+        (Sim.Engine.run ?max_cycles ?poll_every:sup.poll_every ~deadline ?chaos
+           ?memory graph))
     indexed
   |> List.map (fun ((_, t), o) -> (t, o))

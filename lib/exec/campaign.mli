@@ -93,10 +93,33 @@ type supervision = {
   timeout_s : float option;  (** per-attempt wall-clock budget *)
   retries : int;             (** extra attempts for transient failures *)
   journal : string option;   (** JSONL checkpoint path *)
+  fsync : bool;              (** fsync every journal record *)
+  poll_every : int option;
+      (** watchdog poll interval in cycles, see {!Sim.Engine.run} *)
 }
 
 val supervision :
-  ?timeout_s:float -> ?retries:int -> ?journal:string -> unit -> supervision
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?journal:string ->
+  ?fsync:bool ->
+  ?poll_every:int ->
+  unit ->
+  supervision
+
+(** The attempt-and-retry loop shared by {!map_outcomes} and the
+    out-of-process shard workers (see {!Supervisor.worker_main}): run
+    [f] under a fresh [timeout_s] deadline per attempt, classify an
+    escaping exception via {!Outcome.of_exn}, and retry transient
+    outcomes up to [retries] extra times.  Returns the final outcome and
+    the attempts consumed (1 = no retry).  Serial and sharded campaigns
+    sharing this loop is what keeps their journalled [attempts] — and so
+    the journal bytes — identical. *)
+val run_with_retries :
+  ?timeout_s:float ->
+  ?retries:int ->
+  (deadline:(unit -> bool) -> 'a Outcome.t) ->
+  'a Outcome.t * int
 
 (** [map_outcomes ~sup ~key f xs] runs [f ~deadline x] for every task,
     classifying raised exceptions via {!Outcome.of_exn}; [f] should pass

@@ -76,12 +76,18 @@ let load path =
 (* ------------------------------------------------------------------ *)
 (* Appending                                                           *)
 
-type t = { oc : out_channel; lock : Mutex.t }
+type t = { oc : out_channel; lock : Mutex.t; fsync : bool }
 
-let open_append path =
-  { oc = open_out_gen [ Open_append; Open_creat ] 0o644 path; lock = Mutex.create () }
+let open_append ?(fsync = false) path =
+  {
+    oc = open_out_gen [ Open_append; Open_creat ] 0o644 path;
+    lock = Mutex.create ();
+    fsync;
+  }
 
-(** Append one record and flush; safe to call from any worker domain. *)
+(** Append one record and flush; safe to call from any worker domain.
+    With [fsync] the record also survives the {e machine} dying, not
+    just the process — the price is one [fsync(2)] per record. *)
 let record t e =
   Mutex.lock t.lock;
   Fun.protect
@@ -89,9 +95,33 @@ let record t e =
     (fun () ->
       output_string t.oc (entry_to_line e);
       output_char t.oc '\n';
-      flush t.oc)
+      flush t.oc;
+      if t.fsync then Unix.fsync (Unix.descr_of_out_channel t.oc))
 
 let close t = close_out t.oc
+
+(* ------------------------------------------------------------------ *)
+(* Atomic whole-file writes                                            *)
+
+(** Write a whole report file atomically: produce it under a temp name
+    in the same directory, then [rename(2)] into place.  A SIGKILL (or a
+    crash-chaos worker kill) mid-write leaves either the old complete
+    file or the new complete file — never a torn report.  Torn {e lines}
+    in the append-only journal are tolerated by {!load}; torn {e whole
+    reports} are what this prevents. *)
+let write_atomic ?(fsync = false) path write =
+  let tmp = Fmt.str "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out tmp in
+  (match write oc with
+  | () ->
+      flush oc;
+      if fsync then Unix.fsync (Unix.descr_of_out_channel oc);
+      close_out oc
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e);
+  Sys.rename tmp path
 
 (* ------------------------------------------------------------------ *)
 (* Quarantine manifest                                                 *)
@@ -144,11 +174,8 @@ let write_quarantine ~journal ~batch failed =
   if entries = [] then begin
     if Sys.file_exists path then Sys.remove path
   end
-  else begin
-    let oc = open_out path in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () ->
+  else
+    write_atomic path (fun oc ->
         List.iter
           (fun (key, attempts, cls) ->
             output_string oc
@@ -162,4 +189,3 @@ let write_quarantine ~journal ~batch failed =
                     ]));
             output_char oc '\n')
           entries)
-  end

@@ -17,6 +17,14 @@ type entry = {
   outcome : Jsonl.t;  (** encoded outcome, see {!Outcome.to_json} *)
 }
 
+(** The exact on-disk line for an entry (no trailing newline).  Exposed
+    so the shard merger can reproduce serial journal bytes verbatim. *)
+val entry_to_line : entry -> string
+
+(** Parse one journal line; [None] for torn, malformed or
+    foreign-schema lines.  Never raises. *)
+val entry_of_line : string -> entry option
+
 (** Load a journal into a key-indexed table.  Missing file = empty;
     unparsable lines (e.g. a torn final write) are skipped; a later
     record for the same key wins.  Never raises on malformed content.
@@ -32,12 +40,21 @@ val load_with_duplicates : string -> (string, entry) Hashtbl.t * int
 (** An open journal in append mode. *)
 type t
 
-val open_append : string -> t
+(** [fsync] (default false) makes every {!record} fsync after the flush,
+    so checkpoints survive machine death, not just process death. *)
+val open_append : ?fsync:bool -> string -> t
 
 (** Append one record and flush; safe from any worker domain. *)
 val record : t -> entry -> unit
 
 val close : t -> unit
+
+(** [write_atomic path f] writes a whole file atomically: [f] produces
+    the content into a temp file in the same directory, which is then
+    renamed over [path].  A kill mid-write leaves the old complete file
+    (or nothing), never a torn report.  With [fsync], the content is
+    fsynced before the rename. *)
+val write_atomic : ?fsync:bool -> string -> (out_channel -> unit) -> unit
 
 (** {2 Quarantine manifest} — the failed-job report next to the journal. *)
 

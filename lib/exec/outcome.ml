@@ -39,6 +39,15 @@ type 'a t =
       repro : string option;
           (** path of a minimized reproducer, once {!Reduce} produced one *)
     }
+  | Worker_lost of {
+      shard : int;
+      reason : string;
+          (** how the process died, e.g. ["signal 9"] or ["exit 2"] *)
+    }
+  | Worker_killed of {
+      shard : int;
+      after_s : float;  (** wall-clock seconds before the supervisor shot it *)
+    }
 
 let is_ok = function Ok _ -> true | _ -> false
 
@@ -47,7 +56,7 @@ let is_ok = function Ok _ -> true | _ -> false
     classes (frontend, validation, deadlock, out-of-fuel, sanitizer)
     would fail identically on every retry. *)
 let is_transient = function
-  | Job_timeout _ | Worker_crash _ -> true
+  | Job_timeout _ | Worker_crash _ | Worker_lost _ | Worker_killed _ -> true
   | Ok _ | Frontend_error _ | Validation_error _ | Sim_deadlock _
   | Out_of_fuel _ | Sanitizer_violation _ ->
       false
@@ -61,12 +70,16 @@ let class_name = function
   | Job_timeout _ -> "timeout"
   | Worker_crash _ -> "crash"
   | Sanitizer_violation _ -> "sanitizer"
+  | Worker_lost _ -> "worker-lost"
+  | Worker_killed _ -> "worker-killed"
 
-(** Per-failure-class process exit codes.  10..16 keeps clear of the
+(** Per-failure-class process exit codes.  10..17 keeps clear of the
     small codes cmdliner uses and of the shell's 124/125/126/127
     conventions; a supervised run exits with the code of its most severe
-    failure class (crash > sanitizer > timeout > the deterministic
-    classes > ok). *)
+    failure class (worker loss > crash > sanitizer > timeout > the
+    deterministic classes > ok).  Both process-level classes share 17:
+    either way a whole worker process died rather than a single job
+    failing in place. *)
 let exit_code = function
   | Ok _ -> 0
   | Frontend_error _ -> 10
@@ -76,6 +89,7 @@ let exit_code = function
   | Job_timeout _ -> 14
   | Worker_crash _ -> 15
   | Sanitizer_violation _ -> 16
+  | Worker_lost _ | Worker_killed _ -> 17
 
 (* ------------------------------------------------------------------ *)
 (* Classification                                                      *)
@@ -170,6 +184,8 @@ type summary = {
   n_timeout : int;
   n_crash : int;
   n_sanitizer : int;
+  n_worker_lost : int;
+  n_worker_killed : int;
 }
 
 let summarize outcomes =
@@ -184,7 +200,9 @@ let summarize outcomes =
       | Out_of_fuel _ -> { s with n_out_of_fuel = s.n_out_of_fuel + 1 }
       | Job_timeout _ -> { s with n_timeout = s.n_timeout + 1 }
       | Worker_crash _ -> { s with n_crash = s.n_crash + 1 }
-      | Sanitizer_violation _ -> { s with n_sanitizer = s.n_sanitizer + 1 })
+      | Sanitizer_violation _ -> { s with n_sanitizer = s.n_sanitizer + 1 }
+      | Worker_lost _ -> { s with n_worker_lost = s.n_worker_lost + 1 }
+      | Worker_killed _ -> { s with n_worker_killed = s.n_worker_killed + 1 })
     {
       total = 0;
       n_ok = 0;
@@ -195,13 +213,16 @@ let summarize outcomes =
       n_timeout = 0;
       n_crash = 0;
       n_sanitizer = 0;
+      n_worker_lost = 0;
+      n_worker_killed = 0;
     }
     outcomes
 
 (** Exit code of a whole supervised run: that of the most severe class
     present, 0 when everything is ok. *)
 let summary_exit_code s =
-  if s.n_crash > 0 then 15
+  if s.n_worker_lost > 0 || s.n_worker_killed > 0 then 17
+  else if s.n_crash > 0 then 15
   else if s.n_sanitizer > 0 then 16
   else if s.n_timeout > 0 then 14
   else if s.n_out_of_fuel > 0 then 13
@@ -220,6 +241,8 @@ let pp_summary ppf s =
   line "timeout" s.n_timeout;
   line "crash" s.n_crash;
   line "sanitizer" s.n_sanitizer;
+  line "worker-lost" s.n_worker_lost;
+  line "worker-killed" s.n_worker_killed;
   Fmt.pf ppf "@]"
 
 (* ------------------------------------------------------------------ *)
@@ -251,6 +274,11 @@ let pp pp_ok ppf = function
         (match repro with
         | Some p -> Fmt.str " (repro: %s)" p
         | None -> "")
+  | Worker_lost { shard; reason } ->
+      Fmt.pf ppf "worker lost (shard %d): %s" shard reason
+  | Worker_killed { shard; after_s } ->
+      Fmt.pf ppf "worker killed by supervisor after %.1fs (shard %d)" after_s
+        shard
 
 (* ------------------------------------------------------------------ *)
 (* JSON codec (for the journal)                                        *)
@@ -310,6 +338,20 @@ let to_json encode = function
           ("detail", Jsonl.String detail);
           ("repro", opt_str repro);
         ]
+  | Worker_lost { shard; reason } ->
+      Jsonl.Obj
+        [
+          ("class", Jsonl.String "worker-lost");
+          ("shard", Jsonl.Int shard);
+          ("reason", Jsonl.String reason);
+        ]
+  | Worker_killed { shard; after_s } ->
+      Jsonl.Obj
+        [
+          ("class", Jsonl.String "worker-killed");
+          ("shard", Jsonl.Int shard);
+          ("after_s", Jsonl.Float after_s);
+        ]
 
 let of_json decode j =
   let ( let* ) = Option.bind in
@@ -362,6 +404,14 @@ let of_json decode j =
       Some
         (Sanitizer_violation
            { cycle; unit_label; invariant; detail; repro = str "repro" })
+  | "worker-lost" ->
+      let* shard = int "shard" in
+      let* reason = str "reason" in
+      Some (Worker_lost { shard; reason })
+  | "worker-killed" ->
+      let* shard = int "shard" in
+      let* after_s = Option.bind (Jsonl.member "after_s" j) Jsonl.to_float in
+      Some (Worker_killed { shard; after_s })
   | _ -> None
 
 (* ------------------------------------------------------------------ *)

@@ -38,21 +38,39 @@ type 'a t =
       repro : string option;
           (** path of a minimized reproducer, once {!Reduce} made one *)
     }
+  | Worker_lost of {
+      shard : int;   (** which shard's process died *)
+      reason : string;
+          (** how the process died, e.g. ["signal 9"] or ["exit 2"] *)
+    }
+      (** A whole worker {e process} died out from under its job —
+          SIGKILLed by the OOM killer, segfaulted, exited nonzero — as
+          opposed to {!Worker_crash}, where an exception was caught
+          in-process and the worker survived. *)
+  | Worker_killed of {
+      shard : int;
+      after_s : float;  (** wall-clock seconds before the supervisor shot it *)
+    }
+      (** The supervisor SIGKILLed a wedged worker preemptively: its job
+          blew the hard wall-clock deadline or stopped heartbeating (a
+          hang that never polls the cooperative watchdog). *)
 
 val is_ok : 'a t -> bool
 
-(** Worth retrying: [Job_timeout] and [Worker_crash].  The other classes
-    are deterministic and would fail identically again. *)
+(** Worth retrying: [Job_timeout], [Worker_crash], [Worker_lost] and
+    [Worker_killed].  The other classes are deterministic and would fail
+    identically again. *)
 val is_transient : 'a t -> bool
 
 (** Stable lowercase class label ("ok", "frontend", "validation",
-    "deadlock", "out-of-fuel", "timeout", "crash", "sanitizer") — used
-    in journals, reports and test assertions. *)
+    "deadlock", "out-of-fuel", "timeout", "crash", "sanitizer",
+    "worker-lost", "worker-killed") — used in journals, reports and test
+    assertions. *)
 val class_name : 'a t -> string
 
-(** Per-class process exit code: 0 for ok, 10..16 for the failure
+(** Per-class process exit code: 0 for ok, 10..17 for the failure
     classes in taxonomy order (clear of cmdliner's and the shell's
-    reserved codes). *)
+    reserved codes).  [Worker_lost] and [Worker_killed] share 17. *)
 val exit_code : 'a t -> int
 
 (** Classify an exception escaping a job.  Never raises. *)
@@ -74,6 +92,8 @@ type summary = {
   n_timeout : int;
   n_crash : int;
   n_sanitizer : int;
+  n_worker_lost : int;
+  n_worker_killed : int;
 }
 
 val summarize : 'a t list -> summary

@@ -41,6 +41,7 @@ type result = {
   kept_units : int;      (* live units excluding "cut_" scaffolding *)
   evals : int;           (* predicate evaluations spent *)
   violation : Sim.Sanitizer.violation;  (* from the minimized circuit *)
+  timed_out : bool;      (* the ?deadline fired; this is best-so-far *)
 }
 
 let has_prefix p s =
@@ -60,11 +61,11 @@ let kept_units g =
     Any other outcome — completion, deadlock, fuel exhaustion, or an
     unrelated exception from a mangled candidate (e.g. a division by a
     cut-reservoir zero) — is [None]. *)
-let simulate ~max_cycles g =
+let simulate ?deadline ~max_cycles g =
   match
     let memory = Sim.Memory.of_graph g in
     let monitor = Sim.Sanitizer.monitor () in
-    ignore (Sim.Engine.run ~max_cycles ~monitor ~memory g)
+    ignore (Sim.Engine.run ~max_cycles ?deadline ~monitor ~memory g)
   with
   | () -> None
   | exception Sim.Sanitizer.Violation v -> Some v
@@ -75,9 +76,12 @@ type st = {
   budget : int;
   max_cycles : int;
   target : string;  (* invariant name a candidate must reproduce *)
+  deadline : unit -> bool;  (* campaign watchdog; stop, keep best *)
 }
 
-let exhausted st = st.evals >= st.budget
+(* A fired deadline stops the walk exactly like a spent budget: every
+   pass keeps the best (smallest) configuration proven so far. *)
+let exhausted st = st.evals >= st.budget || st.deadline ()
 
 (** One budgeted predicate evaluation: validate, simulate, compare the
     raised invariant against the target. *)
@@ -87,7 +91,7 @@ let attempt st g =
     st.evals <- st.evals + 1;
     if not (Validate.is_valid g) then None
     else
-      match simulate ~max_cycles:st.max_cycles g with
+      match simulate ~deadline:st.deadline ~max_cycles:st.max_cycles g with
       | Some v when v.Sim.Sanitizer.invariant = st.target -> Some v
       | _ -> None
   end
@@ -232,9 +236,10 @@ let shrink_memories st current =
 (* ------------------------------------------------------------------ *)
 (* Top level                                                           *)
 
-let minimize ?(budget = 250) ?(max_cycles = 20_000) ?invariant g0 =
+let minimize ?(budget = 250) ?(max_cycles = 20_000)
+    ?(deadline = fun () -> false) ?invariant g0 =
   let base = Graph.copy g0 in
-  match simulate ~max_cycles base with
+  match simulate ~deadline ~max_cycles base with
   | None -> None
   | Some v0 ->
       let target =
@@ -242,7 +247,7 @@ let minimize ?(budget = 250) ?(max_cycles = 20_000) ?invariant g0 =
       in
       if v0.Sim.Sanitizer.invariant <> target then None
       else begin
-        let st = { evals = 1; budget; max_cycles; target } in
+        let st = { evals = 1; budget; max_cycles; target; deadline } in
         let removable =
           Graph.fold_units base
             (fun acc u ->
@@ -275,8 +280,9 @@ let minimize ?(budget = 250) ?(max_cycles = 20_000) ?invariant g0 =
         shrink_slots st current;
         shrink_memories st current;
         (* The passes only ever commit configurations that reproduced
-           the target invariant; re-run once (uncounted) to capture the
-           final violation's cycle and snapshot. *)
+           the target invariant; re-run once (uncounted, and without the
+           deadline — a fired watchdog must not discard the best-so-far
+           reduction) to capture the final violation's cycle. *)
         match simulate ~max_cycles !current with
         | Some v when v.Sim.Sanitizer.invariant = target ->
             Some
@@ -285,6 +291,7 @@ let minimize ?(budget = 250) ?(max_cycles = 20_000) ?invariant g0 =
                 kept_units = kept_units !current;
                 evals = st.evals;
                 violation = v;
+                timed_out = st.deadline ();
               }
         | _ -> None
       end
@@ -578,10 +585,7 @@ let repro_of_json j =
     Some ({ fault; invariant; cycle; unit_label }, g)
 
 let write_repro path meta g =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  Journal.write_atomic path (fun oc ->
       output_string oc (Jsonl.to_string (repro_to_json meta g));
       output_char oc '\n')
 
@@ -609,8 +613,9 @@ let rec mkdir_p dir =
 (** Minimize, then drop [<name>.repro.json] and [<name>.dot] into [dir]
     (created if missing).  Returns the repro path and the result, or
     [None] when the circuit does not trip a sanitizer invariant. *)
-let reduce_to_files ?budget ?max_cycles ?invariant ~dir ~name ~fault g =
-  match minimize ?budget ?max_cycles ?invariant g with
+let reduce_to_files ?budget ?max_cycles ?deadline ?invariant ~dir ~name ~fault
+    g =
+  match minimize ?budget ?max_cycles ?deadline ?invariant g with
   | None -> None
   | Some r ->
       mkdir_p dir;

@@ -19,6 +19,9 @@ type result = {
   evals : int;       (** predicate evaluations spent (≤ budget) *)
   violation : Sim.Sanitizer.violation;
       (** the violation the minimized circuit raises *)
+  timed_out : bool;
+      (** the [?deadline] watchdog fired mid-reduction; the result is
+          the best (smallest) reduction proven before it fired *)
 }
 
 (** Live units of a circuit excluding ["cut_"] scaffolding. *)
@@ -28,17 +31,26 @@ val kept_units : Dataflow.Graph.t -> int
     [Some v] iff a violation was raised.  Completion, deadlock, fuel
     exhaustion and unrelated exceptions all map to [None]. *)
 val simulate :
-  max_cycles:int -> Dataflow.Graph.t -> Sim.Sanitizer.violation option
+  ?deadline:(unit -> bool) ->
+  max_cycles:int ->
+  Dataflow.Graph.t ->
+  Sim.Sanitizer.violation option
 
 (** [minimize g] shrinks [g] while it keeps tripping the target
     invariant ([?invariant]; default: whatever the unreduced circuit
     trips).  [budget] (default 250) bounds predicate evaluations —
     validate + simulate per candidate; [max_cycles] (default 20_000)
-    bounds each simulation.  [None] when [g] does not trip the target
-    invariant in the first place.  [g] itself is never mutated. *)
+    bounds each simulation.  [deadline] is the supervised-campaign
+    watchdog: when it fires, the walk stops like a spent budget and the
+    best reduction proven so far is returned with [timed_out] set, so
+    reducing a hang repro can never itself hang the reducer.  [None]
+    when [g] does not trip the target invariant in the first place (or
+    the deadline fired before a baseline was established).  [g] itself
+    is never mutated. *)
 val minimize :
   ?budget:int ->
   ?max_cycles:int ->
+  ?deadline:(unit -> bool) ->
   ?invariant:string ->
   Dataflow.Graph.t ->
   result option
@@ -78,6 +90,7 @@ val load_repro : string -> (meta * Dataflow.Graph.t) option
 val reduce_to_files :
   ?budget:int ->
   ?max_cycles:int ->
+  ?deadline:(unit -> bool) ->
   ?invariant:string ->
   dir:string ->
   name:string ->

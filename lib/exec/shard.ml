@@ -1,0 +1,44 @@
+(** Deterministic work dealing and journal merging for multi-process
+    campaigns.  See the interface for the merge-determinism contract. *)
+
+let shard_journal base i = Fmt.str "%s.shard-%02d" base i
+
+let deal ~shards xs =
+  if shards < 1 then invalid_arg (Fmt.str "Shard.deal: shards %d < 1" shards);
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  (* Contiguous chunks whose sizes differ by at most one — the same
+     arithmetic for every n, so dealing is a pure function of the input
+     order and the shard count. *)
+  List.init shards (fun i ->
+      let lo = i * n / shards and hi = (i + 1) * n / shards in
+      Array.to_list (Array.sub arr lo (hi - lo)))
+
+let collect paths =
+  let tbl : (string, Journal.entry) Hashtbl.t = Hashtbl.create 256 in
+  let dups = ref 0 in
+  List.iter
+    (fun path ->
+      (* Within one file, [load_with_duplicates] already applied
+         last-write-wins; across files, later paths win. *)
+      let file_tbl, file_dups = Journal.load_with_duplicates path in
+      dups := !dups + file_dups;
+      Hashtbl.iter
+        (fun key e ->
+          if Hashtbl.mem tbl key then incr dups;
+          Hashtbl.replace tbl key e)
+        file_tbl)
+    paths;
+  (tbl, !dups)
+
+let write_merged ?fsync ~into ~keys tbl =
+  Journal.write_atomic ?fsync into (fun oc ->
+      List.iter
+        (fun key ->
+          match Hashtbl.find_opt tbl key with
+          | Some (e : Journal.entry) ->
+              output_string oc (Journal.entry_to_line e);
+              output_char oc '\n'
+          | None -> ())
+        keys);
+  List.filter (fun k -> not (Hashtbl.mem tbl k)) keys

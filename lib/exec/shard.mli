@@ -1,0 +1,45 @@
+(** Deterministic work dealing and journal merging for multi-process
+    campaigns.
+
+    A sharded campaign gives each worker process its own append-only
+    {!Journal} file; the supervisor merges them when the sweep finishes.
+    The merge contract that makes [--shards N] bit-identical to a serial
+    run:
+
+    - entries are emitted in {e submission-key order} (the campaign's
+      task order), not in completion or file order;
+    - torn lines — a worker SIGKILLed mid-append — are skipped, exactly
+      as {!Journal.load} skips them on resume;
+    - duplicate keys (a killed-and-resent task journalled twice) resolve
+      last-write-wins, later files beating earlier ones.
+
+    Since each surviving entry is re-emitted verbatim via
+    {!Journal.entry_to_line}, a merged journal over deterministic tasks
+    is byte-for-byte the journal a [--jobs 1] run would have written. *)
+
+(** [shard_journal base i] is shard [i]'s private journal path,
+    [base.shard-NN]. *)
+val shard_journal : string -> int -> string
+
+(** Deal tasks into [shards] contiguous chunks whose sizes differ by at
+    most one.  Pure in the input order and shard count — the same list
+    always deals the same way, which pins which worker runs which keys
+    under a fixed seed (the crash-chaos tests rely on this).  Trailing
+    chunks may be empty when there are fewer tasks than shards. *)
+val deal : shards:int -> 'a list -> 'a list list
+
+(** Load and merge shard journals into one key-indexed table, plus the
+    number of superseded (duplicate) records across all files.  Missing
+    files are empty; torn lines are skipped; last write wins. *)
+val collect : string list -> (string, Journal.entry) Hashtbl.t * int
+
+(** [write_merged ~into ~keys tbl] atomically writes the merged journal
+    at [into], one line per key of [keys] (in that order) present in
+    [tbl].  Returns the keys that had no entry — non-empty means the
+    campaign lost results and must not report success. *)
+val write_merged :
+  ?fsync:bool ->
+  into:string ->
+  keys:string list ->
+  (string, Journal.entry) Hashtbl.t ->
+  string list

@@ -40,7 +40,7 @@ let compare_arrays (bench : Registry.bench) (expected : Reference.arrays)
     supervised-campaign watchdog predicate ({!Sim.Engine.run}); [chaos]
     perturbs the run adversarially (the circuit must still complete with
     the same results). *)
-let run_circuit_full ?(seed = 42) ?(max_cycles = 2_000_000) ?deadline ?monitor
+let run_circuit_full ?(seed = 42) ?(max_cycles = 2_000_000) ?poll_every ?deadline ?monitor
     ?chaos ?sink (bench : Registry.bench) (graph : Graph.t) =
   let inputs = Registry.fresh_inputs ~seed bench in
   let expected = Registry.copy_arrays inputs in
@@ -48,7 +48,7 @@ let run_circuit_full ?(seed = 42) ?(max_cycles = 2_000_000) ?deadline ?monitor
   let memory = Sim.Memory.of_graph graph in
   Hashtbl.iter (fun name data -> Sim.Memory.set_floats memory name data) inputs;
   let out =
-    Sim.Engine.run ~max_cycles ?deadline ?monitor ?chaos ?sink ~memory graph
+    Sim.Engine.run ~max_cycles ?poll_every ?deadline ?monitor ?chaos ?sink ~memory graph
   in
   let mismatches =
     if Sim.Engine.is_completed out then compare_arrays bench expected memory
@@ -62,20 +62,20 @@ let run_circuit_full ?(seed = 42) ?(max_cycles = 2_000_000) ?deadline ?monitor
       mismatches;
     } )
 
-let run_circuit ?seed ?max_cycles ?deadline ?monitor ?chaos ?sink bench graph =
+let run_circuit ?seed ?max_cycles ?poll_every ?deadline ?monitor ?chaos ?sink bench graph =
   snd
-    (run_circuit_full ?seed ?max_cycles ?deadline ?monitor ?chaos ?sink bench
+    (run_circuit_full ?seed ?max_cycles ?poll_every ?deadline ?monitor ?chaos ?sink bench
        graph)
 
 (** Compile [bench] with [strategy], optionally post-process the circuit
     with [transform] (e.g. a sharing pass), then simulate and verify. *)
-let compile_and_run ?seed ?max_cycles ?deadline ?monitor ?chaos ?sink
+let compile_and_run ?seed ?max_cycles ?poll_every ?deadline ?monitor ?chaos ?sink
     ?(strategy = Minic.Codegen.Bb_ordered)
     ?(transform = fun (c : Minic.Codegen.compiled) -> c) bench =
   let compiled = Minic.Codegen.compile_source ~strategy bench.Registry.source in
   let compiled = transform compiled in
   ( compiled,
-    run_circuit ?seed ?max_cycles ?deadline ?monitor ?chaos ?sink bench
+    run_circuit ?seed ?max_cycles ?poll_every ?deadline ?monitor ?chaos ?sink bench
       compiled.Minic.Codegen.graph )
 
 let pp_verdict ppf v =

@@ -24,6 +24,7 @@ type verdict = {
 val run_circuit :
   ?seed:int ->
   ?max_cycles:int ->
+  ?poll_every:int ->
   ?deadline:(unit -> bool) ->
   ?monitor:(Sim.Engine.t -> cycle:int -> Sim.Engine.monitor_phase -> unit) ->
   ?chaos:Sim.Chaos.config ->
@@ -37,6 +38,7 @@ val run_circuit :
 val run_circuit_full :
   ?seed:int ->
   ?max_cycles:int ->
+  ?poll_every:int ->
   ?deadline:(unit -> bool) ->
   ?monitor:(Sim.Engine.t -> cycle:int -> Sim.Engine.monitor_phase -> unit) ->
   ?chaos:Sim.Chaos.config ->
@@ -50,6 +52,7 @@ val run_circuit_full :
 val compile_and_run :
   ?seed:int ->
   ?max_cycles:int ->
+  ?poll_every:int ->
   ?deadline:(unit -> bool) ->
   ?monitor:(Sim.Engine.t -> cycle:int -> Sim.Engine.monitor_phase -> unit) ->
   ?chaos:Sim.Chaos.config ->

@@ -69,6 +69,121 @@ let table3_outcomes ?jobs ?sup ?(benches = Kernels.Registry.all) () =
        benches)
 
 (* ------------------------------------------------------------------ *)
+(* Sharded tables: crash-isolated worker processes (Exec.Supervisor)   *)
+
+let technique_of_name = function
+  | "Naive" -> Measure.Naive
+  | "In-order" -> Measure.In_order
+  | "CRUSH" -> Measure.Crush
+  | s -> failwith ("unknown technique " ^ s)
+
+let grid_of_table = function
+  | 2 -> [ Measure.Naive; Measure.In_order; Measure.Crush ]
+  | 3 -> [ Measure.Naive; Measure.Crush ]
+  | t -> invalid_arg (Fmt.str "no simulated table %d" t)
+
+(** One (bench, technique) cell as a self-describing wire spec for the
+    shard workers. *)
+let cell_spec ~table ((b : Kernels.Registry.bench), t) =
+  Exec.Jsonl.Obj
+    [
+      ("table", Exec.Jsonl.Int table);
+      ("bench", Exec.Jsonl.String b.Kernels.Registry.name);
+      ("technique", Exec.Jsonl.String (Measure.technique_name t));
+    ]
+
+let cell_of_spec j =
+  let open Exec.Jsonl in
+  match
+    ( Option.bind (member "table" j) to_int,
+      Option.bind (member "bench" j) to_str,
+      Option.bind (member "technique" j) to_str )
+  with
+  | Some table, Some bench, Some tname ->
+      (table, (Kernels.Registry.find bench, technique_of_name tname))
+  | _ -> failwith "malformed table cell spec"
+
+(** Measure one cell exactly as {!table2_outcomes}/{!table3_outcomes}
+    do, so sharded journal bytes match the in-process serial ones. *)
+let run_cell ~table ~deadline (b, t) =
+  match table with
+  | 2 -> Exec.Outcome.Ok (Measure.run ~deadline t b)
+  | 3 ->
+      Exec.Outcome.Ok
+        {
+          (Measure.run ~strategy:Minic.Codegen.Fast_token ~deadline t b) with
+          Measure.technique =
+            (match t with Measure.Naive -> "Fast tok" | _ -> "CRUSH");
+        }
+  | t -> invalid_arg (Fmt.str "no simulated table %d" t)
+
+(** The worker half of [bench --shards] ([--kind table]): decode each
+    cell spec and run it through the exact serial retry loop
+    ({!Exec.Campaign.run_with_retries}), heartbeating to the supervisor
+    from the cooperative deadline poll. *)
+let worker_cell_run opts =
+  let timeout_s = Exec.Supervisor.flag_float opts "timeout-s" in
+  let retries =
+    Option.value ~default:0 (Exec.Supervisor.flag_int opts "retries")
+  in
+  fun ~(ctx : Exec.Supervisor.job_ctx) spec ->
+    let table, cell = cell_of_spec spec in
+    let o, attempts =
+      Exec.Campaign.run_with_retries ?timeout_s ~retries (fun ~deadline ->
+          let deadline () =
+            ctx.Exec.Supervisor.heartbeat ();
+            deadline ()
+          in
+          run_cell ~table ~deadline cell)
+    in
+    (Exec.Outcome.to_json Measure.to_json o, attempts)
+
+(** {!table2_outcomes}/{!table3_outcomes} across crash-isolated worker
+    processes ({!Exec.Supervisor}): same cell keys, same outcome codec,
+    same retry loop, so for deterministic cells the merged journal is
+    byte-identical to a serial in-process run.  Returns (key, outcome)
+    pairs in grid order plus the supervisor stats. *)
+let table_sharded ?(shards = 2) ?timeout_s ?(retries = 1) ?journal
+    ?(fsync = false) ?(heartbeat_s = 10.0) ?(seed = 0)
+    ?(benches = Kernels.Registry.all) ~table () =
+  let prefix = Fmt.str "table%d" table in
+  let pairs =
+    List.concat_map
+      (fun b -> List.map (fun t -> (b, t)) (grid_of_table table))
+      benches
+  in
+  let tasks =
+    List.map
+      (fun p ->
+        { Exec.Supervisor.key = table_key prefix p; spec = cell_spec ~table p })
+      pairs
+  in
+  let worker_args =
+    [ "__worker"; "--kind"; "table" ]
+    @ (match timeout_s with
+      | Some t -> [ "--opt"; Fmt.str "timeout-s=%g" t ]
+      | None -> [])
+    @ [ "--opt"; Fmt.str "retries=%d" retries ]
+  in
+  let r =
+    Exec.Supervisor.run ~shards
+      ?hard_timeout_s:(Option.map (fun t -> (4. *. t) +. 1.) timeout_s)
+      ~heartbeat_s ~retries ~seed ?journal ~fsync ~worker_args ~tasks ()
+  in
+  let outcomes =
+    List.map
+      (fun (key, _attempts, oj) ->
+        match Exec.Outcome.of_json Measure.of_json oj with
+        | Some o -> (key, o)
+        | None ->
+            ( key,
+              Exec.Outcome.Worker_crash
+                { exn = "undecodable journal outcome"; backtrace = "" } ))
+      r.Exec.Supervisor.outcomes
+  in
+  (outcomes, r.Exec.Supervisor.stats)
+
+(* ------------------------------------------------------------------ *)
 (* Table 1: unrolled gesummv vs the Kintex-7 device                    *)
 
 type fit_row = {

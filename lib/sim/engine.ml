@@ -619,11 +619,21 @@ let eval_unit t u =
     cycles, so only units whose sequential state changed — and whatever
     their signal changes reach — need re-evaluation).  Raises on
     oscillation. *)
-let settle ~cycle t =
+let settle ?deadline ~cycle t =
   let budget = ref (50 + (200 * Array.length t.live_units)) in
   let recent = Queue.create () in
+  let evals = ref 0 in
   while not (Queue.is_empty t.queue) do
     decr budget;
+    (* A pathological settle can churn for a long wall-clock time inside
+       one cycle (the oscillation class), so the watchdog is also polled
+       here — every 1024 evaluations, cheap enough to never matter on a
+       healthy fixpoint. *)
+    incr evals;
+    (match deadline with
+    | Some d when !evals land 1023 = 0 && d () ->
+        raise (Timeout { cycles = cycle })
+    | _ -> ());
     if !budget < 0 then begin
       let names =
         Queue.fold (fun acc u -> Graph.label_of t.g u :: acc) [] recent
@@ -956,8 +966,10 @@ let chaos_prologue t ch ~cycle ~quiet =
     quiescence without completion is a deadlock.  [chaos] perturbs the
     run adversarially (see {!Chaos}); a valid elastic circuit must
     produce the same exit values and still complete under any seed. *)
-let run ?(max_cycles = 2_000_000) ?deadline ?observer ?monitor ?chaos ?memory
-    ?sink g =
+let run ?(max_cycles = 2_000_000) ?(poll_every = deadline_poll_period)
+    ?deadline ?observer ?monitor ?chaos ?memory ?sink g =
+  if poll_every < 1 then
+    invalid_arg (Fmt.str "Engine.run: poll_every %d < 1" poll_every);
   let t = create ?chaos ?memory ?sink g in
   let monitor_call =
     match monitor with
@@ -971,11 +983,10 @@ let run ?(max_cycles = 2_000_000) ?deadline ?observer ?monitor ?chaos ?memory
   Array.iter (fun u -> enqueue t u) t.live_units;
   while !finished = None do
     (* Cooperative watchdog: poll the wall-clock budget every
-       [deadline_poll_period] cycles (cycle 0 included, so a
-       fire-immediately deadline interrupts deterministically before any
-       work happens). *)
+       [poll_every] cycles (cycle 0 included, so a fire-immediately
+       deadline interrupts deterministically before any work happens). *)
     (match deadline with
-    | Some d when !cycle mod deadline_poll_period = 0 && d () ->
+    | Some d when !cycle mod poll_every = 0 && d () ->
         raise (Timeout { cycles = !cycle })
     | _ -> ());
     if !cycle >= max_cycles then finished := Some (Out_of_fuel max_cycles)
@@ -983,7 +994,7 @@ let run ?(max_cycles = 2_000_000) ?deadline ?observer ?monitor ?chaos ?memory
       (match t.chaos with
       | Some ch -> chaos_prologue t ch ~cycle:!cycle ~quiet
       | None -> ());
-      settle ~cycle:!cycle t;
+      settle ?deadline ~cycle:!cycle t;
       monitor_call ~cycle:!cycle After_settle;
       (* Observability: channel-level events are derived at the settled
          fixpoint, exactly where the sanitizers read; runs without a

@@ -71,7 +71,8 @@ type sink = event -> unit
     deterministic predicate interrupts at a deterministic cycle. *)
 exception Timeout of { cycles : int }
 
-(** Poll period (in cycles) of the cooperative deadline check. *)
+(** Default poll period (in cycles) of the cooperative deadline check;
+    override per run with {!run}'s [poll_every]. *)
 val deadline_poll_period : int
 
 type stats = {
@@ -108,15 +109,21 @@ type monitor_phase = After_settle | After_step
     switches on adversarial perturbation (see {!Chaos}); a valid elastic
     circuit must produce the same exit values and still complete under
     every chaos seed.  [deadline] is the per-job watchdog: a predicate
-    polled every {!deadline_poll_period} cycles that returns [true] when
-    the job's wall-clock budget is exhausted.  [sink] attaches the
-    observability event stream (see {!type:event}); a run without one is
-    bit-identical to a run of the pre-observability engine.
+    polled every [poll_every] cycles (default
+    {!deadline_poll_period}) that returns [true] when the job's
+    wall-clock budget is exhausted; it is additionally polled inside the
+    combinational settle fixpoint (every 1024 unit evaluations), so even
+    a pathologically long single-cycle settle is interrupted
+    cooperatively.  [sink] attaches the observability event stream (see
+    {!type:event}); a run without one is bit-identical to a run of the
+    pre-observability engine.
 
     @raise Timeout if [deadline] fires.
+    @raise Invalid_argument if [poll_every < 1].
     @raise Dataflow.Validate.Invalid if the graph fails validation. *)
 val run :
   ?max_cycles:int ->
+  ?poll_every:int ->
   ?deadline:(unit -> bool) ->
   ?observer:(int -> Dataflow.Graph.channel -> Dataflow.Types.value -> unit) ->
   ?monitor:(t -> cycle:int -> monitor_phase -> unit) ->

@@ -64,6 +64,24 @@ let cycles out = out.Sim.Engine.stats.Sim.Engine.cycles
 (** Compile mini-C source text (Bb_ordered by default). *)
 let compile ?strategy src = Minic.Codegen.compile_source ?strategy src
 
+(* Seed the property tests ourselves instead of letting
+   [QCheck_alcotest.to_alcotest] do it: its default announces the seed
+   on stdout at module-init time, and in shard-worker mode ([__worker])
+   fd 1 is the supervisor's framed protocol pipe — a banner there reads
+   as a corrupt frame.  The announcement goes to stderr instead;
+   [QCHECK_SEED] still overrides for repeatability. *)
+let qcheck_seed =
+  lazy
+    (let s =
+       try int_of_string (Sys.getenv "QCHECK_SEED")
+       with _ ->
+         Random.self_init ();
+         Random.int 1_000_000_000
+     in
+     Printf.eprintf "qcheck random seed: %d\n%!" s;
+     s)
+
 let qtest ?(count = 100) ?print name gen prop =
   QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| Lazy.force qcheck_seed |])
     (QCheck2.Test.make ~count ~name ?print gen prop)

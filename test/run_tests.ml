@@ -1,4 +1,10 @@
-(** Test entry point: all suites under one alcotest runner. *)
+(** Test entry point: all suites under one alcotest runner.
+
+    The binary doubles as the shard-runner test worker: when launched as
+    [run_tests __worker ...] by {!Exec.Supervisor.run}, it must enter
+    the worker event loop before alcotest ever sees argv. *)
+
+let () = Test_shard.worker_main_if_requested ()
 
 let () =
   Alcotest.run "crush"
@@ -15,4 +21,5 @@ let () =
       ("exec", Test_exec.suite);
       ("sanitize", Test_sanitize.suite);
       ("obs", Test_obs.suite);
+      ("shard", Test_shard.suite);
     ]
