@@ -554,15 +554,40 @@ let smoke () =
   speak "== bench smoke: %d sims (table-2 kernels x 2 seeds), jobs=%d ==@."
     (List.length tasks) n_jobs;
   (* Single-sim engine throughput: the sequential-phase active-set
-     improvement shows up here, independent of parallel fan-out. *)
-  let single_task = (Kernels.Registry.find "syr2k", 42) in
-  let single_cycles, single_s = wall (fun () -> smoke_run_one single_task) in
-  (* Sanitizer overhead on the same sim, reported but never gated: the
-     monitors are off by default on every hot path, so this measures
-     what `--sanitize` costs when opted into, not a regression risk. *)
+     improvement shows up here, independent of parallel fan-out.  The
+     circuit is compiled once outside the clock (compilation is not
+     engine throughput), one untimed warmup pays for code paging and
+     initial heap growth, and the reported wall is the best of five
+     runs — simulation is deterministic, so run-to-run spread is pure
+     machine noise and the minimum is the honest engine number. *)
+  let sb = Kernels.Registry.find "syr2k" in
+  let sc = Minic.Codegen.compile_source sb.Kernels.Registry.source in
+  ignore
+    (Crush.Share.crush sc.Minic.Codegen.graph
+       ~critical_loops:sc.Minic.Codegen.critical_loops);
+  let run_single ?monitor () =
+    let v =
+      Kernels.Harness.run_circuit ?monitor ~seed:42 sb sc.Minic.Codegen.graph
+    in
+    if not v.Kernels.Harness.functionally_correct then
+      failwith "smoke: syr2k (seed 42) produced wrong results";
+    v.Kernels.Harness.cycles
+  in
+  let best_of_5 f =
+    ignore (f ());
+    let c, s1 = wall f in
+    let best = ref s1 in
+    for _ = 2 to 5 do
+      let _, s = wall f in
+      if s < !best then best := s
+    done;
+    (c, !best)
+  in
+  let single_cycles, single_s = best_of_5 (fun () -> run_single ()) in
+  (* Sanitizer overhead on the same sim, gated at 3.0x below: the
+     incremental ledgers must keep `--sanitize` cheap enough to leave on. *)
   let sanitized_cycles, sanitized_s =
-    wall (fun () ->
-        smoke_run_one ~monitor:(Sim.Sanitizer.monitor ()) single_task)
+    best_of_5 (fun () -> run_single ~monitor:(Sim.Sanitizer.monitor ()) ())
   in
   if sanitized_cycles <> single_cycles then
     failwith "smoke: sanitizer monitor changed the simulated cycle count";
@@ -583,18 +608,26 @@ let smoke () =
     float_of_int sanitized_cycles /. Float.max 1e-9 sanitized_s
   in
   let sanitizer_overhead = sanitized_s /. Float.max 1e-9 single_s in
+  (* A jobs-4 campaign on a 1-core container cannot speed up at all, so
+     normalize by the cores actually available: efficiency 1.0 means the
+     parallel run extracted everything the machine offers. *)
+  let eff_cores = max 1 (min n_jobs (Exec.Campaign.default_jobs ())) in
+  let parallel_efficiency = speedup /. float_of_int eff_cores in
   speak "  serial:   %7.2f s  (%.0f cycles/sec)@." serial_s serial_cps;
-  speak "  parallel: %7.2f s  (%.0f cycles/sec, %.2fx speedup at jobs=%d)@."
-    parallel_s parallel_cps speedup n_jobs;
+  speak
+    "  parallel: %7.2f s  (%.0f cycles/sec, %.2fx speedup at jobs=%d, \
+     %.2f efficiency on %d core(s))@."
+    parallel_s parallel_cps speedup n_jobs parallel_efficiency eff_cores;
   speak "  single-sim engine throughput: %.0f cycles/sec (syr2k)@." single_cps;
-  speak "  sanitized: %.0f cycles/sec (%.2fx wall, not gated)@." sanitized_cps
-    sanitizer_overhead;
+  speak "  sanitized: %.0f cycles/sec (%.2fx wall, gate <= 3.0x)@."
+    sanitized_cps sanitizer_overhead;
+  let allow_regression =
+    Sys.getenv_opt "BENCH_ALLOW_REGRESSION" = Some "1"
+  in
   (* Regression gate on engine throughput: the serial number is the
      stable one (parallel depends on machine load and core count). *)
   (match previous_metric "serial_cycles_per_sec" with
-  | Some prev
-    when serial_cps < 0.8 *. prev
-         && Sys.getenv_opt "BENCH_ALLOW_REGRESSION" <> Some "1" ->
+  | Some prev when serial_cps < 0.8 *. prev && not allow_regression ->
       (* One actionable line: the offending ratio, both numbers, and the
          exact escape hatch. *)
       Fmt.epr
@@ -604,6 +637,26 @@ let smoke () =
         (serial_cps /. prev) prev serial_cps bench_json;
       exit 1
   | _ -> ());
+  (* Absolute gates: the sanitizer tax ceiling, and a speedup floor
+     scaled to the cores the machine actually has — 1.5x on a >= 2-core
+     box at jobs 4, degrading to 0.75x (pure-overhead bound) on a
+     single-core container where speedup > 1 is physically impossible. *)
+  if sanitizer_overhead > 3.0 && not allow_regression then begin
+    Fmt.epr
+      "smoke: REFUSED: sanitizer overhead %.2fx exceeds the 3.0x gate — \
+       rerun with BENCH_ALLOW_REGRESSION=1 to accept@."
+      sanitizer_overhead;
+    exit 1
+  end;
+  let speedup_floor = Float.min 1.5 (0.75 *. float_of_int eff_cores) in
+  if n_jobs > 1 && speedup < speedup_floor && not allow_regression then begin
+    Fmt.epr
+      "smoke: REFUSED: %.2fx speedup at jobs=%d is under the %.2fx floor \
+       for %d available core(s) — rerun with BENCH_ALLOW_REGRESSION=1 to \
+       accept@."
+      speedup n_jobs speedup_floor eff_cores;
+    exit 1
+  end;
   (* Written atomically (temp + rename): a kill mid-write must never
      leave a torn baseline for the next run's regression gate. *)
   Exec.Journal.write_atomic bench_json (fun oc ->
@@ -617,6 +670,8 @@ let smoke () =
     \  \"serial_wall_s\": %.4f,\n\
     \  \"parallel_wall_s\": %.4f,\n\
     \  \"speedup\": %.3f,\n\
+    \  \"effective_cores\": %d,\n\
+    \  \"parallel_efficiency\": %.3f,\n\
     \  \"serial_cycles_per_sec\": %.1f,\n\
     \  \"parallel_cycles_per_sec\": %.1f,\n\
     \  \"single_sim_kernel\": \"syr2k\",\n\
@@ -628,8 +683,9 @@ let smoke () =
     \  \"sanitizer_overhead_x\": %.3f\n\
      }\n"
     Exec.Journal.schema_version (List.length tasks) n_jobs total_cycles
-    serial_s parallel_s speedup serial_cps parallel_cps single_cycles single_s
-    single_cps sanitized_s sanitized_cps sanitizer_overhead);
+    serial_s parallel_s speedup eff_cores parallel_efficiency serial_cps
+    parallel_cps single_cycles single_s single_cps sanitized_s sanitized_cps
+    sanitizer_overhead);
   speak "  wrote %s@." bench_json
 
 (* ------------------------------------------------------------------ *)

@@ -7,24 +7,44 @@ type t = {
   n : int;
   queues : task Queue.t array;  (** one FIFO per worker *)
   lock : Mutex.t;               (** guards queues, counters and flags *)
-  work : Condition.t;           (** signalled on submit and shutdown *)
-  mutable next : int;           (** round-robin submission pointer *)
+  work : Condition.t;           (** signalled on batch deal and shutdown *)
   mutable closing : bool;
   mutable domains : unit Domain.t array;
 }
 
+(** Simulation tasks allocate short-lived values at a high rate (settle
+    scratch, payloads); a roomy per-domain minor heap spaces out the
+    stop-the-world minor collections that otherwise synchronize every
+    worker domain on each other's allocation pace.  2M words = 16 MB per
+    domain — trivial against the major heap a campaign touches. *)
+let worker_minor_heap_words = 2 * 1024 * 1024
+
 (** Find work for worker [i]: its own queue first, then steal from the
-    siblings in rotation order.  Caller holds [t.lock]. *)
+    siblings in rotation order.  A steal takes half the victim's backlog
+    (at least one task) into the thief's own queue, so a worker that ran
+    dry pays the lock once per chunk rather than once per task.  Caller
+    holds [t.lock]. *)
 let find_task t i =
-  let rec scan k =
-    if k >= t.n then None
-    else
-      let q = t.queues.((i + k) mod t.n) in
-      if Queue.is_empty q then scan (k + 1) else Some (Queue.take q)
-  in
-  scan 0
+  let own = t.queues.(i) in
+  if not (Queue.is_empty own) then Some (Queue.take own)
+  else
+    let rec scan k =
+      if k >= t.n then None
+      else
+        let q = t.queues.((i + k) mod t.n) in
+        if Queue.is_empty q then scan (k + 1)
+        else begin
+          let grab = (Queue.length q + 1) / 2 in
+          for _ = 2 to grab do
+            Queue.add (Queue.take q) own
+          done;
+          Some (Queue.take q)
+        end
+    in
+    scan 1
 
 let worker t i () =
+  Gc.set { (Gc.get ()) with minor_heap_size = worker_minor_heap_words };
   Mutex.lock t.lock;
   let rec loop () =
     match find_task t i with
@@ -50,7 +70,6 @@ let create ~jobs =
       queues = Array.init jobs (fun _ -> Queue.create ());
       lock = Mutex.create ();
       work = Condition.create ();
-      next = 0;
       closing = false;
       domains = [||];
     }
@@ -59,17 +78,6 @@ let create ~jobs =
   t
 
 let jobs t = t.n
-
-let submit t task =
-  Mutex.lock t.lock;
-  if t.closing then begin
-    Mutex.unlock t.lock;
-    invalid_arg "Pool.submit: pool is shut down"
-  end;
-  Queue.add task t.queues.(t.next);
-  t.next <- (t.next + 1) mod t.n;
-  Condition.signal t.work;
-  Mutex.unlock t.lock
 
 let run_batch t tasks =
   let total = Array.length tasks in
@@ -80,21 +88,35 @@ let run_batch t tasks =
     let first_error = ref None in
     let done_lock = Mutex.create () in
     let done_cond = Condition.create () in
+    let wrapped =
+      Array.mapi
+        (fun i task () ->
+          let err = match task () with () -> None | exception e -> Some e in
+          Mutex.lock done_lock;
+          (match err with
+          | Some e -> (
+              match !first_error with
+              | Some (j, _) when j < i -> ()
+              | _ -> first_error := Some (i, e))
+          | None -> ());
+          decr remaining;
+          if !remaining = 0 then Condition.signal done_cond;
+          Mutex.unlock done_lock)
+        tasks
+    in
+    (* Deal the whole batch in contiguous chunks under one lock
+       acquisition — workers rebalance by stealing — instead of paying a
+       lock/signal round-trip per task. *)
+    Mutex.lock t.lock;
+    if t.closing then begin
+      Mutex.unlock t.lock;
+      invalid_arg "Pool.run_batch: pool is shut down"
+    end;
     Array.iteri
-      (fun i task ->
-        submit t (fun () ->
-            let err = match task () with () -> None | exception e -> Some e in
-            Mutex.lock done_lock;
-            (match err with
-            | Some e -> (
-                match !first_error with
-                | Some (j, _) when j < i -> ()
-                | _ -> first_error := Some (i, e))
-            | None -> ());
-            decr remaining;
-            if !remaining = 0 then Condition.signal done_cond;
-            Mutex.unlock done_lock))
-      tasks;
+      (fun i task -> Queue.add task t.queues.(i * t.n / total))
+      wrapped;
+    Condition.broadcast t.work;
+    Mutex.unlock t.lock;
     Mutex.lock done_lock;
     while !remaining > 0 do
       Condition.wait done_cond done_lock

@@ -1,13 +1,19 @@
 (** Fixed-size domain pool with a work-stealing-lite task queue.
 
     [create ~jobs] spawns [jobs] worker domains (OCaml 5 [Domain]s), each
-    owning one FIFO task queue.  Submission distributes tasks round-robin
-    across the queues; a worker drains its own queue first and, when
-    empty, steals from its siblings — enough stealing to keep every core
+    owning one FIFO task queue.  [run_batch] deals the whole batch into
+    the queues in contiguous chunks under a single lock acquisition; a
+    worker drains its own queue first and, when empty, steals half a
+    sibling's backlog at a time — enough rebalancing to keep every core
     busy on the coarse-grained tasks this repository runs (whole
     cycle-accurate simulations, milliseconds to seconds each) without a
     lock-free deque's complexity.  All queues hang off one mutex/condvar
     pair: at this task granularity the lock is uncontended.
+
+    Each worker domain widens its minor heap at startup: the engine's
+    allocation rate would otherwise drive frequent stop-the-world minor
+    collections that synchronize all domains and erase the parallel
+    win.
 
     Tasks must be self-contained: they must not share mutable state
     (graphs, memories, simulator state) with other tasks or the

@@ -26,25 +26,32 @@
     prove deadlock; when the circuit goes quiet the engine suspends all
     perturbations and only declares deadlock if the circuit stays quiet
     under the deterministic baseline semantics — the same notion of
-    deadlock as an unperturbed run. *)
+    deadlock as an unperturbed run.
+
+    {2 Execution image}
+
+    [create] compiles the graph-of-records into a flat struct-of-arrays
+    execution image: one int kind code per unit dispatched with a single
+    integer match, [Bytes]-backed valid/ready/queued/requesting bitmaps,
+    int-indexed channel endpoint tables (no [Graph.channel_exn] on the
+    hot path), rotation/phased arbiter orders as int arrays, buffer
+    FIFOs as preallocated rings, pipelines as parallel (value, presence)
+    arrays, and per-load/store memory arrays resolved once.  The settle
+    worklist is a preallocated int ring with a dedup bitmap — the same
+    FIFO discipline as the previous [Queue.t]-based engine, so the
+    evaluation order (and therefore every chaos decision stream) is
+    bit-identical.  Run-transient scratch (worklist, dedup and dirty
+    bitmaps, operand buffer) is pooled per domain and reused across
+    sims, so steady-state simulation does not allocate on the hot path.
+
+    When a [monitor] is attached the engine additionally tracks the
+    dirty channel set — every channel whose valid/ready/data changed
+    during the cycle's settle — which is what lets {!Sanitizer} update
+    its ledgers incrementally instead of rescanning every channel every
+    cycle. *)
 
 open Dataflow
 open Types
-
-type unit_state =
-  | S_stateless
-  | S_entry of { mutable fired : bool }
-  | S_fork of { sent : bool array }
-  | S_buffer of {
-      q : value Queue.t;
-      slots : int;
-      transparent : bool;
-      mutable high_water : int;  (** max occupancy observed *)
-    }
-  | S_pipeline of { stages : value option array }  (** stage 0 = youngest *)
-  | S_credit of { mutable count : int }
-  | S_arbiter of { mutable turn : int }
-  | S_phased of { turns : int array }  (** rotation pointer per cluster *)
 
 type status =
   | Completed of int   (** cycle of the last event *)
@@ -127,6 +134,128 @@ type port = {
   mutable joff : int;           (** chaos jitter offset added to [rr] *)
 }
 
+(* ------------------------------------------------------------------ *)
+(* Unit kind codes                                                     *)
+
+(* The execution image dispatches units through one integer match per
+   evaluation instead of pattern-matching [kind] * [unit_state] variant
+   pairs.  The match arms below use the literals directly (so the
+   compiler emits a jump table); keep these constants in sync. *)
+let k_entry = 0
+let k_exit = 1
+let k_sink = 2
+let k_const = 3
+let k_fork_eager = 4
+let k_fork_lazy = 5
+let k_join = 6
+let k_merge = 7
+let k_arb_priority = 8
+let k_arb_rotation = 9
+let k_arb_phased = 10
+let k_mux = 11
+let k_branch = 12
+let k_buffer = 13
+let k_op_comb = 14
+let k_op_pipe = 15
+let k_load = 16
+let k_store = 17
+let k_credit = 18
+let k_stub = 19
+
+(* Bytes-backed bool vectors: one byte per flag, no bounds checks (all
+   indices are compiled from the graph). *)
+let bget b i = Bytes.unsafe_get b i <> '\000'
+let bset b i v = Bytes.unsafe_set b i (if v then '\001' else '\000')
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain arena                                                    *)
+
+(** Run-transient buffers reused across sims on the same domain: the
+    settle worklist ring and its dedup bitmap, the oscillation-debug
+    ring, the operand scratch buffer, and the dirty-channel set.  None
+    of these carry information across cycles that outlives the run, and
+    none are read by the post-mortem accessors, so recycling them across
+    engines is invisible — it just deletes the per-sim allocation storm
+    that made [--jobs N] campaigns contend on the shared heap. *)
+type arena = {
+  mutable a_busy : bool;
+  mutable a_wl : int array;
+  mutable a_queued : Bytes.t;
+  mutable a_recent : int array;
+  mutable a_scratch : value array;
+  mutable a_dirty_flag : Bytes.t;
+  mutable a_dirty_list : int array;
+}
+
+let arena_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        a_busy = false;
+        a_wl = [||];
+        a_queued = Bytes.empty;
+        a_recent = [||];
+        a_scratch = [||];
+        a_dirty_flag = Bytes.empty;
+        a_dirty_list = [||];
+      })
+
+(** Capacity of the oscillation-debug ring: the settle loop records at
+    most the last 40 evaluated units before declaring non-settlement. *)
+let recent_cap = 48
+
+type bufs = {
+  b_wl : int array;
+  b_queued : Bytes.t;
+  b_recent : int array;
+  b_scratch : value array;
+  b_dirty_flag : Bytes.t;
+  b_dirty_list : int array;
+}
+
+let fresh_bufs ~n_units ~n_channels ~n_scratch =
+  {
+    b_wl = Array.make (n_units + 1) 0;
+    b_queued = Bytes.make n_units '\000';
+    b_recent = Array.make recent_cap 0;
+    b_scratch = Array.make n_scratch VUnit;
+    b_dirty_flag = Bytes.make n_channels '\000';
+    b_dirty_list = Array.make n_channels 0;
+  }
+
+(** Borrow the domain's arena (growing it to fit this graph), or fall
+    back to fresh buffers if a run on this domain is already holding it
+    (e.g. a reentrant run from a monitor).  The dedup and dirty bitmaps
+    are cleared on acquisition — a finished run can leave stale bits. *)
+let acquire_arena ~n_units ~n_channels ~n_scratch =
+  let a = Domain.DLS.get arena_key in
+  if a.a_busy then (None, fresh_bufs ~n_units ~n_channels ~n_scratch)
+  else begin
+    a.a_busy <- true;
+    if Array.length a.a_wl < n_units + 1 then a.a_wl <- Array.make (n_units + 1) 0;
+    if Bytes.length a.a_queued < n_units then a.a_queued <- Bytes.make n_units '\000'
+    else Bytes.fill a.a_queued 0 (Bytes.length a.a_queued) '\000';
+    if Array.length a.a_recent < recent_cap then a.a_recent <- Array.make recent_cap 0;
+    if Array.length a.a_scratch < n_scratch then
+      a.a_scratch <- Array.make n_scratch VUnit;
+    if Bytes.length a.a_dirty_flag < n_channels then
+      a.a_dirty_flag <- Bytes.make n_channels '\000'
+    else Bytes.fill a.a_dirty_flag 0 (Bytes.length a.a_dirty_flag) '\000';
+    if Array.length a.a_dirty_list < n_channels then
+      a.a_dirty_list <- Array.make n_channels 0;
+    ( Some a,
+      {
+        b_wl = a.a_wl;
+        b_queued = a.a_queued;
+        b_recent = a.a_recent;
+        b_scratch = a.a_scratch;
+        b_dirty_flag = a.a_dirty_flag;
+        b_dirty_list = a.a_dirty_list;
+      } )
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The execution image                                                 *)
+
 type t = {
   g : Graph.t;
   memory : Memory.t;
@@ -134,85 +263,259 @@ type t = {
   step_units : int array;
       (** the active set of the sequential phase: units whose internal
           state can change between cycles (entries, exits, eager forks,
-          buffers, pipelines, credit counters, stateful arbiters).
-          Stateless units only react combinationally and never need
-          sequential stepping, so each cycle costs O(stateful units)
-          instead of O(all units). *)
-  cvalid : bool array;
-  cready : bool array;
+          buffers, pipelines, credit counters, stateful arbiters). *)
+  live_cids : int array;  (** live channel ids, ascending *)
+  (* channel signal state *)
+  cvalid : Bytes.t;
+  cready : Bytes.t;
   cdata : value array;
-  state : unit_state array;
-  queued : bool array;
-  queue : int Queue.t;
-  port_of : port option array;  (** per unit: the memory port it uses *)
-  ports : port array;           (** all memory ports *)
-  requesting : bool array;      (** per unit: requesting its port now *)
+  (* channel topology, indexed by channel id (dead channels are -1) *)
+  csrc : int array;
+  cdst : int array;
+  cdst_port : int array;
+  iof : int array array;  (** per unit: input channel id per port *)
+  oof : int array array;  (** per unit: output channel id per port *)
+  (* unit dispatch and payloads, indexed by unit id *)
+  kcode : int array;      (** kind code; -1 for dead units *)
+  u_n : int array;        (** the kind's primary port/cluster count *)
+  u_value : value array;  (** Entry/Const payload *)
+  u_op : opcode array;
+  entry_fired : Bytes.t;
+  fork_sent : Bytes.t array;
+  join_kept : int array array;  (** input indices with [keep] set *)
+  buf_ring : value array array;
+  buf_head : int array;
+  buf_len : int array;
+  buf_slots : int array;
+  buf_high : int array;   (** max occupancy observed *)
+  buf_transp : Bytes.t;
+  pipe_val : value array array;  (** stage 0 = youngest *)
+  pipe_has : Bytes.t array;
+  credit : int array;
+  rot_order : int array array;
+  prio_list : int list array;
+      (** original priority order, kept as a list: chaos permutation
+          hashes over exactly this structure *)
+  prio_arr : int array array;
+  phased_cl : int array array array;
+  phased_turns : int array array;
+  arb_turn : int array;
+  mem_name : string array;
+  mem_arr : value array option array;
+      (** per load/store: its memory's backing array, resolved once *)
+  (* memory ports *)
+  port_idx : int array;   (** per unit: index into [ports], -1 if none *)
+  port_pos : int array;   (** per unit: its position in the port group *)
+  ports : port array;
+  requesting : Bytes.t;   (** per unit: requesting its port now *)
+  step_active : Bytes.t;
+      (** per unit: may have sequential work this cycle.  Set on every
+          fired-state transition of an adjacent channel and whenever the
+          unit's own step did work last cycle; a unit with no flag
+          provably has nothing to do (see the step loop in {!run}). *)
+  (* settle worklist: FIFO ring + dedup bitmap *)
+  wl : int array;
+  mutable wl_head : int;
+  mutable wl_tail : int;
+  queued : Bytes.t;
+  recent : int array;
+  scratch : value array;  (** operand buffer for {!Eval.apply_arr} *)
+  (* dirty channel set: every channel whose signals changed this cycle *)
+  mutable track_dirty : bool;
+  dirty_flag : Bytes.t;
+  dirty_list : int array;
+  mutable dirty_n : int;
+  (* run counters *)
   mutable n_fired : int;
       (** channels currently asserting both valid and ready — maintained
           incrementally on every handshake-signal flip so the per-cycle
           transfer count is O(1) instead of a scan over all channels *)
-  n_exits : int;                (** number of Exit units in the graph *)
+  n_exits : int;
   mutable n_exit_received : int;
-      (** tokens received by Exit units so far; completion checks compare
-          this counter against [n_exits] in O(1) instead of re-counting
-          [exit_values] on every quiescence probe *)
   mutable exit_values : value list;
   mutable transfers : int;
   last_fire : int array;
-      (** per unit: the last cycle at which its sequential state changed,
-          [-1] if it never did — the raw material of the livelock
-          snapshot {!Forensics} builds for [Out_of_fuel] runs *)
   sink : sink option;
-      (** observability event sink; [None] keeps every emission site on
-          its zero-cost branch (a single [match] per site per cycle) *)
   chaos : Chaos.t option;
-  chaos_stall : bool;           (** sinks can stall (config + sinks exist) *)
-  chaos_jitter : bool;          (** ports are jittered (config + ports exist) *)
-  chaos_permute : bool;         (** arbiter tie-breaks are permuted
-                                    (config + priority arbiters exist) *)
-  chaos_stalled : bool array;   (** per unit: sink/exit stalled this cycle *)
-  chaos_sinks : int array;      (** uids of Exit and Sink units *)
-  chaos_arbiters : int array;   (** uids of Priority arbiters *)
+  chaos_stall : bool;
+  chaos_jitter : bool;
+  chaos_permute : bool;
+  chaos_stalled : Bytes.t;
+  chaos_sinks : int array;
+  chaos_arbiters : int array;
   mutable chaos_suspended : bool;
-      (** perturbations withdrawn to test quiescence deterministically *)
+  arena : arena option;   (** the domain arena to release at run end *)
 }
 
-(** [extra] adds chaos pipeline stages: an elastic circuit must tolerate
-    any latency, so inflating a pipelined unit is a legal perturbation. *)
-let init_state ~extra (k : kind) =
-  match k with
-  | Entry _ -> S_entry { fired = false }
-  | Fork { outputs; lazy_ = false } -> S_fork { sent = Array.make outputs false }
-  | Buffer { slots; transparent; init; _ } ->
-      let q = Queue.create () in
-      List.iter (fun v -> Queue.add v q) init;
-      S_buffer { q; slots; transparent; high_water = Queue.length q }
-  | Operator { latency; _ } when latency > 0 ->
-      S_pipeline { stages = Array.make (latency + extra) None }
-  | Load { latency; _ } ->
-      S_pipeline { stages = Array.make (max 1 latency + extra) None }
-  | Store _ -> S_pipeline { stages = Array.make 1 None }
-  | Credit_counter { init } -> S_credit { count = init }
-  | Arbiter { policy = Rotation _; _ } -> S_arbiter { turn = 0 }
-  | Arbiter { policy = Phased clusters; _ } ->
-      S_phased { turns = Array.make (List.length clusters) 0 }
-  | _ -> S_stateless
+let release_arena t =
+  match t.arena with Some a -> a.a_busy <- false | None -> ()
+
+(* [compare a b = 0] without the polymorphic-compare dispatch: tokens can
+   legitimately carry NaN, and IEEE [nan <> nan] would report an eternal
+   "change" in [drive_out], re-enqueueing the consumer until the settle
+   budget dies — so floats compare via [Float.compare], exactly like the
+   polymorphic [compare] this replaces. *)
+let rec value_eq a b =
+  a == b
+  ||
+  match (a, b) with
+  | VInt x, VInt y -> x = y
+  | VFloat x, VFloat y -> Float.compare x y = 0
+  | VBool x, VBool y -> x = y
+  | VUnit, VUnit -> true
+  | VTuple xs, VTuple ys -> value_list_eq xs ys
+  | _ -> false
+
+and value_list_eq xs ys =
+  match (xs, ys) with
+  | [], [] -> true
+  | x :: xs, y :: ys -> value_eq x y && value_list_eq xs ys
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* The graph compiler                                                  *)
 
 let create ?chaos ?memory ?sink g =
   Validate.check_exn g;
   let chaos = Option.map Chaos.make chaos in
   let memory = match memory with Some m -> m | None -> Memory.of_graph g in
   let n_units = g.Graph.n_units and n_chan = g.Graph.n_channels in
+  let nu = max 1 n_units and nc = max 1 n_chan in
   let live = Graph.fold_units g (fun acc u -> u.Graph.uid :: acc) [] in
-  let state = Array.make n_units S_stateless in
+  let kcode = Array.make nu (-1) in
+  let u_n = Array.make nu 0 in
+  let u_value = Array.make nu VUnit in
+  let u_op = Array.make nu Pass in
+  let entry_fired = Bytes.make nu '\000' in
+  let fork_sent = Array.make nu Bytes.empty in
+  let join_kept = Array.make nu [||] in
+  let buf_ring = Array.make nu [||] in
+  let buf_head = Array.make nu 0 in
+  let buf_len = Array.make nu 0 in
+  let buf_slots = Array.make nu 0 in
+  let buf_high = Array.make nu 0 in
+  let buf_transp = Bytes.make nu '\000' in
+  let pipe_val = Array.make nu [||] in
+  let pipe_has = Array.make nu Bytes.empty in
+  let credit = Array.make nu 0 in
+  let rot_order = Array.make nu [||] in
+  let prio_list = Array.make nu [] in
+  let prio_arr = Array.make nu [||] in
+  let phased_cl = Array.make nu [||] in
+  let phased_turns = Array.make nu [||] in
+  let arb_turn = Array.make nu 0 in
+  let mem_name = Array.make nu "" in
+  let mem_arr = Array.make nu None in
+  let max_ports = ref 4 in
   Graph.iter_units g (fun u ->
+      let uid = u.Graph.uid in
+      (* [extra] adds chaos pipeline stages: an elastic circuit must
+         tolerate any latency, so inflating a pipelined unit is a legal
+         perturbation.  Drawn for every live unit (the chaos counters sum
+         the draws, so the draw set must not depend on the unit's kind). *)
       let extra =
-        match chaos with
-        | Some ch -> Chaos.extra_latency ch ~uid:u.Graph.uid
-        | None -> 0
+        match chaos with Some ch -> Chaos.extra_latency ch ~uid | None -> 0
       in
-      state.(u.Graph.uid) <- init_state ~extra u.Graph.kind);
-  let port_of = Array.make (max 1 n_units) None in
+      match u.Graph.kind with
+      | Entry v ->
+          kcode.(uid) <- k_entry;
+          u_value.(uid) <- v
+      | Exit -> kcode.(uid) <- k_exit
+      | Sink -> kcode.(uid) <- k_sink
+      | Const v ->
+          kcode.(uid) <- k_const;
+          u_value.(uid) <- v
+      | Fork { outputs; lazy_ = false } ->
+          kcode.(uid) <- k_fork_eager;
+          u_n.(uid) <- outputs;
+          fork_sent.(uid) <- Bytes.make outputs '\000'
+      | Fork { outputs; lazy_ = true } ->
+          kcode.(uid) <- k_fork_lazy;
+          u_n.(uid) <- outputs
+      | Join { inputs; keep } ->
+          kcode.(uid) <- k_join;
+          u_n.(uid) <- inputs;
+          let kept = ref [] in
+          Array.iteri (fun i k -> if k then kept := i :: !kept) keep;
+          join_kept.(uid) <- Array.of_list (List.rev !kept)
+      | Merge { inputs } ->
+          kcode.(uid) <- k_merge;
+          u_n.(uid) <- inputs
+      | Arbiter { inputs; policy } -> begin
+          u_n.(uid) <- inputs;
+          match policy with
+          | Priority order ->
+              kcode.(uid) <- k_arb_priority;
+              prio_list.(uid) <- order;
+              prio_arr.(uid) <- Array.of_list order
+          | Rotation order ->
+              kcode.(uid) <- k_arb_rotation;
+              rot_order.(uid) <- Array.of_list order
+          | Phased clusters ->
+              kcode.(uid) <- k_arb_phased;
+              phased_cl.(uid) <- Array.of_list (List.map Array.of_list clusters);
+              phased_turns.(uid) <- Array.make (List.length clusters) 0
+        end
+      | Mux { inputs } ->
+          kcode.(uid) <- k_mux;
+          u_n.(uid) <- inputs
+      | Branch { outputs } ->
+          kcode.(uid) <- k_branch;
+          u_n.(uid) <- outputs
+      | Buffer { slots; transparent; init; _ } ->
+          kcode.(uid) <- k_buffer;
+          let n0 = List.length init in
+          let ring = Array.make (max 1 (max slots n0)) VUnit in
+          List.iteri (fun i v -> ring.(i) <- v) init;
+          buf_ring.(uid) <- ring;
+          buf_len.(uid) <- n0;
+          buf_slots.(uid) <- slots;
+          buf_high.(uid) <- n0;
+          bset buf_transp uid transparent
+      | Operator { op; latency = 0; ports } ->
+          kcode.(uid) <- k_op_comb;
+          u_n.(uid) <- ports;
+          u_op.(uid) <- op;
+          if ports > !max_ports then max_ports := ports
+      | Operator { op; latency; ports } ->
+          kcode.(uid) <- k_op_pipe;
+          u_n.(uid) <- ports;
+          u_op.(uid) <- op;
+          let d = latency + extra in
+          pipe_val.(uid) <- Array.make d VUnit;
+          pipe_has.(uid) <- Bytes.make d '\000';
+          if ports > !max_ports then max_ports := ports
+      | Load { memory = name; latency } ->
+          kcode.(uid) <- k_load;
+          mem_name.(uid) <- name;
+          let d = max 1 latency + extra in
+          pipe_val.(uid) <- Array.make d VUnit;
+          pipe_has.(uid) <- Bytes.make d '\000'
+      | Store { memory = name } ->
+          kcode.(uid) <- k_store;
+          mem_name.(uid) <- name;
+          pipe_val.(uid) <- Array.make 1 VUnit;
+          pipe_has.(uid) <- Bytes.make 1 '\000'
+      | Credit_counter { init } ->
+          kcode.(uid) <- k_credit;
+          credit.(uid) <- init
+      | Stub -> kcode.(uid) <- k_stub);
+  Array.iteri
+    (fun uid k ->
+      if k = k_load || k = k_store then
+        mem_arr.(uid) <- Memory.backing memory mem_name.(uid))
+    kcode;
+  let csrc = Array.make nc (-1) in
+  let cdst = Array.make nc (-1) in
+  let cdst_port = Array.make nc 0 in
+  let live_cids = ref [] in
+  Graph.iter_channels g (fun c ->
+      csrc.(c.Graph.id) <- c.Graph.src.unit_id;
+      cdst.(c.Graph.id) <- c.Graph.dst.unit_id;
+      cdst_port.(c.Graph.id) <- c.Graph.dst.port;
+      live_cids := c.Graph.id :: !live_cids);
+  let port_idx = Array.make nu (-1) in
+  let port_pos = Array.make nu 0 in
   let groups : (string * bool, int list ref) Hashtbl.t = Hashtbl.create 7 in
   Graph.iter_units g (fun u ->
       let key =
@@ -241,7 +544,11 @@ let create ?chaos ?memory ?sink g =
       let p = { pid = !n_ports; group; rr = 0; joff = 0 } in
       incr n_ports;
       ports := p :: !ports;
-      Array.iter (fun uid -> port_of.(uid) <- Some p) group)
+      Array.iteri
+        (fun i uid ->
+          port_idx.(uid) <- p.pid;
+          port_pos.(uid) <- i)
+        group)
     groups;
   let chaos_sinks =
     Graph.fold_units g
@@ -260,15 +567,16 @@ let create ?chaos ?memory ?sink g =
       []
   in
   (* The active set of the sequential phase: every unit whose [step_unit]
-     can do work.  Exits are stateless in [unit_state] terms but record
+     can do work.  Exits are combinational in signal terms but record
      arriving tokens, so they belong to the set too. *)
   let step_units =
     Graph.fold_units g
       (fun acc u ->
+        let k = kcode.(u.Graph.uid) in
         let steps =
-          match u.Graph.kind with
-          | Exit -> true
-          | _ -> ( match state.(u.Graph.uid) with S_stateless -> false | _ -> true)
+          k = k_exit || k = k_entry || k = k_fork_eager || k = k_buffer
+          || k = k_op_pipe || k = k_load || k = k_store || k = k_credit
+          || k = k_arb_rotation || k = k_arb_phased
         in
         if steps then u.Graph.uid :: acc else acc)
       []
@@ -278,26 +586,68 @@ let create ?chaos ?memory ?sink g =
   in
   let cfg = Option.map Chaos.config chaos in
   let chaos_on f = match cfg with Some c -> f c | None -> false in
+  let arena, bufs =
+    acquire_arena ~n_units:nu ~n_channels:nc ~n_scratch:!max_ports
+  in
   {
     g;
     memory;
     live_units = Array.of_list (List.rev live);
     step_units = Array.of_list (List.rev step_units);
-    cvalid = Array.make (max 1 n_chan) false;
-    cready = Array.make (max 1 n_chan) false;
-    cdata = Array.make (max 1 n_chan) VUnit;
-    state;
-    queued = Array.make (max 1 n_units) false;
-    queue = Queue.create ();
-    port_of;
+    live_cids = Array.of_list (List.rev !live_cids);
+    cvalid = Bytes.make nc '\000';
+    cready = Bytes.make nc '\000';
+    cdata = Array.make nc VUnit;
+    csrc;
+    cdst;
+    cdst_port;
+    iof = g.Graph.in_of;
+    oof = g.Graph.out_of;
+    kcode;
+    u_n;
+    u_value;
+    u_op;
+    entry_fired;
+    fork_sent;
+    join_kept;
+    buf_ring;
+    buf_head;
+    buf_len;
+    buf_slots;
+    buf_high;
+    buf_transp;
+    pipe_val;
+    pipe_has;
+    credit;
+    rot_order;
+    prio_list;
+    prio_arr;
+    phased_cl;
+    phased_turns;
+    arb_turn;
+    mem_name;
+    mem_arr;
+    port_idx;
+    port_pos;
     ports = Array.of_list (List.rev !ports);
-    requesting = Array.make (max 1 n_units) false;
+    requesting = Bytes.make nu '\000';
+    step_active = Bytes.make nu '\001';
+    wl = bufs.b_wl;
+    wl_head = 0;
+    wl_tail = 0;
+    queued = bufs.b_queued;
+    recent = bufs.b_recent;
+    scratch = bufs.b_scratch;
+    track_dirty = false;
+    dirty_flag = bufs.b_dirty_flag;
+    dirty_list = bufs.b_dirty_list;
+    dirty_n = 0;
     n_fired = 0;
     n_exits;
     n_exit_received = 0;
     exit_values = [];
     transfers = 0;
-    last_fire = Array.make (max 1 n_units) (-1);
+    last_fire = Array.make nu (-1);
     sink;
     chaos;
     chaos_stall =
@@ -305,56 +655,79 @@ let create ?chaos ?memory ?sink g =
     chaos_jitter = chaos_on (fun c -> c.Chaos.jitter_ports) && !ports <> [];
     chaos_permute =
       chaos_on (fun c -> c.Chaos.permute_arbiters) && chaos_arbiters <> [];
-    chaos_stalled = Array.make (max 1 n_units) false;
+    chaos_stalled = Bytes.make nu '\000';
     chaos_sinks = Array.of_list (List.rev chaos_sinks);
     chaos_arbiters = Array.of_list (List.rev chaos_arbiters);
     chaos_suspended = false;
+    arena;
   }
 
 (* ------------------------------------------------------------------ *)
 (* Signal access helpers                                               *)
 
-let in_cid t u p = t.g.Graph.in_of.(u).(p)
-let out_cid t u p = t.g.Graph.out_of.(u).(p)
+let in_cid t u p = Array.unsafe_get (Array.unsafe_get t.iof u) p
+let out_cid t u p = Array.unsafe_get (Array.unsafe_get t.oof u) p
 
-let in_valid t u p = t.cvalid.(in_cid t u p)
-let in_data t u p = t.cdata.(in_cid t u p)
-let out_ready t u p = t.cready.(out_cid t u p)
+let in_valid t u p = bget t.cvalid (in_cid t u p)
+let in_data t u p = Array.unsafe_get t.cdata (in_cid t u p)
+let out_ready t u p = bget t.cready (out_cid t u p)
 
 let enqueue t u =
-  if u >= 0 && not t.queued.(u) then begin
-    t.queued.(u) <- true;
-    Queue.add u t.queue
+  if u >= 0 && not (bget t.queued u) then begin
+    bset t.queued u true;
+    Array.unsafe_set t.wl t.wl_tail u;
+    let tl = t.wl_tail + 1 in
+    t.wl_tail <- (if tl >= Array.length t.wl then 0 else tl)
   end
+
+let mark_dirty t cid =
+  if not (bget t.dirty_flag cid) then begin
+    bset t.dirty_flag cid true;
+    Array.unsafe_set t.dirty_list t.dirty_n cid;
+    t.dirty_n <- t.dirty_n + 1
+  end
+
+let clear_dirty t =
+  for i = 0 to t.dirty_n - 1 do
+    bset t.dirty_flag t.dirty_list.(i) false
+  done;
+  t.dirty_n <- 0
 
 (** Drive valid/data on output port [p] of [u]; wake the consumer if the
     signal changed. *)
 let drive_out t u p ~valid ~data =
   let cid = out_cid t u p in
-  (* [compare], not [(<>)]: tokens can legitimately carry NaN, and IEEE
-     [nan <> nan] would report an eternal "change", re-enqueueing the
-     consumer until the settle budget dies. *)
+  let ov = bget t.cvalid cid in
   let changed =
-    t.cvalid.(cid) <> valid || (valid && compare t.cdata.(cid) data <> 0)
+    ov <> valid
+    || (valid && not (value_eq (Array.unsafe_get t.cdata cid) data))
   in
   if changed then begin
-    if t.cvalid.(cid) <> valid && t.cready.(cid) then
+    let dst = Array.unsafe_get t.cdst cid in
+    if ov <> valid && bget t.cready cid then begin
       t.n_fired <- (if valid then t.n_fired + 1 else t.n_fired - 1);
-    t.cvalid.(cid) <- valid;
-    if valid then t.cdata.(cid) <- data;
-    let c = Graph.channel_exn t.g cid in
-    enqueue t c.Graph.dst.unit_id
+      bset t.step_active u true;
+      bset t.step_active dst true
+    end;
+    bset t.cvalid cid valid;
+    if valid then Array.unsafe_set t.cdata cid data;
+    if t.track_dirty then mark_dirty t cid;
+    enqueue t dst
   end
 
 (** Drive ready on input port [p] of [u]; wake the producer on change. *)
 let drive_ready t u p ready =
   let cid = in_cid t u p in
-  if t.cready.(cid) <> ready then begin
-    if t.cvalid.(cid) then
+  if bget t.cready cid <> ready then begin
+    let src = Array.unsafe_get t.csrc cid in
+    if bget t.cvalid cid then begin
       t.n_fired <- (if ready then t.n_fired + 1 else t.n_fired - 1);
-    t.cready.(cid) <- ready;
-    let c = Graph.channel_exn t.g cid in
-    enqueue t c.Graph.src.unit_id
+      bset t.step_active u true;
+      bset t.step_active src true
+    end;
+    bset t.cready cid ready;
+    if t.track_dirty then mark_dirty t cid;
+    enqueue t src
   end
 
 let index_of_selector n v =
@@ -373,46 +746,45 @@ let index_of_selector n v =
 (** Update the request flag of a memory-port client; when it changes, the
     whole port group is re-evaluated since the grant may move. *)
 let set_requesting t u req =
-  if t.requesting.(u) <> req then begin
-    t.requesting.(u) <- req;
-    match t.port_of.(u) with
-    | Some p -> Array.iter (fun v -> enqueue t v) p.group
-    | None -> ()
+  if bget t.requesting u <> req then begin
+    bset t.requesting u req;
+    let pi = t.port_idx.(u) in
+    if pi >= 0 then Array.iter (fun v -> enqueue t v) t.ports.(pi).group
   end
 
 (** Round-robin grant: [u] wins its port when no requesting sibling comes
     earlier in rotation order starting at the port's pointer. *)
 let granted t u =
-  match t.port_of.(u) with
-  | None -> true
-  | Some p ->
-      if not t.requesting.(u) then false
-      else begin
-        let n = Array.length p.group in
-        let pos_of x =
-          let rec find i = if p.group.(i) = x then i else find (i + 1) in
-          find 0
-        in
-        (* [joff] is the chaos jitter: a pseudo-random per-cycle rotation
-           of the grant pointer, a legal arbitration of the port. *)
-        let rot x = (pos_of x - p.rr - p.joff + (2 * n)) mod n in
-        let my = rot u in
-        let blocked = ref false in
-        Array.iter
-          (fun v -> if v <> u && t.requesting.(v) && rot v < my then blocked := true)
-          p.group;
-        not !blocked
-      end
+  let pi = t.port_idx.(u) in
+  if pi < 0 then true
+  else if not (bget t.requesting u) then false
+  else begin
+    let p = t.ports.(pi) in
+    let n = Array.length p.group in
+    (* [joff] is the chaos jitter: a pseudo-random per-cycle rotation
+       of the grant pointer, a legal arbitration of the port. *)
+    let base = p.rr + p.joff in
+    let my = (t.port_pos.(u) - base + (2 * n)) mod n in
+    let blocked = ref false in
+    Array.iter
+      (fun v ->
+        if
+          v <> u
+          && bget t.requesting v
+          && (t.port_pos.(v) - base + (2 * n)) mod n < my
+        then blocked := true)
+      p.group;
+    not !blocked
+  end
 
 let port_fired t u =
-  match t.port_of.(u) with
-  | None -> ()
-  | Some p ->
-      let n = Array.length p.group in
-      let rec find i = if p.group.(i) = u then i else find (i + 1) in
-      p.rr <- (find 0 + 1) mod n;
-      (* The grant may move: re-evaluate every client next cycle. *)
-      Array.iter (fun v -> enqueue t v) p.group
+  let pi = t.port_idx.(u) in
+  if pi >= 0 then begin
+    let p = t.ports.(pi) in
+    p.rr <- (t.port_pos.(u) + 1) mod Array.length p.group;
+    (* The grant may move: re-evaluate every client next cycle. *)
+    Array.iter (fun v -> enqueue t v) p.group
+  end
 
 let all_inputs_valid t u n =
   let ok = ref true in
@@ -421,28 +793,50 @@ let all_inputs_valid t u n =
   done;
   !ok
 
-let input_values t u n = List.init n (fun p -> in_data t u p)
-
 (* ------------------------------------------------------------------ *)
 (* Combinational semantics, one unit                                   *)
 
+(* The two wrapper outputs (operands to the shared unit, index to the
+   condition buffer) fire together: each is valid only when the sibling
+   is ready.  [grant] is the granted input port, or -1 for none. *)
+let arb_drive t u grant =
+  let r0 = out_ready t u 0 and r1 = out_ready t u 1 in
+  if grant >= 0 then begin
+    drive_out t u 0 ~valid:r1 ~data:(in_data t u grant);
+    drive_out t u 1 ~valid:r0 ~data:(Eval.vint grant)
+  end
+  else begin
+    drive_out t u 0 ~valid:false ~data:VUnit;
+    drive_out t u 1 ~valid:false ~data:VUnit
+  end;
+  let ok = grant >= 0 && r0 && r1 in
+  for p = 0 to t.u_n.(u) - 1 do
+    drive_ready t u p (ok && p = grant)
+  done
+
 let eval_unit t u =
-  let k = Graph.kind_of t.g u in
-  match (k, t.state.(u)) with
-  | Entry v, S_entry s -> drive_out t u 0 ~valid:(not s.fired) ~data:v
-  | Exit, _ | Sink, _ -> drive_ready t u 0 (not t.chaos_stalled.(u))
-  | Const v, _ ->
-      drive_out t u 0 ~valid:(in_valid t u 0) ~data:v;
+  match Array.unsafe_get t.kcode u with
+  | 0 (* entry *) ->
+      drive_out t u 0
+        ~valid:(not (bget t.entry_fired u))
+        ~data:(Array.unsafe_get t.u_value u)
+  | 1 | 2 (* exit, sink *) -> drive_ready t u 0 (not (bget t.chaos_stalled u))
+  | 3 (* const *) ->
+      drive_out t u 0 ~valid:(in_valid t u 0) ~data:(Array.unsafe_get t.u_value u);
       drive_ready t u 0 (out_ready t u 0)
-  | Fork { outputs; lazy_ = false }, S_fork { sent } ->
+  | 4 (* eager fork *) ->
+      let outputs = t.u_n.(u) in
+      let sent = t.fork_sent.(u) in
       let v = in_valid t u 0 and d = in_data t u 0 in
       let all_done = ref true in
       for p = 0 to outputs - 1 do
-        drive_out t u p ~valid:(v && not sent.(p)) ~data:d;
-        if not (sent.(p) || out_ready t u p) then all_done := false
+        let s = bget sent p in
+        drive_out t u p ~valid:(v && not s) ~data:d;
+        if not (s || out_ready t u p) then all_done := false
       done;
       drive_ready t u 0 (v && !all_done)
-  | Fork { outputs; lazy_ = true }, _ ->
+  | 5 (* lazy fork *) ->
+      let outputs = t.u_n.(u) in
       let v = in_valid t u 0 and d = in_data t u 0 in
       let all = ref true in
       for p = 0 to outputs - 1 do
@@ -457,20 +851,27 @@ let eval_unit t u =
         drive_out t u p ~valid:(v && !siblings_ready) ~data:d
       done;
       drive_ready t u 0 !all
-  | Join { inputs; keep }, _ ->
+  | 6 (* join *) ->
+      let inputs = t.u_n.(u) in
       let all = all_inputs_valid t u inputs in
-      let kept =
-        List.filteri (fun i _ -> keep.(i)) (input_values t u inputs)
-      in
+      (* The payload is only inspected on a valid output, so it is only
+         built when every operand is present. *)
       let data =
-        match kept with [] -> VUnit | [ v ] -> v | vs -> VTuple vs
+        if not all then VUnit
+        else
+          let ki = t.join_kept.(u) in
+          match Array.length ki with
+          | 0 -> VUnit
+          | 1 -> in_data t u ki.(0)
+          | m -> VTuple (List.init m (fun i -> in_data t u ki.(i)))
       in
       drive_out t u 0 ~valid:all ~data;
       let fire = all && out_ready t u 0 in
       for p = 0 to inputs - 1 do
         drive_ready t u p fire
       done
-  | Merge { inputs }, _ ->
+  | 7 (* merge *) ->
+      let inputs = t.u_n.(u) in
       let chosen = ref (-1) in
       for p = inputs - 1 downto 0 do
         if in_valid t u p then chosen := p
@@ -481,55 +882,54 @@ let eval_unit t u =
       for p = 0 to inputs - 1 do
         drive_ready t u p (p = !chosen && out_ready t u 0)
       done
-  | Arbiter { inputs; policy }, st ->
+  | 8 (* priority arbiter *) ->
+      (* Highest-priority requesting input wins; absent requests never
+         block others (Section 4.2).  Under chaos the tie-break order is
+         re-drawn every cycle: any requesting input may win, which is a
+         legal work-conserving arbitration — credits must keep it
+         deadlock-free. *)
       let grant =
-        match (policy, st) with
-        | Priority order, _ ->
-            (* Highest-priority requesting input wins; absent requests
-               never block others (Section 4.2).  Under chaos the
-               tie-break order is re-drawn every cycle: any requesting
-               input may win, which is a legal work-conserving
-               arbitration — credits must keep it deadlock-free. *)
-            let order =
-              match t.chaos with
-              | Some ch when not t.chaos_suspended ->
-                  Chaos.permute_priority ch ~uid:u order
-              | _ -> order
+        match t.chaos with
+        | Some ch when not t.chaos_suspended ->
+            let order = Chaos.permute_priority ch ~uid:u t.prio_list.(u) in
+            let rec find = function
+              | [] -> -1
+              | p :: rest -> if in_valid t u p then p else find rest
             in
-            List.find_opt (fun p -> in_valid t u p) order
-        | Rotation order, S_arbiter { turn } ->
-            (* Strict total order: only the operation whose turn it is
-               may proceed (deadlock-prone, Figure 1d). *)
-            let p = List.nth order (turn mod List.length order) in
-            if in_valid t u p then Some p else None
-        | Phased clusters, S_phased { turns } ->
-            (* Priority across clusters, strict rotation within one:
-               the In-order baseline on whole programs. *)
-            let rec scan i = function
-              | [] -> None
-              | cluster :: rest ->
-                  let p = List.nth cluster (turns.(i) mod List.length cluster) in
-                  if in_valid t u p then Some p else scan (i + 1) rest
+            find order
+        | _ ->
+            let order = t.prio_arr.(u) in
+            let n = Array.length order in
+            let rec find i =
+              if i >= n then -1
+              else
+                let p = Array.unsafe_get order i in
+                if in_valid t u p then p else find (i + 1)
             in
-            scan 0 clusters
-        | (Rotation _ | Phased _), _ -> assert false
+            find 0
       in
-      (* The two outputs (operands to the shared unit, index to the
-         condition buffer) fire together: each is valid only when the
-         sibling is ready. *)
-      let sibling_ready p = out_ready t u (1 - p) in
-      (match grant with
-      | Some p ->
-          drive_out t u 0 ~valid:(sibling_ready 0) ~data:(in_data t u p);
-          drive_out t u 1 ~valid:(sibling_ready 1) ~data:(VInt p)
-      | None ->
-          drive_out t u 0 ~valid:false ~data:VUnit;
-          drive_out t u 1 ~valid:false ~data:VUnit);
-      for p = 0 to inputs - 1 do
-        drive_ready t u p
-          (grant = Some p && out_ready t u 0 && out_ready t u 1)
-      done
-  | Mux { inputs }, _ ->
+      arb_drive t u grant
+  | 9 (* rotation arbiter *) ->
+      (* Strict total order: only the operation whose turn it is may
+         proceed (deadlock-prone, Figure 1d). *)
+      let order = t.rot_order.(u) in
+      let p = order.(t.arb_turn.(u) mod Array.length order) in
+      arb_drive t u (if in_valid t u p then p else -1)
+  | 10 (* phased arbiter *) ->
+      (* Priority across clusters, strict rotation within one: the
+         In-order baseline on whole programs. *)
+      let cls = t.phased_cl.(u) and turns = t.phased_turns.(u) in
+      let n = Array.length cls in
+      let rec scan i =
+        if i >= n then -1
+        else
+          let cl = cls.(i) in
+          let p = cl.(turns.(i) mod Array.length cl) in
+          if in_valid t u p then p else scan (i + 1)
+      in
+      arb_drive t u (scan 0)
+  | 11 (* mux *) ->
+      let inputs = t.u_n.(u) in
       let sel_v = in_valid t u 0 in
       let idx = if sel_v then index_of_selector inputs (in_data t u 0) else -1 in
       let data_v = idx >= 0 && in_valid t u (1 + idx) in
@@ -540,7 +940,8 @@ let eval_unit t u =
       for p = 0 to inputs - 1 do
         drive_ready t u (1 + p) (fire && p = idx)
       done
-  | Branch { outputs }, _ ->
+  | 12 (* branch *) ->
+      let outputs = t.u_n.(u) in
       let data_v = in_valid t u 0 and cond_v = in_valid t u 1 in
       let idx =
         if cond_v then index_of_selector outputs (in_data t u 1) else -1
@@ -552,53 +953,66 @@ let eval_unit t u =
       let fire = data_v && cond_v && idx >= 0 && out_ready t u idx in
       drive_ready t u 0 fire;
       drive_ready t u 1 fire
-  | Buffer _, S_buffer { q; slots; transparent; _ } ->
-      let len = Queue.length q in
-      if transparent then begin
+  | 13 (* buffer *) ->
+      let len = t.buf_len.(u) and slots = t.buf_slots.(u) in
+      if bget t.buf_transp u then begin
         let iv = in_valid t u 0 in
         let valid = len > 0 || iv in
-        let data = if len > 0 then Queue.peek q else in_data t u 0 in
+        let data =
+          if len > 0 then t.buf_ring.(u).(t.buf_head.(u)) else in_data t u 0
+        in
         drive_out t u 0 ~valid ~data;
         drive_ready t u 0 (len < slots)
       end
       else begin
         drive_out t u 0 ~valid:(len > 0)
-          ~data:(if len > 0 then Queue.peek q else VUnit);
+          ~data:(if len > 0 then t.buf_ring.(u).(t.buf_head.(u)) else VUnit);
         drive_ready t u 0 (len < slots)
       end
-  | Operator { op; latency = 0; ports }, _ ->
+  | 14 (* combinational operator *) ->
+      let ports = t.u_n.(u) in
       let all = all_inputs_valid t u ports in
-      let data = if all then Eval.apply op (input_values t u ports) else VUnit in
+      let data =
+        if all then begin
+          let sc = t.scratch in
+          for p = 0 to ports - 1 do
+            Array.unsafe_set sc p (in_data t u p)
+          done;
+          Eval.apply_arr t.u_op.(u) sc ports
+        end
+        else VUnit
+      in
       drive_out t u 0 ~valid:all ~data;
       let fire = all && out_ready t u 0 in
       for p = 0 to ports - 1 do
         drive_ready t u p fire
       done
-  | Operator { ports; _ }, S_pipeline { stages } ->
+  | 15 (* pipelined operator *) ->
       (* Single-enable pipeline: if the head token cannot leave, the whole
          unit stalls and refuses new operands (head-of-line blocking). *)
-      let depth = Array.length stages in
-      let head = stages.(depth - 1) in
-      let out_v = head <> None in
+      let ports = t.u_n.(u) in
+      let has = t.pipe_has.(u) in
+      let depth = Bytes.length has in
+      let out_v = bget has (depth - 1) in
       drive_out t u 0 ~valid:out_v
-        ~data:(match head with Some v -> v | None -> VUnit);
+        ~data:(if out_v then t.pipe_val.(u).(depth - 1) else VUnit);
       let can_advance = (not out_v) || out_ready t u 0 in
       let all = all_inputs_valid t u ports in
       for p = 0 to ports - 1 do
         drive_ready t u p (can_advance && all)
       done
-  | Load _, S_pipeline { stages } ->
-      let depth = Array.length stages in
-      let head = stages.(depth - 1) in
-      let out_v = head <> None in
+  | 16 (* load *) ->
+      let has = t.pipe_has.(u) in
+      let depth = Bytes.length has in
+      let out_v = bget has (depth - 1) in
       drive_out t u 0 ~valid:out_v
-        ~data:(match head with Some v -> v | None -> VUnit);
+        ~data:(if out_v then t.pipe_val.(u).(depth - 1) else VUnit);
       let can_advance = (not out_v) || out_ready t u 0 in
       set_requesting t u (can_advance && in_valid t u 0);
       drive_ready t u 0 (can_advance && in_valid t u 0 && granted t u)
-  | Store _, S_pipeline { stages } ->
-      let head = stages.(0) in
-      let out_v = head <> None in
+  | 17 (* store *) ->
+      let has = t.pipe_has.(u) in
+      let out_v = bget has 0 in
       drive_out t u 0 ~valid:out_v ~data:VUnit;
       let can_advance = (not out_v) || out_ready t u 0 in
       let all = all_inputs_valid t u 2 in
@@ -606,10 +1020,10 @@ let eval_unit t u =
       let ok = can_advance && all && granted t u in
       drive_ready t u 0 ok;
       drive_ready t u 1 ok
-  | Credit_counter _, S_credit { count } ->
-      drive_out t u 0 ~valid:(count > 0) ~data:VUnit;
+  | 18 (* credit counter *) ->
+      drive_out t u 0 ~valid:(t.credit.(u) > 0) ~data:VUnit;
       drive_ready t u 0 true
-  | Stub, _ -> drive_out t u 0 ~valid:false ~data:VUnit
+  | 19 (* stub *) -> drive_out t u 0 ~valid:false ~data:VUnit
   | _ ->
       invalid_arg
         (Fmt.str "Engine: inconsistent state for unit %s" (Graph.label_of t.g u))
@@ -621,9 +1035,9 @@ let eval_unit t u =
     oscillation. *)
 let settle ?deadline ~cycle t =
   let budget = ref (50 + (200 * Array.length t.live_units)) in
-  let recent = Queue.create () in
+  let n_recent = ref 0 in
   let evals = ref 0 in
-  while not (Queue.is_empty t.queue) do
+  while t.wl_head <> t.wl_tail do
     decr budget;
     (* A pathological settle can churn for a long wall-clock time inside
        one cycle (the oscillation class), so the watchdog is also polled
@@ -635,10 +1049,11 @@ let settle ?deadline ~cycle t =
         raise (Timeout { cycles = cycle })
     | _ -> ());
     if !budget < 0 then begin
-      let names =
-        Queue.fold (fun acc u -> Graph.label_of t.g u :: acc) [] recent
-        |> List.sort_uniq String.compare
-      in
+      let names = ref [] in
+      for i = 0 to !n_recent - 1 do
+        names := Graph.label_of t.g t.recent.(i) :: !names
+      done;
+      let names = List.sort_uniq String.compare !names in
       failwith
         (Fmt.str
            "Engine: combinational signals do not settle at cycle %d (cycling: %a)"
@@ -646,144 +1061,218 @@ let settle ?deadline ~cycle t =
            Fmt.(list ~sep:comma string)
            names)
     end;
-    let u = Queue.pop t.queue in
-    t.queued.(u) <- false;
-    if !budget < 40 then Queue.add u recent;
+    let u = Array.unsafe_get t.wl t.wl_head in
+    let h = t.wl_head + 1 in
+    t.wl_head <- (if h >= Array.length t.wl then 0 else h);
+    bset t.queued u false;
+    if !budget < 40 && !n_recent < Array.length t.recent then begin
+      t.recent.(!n_recent) <- u;
+      incr n_recent
+    end;
     eval_unit t u
   done
 
 (* ------------------------------------------------------------------ *)
 (* Sequential phase                                                    *)
 
-let fired t cid = cid >= 0 && t.cvalid.(cid) && t.cready.(cid)
+let fired t cid = cid >= 0 && bget t.cvalid cid && bget t.cready cid
 let in_fired t u p = fired t (in_cid t u p)
 let out_fired t u p = fired t (out_cid t u p)
+
+(* Stage inequality matching the boxed [value option] comparison of the
+   record engine: presence flips always count as movement, and two
+   present stages compare with polymorphic [(<>)] — so identical-NaN
+   payloads count as moved, exactly like [Some nan <> Some nan]. *)
+let slot_neq h1 v1 h2 v2 = h1 <> h2 || (h1 && v1 <> v2)
+
+(* Shift a single-enable pipeline by one stage; caller guarantees the
+   head can advance and supplies the entering token (if any). *)
+let step_pipe t u ~entering_has ~entering =
+  let has = t.pipe_has.(u) and vals = t.pipe_val.(u) in
+  let depth = Bytes.length has in
+  let moved = ref (out_fired t u 0 || entering_has) in
+  for s = depth - 1 downto 1 do
+    let hs = bget has s and hp = bget has (s - 1) in
+    if slot_neq hs vals.(s) hp vals.(s - 1) then moved := true;
+    bset has s hp;
+    vals.(s) <- vals.(s - 1)
+  done;
+  if slot_neq (bget has 0) vals.(0) entering_has entering then moved := true;
+  bset has 0 entering_has;
+  vals.(0) <- entering;
+  !moved
+
+let load_value t u addr =
+  match t.mem_arr.(u) with
+  | Some a ->
+      let i =
+        match addr with
+        | VInt i -> i
+        | v ->
+            invalid_arg
+              (Fmt.str "Memory: non-integer address %s" (value_to_string v))
+      in
+      if i < 0 || i >= Array.length a then
+        invalid_arg
+          (Fmt.str "Memory: %s[%d] out of bounds (size %d)" t.mem_name.(u) i
+             (Array.length a))
+      else Array.unsafe_get a i
+  | None -> Memory.read t.memory t.mem_name.(u) addr
+
+let store_value t u addr v =
+  match t.mem_arr.(u) with
+  | Some a ->
+      let i =
+        match addr with
+        | VInt i -> i
+        | v ->
+            invalid_arg
+              (Fmt.str "Memory: non-integer address %s" (value_to_string v))
+      in
+      if i < 0 || i >= Array.length a then
+        invalid_arg
+          (Fmt.str "Memory: %s[%d] out of bounds (size %d)" t.mem_name.(u) i
+             (Array.length a))
+      else Array.unsafe_set a i v
+  | None -> Memory.write t.memory t.mem_name.(u) addr v
 
 (** Advance the state of one unit after the transfers of this cycle.
     Returns [true] when the internal state changed (used for quiescence
     detection: pipeline bubbles moving without channel transfers). *)
 let step_unit t u =
-  let k = Graph.kind_of t.g u in
-  match (k, t.state.(u)) with
-  | Entry _, S_entry s ->
+  match Array.unsafe_get t.kcode u with
+  | 0 (* entry *) ->
       if out_fired t u 0 then begin
-        s.fired <- true;
+        bset t.entry_fired u true;
         true
       end
       else false
-  | Exit, _ ->
+  | 1 (* exit *) ->
       if in_fired t u 0 then begin
         t.exit_values <- in_data t u 0 :: t.exit_values;
         t.n_exit_received <- t.n_exit_received + 1;
         true
       end
       else false
-  | Fork { outputs; lazy_ = false }, S_fork { sent } ->
+  | 4 (* eager fork *) ->
+      let outputs = t.u_n.(u) in
+      let sent = t.fork_sent.(u) in
       let consumed = in_fired t u 0 in
       let changed = ref consumed in
       for p = 0 to outputs - 1 do
-        let s' =
-          if consumed then false else sent.(p) || out_fired t u p
-        in
-        if s' <> sent.(p) then changed := true;
-        sent.(p) <- s'
+        let s = bget sent p in
+        let s' = if consumed then false else s || out_fired t u p in
+        if s' <> s then changed := true;
+        bset sent p s'
       done;
       !changed
-  | Buffer _, (S_buffer { q; transparent; _ } as st) ->
-      let popped_from_queue =
-        out_fired t u 0 && (not transparent || Queue.length q > 0)
-      in
-      let bypassed = out_fired t u 0 && not popped_from_queue in
-      if popped_from_queue then ignore (Queue.pop q);
-      if in_fired t u 0 && not bypassed then Queue.add (in_data t u 0) q;
-      (match st with
-      | S_buffer b -> b.high_water <- max b.high_water (Queue.length q)
-      | _ -> ());
-      popped_from_queue || bypassed || in_fired t u 0
-  | Operator { op; ports; _ }, S_pipeline { stages } ->
-      let depth = Array.length stages in
-      let head = stages.(depth - 1) in
-      let can_advance = head = None || out_fired t u 0 in
+  | 13 (* buffer *) ->
+      let len = t.buf_len.(u) in
+      let ofd = out_fired t u 0 in
+      let popped = ofd && ((not (bget t.buf_transp u)) || len > 0) in
+      let bypassed = ofd && not popped in
+      if popped then begin
+        let h = t.buf_head.(u) + 1 in
+        t.buf_head.(u) <-
+          (if h >= Array.length t.buf_ring.(u) then 0 else h);
+        t.buf_len.(u) <- len - 1
+      end;
+      if in_fired t u 0 && not bypassed then begin
+        let ring = t.buf_ring.(u) in
+        let i = t.buf_head.(u) + t.buf_len.(u) in
+        ring.(if i >= Array.length ring then i - Array.length ring else i) <-
+          in_data t u 0;
+        t.buf_len.(u) <- t.buf_len.(u) + 1
+      end;
+      if t.buf_len.(u) > t.buf_high.(u) then t.buf_high.(u) <- t.buf_len.(u);
+      popped || bypassed || in_fired t u 0
+  | 15 (* pipelined operator *) ->
+      let has = t.pipe_has.(u) in
+      let head_has = bget has (Bytes.length has - 1) in
+      let can_advance = (not head_has) || out_fired t u 0 in
       if can_advance then begin
+        let entering_has = in_fired t u 0 in
         let entering =
-          if in_fired t u 0 then Some (Eval.apply op (input_values t u ports))
-          else None
+          if entering_has then begin
+            let ports = t.u_n.(u) in
+            let sc = t.scratch in
+            for p = 0 to ports - 1 do
+              Array.unsafe_set sc p (in_data t u p)
+            done;
+            Eval.apply_arr t.u_op.(u) sc ports
+          end
+          else VUnit
         in
-        let moved = ref (out_fired t u 0 || entering <> None) in
-        for s = depth - 1 downto 1 do
-          if stages.(s) <> stages.(s - 1) then moved := true;
-          stages.(s) <- stages.(s - 1)
-        done;
-        if stages.(0) <> entering then moved := true;
-        stages.(0) <- entering;
-        !moved
+        step_pipe t u ~entering_has ~entering
       end
       else false
-  | Load { memory; _ }, S_pipeline { stages } ->
-      let depth = Array.length stages in
-      let head = stages.(depth - 1) in
-      let can_advance = head = None || out_fired t u 0 in
+  | 16 (* load *) ->
+      let has = t.pipe_has.(u) in
+      let head_has = bget has (Bytes.length has - 1) in
+      let can_advance = (not head_has) || out_fired t u 0 in
       if can_advance then begin
+        let entering_has = in_fired t u 0 in
         let entering =
-          if in_fired t u 0 then begin
+          if entering_has then begin
             port_fired t u;
-            Some (Memory.read t.memory memory (in_data t u 0))
+            load_value t u (in_data t u 0)
           end
-          else None
+          else VUnit
         in
-        let moved = ref (out_fired t u 0 || entering <> None) in
-        for s = depth - 1 downto 1 do
-          if stages.(s) <> stages.(s - 1) then moved := true;
-          stages.(s) <- stages.(s - 1)
-        done;
-        if stages.(0) <> entering then moved := true;
-        stages.(0) <- entering;
-        !moved
+        step_pipe t u ~entering_has ~entering
       end
       else false
-  | Store { memory }, S_pipeline { stages } ->
-      let head = stages.(0) in
-      let can_advance = head = None || out_fired t u 0 in
+  | 17 (* store *) ->
+      let has = t.pipe_has.(u) in
+      let head_has = bget has 0 in
+      let can_advance = (not head_has) || out_fired t u 0 in
       if can_advance then begin
-        let entering =
+        let entering_has =
           if in_fired t u 0 then begin
             port_fired t u;
-            Memory.write t.memory memory (in_data t u 0) (in_data t u 1);
-            Some VUnit
+            store_value t u (in_data t u 0) (in_data t u 1);
+            true
           end
-          else None
+          else false
         in
-        let moved = head <> entering || out_fired t u 0 in
-        stages.(0) <- entering;
+        let moved = head_has <> entering_has || out_fired t u 0 in
+        bset has 0 entering_has;
         moved
       end
       else false
-  | Credit_counter _, S_credit s ->
-      let before = s.count in
-      if out_fired t u 0 then s.count <- s.count - 1;
-      if in_fired t u 0 then s.count <- s.count + 1;
-      s.count <> before
-  | Arbiter { inputs; policy = Rotation order }, S_arbiter s ->
+  | 18 (* credit counter *) ->
+      let before = t.credit.(u) in
+      let c = ref before in
+      if out_fired t u 0 then decr c;
+      if in_fired t u 0 then incr c;
+      t.credit.(u) <- !c;
+      !c <> before
+  | 9 (* rotation arbiter *) ->
+      let inputs = t.u_n.(u) in
       let granted = ref false in
       for p = 0 to inputs - 1 do
         if in_fired t u p then granted := true
       done;
       if !granted then begin
-        s.turn <- (s.turn + 1) mod List.length order;
+        t.arb_turn.(u) <-
+          (t.arb_turn.(u) + 1) mod Array.length t.rot_order.(u);
         true
       end
       else false
-  | Arbiter { inputs; policy = Phased clusters }, S_phased { turns } ->
+  | 10 (* phased arbiter *) ->
+      let inputs = t.u_n.(u) in
       let fired_port = ref (-1) in
       for p = 0 to inputs - 1 do
         if in_fired t u p then fired_port := p
       done;
       if !fired_port >= 0 then begin
-        List.iteri
-          (fun i cluster ->
-            if List.mem !fired_port cluster then
-              turns.(i) <- (turns.(i) + 1) mod List.length cluster)
-          clusters;
+        let cls = t.phased_cl.(u) and turns = t.phased_turns.(u) in
+        Array.iteri
+          (fun i cl ->
+            let mem = ref false in
+            Array.iter (fun p -> if p = !fired_port then mem := true) cl;
+            if !mem then turns.(i) <- (turns.(i) + 1) mod Array.length cl)
+          cls;
         true
       end
       else false
@@ -812,38 +1301,40 @@ let count_transfers ?observer ~cycle t =
 let stalled_channels t =
   let acc = ref [] in
   Graph.iter_channels t.g (fun c ->
-      if t.cvalid.(c.Graph.id) && not t.cready.(c.Graph.id) then
+      if bget t.cvalid c.Graph.id && not (bget t.cready c.Graph.id) then
         acc := c.Graph.id :: !acc);
   List.rev !acc
 
 (* ------------------------------------------------------------------ *)
 (* Event emission (only on runs with an attached sink)                 *)
 
-(** Why channel [c] — valid but not ready at this cycle's fixpoint — is
-    refused, judged from the consumer's own state.  Pure reads: no chaos
-    stream is consulted (recomputing a permuted arbiter grant would
-    double-count the chaos counters), so classification never perturbs
-    the run it observes. *)
-let classify_stall t (c : Graph.channel) =
-  let dst = c.Graph.dst.unit_id in
-  let k = Graph.kind_of t.g dst in
-  match (k, t.state.(dst)) with
-  | Operator { ports; _ }, S_pipeline { stages } ->
-      let head = stages.(Array.length stages - 1) in
-      if head <> None && not (out_ready t dst 0) then Pipeline_full
-      else if not (all_inputs_valid t dst ports) then Operand_starved
+(** Why channel [cid] — valid but not ready at this cycle's fixpoint —
+    is refused, judged from the consumer's own state.  Pure reads: no
+    chaos stream is consulted (recomputing a permuted arbiter grant
+    would double-count the chaos counters), so classification never
+    perturbs the run it observes. *)
+let classify_stall t cid =
+  let dst = t.cdst.(cid) in
+  match t.kcode.(dst) with
+  | 15 (* pipelined operator *) ->
+      let has = t.pipe_has.(dst) in
+      if bget has (Bytes.length has - 1) && not (out_ready t dst 0) then
+        Pipeline_full
+      else if not (all_inputs_valid t dst t.u_n.(dst)) then Operand_starved
       else Backpressure
-  | Load _, S_pipeline { stages } ->
-      let head = stages.(Array.length stages - 1) in
-      if head <> None && not (out_ready t dst 0) then Pipeline_full
-      else if t.requesting.(dst) && not (granted t dst) then Contention
+  | 16 (* load *) ->
+      let has = t.pipe_has.(dst) in
+      if bget has (Bytes.length has - 1) && not (out_ready t dst 0) then
+        Pipeline_full
+      else if bget t.requesting dst && not (granted t dst) then Contention
       else Backpressure
-  | Store _, S_pipeline { stages } ->
-      if stages.(0) <> None && not (out_ready t dst 0) then Pipeline_full
+  | 17 (* store *) ->
+      if bget t.pipe_has.(dst) 0 && not (out_ready t dst 0) then Pipeline_full
       else if not (all_inputs_valid t dst 2) then Operand_starved
-      else if t.requesting.(dst) && not (granted t dst) then Contention
+      else if bget t.requesting dst && not (granted t dst) then Contention
       else Backpressure
-  | Join { inputs; _ }, _ ->
+  | 6 (* join *) ->
+      let inputs = t.u_n.(dst) in
       if all_inputs_valid t dst inputs then Backpressure
       else begin
         (* A missing sibling fed by a drained credit counter is the
@@ -851,26 +1342,27 @@ let classify_stall t (c : Graph.channel) =
            ordinary operand starvation. *)
         let credit_starved = ref false in
         for p = 0 to inputs - 1 do
-          if not (in_valid t dst p) then
-            match Graph.in_channel t.g dst p with
-            | Some sib -> (
-                match t.state.(sib.Graph.src.unit_id) with
-                | S_credit { count } when count = 0 -> credit_starved := true
-                | _ -> ())
-            | None -> ()
+          if not (in_valid t dst p) then begin
+            let sib = t.iof.(dst).(p) in
+            if sib >= 0 then begin
+              let src = t.csrc.(sib) in
+              if t.kcode.(src) = 18 && t.credit.(src) = 0 then
+                credit_starved := true
+            end
+          end
         done;
         if !credit_starved then No_credit else Operand_starved
       end
-  | Arbiter _, _ ->
+  | 8 | 9 | 10 (* arbiters *) ->
       (* If both wrapper outputs could accept, the only way to refuse a
          valid request is to serve (or reserve the turn for) another
          input. *)
       if out_ready t dst 0 && out_ready t dst 1 then Contention
       else Backpressure
-  | Operator { ports; _ }, _ ->
-      if not (all_inputs_valid t dst ports) then Operand_starved
+  | 14 (* combinational operator *) ->
+      if not (all_inputs_valid t dst t.u_n.(dst)) then Operand_starved
       else Backpressure
-  | (Mux _ | Branch _), _ -> Operand_starved
+  | 11 | 12 (* mux, branch *) -> Operand_starved
   | _ -> Backpressure
 
 (** Emit this cycle's channel-level events: one [E_transfer] per firing
@@ -879,33 +1371,28 @@ let classify_stall t (c : Graph.channel) =
     Runs at the combinational fixpoint, before the sequential phase, so
     credit counts are the pre-transfer values. *)
 let emit_channel_events t ~cycle f =
-  Graph.iter_channels t.g (fun c ->
-      let cid = c.Graph.id in
-      if t.cvalid.(cid) then
-        if t.cready.(cid) then begin
-          f (E_transfer { cycle; cid; data = t.cdata.(cid) });
-          (match t.state.(c.Graph.src.unit_id) with
-          | S_credit { count } ->
-              f (E_credit { cycle; uid = c.Graph.src.unit_id; delta = -1; count })
-          | _ -> ());
-          (match t.state.(c.Graph.dst.unit_id) with
-          | S_credit { count } ->
-              f (E_credit { cycle; uid = c.Graph.dst.unit_id; delta = 1; count })
-          | _ -> ());
-          match Graph.kind_of t.g c.Graph.dst.unit_id with
-          | Arbiter _ ->
-              f
-                (E_grant
-                   { cycle; uid = c.Graph.dst.unit_id; port = c.Graph.dst.port })
-          | _ -> ()
-        end
-        else f (E_stall { cycle; cid; reason = classify_stall t c }))
+  let cids = t.live_cids in
+  for i = 0 to Array.length cids - 1 do
+    let cid = cids.(i) in
+    if bget t.cvalid cid then
+      if bget t.cready cid then begin
+        f (E_transfer { cycle; cid; data = t.cdata.(cid) });
+        let src = t.csrc.(cid) and dst = t.cdst.(cid) in
+        if t.kcode.(src) = k_credit then
+          f (E_credit { cycle; uid = src; delta = -1; count = t.credit.(src) });
+        if t.kcode.(dst) = k_credit then
+          f (E_credit { cycle; uid = dst; delta = 1; count = t.credit.(dst) });
+        let kd = t.kcode.(dst) in
+        if kd = k_arb_priority || kd = k_arb_rotation || kd = k_arb_phased then
+          f (E_grant { cycle; uid = dst; port = t.cdst_port.(cid) })
+      end
+      else f (E_stall { cycle; cid; reason = classify_stall t cid })
+  done
 
 (** Maximum occupancy a buffer reached during the run (its own initial
     tokens included); 0 for non-buffer units.  Profile data for the
     output-buffer shrinking pass (paper Section 6.4). *)
-let buffer_high_water t uid =
-  match t.state.(uid) with S_buffer b -> b.high_water | _ -> 0
+let buffer_high_water t uid = t.buf_high.(uid)
 
 type outcome = { stats : stats; sim : t }
 
@@ -940,8 +1427,8 @@ let chaos_prologue t ch ~cycle ~quiet =
     Array.iter
       (fun u ->
         let s = (not t.chaos_suspended) && Chaos.stalled ch ~uid:u in
-        if s <> t.chaos_stalled.(u) then begin
-          t.chaos_stalled.(u) <- s;
+        if s <> bget t.chaos_stalled u then begin
+          bset t.chaos_stalled u s;
           enqueue t u
         end)
       t.chaos_sinks;
@@ -971,6 +1458,10 @@ let run ?(max_cycles = 2_000_000) ?(poll_every = deadline_poll_period)
   if poll_every < 1 then
     invalid_arg (Fmt.str "Engine.run: poll_every %d < 1" poll_every);
   let t = create ?chaos ?memory ?sink g in
+  Fun.protect ~finally:(fun () -> release_arena t) @@ fun () ->
+  (* The dirty channel set is only maintained for monitored runs: the
+     sanitizers consume it, nothing else does. *)
+  t.track_dirty <- monitor <> None;
   let monitor_call =
     match monitor with
     | None -> fun ~cycle:_ _ -> ()
@@ -991,6 +1482,7 @@ let run ?(max_cycles = 2_000_000) ?(poll_every = deadline_poll_period)
     | _ -> ());
     if !cycle >= max_cycles then finished := Some (Out_of_fuel max_cycles)
     else begin
+      if t.track_dirty && t.dirty_n > 0 then clear_dirty t;
       (match t.chaos with
       | Some ch -> chaos_prologue t ch ~cycle:!cycle ~quiet
       | None -> ());
@@ -1005,19 +1497,32 @@ let run ?(max_cycles = 2_000_000) ?(poll_every = deadline_poll_period)
       let moved_tokens = count_transfers ?observer ~cycle:!cycle t in
       t.transfers <- t.transfers + moved_tokens;
       let state_changed = ref false in
-      (* Only the active set: stateless units have no sequential state to
-         advance, so the per-cycle cost is O(stateful units). *)
-      Array.iter
-        (fun u ->
+      (* Walk the stateful units in fixed order, but only step the
+         flagged ones.  A unit is flagged by every fired-state transition
+         of an adjacent channel and by its own step doing work (a
+         pipeline shifting bubbles keeps itself flagged); a channel that
+         stays fired across cycles keeps its endpoints live through the
+         re-flag.  The one unflagged-but-adjacent-to-a-fired-channel case
+         is a credit counter granting and receiving simultaneously in
+         steady state — whose step is a no-op.  The walk order (not the
+         flag set) defines exit-value and [E_fire] order, so the stream
+         is identical to stepping every unit. *)
+      let su = t.step_units in
+      for i = 0 to Array.length su - 1 do
+        let u = Array.unsafe_get su i in
+        if bget t.step_active u then begin
+          bset t.step_active u false;
           if step_unit t u then begin
             state_changed := true;
+            bset t.step_active u true;
             t.last_fire.(u) <- !cycle;
             (match t.sink with
             | Some f -> f (E_fire { cycle = !cycle; uid = u })
             | None -> ());
             enqueue t u
-          end)
-        t.step_units;
+          end
+        end
+      done;
       monitor_call ~cycle:!cycle After_step;
       if moved_tokens > 0 || !state_changed then begin
         quiet := 0;
@@ -1056,9 +1561,28 @@ let memory_of outcome = outcome.sim.memory
 (* Post-mortem state accessors (for {!Forensics})                      *)
 
 let graph_of t = t.g
-let channel_valid t cid = t.cvalid.(cid)
-let channel_ready t cid = t.cready.(cid)
+let channel_valid t cid = bget t.cvalid cid
+let channel_ready t cid = bget t.cready cid
 let channel_data t cid = t.cdata.(cid)
+
+type raw = {
+  raw_valid : Bytes.t;
+  raw_ready : Bytes.t;
+  raw_data : value array;
+  raw_credit : int array;
+  raw_buf_len : int array;
+  raw_dirty_list : int array;
+}
+
+let raw t =
+  {
+    raw_valid = t.cvalid;
+    raw_ready = t.cready;
+    raw_data = t.cdata;
+    raw_credit = t.credit;
+    raw_buf_len = t.buf_len;
+    raw_dirty_list = t.dirty_list;
+  }
 
 (** Both valid and ready: this channel transfers a token this cycle
     (meaningful between settle and step, i.e. at [After_settle]). *)
@@ -1075,13 +1599,12 @@ let has_chaos t = t.chaos <> None
 
 (** Remaining credits of a credit counter, [None] for other units. *)
 let credit_count t uid =
-  match t.state.(uid) with S_credit c -> Some c.count | _ -> None
+  if t.kcode.(uid) = k_credit then Some t.credit.(uid) else None
 
 (** [(occupancy, slots)] of a buffer, [None] for other units. *)
 let buffer_occupancy t uid =
-  match t.state.(uid) with
-  | S_buffer b -> Some (Queue.length b.q, b.slots)
-  | _ -> None
+  if t.kcode.(uid) = k_buffer then Some (t.buf_len.(uid), t.buf_slots.(uid))
+  else None
 
 (** Last cycle at which the unit's sequential state changed, [-1] if it
     never did. *)
@@ -1089,34 +1612,70 @@ let last_fire_cycle t uid = t.last_fire.(uid)
 
 (** [(tokens in flight, depth)] of a pipelined unit, [None] otherwise. *)
 let pipeline_busy t uid =
-  match t.state.(uid) with
-  | S_pipeline { stages } ->
-      let n =
-        Array.fold_left
-          (fun n s -> if s <> None then n + 1 else n)
-          0 stages
-      in
-      Some (n, Array.length stages)
-  | _ -> None
+  let k = t.kcode.(uid) in
+  if k = k_op_pipe || k = k_load || k = k_store then begin
+    let has = t.pipe_has.(uid) in
+    let n = ref 0 in
+    for i = 0 to Bytes.length has - 1 do
+      if bget has i then incr n
+    done;
+    Some (!n, Bytes.length has)
+  end
+  else None
 
 (** For a rotation or phased arbiter: the input ports currently holding
     the turn (the only ports whose requests it would grant).  [None] for
     non-arbiters and priority arbiters (which never refuse a lone
     requester, so they never starve an input). *)
 let arbiter_turn_holders t uid =
-  match (Graph.kind_of t.g uid, t.state.(uid)) with
-  | Arbiter { policy = Rotation order; _ }, S_arbiter { turn } ->
-      let n = List.length order in
-      if n = 0 then Some [] else Some [ List.nth order (turn mod n) ]
-  | Arbiter { policy = Phased clusters; _ }, S_phased { turns } ->
-      Some
-        (List.mapi
-           (fun i cluster ->
-             let n = List.length cluster in
-             if n = 0 then [] else [ List.nth cluster (turns.(i) mod n) ])
-           clusters
-        |> List.concat)
+  match t.kcode.(uid) with
+  | 9 (* rotation *) ->
+      let order = t.rot_order.(uid) in
+      let n = Array.length order in
+      if n = 0 then Some [] else Some [ order.(t.arb_turn.(uid) mod n) ]
+  | 10 (* phased *) ->
+      let cls = t.phased_cl.(uid) and turns = t.phased_turns.(uid) in
+      let acc = ref [] in
+      for i = Array.length cls - 1 downto 0 do
+        let cl = cls.(i) in
+        let n = Array.length cl in
+        if n > 0 then acc := cl.(turns.(i) mod n) :: !acc
+      done;
+      Some !acc
   | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Incremental-monitor fast paths                                      *)
+
+(** Whether this run maintains the dirty channel set (true exactly when
+    a [monitor] is attached). *)
+let dirty_tracking t = t.track_dirty
+
+(** Number of channels whose valid/ready/data changed during this
+    cycle's settle (valid between [After_settle] and the next cycle's
+    settle; requires {!dirty_tracking}). *)
+let dirty_count t = t.dirty_n
+
+(** The [i]-th dirty channel id, [0 <= i < dirty_count]. *)
+let dirty_cid t i = t.dirty_list.(i)
+
+(** All live channel ids, ascending.  The returned array is the
+    engine's own — callers must not mutate it. *)
+let live_channel_ids t = t.live_cids
+
+(** Allocation-free unit-state reads for per-cycle monitors: meaningful
+    only for units of the right kind (0 otherwise). *)
+let credit_value t uid = t.credit.(uid)
+
+let buffer_len t uid = t.buf_len.(uid)
+
+let pipeline_fill t uid =
+  let has = t.pipe_has.(uid) in
+  let n = ref 0 in
+  for i = 0 to Bytes.length has - 1 do
+    if bget has i then incr n
+  done;
+  !n
 
 let pp_status ppf = function
   | Completed c -> Fmt.pf ppf "completed in %d cycles" c

@@ -188,3 +188,61 @@ val memory_of : outcome -> Memory.t
 val pp_status : status Fmt.t
 val is_deadlock : outcome -> bool
 val is_completed : outcome -> bool
+
+(** {2 Incremental-monitor fast paths}
+
+    The engine maintains a dirty channel set on monitored runs: every
+    channel whose valid/ready/data changed during the cycle's settle.
+    Since handshake signals only change during settle, the dirty set at
+    [After_settle] of cycle [n] is exactly the channels that differ from
+    their state at [After_settle] of cycle [n-1] — which lets a monitor
+    (e.g. {!Sanitizer}) update per-channel ledgers incrementally instead
+    of rescanning every channel every cycle. *)
+
+(** Whether this run maintains the dirty channel set (true exactly when
+    a [monitor] is attached to {!run}). *)
+val dirty_tracking : t -> bool
+
+(** Number of dirty channels this cycle (valid between [After_settle]
+    and the next cycle's settle; requires {!dirty_tracking}). *)
+val dirty_count : t -> int
+
+(** The [i]-th dirty channel id, [0 <= i < dirty_count].  Order is
+    first-touch order within the cycle, without duplicates. *)
+val dirty_cid : t -> int -> int
+
+(** All live channel ids, ascending.  The returned array is the engine's
+    own — callers must not mutate it. *)
+val live_channel_ids : t -> int array
+
+(** Allocation-free unit-state reads for per-cycle monitors.  Meaningful
+    only for units of the right kind (0 otherwise): current credits of a
+    credit counter, current occupancy of a buffer, tokens in flight of a
+    pipelined unit. *)
+val credit_value : t -> int -> int
+
+val buffer_len : t -> int -> int
+val pipeline_fill : t -> int -> int
+
+(** {2 Raw monitor view}
+
+    Direct references to the engine's live signal and state arrays, for
+    monitors whose per-cycle budget is dominated by accessor-call
+    overhead (without cross-module inlining each read above costs a
+    call; the sanitizers make hundreds per cycle).  Indexes are channel
+    ids ([raw_valid]/[raw_ready]: byte [<> '\000'] means asserted;
+    [raw_data]) or unit ids ([raw_credit], [raw_buf_len]);
+    [raw_dirty_list] holds {!dirty_count} valid entries while
+    {!dirty_tracking}.  The arrays are the simulation state itself, not
+    copies: they stay current across cycles, and callers must never
+    write to them. *)
+type raw = {
+  raw_valid : Bytes.t;
+  raw_ready : Bytes.t;
+  raw_data : Dataflow.Types.value array;
+  raw_credit : int array;
+  raw_buf_len : int array;
+  raw_dirty_list : int array;
+}
+
+val raw : t -> raw

@@ -27,30 +27,100 @@ let cmp_float c a b =
   | Lt -> a < b | Le -> a <= b | Gt -> a > b | Ge -> a >= b
   | Eq -> a = b | Ne -> a <> b
 
-(** Apply [op] to its operand list.  A single [VTuple] argument (the
-    payload presented by a sharing wrapper) is unpacked first. *)
-let apply op args =
-  let args = match args with [ VTuple vs ] -> vs | _ -> args in
+(* ------------------------------------------------------------------ *)
+(* Interned payloads                                                   *)
+
+(* The inner loops of integer kernels produce small [VInt]s at a very
+   high rate; interning them removes one minor-heap allocation per
+   operator fire without changing any structural comparison. *)
+
+let vint_lo = -256
+let vint_hi = 1024
+let vint_cache = Array.init (vint_hi - vint_lo + 1) (fun i -> VInt (i + vint_lo))
+let vint i =
+  if i >= vint_lo && i <= vint_hi then Array.unsafe_get vint_cache (i - vint_lo)
+  else VInt i
+
+let vtrue = VBool true
+let vfalse = VBool false
+let vbool b = if b then vtrue else vfalse
+
+(** Apply [op] to an already-unpacked operand list (no [VTuple]
+    unwrapping).  The single source of truth for opcode semantics and
+    for arity-mismatch error messages; the arity-specialized fast paths
+    below fall back here for every case they do not inline. *)
+let apply_list op args =
   match (op, args) with
-  | Iadd, [ a; b ] -> VInt (as_int a + as_int b)
-  | Isub, [ a; b ] -> VInt (as_int a - as_int b)
-  | Imul, [ a; b ] -> VInt (as_int a * as_int b)
+  | Iadd, [ a; b ] -> vint (as_int a + as_int b)
+  | Isub, [ a; b ] -> vint (as_int a - as_int b)
+  | Imul, [ a; b ] -> vint (as_int a * as_int b)
   | Idiv, [ a; b ] ->
       let d = as_int b in
       if d = 0 then invalid_arg "Eval: integer division by zero"
-      else VInt (as_int a / d)
+      else vint (as_int a / d)
   | Fadd, [ a; b ] -> VFloat (as_float a +. as_float b)
   | Fsub, [ a; b ] -> VFloat (as_float a -. as_float b)
   | Fmul, [ a; b ] -> VFloat (as_float a *. as_float b)
   | Fdiv, [ a; b ] -> VFloat (as_float a /. as_float b)
-  | Icmp c, [ a; b ] -> VBool (cmp_int c (as_int a) (as_int b))
-  | Fcmp c, [ a; b ] -> VBool (cmp_float c (as_float a) (as_float b))
-  | Band, [ a; b ] -> VBool (as_bool a && as_bool b)
-  | Bor, [ a; b ] -> VBool (as_bool a || as_bool b)
-  | Bnot, [ a ] -> VBool (not (as_bool a))
+  | Icmp c, [ a; b ] -> vbool (cmp_int c (as_int a) (as_int b))
+  | Fcmp c, [ a; b ] -> vbool (cmp_float c (as_float a) (as_float b))
+  | Band, [ a; b ] -> vbool (as_bool a && as_bool b)
+  | Bor, [ a; b ] -> vbool (as_bool a || as_bool b)
+  | Bnot, [ a ] -> vbool (not (as_bool a))
   | Select, [ c; a; b ] -> if as_bool c then a else b
   | Pass, [ a ] -> a
   | _ ->
       invalid_arg
         (Fmt.str "Eval: %s applied to %d operands" (string_of_opcode op)
            (List.length args))
+
+(** Apply [op] to its operand list.  A single [VTuple] argument (the
+    payload presented by a sharing wrapper) is unpacked first. *)
+let apply op args =
+  let args = match args with [ VTuple vs ] -> vs | _ -> args in
+  apply_list op args
+
+(** Arity-specialized entry points: same semantics and error messages as
+    {!apply}, but the common shapes take operands directly instead of
+    allocating a list per evaluation. *)
+
+let apply1 op a =
+  match a with
+  | VTuple vs -> apply_list op vs
+  | _ -> (
+      match op with
+      | Bnot -> vbool (not (as_bool a))
+      | Pass -> a
+      | _ -> apply_list op [ a ])
+
+let apply2 op a b =
+  match op with
+  | Iadd -> vint (as_int a + as_int b)
+  | Isub -> vint (as_int a - as_int b)
+  | Imul -> vint (as_int a * as_int b)
+  | Idiv ->
+      let d = as_int b in
+      if d = 0 then invalid_arg "Eval: integer division by zero"
+      else vint (as_int a / d)
+  | Fadd -> VFloat (as_float a +. as_float b)
+  | Fsub -> VFloat (as_float a -. as_float b)
+  | Fmul -> VFloat (as_float a *. as_float b)
+  | Fdiv -> VFloat (as_float a /. as_float b)
+  | Icmp c -> vbool (cmp_int c (as_int a) (as_int b))
+  | Fcmp c -> vbool (cmp_float c (as_float a) (as_float b))
+  | Band -> vbool (as_bool a && as_bool b)
+  | Bor -> vbool (as_bool a || as_bool b)
+  | _ -> apply_list op [ a; b ]
+
+let apply3 op a b c =
+  match op with
+  | Select -> if as_bool a then b else c
+  | _ -> apply_list op [ a; b; c ]
+
+(** [apply_arr op scratch n]: apply [op] to the first [n] entries of
+    [scratch] (the engine's preallocated operand buffer). *)
+let apply_arr op (scratch : value array) n =
+  if n = 1 then apply1 op scratch.(0)
+  else if n = 2 then apply2 op scratch.(0) scratch.(1)
+  else if n = 3 then apply3 op scratch.(0) scratch.(1) scratch.(2)
+  else apply_list op (Array.to_list (Array.sub scratch 0 n))

@@ -44,6 +44,12 @@ let write t name addr v =
     invalid_arg (Fmt.str "Memory: %s[%d] out of bounds (size %d)" name i (Array.length a))
   else a.(i) <- v
 
+(** The raw backing array of a declared memory, [None] if undeclared.
+    Lets the engine resolve each load/store unit's target array once at
+    compile time instead of paying a hash lookup per access; the array
+    is the live store, so writes through it are real writes. *)
+let backing (t : t) name = Hashtbl.find_opt t name
+
 (** Bulk initialization from floats (the benchmark kernels are FP). *)
 let set_floats t name xs =
   let a = mem_exn t name in

@@ -20,6 +20,12 @@ val read : t -> string -> Dataflow.Types.value -> Dataflow.Types.value
 
 val write : t -> string -> Dataflow.Types.value -> Dataflow.Types.value -> unit
 
+(** The raw backing array of a declared memory, [None] if undeclared.
+    This is the live store (not a copy): the engine resolves each
+    load/store unit's target once at compile time and reads/writes it
+    directly. *)
+val backing : t -> string -> Dataflow.Types.value array option
+
 val set_floats : t -> string -> float array -> unit
 val set_ints : t -> string -> int array -> unit
 

@@ -1,0 +1,1143 @@
+(* Frozen pre-rewrite reference engine (the graph-of-records
+   interpreter), kept verbatim as the differential-testing oracle for
+   the data-oriented engine core.  Do not optimize or refactor this
+   file: its value is that it is the exact implementation the rewrite
+   must be bit-identical to (cycle counts, transfer counts, exit
+   values, perturbation counters, event streams).  Apart from this
+   header and the module aliases below, it is the unmodified
+   lib/sim/engine.ml as of the rewrite. *)
+
+module Chaos = Sim.Chaos
+module Memory = Sim.Memory
+module Eval = Sim.Eval
+
+(** Cycle-accurate simulator of synchronous elastic circuits.
+
+    Every cycle has two phases, mirroring hardware:
+
+    - a combinational phase computes the fixpoint of the valid/ready
+      handshake signals (and data) on all channels, by worklist
+      propagation: re-evaluating a unit when a signal on one of its
+      channels changed;
+    - a sequential phase transfers a token on every channel asserting both
+      valid and ready, and advances the internal state of stateful units
+      (FIFOs, pipelines, credit counters, arbiters, forks).
+
+    The simulator reproduces the behaviours the paper depends on:
+    head-of-line blocking in single-enable pipelined units (Section 3),
+    credits that are returned one cycle late (Section 4.3), lazy forks on
+    the credit return path, and priority vs rotation arbitration
+    (Figures 1d/1e).  Deadlock is detected as quiescence without
+    completion: the circuit is deterministic, so two event-free cycles
+    imply no token can ever move again.
+
+    Chaos mode ([run ~chaos]) perturbs the run with the adversarial but
+    protocol-legal behaviours of {!Chaos}: transient ready-deassertion
+    at sinks and exits, inflated pipeline depths, jittered memory-port
+    grants and permuted priority-arbiter tie-breaks.  Perturbed runs are
+    no longer deterministic cycle-to-cycle, so quiescence alone does not
+    prove deadlock; when the circuit goes quiet the engine suspends all
+    perturbations and only declares deadlock if the circuit stays quiet
+    under the deterministic baseline semantics — the same notion of
+    deadlock as an unperturbed run. *)
+
+open Dataflow
+open Types
+
+type unit_state =
+  | S_stateless
+  | S_entry of { mutable fired : bool }
+  | S_fork of { sent : bool array }
+  | S_buffer of {
+      q : value Queue.t;
+      slots : int;
+      transparent : bool;
+      mutable high_water : int;  (** max occupancy observed *)
+    }
+  | S_pipeline of { stages : value option array }  (** stage 0 = youngest *)
+  | S_credit of { mutable count : int }
+  | S_arbiter of { mutable turn : int }
+  | S_phased of { turns : int array }  (** rotation pointer per cluster *)
+
+type status =
+  | Completed of int   (** cycle of the last event *)
+  | Deadlock of int    (** cycle at which the circuit wedged *)
+  | Out_of_fuel of int (** the fuel budget that elapsed without quiescence *)
+
+(* ------------------------------------------------------------------ *)
+(* Observability: the per-cycle event sink                             *)
+
+(** Why a channel presenting a token was refused this cycle.  The engine
+    classifies each stalled channel from the consumer's own state, so the
+    reasons stay faithful to the simulated microarchitecture rather than
+    being reverse-engineered from the waveform afterwards. *)
+type stall_reason =
+  | Backpressure      (** consumer refuses and no finer cause applies *)
+  | Pipeline_full     (** single-enable pipeline with a blocked head token *)
+  | Contention
+      (** the consumer lost this cycle's arbitration: a load/store without
+          its memory-port grant, or a sharing-wrapper arbiter input that
+          was not served *)
+  | No_credit
+      (** consumer is a join gated by a drained credit counter — the
+          credit-stall the CRUSH wrapper is designed to make rare *)
+  | Operand_starved   (** multi-input consumer waiting on a sibling input *)
+
+let string_of_stall_reason = function
+  | Backpressure -> "backpressure"
+  | Pipeline_full -> "pipeline-full"
+  | Contention -> "contention"
+  | No_credit -> "no-credit"
+  | Operand_starved -> "operand-starved"
+
+(** One cycle-stamped observation from the transfer/settle loop.
+    [E_transfer] and [E_stall] describe channels at the combinational
+    fixpoint (the same instant the sanitizers see); [E_fire] marks a
+    unit whose sequential state advanced; [E_credit] carries the grant
+    ([delta = -1]) / return ([delta = +1]) traffic of a credit counter
+    with the pre-transfer count; [E_grant] records which input an
+    arbiter served. *)
+type event =
+  | E_fire of { cycle : int; uid : int }
+  | E_transfer of { cycle : int; cid : int; data : value }
+  | E_stall of { cycle : int; cid : int; reason : stall_reason }
+  | E_credit of { cycle : int; uid : int; delta : int; count : int }
+  | E_grant of { cycle : int; uid : int; port : int }
+
+type sink = event -> unit
+
+(** Raised by {!run} when the caller-provided [deadline] reports the
+    job's wall-clock budget exhausted.  The deadline is polled
+    cooperatively every {!deadline_poll_period} cycles, so for a
+    deterministic deadline predicate (e.g. one that fires unconditionally)
+    the interruption point — and therefore the carried cycle count — is
+    itself deterministic. *)
+exception Timeout of { cycles : int }
+
+(** The deadline predicate is consulted once every this many cycles —
+    rarely enough that the check stays off the hot path, often enough
+    that a wedged-but-busy circuit is interrupted promptly. *)
+let deadline_poll_period = 64
+
+type stats = {
+  status : status;
+  cycles : int;             (** total simulated cycles until quiescence *)
+  transfers : int;          (** total tokens moved across channels *)
+  exit_values : value list; (** tokens received by Exit units *)
+  perturbations : Chaos.counters;
+      (** how often each chaos family bit; all zeros without chaos *)
+}
+
+(** One memory port (a load port or a store port of one array): the units
+    competing for it, a round-robin pointer, and the per-unit request
+    flags of the current cycle.  Each array offers one load port and one
+    store port (dual-port BRAM); contention is resolved by round-robin
+    arbitration that skips absent requests, so it cannot deadlock. *)
+type port = {
+  pid : int;                    (** port id, for chaos decision streams *)
+  group : int array;            (** unit ids sharing this port *)
+  mutable rr : int;             (** index of the next unit to favour *)
+  mutable joff : int;           (** chaos jitter offset added to [rr] *)
+}
+
+type t = {
+  g : Graph.t;
+  memory : Memory.t;
+  live_units : int array;
+  step_units : int array;
+      (** the active set of the sequential phase: units whose internal
+          state can change between cycles (entries, exits, eager forks,
+          buffers, pipelines, credit counters, stateful arbiters).
+          Stateless units only react combinationally and never need
+          sequential stepping, so each cycle costs O(stateful units)
+          instead of O(all units). *)
+  cvalid : bool array;
+  cready : bool array;
+  cdata : value array;
+  state : unit_state array;
+  queued : bool array;
+  queue : int Queue.t;
+  port_of : port option array;  (** per unit: the memory port it uses *)
+  ports : port array;           (** all memory ports *)
+  requesting : bool array;      (** per unit: requesting its port now *)
+  mutable n_fired : int;
+      (** channels currently asserting both valid and ready — maintained
+          incrementally on every handshake-signal flip so the per-cycle
+          transfer count is O(1) instead of a scan over all channels *)
+  n_exits : int;                (** number of Exit units in the graph *)
+  mutable n_exit_received : int;
+      (** tokens received by Exit units so far; completion checks compare
+          this counter against [n_exits] in O(1) instead of re-counting
+          [exit_values] on every quiescence probe *)
+  mutable exit_values : value list;
+  mutable transfers : int;
+  last_fire : int array;
+      (** per unit: the last cycle at which its sequential state changed,
+          [-1] if it never did — the raw material of the livelock
+          snapshot {!Forensics} builds for [Out_of_fuel] runs *)
+  sink : sink option;
+      (** observability event sink; [None] keeps every emission site on
+          its zero-cost branch (a single [match] per site per cycle) *)
+  chaos : Chaos.t option;
+  chaos_stall : bool;           (** sinks can stall (config + sinks exist) *)
+  chaos_jitter : bool;          (** ports are jittered (config + ports exist) *)
+  chaos_permute : bool;         (** arbiter tie-breaks are permuted
+                                    (config + priority arbiters exist) *)
+  chaos_stalled : bool array;   (** per unit: sink/exit stalled this cycle *)
+  chaos_sinks : int array;      (** uids of Exit and Sink units *)
+  chaos_arbiters : int array;   (** uids of Priority arbiters *)
+  mutable chaos_suspended : bool;
+      (** perturbations withdrawn to test quiescence deterministically *)
+}
+
+(** [extra] adds chaos pipeline stages: an elastic circuit must tolerate
+    any latency, so inflating a pipelined unit is a legal perturbation. *)
+let init_state ~extra (k : kind) =
+  match k with
+  | Entry _ -> S_entry { fired = false }
+  | Fork { outputs; lazy_ = false } -> S_fork { sent = Array.make outputs false }
+  | Buffer { slots; transparent; init; _ } ->
+      let q = Queue.create () in
+      List.iter (fun v -> Queue.add v q) init;
+      S_buffer { q; slots; transparent; high_water = Queue.length q }
+  | Operator { latency; _ } when latency > 0 ->
+      S_pipeline { stages = Array.make (latency + extra) None }
+  | Load { latency; _ } ->
+      S_pipeline { stages = Array.make (max 1 latency + extra) None }
+  | Store _ -> S_pipeline { stages = Array.make 1 None }
+  | Credit_counter { init } -> S_credit { count = init }
+  | Arbiter { policy = Rotation _; _ } -> S_arbiter { turn = 0 }
+  | Arbiter { policy = Phased clusters; _ } ->
+      S_phased { turns = Array.make (List.length clusters) 0 }
+  | _ -> S_stateless
+
+let create ?chaos ?memory ?sink g =
+  Validate.check_exn g;
+  let chaos = Option.map Chaos.make chaos in
+  let memory = match memory with Some m -> m | None -> Memory.of_graph g in
+  let n_units = g.Graph.n_units and n_chan = g.Graph.n_channels in
+  let live = Graph.fold_units g (fun acc u -> u.Graph.uid :: acc) [] in
+  let state = Array.make n_units S_stateless in
+  Graph.iter_units g (fun u ->
+      let extra =
+        match chaos with
+        | Some ch -> Chaos.extra_latency ch ~uid:u.Graph.uid
+        | None -> 0
+      in
+      state.(u.Graph.uid) <- init_state ~extra u.Graph.kind);
+  let port_of = Array.make (max 1 n_units) None in
+  let groups : (string * bool, int list ref) Hashtbl.t = Hashtbl.create 7 in
+  Graph.iter_units g (fun u ->
+      let key =
+        match u.Graph.kind with
+        | Load { memory; _ } -> Some (memory, true)
+        | Store { memory } -> Some (memory, false)
+        | _ -> None
+      in
+      match key with
+      | None -> ()
+      | Some key ->
+          let l =
+            match Hashtbl.find_opt groups key with
+            | Some l -> l
+            | None ->
+                let l = ref [] in
+                Hashtbl.replace groups key l;
+                l
+          in
+          l := u.Graph.uid :: !l);
+  let ports = ref [] in
+  let n_ports = ref 0 in
+  Hashtbl.iter
+    (fun _ l ->
+      let group = Array.of_list (List.rev !l) in
+      let p = { pid = !n_ports; group; rr = 0; joff = 0 } in
+      incr n_ports;
+      ports := p :: !ports;
+      Array.iter (fun uid -> port_of.(uid) <- Some p) group)
+    groups;
+  let chaos_sinks =
+    Graph.fold_units g
+      (fun acc u ->
+        match u.Graph.kind with
+        | Exit | Sink -> u.Graph.uid :: acc
+        | _ -> acc)
+      []
+  in
+  let chaos_arbiters =
+    Graph.fold_units g
+      (fun acc u ->
+        match u.Graph.kind with
+        | Arbiter { policy = Priority _; _ } -> u.Graph.uid :: acc
+        | _ -> acc)
+      []
+  in
+  (* The active set of the sequential phase: every unit whose [step_unit]
+     can do work.  Exits are stateless in [unit_state] terms but record
+     arriving tokens, so they belong to the set too. *)
+  let step_units =
+    Graph.fold_units g
+      (fun acc u ->
+        let steps =
+          match u.Graph.kind with
+          | Exit -> true
+          | _ -> ( match state.(u.Graph.uid) with S_stateless -> false | _ -> true)
+        in
+        if steps then u.Graph.uid :: acc else acc)
+      []
+  in
+  let n_exits =
+    Graph.fold_units g (fun n u -> if u.Graph.kind = Exit then n + 1 else n) 0
+  in
+  let cfg = Option.map Chaos.config chaos in
+  let chaos_on f = match cfg with Some c -> f c | None -> false in
+  {
+    g;
+    memory;
+    live_units = Array.of_list (List.rev live);
+    step_units = Array.of_list (List.rev step_units);
+    cvalid = Array.make (max 1 n_chan) false;
+    cready = Array.make (max 1 n_chan) false;
+    cdata = Array.make (max 1 n_chan) VUnit;
+    state;
+    queued = Array.make (max 1 n_units) false;
+    queue = Queue.create ();
+    port_of;
+    ports = Array.of_list (List.rev !ports);
+    requesting = Array.make (max 1 n_units) false;
+    n_fired = 0;
+    n_exits;
+    n_exit_received = 0;
+    exit_values = [];
+    transfers = 0;
+    last_fire = Array.make (max 1 n_units) (-1);
+    sink;
+    chaos;
+    chaos_stall =
+      chaos_on (fun c -> c.Chaos.stall_prob > 0.0) && chaos_sinks <> [];
+    chaos_jitter = chaos_on (fun c -> c.Chaos.jitter_ports) && !ports <> [];
+    chaos_permute =
+      chaos_on (fun c -> c.Chaos.permute_arbiters) && chaos_arbiters <> [];
+    chaos_stalled = Array.make (max 1 n_units) false;
+    chaos_sinks = Array.of_list (List.rev chaos_sinks);
+    chaos_arbiters = Array.of_list (List.rev chaos_arbiters);
+    chaos_suspended = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Signal access helpers                                               *)
+
+let in_cid t u p = t.g.Graph.in_of.(u).(p)
+let out_cid t u p = t.g.Graph.out_of.(u).(p)
+
+let in_valid t u p = t.cvalid.(in_cid t u p)
+let in_data t u p = t.cdata.(in_cid t u p)
+let out_ready t u p = t.cready.(out_cid t u p)
+
+let enqueue t u =
+  if u >= 0 && not t.queued.(u) then begin
+    t.queued.(u) <- true;
+    Queue.add u t.queue
+  end
+
+(** Drive valid/data on output port [p] of [u]; wake the consumer if the
+    signal changed. *)
+let drive_out t u p ~valid ~data =
+  let cid = out_cid t u p in
+  (* [compare], not [(<>)]: tokens can legitimately carry NaN, and IEEE
+     [nan <> nan] would report an eternal "change", re-enqueueing the
+     consumer until the settle budget dies. *)
+  let changed =
+    t.cvalid.(cid) <> valid || (valid && compare t.cdata.(cid) data <> 0)
+  in
+  if changed then begin
+    if t.cvalid.(cid) <> valid && t.cready.(cid) then
+      t.n_fired <- (if valid then t.n_fired + 1 else t.n_fired - 1);
+    t.cvalid.(cid) <- valid;
+    if valid then t.cdata.(cid) <- data;
+    let c = Graph.channel_exn t.g cid in
+    enqueue t c.Graph.dst.unit_id
+  end
+
+(** Drive ready on input port [p] of [u]; wake the producer on change. *)
+let drive_ready t u p ready =
+  let cid = in_cid t u p in
+  if t.cready.(cid) <> ready then begin
+    if t.cvalid.(cid) then
+      t.n_fired <- (if ready then t.n_fired + 1 else t.n_fired - 1);
+    t.cready.(cid) <- ready;
+    let c = Graph.channel_exn t.g cid in
+    enqueue t c.Graph.src.unit_id
+  end
+
+let index_of_selector n v =
+  let i =
+    match v with
+    | VBool true -> 0
+    | VBool false -> 1
+    | VInt i -> i
+    | v ->
+        invalid_arg (Fmt.str "Engine: bad selector token %s" (value_to_string v))
+  in
+  if i < 0 || i >= n then
+    invalid_arg (Fmt.str "Engine: selector %d out of range [0,%d)" i n)
+  else i
+
+(** Update the request flag of a memory-port client; when it changes, the
+    whole port group is re-evaluated since the grant may move. *)
+let set_requesting t u req =
+  if t.requesting.(u) <> req then begin
+    t.requesting.(u) <- req;
+    match t.port_of.(u) with
+    | Some p -> Array.iter (fun v -> enqueue t v) p.group
+    | None -> ()
+  end
+
+(** Round-robin grant: [u] wins its port when no requesting sibling comes
+    earlier in rotation order starting at the port's pointer. *)
+let granted t u =
+  match t.port_of.(u) with
+  | None -> true
+  | Some p ->
+      if not t.requesting.(u) then false
+      else begin
+        let n = Array.length p.group in
+        let pos_of x =
+          let rec find i = if p.group.(i) = x then i else find (i + 1) in
+          find 0
+        in
+        (* [joff] is the chaos jitter: a pseudo-random per-cycle rotation
+           of the grant pointer, a legal arbitration of the port. *)
+        let rot x = (pos_of x - p.rr - p.joff + (2 * n)) mod n in
+        let my = rot u in
+        let blocked = ref false in
+        Array.iter
+          (fun v -> if v <> u && t.requesting.(v) && rot v < my then blocked := true)
+          p.group;
+        not !blocked
+      end
+
+let port_fired t u =
+  match t.port_of.(u) with
+  | None -> ()
+  | Some p ->
+      let n = Array.length p.group in
+      let rec find i = if p.group.(i) = u then i else find (i + 1) in
+      p.rr <- (find 0 + 1) mod n;
+      (* The grant may move: re-evaluate every client next cycle. *)
+      Array.iter (fun v -> enqueue t v) p.group
+
+let all_inputs_valid t u n =
+  let ok = ref true in
+  for p = 0 to n - 1 do
+    if not (in_valid t u p) then ok := false
+  done;
+  !ok
+
+let input_values t u n = List.init n (fun p -> in_data t u p)
+
+(* ------------------------------------------------------------------ *)
+(* Combinational semantics, one unit                                   *)
+
+let eval_unit t u =
+  let k = Graph.kind_of t.g u in
+  match (k, t.state.(u)) with
+  | Entry v, S_entry s -> drive_out t u 0 ~valid:(not s.fired) ~data:v
+  | Exit, _ | Sink, _ -> drive_ready t u 0 (not t.chaos_stalled.(u))
+  | Const v, _ ->
+      drive_out t u 0 ~valid:(in_valid t u 0) ~data:v;
+      drive_ready t u 0 (out_ready t u 0)
+  | Fork { outputs; lazy_ = false }, S_fork { sent } ->
+      let v = in_valid t u 0 and d = in_data t u 0 in
+      let all_done = ref true in
+      for p = 0 to outputs - 1 do
+        drive_out t u p ~valid:(v && not sent.(p)) ~data:d;
+        if not (sent.(p) || out_ready t u p) then all_done := false
+      done;
+      drive_ready t u 0 (v && !all_done)
+  | Fork { outputs; lazy_ = true }, _ ->
+      let v = in_valid t u 0 and d = in_data t u 0 in
+      let all = ref true in
+      for p = 0 to outputs - 1 do
+        if not (out_ready t u p) then all := false
+      done;
+      for p = 0 to outputs - 1 do
+        (* out_p is valid when every sibling is ready: all-or-nothing. *)
+        let siblings_ready = ref true in
+        for q = 0 to outputs - 1 do
+          if q <> p && not (out_ready t u q) then siblings_ready := false
+        done;
+        drive_out t u p ~valid:(v && !siblings_ready) ~data:d
+      done;
+      drive_ready t u 0 !all
+  | Join { inputs; keep }, _ ->
+      let all = all_inputs_valid t u inputs in
+      let kept =
+        List.filteri (fun i _ -> keep.(i)) (input_values t u inputs)
+      in
+      let data =
+        match kept with [] -> VUnit | [ v ] -> v | vs -> VTuple vs
+      in
+      drive_out t u 0 ~valid:all ~data;
+      let fire = all && out_ready t u 0 in
+      for p = 0 to inputs - 1 do
+        drive_ready t u p fire
+      done
+  | Merge { inputs }, _ ->
+      let chosen = ref (-1) in
+      for p = inputs - 1 downto 0 do
+        if in_valid t u p then chosen := p
+      done;
+      let valid = !chosen >= 0 in
+      let data = if valid then in_data t u !chosen else VUnit in
+      drive_out t u 0 ~valid ~data;
+      for p = 0 to inputs - 1 do
+        drive_ready t u p (p = !chosen && out_ready t u 0)
+      done
+  | Arbiter { inputs; policy }, st ->
+      let grant =
+        match (policy, st) with
+        | Priority order, _ ->
+            (* Highest-priority requesting input wins; absent requests
+               never block others (Section 4.2).  Under chaos the
+               tie-break order is re-drawn every cycle: any requesting
+               input may win, which is a legal work-conserving
+               arbitration — credits must keep it deadlock-free. *)
+            let order =
+              match t.chaos with
+              | Some ch when not t.chaos_suspended ->
+                  Chaos.permute_priority ch ~uid:u order
+              | _ -> order
+            in
+            List.find_opt (fun p -> in_valid t u p) order
+        | Rotation order, S_arbiter { turn } ->
+            (* Strict total order: only the operation whose turn it is
+               may proceed (deadlock-prone, Figure 1d). *)
+            let p = List.nth order (turn mod List.length order) in
+            if in_valid t u p then Some p else None
+        | Phased clusters, S_phased { turns } ->
+            (* Priority across clusters, strict rotation within one:
+               the In-order baseline on whole programs. *)
+            let rec scan i = function
+              | [] -> None
+              | cluster :: rest ->
+                  let p = List.nth cluster (turns.(i) mod List.length cluster) in
+                  if in_valid t u p then Some p else scan (i + 1) rest
+            in
+            scan 0 clusters
+        | (Rotation _ | Phased _), _ -> assert false
+      in
+      (* The two outputs (operands to the shared unit, index to the
+         condition buffer) fire together: each is valid only when the
+         sibling is ready. *)
+      let sibling_ready p = out_ready t u (1 - p) in
+      (match grant with
+      | Some p ->
+          drive_out t u 0 ~valid:(sibling_ready 0) ~data:(in_data t u p);
+          drive_out t u 1 ~valid:(sibling_ready 1) ~data:(VInt p)
+      | None ->
+          drive_out t u 0 ~valid:false ~data:VUnit;
+          drive_out t u 1 ~valid:false ~data:VUnit);
+      for p = 0 to inputs - 1 do
+        drive_ready t u p
+          (grant = Some p && out_ready t u 0 && out_ready t u 1)
+      done
+  | Mux { inputs }, _ ->
+      let sel_v = in_valid t u 0 in
+      let idx = if sel_v then index_of_selector inputs (in_data t u 0) else -1 in
+      let data_v = idx >= 0 && in_valid t u (1 + idx) in
+      drive_out t u 0 ~valid:(sel_v && data_v)
+        ~data:(if data_v then in_data t u (1 + idx) else VUnit);
+      let fire = sel_v && data_v && out_ready t u 0 in
+      drive_ready t u 0 fire;
+      for p = 0 to inputs - 1 do
+        drive_ready t u (1 + p) (fire && p = idx)
+      done
+  | Branch { outputs }, _ ->
+      let data_v = in_valid t u 0 and cond_v = in_valid t u 1 in
+      let idx =
+        if cond_v then index_of_selector outputs (in_data t u 1) else -1
+      in
+      for p = 0 to outputs - 1 do
+        drive_out t u p ~valid:(data_v && cond_v && p = idx)
+          ~data:(in_data t u 0)
+      done;
+      let fire = data_v && cond_v && idx >= 0 && out_ready t u idx in
+      drive_ready t u 0 fire;
+      drive_ready t u 1 fire
+  | Buffer _, S_buffer { q; slots; transparent; _ } ->
+      let len = Queue.length q in
+      if transparent then begin
+        let iv = in_valid t u 0 in
+        let valid = len > 0 || iv in
+        let data = if len > 0 then Queue.peek q else in_data t u 0 in
+        drive_out t u 0 ~valid ~data;
+        drive_ready t u 0 (len < slots)
+      end
+      else begin
+        drive_out t u 0 ~valid:(len > 0)
+          ~data:(if len > 0 then Queue.peek q else VUnit);
+        drive_ready t u 0 (len < slots)
+      end
+  | Operator { op; latency = 0; ports }, _ ->
+      let all = all_inputs_valid t u ports in
+      let data = if all then Eval.apply op (input_values t u ports) else VUnit in
+      drive_out t u 0 ~valid:all ~data;
+      let fire = all && out_ready t u 0 in
+      for p = 0 to ports - 1 do
+        drive_ready t u p fire
+      done
+  | Operator { ports; _ }, S_pipeline { stages } ->
+      (* Single-enable pipeline: if the head token cannot leave, the whole
+         unit stalls and refuses new operands (head-of-line blocking). *)
+      let depth = Array.length stages in
+      let head = stages.(depth - 1) in
+      let out_v = head <> None in
+      drive_out t u 0 ~valid:out_v
+        ~data:(match head with Some v -> v | None -> VUnit);
+      let can_advance = (not out_v) || out_ready t u 0 in
+      let all = all_inputs_valid t u ports in
+      for p = 0 to ports - 1 do
+        drive_ready t u p (can_advance && all)
+      done
+  | Load _, S_pipeline { stages } ->
+      let depth = Array.length stages in
+      let head = stages.(depth - 1) in
+      let out_v = head <> None in
+      drive_out t u 0 ~valid:out_v
+        ~data:(match head with Some v -> v | None -> VUnit);
+      let can_advance = (not out_v) || out_ready t u 0 in
+      set_requesting t u (can_advance && in_valid t u 0);
+      drive_ready t u 0 (can_advance && in_valid t u 0 && granted t u)
+  | Store _, S_pipeline { stages } ->
+      let head = stages.(0) in
+      let out_v = head <> None in
+      drive_out t u 0 ~valid:out_v ~data:VUnit;
+      let can_advance = (not out_v) || out_ready t u 0 in
+      let all = all_inputs_valid t u 2 in
+      set_requesting t u (can_advance && all);
+      let ok = can_advance && all && granted t u in
+      drive_ready t u 0 ok;
+      drive_ready t u 1 ok
+  | Credit_counter _, S_credit { count } ->
+      drive_out t u 0 ~valid:(count > 0) ~data:VUnit;
+      drive_ready t u 0 true
+  | Stub, _ -> drive_out t u 0 ~valid:false ~data:VUnit
+  | _ ->
+      invalid_arg
+        (Fmt.str "Engine: inconsistent state for unit %s" (Graph.label_of t.g u))
+
+(** Run the combinational phase to fixpoint, starting from the units
+    already in the work queue (incremental: signals persist between
+    cycles, so only units whose sequential state changed — and whatever
+    their signal changes reach — need re-evaluation).  Raises on
+    oscillation. *)
+let settle ?deadline ~cycle t =
+  let budget = ref (50 + (200 * Array.length t.live_units)) in
+  let recent = Queue.create () in
+  let evals = ref 0 in
+  while not (Queue.is_empty t.queue) do
+    decr budget;
+    (* A pathological settle can churn for a long wall-clock time inside
+       one cycle (the oscillation class), so the watchdog is also polled
+       here — every 1024 evaluations, cheap enough to never matter on a
+       healthy fixpoint. *)
+    incr evals;
+    (match deadline with
+    | Some d when !evals land 1023 = 0 && d () ->
+        raise (Timeout { cycles = cycle })
+    | _ -> ());
+    if !budget < 0 then begin
+      let names =
+        Queue.fold (fun acc u -> Graph.label_of t.g u :: acc) [] recent
+        |> List.sort_uniq String.compare
+      in
+      failwith
+        (Fmt.str
+           "Engine: combinational signals do not settle at cycle %d (cycling: %a)"
+           cycle
+           Fmt.(list ~sep:comma string)
+           names)
+    end;
+    let u = Queue.pop t.queue in
+    t.queued.(u) <- false;
+    if !budget < 40 then Queue.add u recent;
+    eval_unit t u
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Sequential phase                                                    *)
+
+let fired t cid = cid >= 0 && t.cvalid.(cid) && t.cready.(cid)
+let in_fired t u p = fired t (in_cid t u p)
+let out_fired t u p = fired t (out_cid t u p)
+
+(** Advance the state of one unit after the transfers of this cycle.
+    Returns [true] when the internal state changed (used for quiescence
+    detection: pipeline bubbles moving without channel transfers). *)
+let step_unit t u =
+  let k = Graph.kind_of t.g u in
+  match (k, t.state.(u)) with
+  | Entry _, S_entry s ->
+      if out_fired t u 0 then begin
+        s.fired <- true;
+        true
+      end
+      else false
+  | Exit, _ ->
+      if in_fired t u 0 then begin
+        t.exit_values <- in_data t u 0 :: t.exit_values;
+        t.n_exit_received <- t.n_exit_received + 1;
+        true
+      end
+      else false
+  | Fork { outputs; lazy_ = false }, S_fork { sent } ->
+      let consumed = in_fired t u 0 in
+      let changed = ref consumed in
+      for p = 0 to outputs - 1 do
+        let s' =
+          if consumed then false else sent.(p) || out_fired t u p
+        in
+        if s' <> sent.(p) then changed := true;
+        sent.(p) <- s'
+      done;
+      !changed
+  | Buffer _, (S_buffer { q; transparent; _ } as st) ->
+      let popped_from_queue =
+        out_fired t u 0 && (not transparent || Queue.length q > 0)
+      in
+      let bypassed = out_fired t u 0 && not popped_from_queue in
+      if popped_from_queue then ignore (Queue.pop q);
+      if in_fired t u 0 && not bypassed then Queue.add (in_data t u 0) q;
+      (match st with
+      | S_buffer b -> b.high_water <- max b.high_water (Queue.length q)
+      | _ -> ());
+      popped_from_queue || bypassed || in_fired t u 0
+  | Operator { op; ports; _ }, S_pipeline { stages } ->
+      let depth = Array.length stages in
+      let head = stages.(depth - 1) in
+      let can_advance = head = None || out_fired t u 0 in
+      if can_advance then begin
+        let entering =
+          if in_fired t u 0 then Some (Eval.apply op (input_values t u ports))
+          else None
+        in
+        let moved = ref (out_fired t u 0 || entering <> None) in
+        for s = depth - 1 downto 1 do
+          if stages.(s) <> stages.(s - 1) then moved := true;
+          stages.(s) <- stages.(s - 1)
+        done;
+        if stages.(0) <> entering then moved := true;
+        stages.(0) <- entering;
+        !moved
+      end
+      else false
+  | Load { memory; _ }, S_pipeline { stages } ->
+      let depth = Array.length stages in
+      let head = stages.(depth - 1) in
+      let can_advance = head = None || out_fired t u 0 in
+      if can_advance then begin
+        let entering =
+          if in_fired t u 0 then begin
+            port_fired t u;
+            Some (Memory.read t.memory memory (in_data t u 0))
+          end
+          else None
+        in
+        let moved = ref (out_fired t u 0 || entering <> None) in
+        for s = depth - 1 downto 1 do
+          if stages.(s) <> stages.(s - 1) then moved := true;
+          stages.(s) <- stages.(s - 1)
+        done;
+        if stages.(0) <> entering then moved := true;
+        stages.(0) <- entering;
+        !moved
+      end
+      else false
+  | Store { memory }, S_pipeline { stages } ->
+      let head = stages.(0) in
+      let can_advance = head = None || out_fired t u 0 in
+      if can_advance then begin
+        let entering =
+          if in_fired t u 0 then begin
+            port_fired t u;
+            Memory.write t.memory memory (in_data t u 0) (in_data t u 1);
+            Some VUnit
+          end
+          else None
+        in
+        let moved = head <> entering || out_fired t u 0 in
+        stages.(0) <- entering;
+        moved
+      end
+      else false
+  | Credit_counter _, S_credit s ->
+      let before = s.count in
+      if out_fired t u 0 then s.count <- s.count - 1;
+      if in_fired t u 0 then s.count <- s.count + 1;
+      s.count <> before
+  | Arbiter { inputs; policy = Rotation order }, S_arbiter s ->
+      let granted = ref false in
+      for p = 0 to inputs - 1 do
+        if in_fired t u p then granted := true
+      done;
+      if !granted then begin
+        s.turn <- (s.turn + 1) mod List.length order;
+        true
+      end
+      else false
+  | Arbiter { inputs; policy = Phased clusters }, S_phased { turns } ->
+      let fired_port = ref (-1) in
+      for p = 0 to inputs - 1 do
+        if in_fired t u p then fired_port := p
+      done;
+      if !fired_port >= 0 then begin
+        List.iteri
+          (fun i cluster ->
+            if List.mem !fired_port cluster then
+              turns.(i) <- (turns.(i) + 1) mod List.length cluster)
+          clusters;
+        true
+      end
+      else false
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Top-level run loop                                                  *)
+
+(** Tokens moving this cycle.  Without an observer this is the
+    incrementally maintained [n_fired] counter (O(1)); the full channel
+    scan only runs when an observer needs every fired channel. *)
+let count_transfers ?observer ~cycle t =
+  match observer with
+  | None -> t.n_fired
+  | Some f ->
+      let n = ref 0 in
+      Graph.iter_channels t.g (fun c ->
+          if fired t c.Graph.id then begin
+            incr n;
+            f cycle c t.cdata.(c.Graph.id)
+          end);
+      !n
+
+(** Channels currently presenting a token that the consumer refuses:
+    diagnostic for deadlock reports. *)
+let stalled_channels t =
+  let acc = ref [] in
+  Graph.iter_channels t.g (fun c ->
+      if t.cvalid.(c.Graph.id) && not t.cready.(c.Graph.id) then
+        acc := c.Graph.id :: !acc);
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Event emission (only on runs with an attached sink)                 *)
+
+(** Why channel [c] — valid but not ready at this cycle's fixpoint — is
+    refused, judged from the consumer's own state.  Pure reads: no chaos
+    stream is consulted (recomputing a permuted arbiter grant would
+    double-count the chaos counters), so classification never perturbs
+    the run it observes. *)
+let classify_stall t (c : Graph.channel) =
+  let dst = c.Graph.dst.unit_id in
+  let k = Graph.kind_of t.g dst in
+  match (k, t.state.(dst)) with
+  | Operator { ports; _ }, S_pipeline { stages } ->
+      let head = stages.(Array.length stages - 1) in
+      if head <> None && not (out_ready t dst 0) then Pipeline_full
+      else if not (all_inputs_valid t dst ports) then Operand_starved
+      else Backpressure
+  | Load _, S_pipeline { stages } ->
+      let head = stages.(Array.length stages - 1) in
+      if head <> None && not (out_ready t dst 0) then Pipeline_full
+      else if t.requesting.(dst) && not (granted t dst) then Contention
+      else Backpressure
+  | Store _, S_pipeline { stages } ->
+      if stages.(0) <> None && not (out_ready t dst 0) then Pipeline_full
+      else if not (all_inputs_valid t dst 2) then Operand_starved
+      else if t.requesting.(dst) && not (granted t dst) then Contention
+      else Backpressure
+  | Join { inputs; _ }, _ ->
+      if all_inputs_valid t dst inputs then Backpressure
+      else begin
+        (* A missing sibling fed by a drained credit counter is the
+           credit stall of Section 4.3; any other missing sibling is
+           ordinary operand starvation. *)
+        let credit_starved = ref false in
+        for p = 0 to inputs - 1 do
+          if not (in_valid t dst p) then
+            match Graph.in_channel t.g dst p with
+            | Some sib -> (
+                match t.state.(sib.Graph.src.unit_id) with
+                | S_credit { count } when count = 0 -> credit_starved := true
+                | _ -> ())
+            | None -> ()
+        done;
+        if !credit_starved then No_credit else Operand_starved
+      end
+  | Arbiter _, _ ->
+      (* If both wrapper outputs could accept, the only way to refuse a
+         valid request is to serve (or reserve the turn for) another
+         input. *)
+      if out_ready t dst 0 && out_ready t dst 1 then Contention
+      else Backpressure
+  | Operator { ports; _ }, _ ->
+      if not (all_inputs_valid t dst ports) then Operand_starved
+      else Backpressure
+  | (Mux _ | Branch _), _ -> Operand_starved
+  | _ -> Backpressure
+
+(** Emit this cycle's channel-level events: one [E_transfer] per firing
+    channel — enriched with [E_credit] at credit-counter endpoints and
+    [E_grant] at arbiter inputs — and one [E_stall] per refused token.
+    Runs at the combinational fixpoint, before the sequential phase, so
+    credit counts are the pre-transfer values. *)
+let emit_channel_events t ~cycle f =
+  Graph.iter_channels t.g (fun c ->
+      let cid = c.Graph.id in
+      if t.cvalid.(cid) then
+        if t.cready.(cid) then begin
+          f (E_transfer { cycle; cid; data = t.cdata.(cid) });
+          (match t.state.(c.Graph.src.unit_id) with
+          | S_credit { count } ->
+              f (E_credit { cycle; uid = c.Graph.src.unit_id; delta = -1; count })
+          | _ -> ());
+          (match t.state.(c.Graph.dst.unit_id) with
+          | S_credit { count } ->
+              f (E_credit { cycle; uid = c.Graph.dst.unit_id; delta = 1; count })
+          | _ -> ());
+          match Graph.kind_of t.g c.Graph.dst.unit_id with
+          | Arbiter _ ->
+              f
+                (E_grant
+                   { cycle; uid = c.Graph.dst.unit_id; port = c.Graph.dst.port })
+          | _ -> ()
+        end
+        else f (E_stall { cycle; cid; reason = classify_stall t c }))
+
+(** Maximum occupancy a buffer reached during the run (its own initial
+    tokens included); 0 for non-buffer units.  Profile data for the
+    output-buffer shrinking pass (paper Section 6.4). *)
+let buffer_high_water t uid =
+  match t.state.(uid) with S_buffer b -> b.high_water | _ -> 0
+
+type outcome = { stats : stats; sim : t }
+
+(** Phases at which a {!run} [monitor] is consulted.  [After_settle]
+    fires once the combinational fixpoint is reached: handshake signals
+    are final for the cycle but no sequential state has advanced — the
+    monitor sees which channels are about to fire and the pre-transfer
+    unit state.  [After_step] fires once the sequential phase completes:
+    the monitor sees the post-transfer state and can check the
+    conservation deltas of the cycle. *)
+type monitor_phase = After_settle | After_step
+
+(** Per-cycle chaos prologue.  Re-draws the sink stalls, port jitter and
+    arbiter permutations for this cycle and wakes every unit whose
+    signals they touch (the worklist only tracks channel changes, not
+    chaos decisions).  When the circuit has been quiet for two cycles,
+    withdraws all perturbations ([chaos_suspended]) so that continued
+    quiescence proves deadlock under the deterministic baseline
+    semantics rather than under a transient perturbation; the quiet
+    counter restarts so two further benign cycles are required. *)
+let chaos_prologue t ch ~cycle ~quiet =
+  if !quiet >= 2 && not t.chaos_suspended then begin
+    t.chaos_suspended <- true;
+    quiet := 0
+  end;
+  Chaos.begin_cycle ch ~cycle;
+  (* Each perturbation family is gated by a flag precomputed at [create]
+     (config bit && the relevant units exist), so a run whose config
+     disables a family — or a graph without sinks/ports/arbiters — pays
+     nothing for it per cycle. *)
+  if t.chaos_stall then
+    Array.iter
+      (fun u ->
+        let s = (not t.chaos_suspended) && Chaos.stalled ch ~uid:u in
+        if s <> t.chaos_stalled.(u) then begin
+          t.chaos_stalled.(u) <- s;
+          enqueue t u
+        end)
+      t.chaos_sinks;
+  if t.chaos_jitter then
+    Array.iter
+      (fun p ->
+        let off =
+          if t.chaos_suspended then 0
+          else Chaos.port_offset ch ~port:p.pid ~width:(Array.length p.group)
+        in
+        if off <> p.joff then begin
+          p.joff <- off;
+          Array.iter (fun u -> enqueue t u) p.group
+        end)
+      t.ports;
+  (* The tie-break permutation is a fresh function of the cycle, so
+     every priority arbiter must be re-evaluated every cycle. *)
+  if t.chaos_permute then Array.iter (fun u -> enqueue t u) t.chaos_arbiters
+
+(** Simulate until quiescence or [max_cycles].  Completion means every
+    Exit unit received at least one token before the circuit went quiet;
+    quiescence without completion is a deadlock.  [chaos] perturbs the
+    run adversarially (see {!Chaos}); a valid elastic circuit must
+    produce the same exit values and still complete under any seed. *)
+let run ?(max_cycles = 2_000_000) ?(poll_every = deadline_poll_period)
+    ?deadline ?observer ?monitor ?chaos ?memory ?sink g =
+  if poll_every < 1 then
+    invalid_arg (Fmt.str "Engine.run: poll_every %d < 1" poll_every);
+  let t = create ?chaos ?memory ?sink g in
+  let monitor_call =
+    match monitor with
+    | None -> fun ~cycle:_ _ -> ()
+    | Some f -> fun ~cycle phase -> f t ~cycle phase
+  in
+  let cycle = ref 0 in
+  let quiet = ref 0 in
+  let last_event = ref (-1) in
+  let finished = ref None in
+  Array.iter (fun u -> enqueue t u) t.live_units;
+  while !finished = None do
+    (* Cooperative watchdog: poll the wall-clock budget every
+       [poll_every] cycles (cycle 0 included, so a fire-immediately
+       deadline interrupts deterministically before any work happens). *)
+    (match deadline with
+    | Some d when !cycle mod poll_every = 0 && d () ->
+        raise (Timeout { cycles = !cycle })
+    | _ -> ());
+    if !cycle >= max_cycles then finished := Some (Out_of_fuel max_cycles)
+    else begin
+      (match t.chaos with
+      | Some ch -> chaos_prologue t ch ~cycle:!cycle ~quiet
+      | None -> ());
+      settle ?deadline ~cycle:!cycle t;
+      monitor_call ~cycle:!cycle After_settle;
+      (* Observability: channel-level events are derived at the settled
+         fixpoint, exactly where the sanitizers read; runs without a
+         sink pay one [None] branch per cycle. *)
+      (match t.sink with
+      | Some f -> emit_channel_events t ~cycle:!cycle f
+      | None -> ());
+      let moved_tokens = count_transfers ?observer ~cycle:!cycle t in
+      t.transfers <- t.transfers + moved_tokens;
+      let state_changed = ref false in
+      (* Only the active set: stateless units have no sequential state to
+         advance, so the per-cycle cost is O(stateful units). *)
+      Array.iter
+        (fun u ->
+          if step_unit t u then begin
+            state_changed := true;
+            t.last_fire.(u) <- !cycle;
+            (match t.sink with
+            | Some f -> f (E_fire { cycle = !cycle; uid = u })
+            | None -> ());
+            enqueue t u
+          end)
+        t.step_units;
+      monitor_call ~cycle:!cycle After_step;
+      if moved_tokens > 0 || !state_changed then begin
+        quiet := 0;
+        last_event := !cycle;
+        (* Progress resumed: perturbations come back next prologue. *)
+        t.chaos_suspended <- false
+      end
+      else incr quiet;
+      if !quiet >= 2 && (t.chaos = None || t.chaos_suspended) then begin
+        let done_ = t.n_exit_received >= t.n_exits && t.n_exits > 0 in
+        finished :=
+          Some (if done_ then Completed !last_event else Deadlock !cycle)
+      end;
+      incr cycle
+    end
+  done;
+  let status = Option.get !finished in
+  {
+    stats =
+      {
+        status;
+        cycles = (match status with Completed c -> c + 1 | _ -> !cycle);
+        transfers = t.transfers;
+        exit_values = List.rev t.exit_values;
+        perturbations =
+          (match t.chaos with
+          | Some ch -> Chaos.counters ch
+          | None -> Chaos.zero_counters);
+      };
+    sim = t;
+  }
+
+let memory_of outcome = outcome.sim.memory
+
+(* ------------------------------------------------------------------ *)
+(* Post-mortem state accessors (for {!Forensics})                      *)
+
+let graph_of t = t.g
+let channel_valid t cid = t.cvalid.(cid)
+let channel_ready t cid = t.cready.(cid)
+let channel_data t cid = t.cdata.(cid)
+
+(** Both valid and ready: this channel transfers a token this cycle
+    (meaningful between settle and step, i.e. at [After_settle]). *)
+let channel_fired t cid = fired t cid
+
+(** The engine's incremental count of channels currently firing — what
+    the per-cycle transfer accounting uses.  Sanitizers recount fired
+    channels independently and compare against this. *)
+let fired_count t = t.n_fired
+
+(** Whether this run is chaos-perturbed (some checks — e.g. strict
+    priority order — are only sound under deterministic semantics). *)
+let has_chaos t = t.chaos <> None
+
+(** Remaining credits of a credit counter, [None] for other units. *)
+let credit_count t uid =
+  match t.state.(uid) with S_credit c -> Some c.count | _ -> None
+
+(** [(occupancy, slots)] of a buffer, [None] for other units. *)
+let buffer_occupancy t uid =
+  match t.state.(uid) with
+  | S_buffer b -> Some (Queue.length b.q, b.slots)
+  | _ -> None
+
+(** Last cycle at which the unit's sequential state changed, [-1] if it
+    never did. *)
+let last_fire_cycle t uid = t.last_fire.(uid)
+
+(** [(tokens in flight, depth)] of a pipelined unit, [None] otherwise. *)
+let pipeline_busy t uid =
+  match t.state.(uid) with
+  | S_pipeline { stages } ->
+      let n =
+        Array.fold_left
+          (fun n s -> if s <> None then n + 1 else n)
+          0 stages
+      in
+      Some (n, Array.length stages)
+  | _ -> None
+
+(** For a rotation or phased arbiter: the input ports currently holding
+    the turn (the only ports whose requests it would grant).  [None] for
+    non-arbiters and priority arbiters (which never refuse a lone
+    requester, so they never starve an input). *)
+let arbiter_turn_holders t uid =
+  match (Graph.kind_of t.g uid, t.state.(uid)) with
+  | Arbiter { policy = Rotation order; _ }, S_arbiter { turn } ->
+      let n = List.length order in
+      if n = 0 then Some [] else Some [ List.nth order (turn mod n) ]
+  | Arbiter { policy = Phased clusters; _ }, S_phased { turns } ->
+      Some
+        (List.mapi
+           (fun i cluster ->
+             let n = List.length cluster in
+             if n = 0 then [] else [ List.nth cluster (turns.(i) mod n) ])
+           clusters
+        |> List.concat)
+  | _ -> None
+
+let pp_status ppf = function
+  | Completed c -> Fmt.pf ppf "completed in %d cycles" c
+  | Deadlock c -> Fmt.pf ppf "DEADLOCK at cycle %d" c
+  | Out_of_fuel budget -> Fmt.pf ppf "out of fuel (budget %d)" budget
+
+let is_deadlock outcome =
+  match outcome.stats.status with Deadlock _ -> true | _ -> false
+
+let is_completed outcome =
+  match outcome.stats.status with Completed _ -> true | _ -> false

@@ -1,3 +1,10 @@
+(* Frozen pre-rewrite reference forensics, the oracle counterpart of
+   Oracle_engine (same wait-for-graph extraction and cyclic-core
+   isolation, over the oracle engine's state).  Unmodified
+   lib/sim/forensics.ml apart from this header and the alias. *)
+
+module Engine = Oracle_engine
+
 (** Deadlock forensics: wait-for graph extraction and cyclic-core
     isolation over a quiesced simulator state.  See the interface for
     the model. *)
@@ -53,108 +60,83 @@ type flavor = As_producer | As_consumer
     - a pipelined unit (operator/load/store) with tokens in flight will
       deliver its output without consuming anything, so demanding its
       inputs mid-flight manufactures waits that drain on their own. *)
-let demanded_iter ?(conservative = false) sim g uid flavor ~f =
+let demanded_edges ?(conservative = false) sim g uid flavor =
   let kind = Graph.kind_of g uid in
-  (* Raw channel-id plumbing: this function runs inside the sanitizer's
-     per-trigger probe fixpoint, thousands of times per monitored run,
-     so it reads the graph's flat port tables and the engine's raw
-     signal arrays directly and yields [(channel, reason)] pairs to [f]
-     instead of allocating edge records — an [Awaiting_token] pair is a
-     wait on the channel's producer, a [Blocked_output] pair on its
-     consumer.  Emission order is ascending port order (turn-holder
-     order for rotation/phased arbiters), which {!demanded_edges}
-     relies on. *)
-  let r = Engine.raw sim in
-  let rvalid cid = Bytes.get r.Engine.raw_valid cid <> '\000' in
-  let rready cid = Bytes.get r.Engine.raw_ready cid <> '\000' in
-  let in_cid p =
-    let row = g.Graph.in_of.(uid) in
-    if p < Array.length row then Array.unsafe_get row p else -1
-  in
   let valid p =
-    let cid = in_cid p in
-    cid >= 0 && rvalid cid
+    match Graph.in_channel g uid p with
+    | Some c -> Engine.channel_valid sim c.Graph.id
+    | None -> false
   in
-  let await p =
-    let cid = in_cid p in
-    if cid >= 0 && not (rvalid cid) then f cid Awaiting_token
-  in
-  (* Starved-operand edges for ports [0 .. n-1]. *)
-  let await_n n =
-    for p = 0 to n - 1 do
-      await p
-    done
-  in
-  let await2 p q =
-    await p;
-    await q
+  let await ports =
+    List.filter_map
+      (fun p ->
+        match Graph.in_channel g uid p with
+        | Some c when not (Engine.channel_valid sim c.Graph.id) ->
+            Some
+              {
+                src = uid;
+                dst = c.Graph.src.Graph.unit_id;
+                channel = c.Graph.id;
+                reason = Awaiting_token;
+              }
+        | _ -> None)
+      ports
   in
   let gated () =
     (* Cross-gated units (arbiter, lazy fork) assert VALID on every
        output while a grant is pending, so an output that shows no
        VALID carries no obligation — an edge over it would pair with
        the consumer's own awaiting-token edge into a vacuous cycle. *)
-    let row = g.Graph.out_of.(uid) in
-    for p = 0 to Array.length row - 1 do
-      let cid = Array.unsafe_get row p in
-      if cid >= 0 && rvalid cid && not (rready cid) then
-        f cid Blocked_output
-    done
+    let _, n_out = Types.arity kind in
+    List.filter_map
+      (fun p ->
+        match Graph.out_channel g uid p with
+        | Some c
+          when Engine.channel_valid sim c.Graph.id
+               && not (Engine.channel_ready sim c.Graph.id) ->
+            Some
+              {
+                src = uid;
+                dst = c.Graph.dst.Graph.unit_id;
+                channel = c.Graph.id;
+                reason = Blocked_output;
+              }
+        | _ -> None)
+      (List.init n_out (fun p -> p))
   in
+  let iota n = List.init n (fun p -> p) in
   (* Data inputs the unit's firing needs and cannot currently see.  The
-     await filter keeps only the invalid ones, so over-approximating
+     [await] filter keeps only the invalid ones, so over-approximating
      with the full operand set is fine. *)
-  let mux_await inputs =
-    let sel = in_cid 0 in
-    if sel >= 0 then
-      if not (rvalid sel) then await 0
-      else
-        (* Selector present: only the chosen data input can help. *)
-        match r.Engine.raw_data.(sel) with
-        | VBool b -> await (if b then 1 else 2)
-        | VInt i when i >= 0 && i < inputs -> await (1 + i)
-        | _ -> ()
+  let mux_needs inputs =
+    if not (valid 0) then [ 0 ]
+    else
+      match Graph.in_channel g uid 0 with
+      | Some c -> (
+          (* Selector present: only the chosen data input can help. *)
+          match Engine.channel_data sim c.Graph.id with
+          | VBool b -> [ (if b then 1 else 2) ]
+          | VInt i when i >= 0 && i < inputs -> [ 1 + i ]
+          | _ -> [])
+      | None -> []
   in
-  (* Emits the arbiter's starved-requester waits; returns whether any
-     edge was emitted (a grant-complete arbiter falls back to its
-     output gating instead). *)
-  let arbiter_await inputs policy emitted =
-    let track cid reason =
-      emitted := true;
-      f cid reason
-    in
-    (match policy with
+  let arbiter_needs inputs policy =
+    match policy with
     | Priority _ ->
         (* Any requester is served, so it starves only with none.  The
            all-inputs demand is an OR-wait (one arrival suffices), exact
            only at quiescence — a conservative probe stays silent. *)
-        let any = ref false in
-        for p = 0 to inputs - 1 do
-          if valid p then any := true
-        done;
-        if (not !any) && not conservative then
-          for p = 0 to inputs - 1 do
-            let cid = in_cid p in
-            if cid >= 0 && not (rvalid cid) then track cid Awaiting_token
-          done
+        if List.exists valid (iota inputs) then []
+        else if conservative then []
+        else iota inputs
     | Rotation _ | Phased _ -> (
         (* Only the turn holder(s) can be served (Figure 1d).  A phased
            arbiter with several clusters holds an OR-wait across their
            holders; conservatively only a lone holder is a real wait. *)
         match Engine.arbiter_turn_holders sim uid with
         | Some holders ->
-            if not (conservative && List.length holders > 1) then
-              List.iter
-                (fun p ->
-                  let cid = in_cid p in
-                  if cid >= 0 && not (rvalid cid) then
-                    track cid Awaiting_token)
-                holders
-        | None -> ()));
-    !emitted
-  in
-  let arbiter_or_gated inputs policy =
-    if not (arbiter_await inputs policy (ref false)) then gated ()
+            if conservative && List.length holders > 1 then [] else holders
+        | None -> [])
   in
   (* Output-gating edges are only genuine for units whose output VALID
      is crossed-gated by a sibling output's readiness (arbiter outputs
@@ -163,36 +145,43 @@ let demanded_iter ?(conservative = false) sim g uid flavor ~f =
      as a base [valid && not ready] edge — emitting gated edges for them
      too would manufacture false cycles through channels that carry no
      obligation (e.g. an eager fork's already-delivered outputs). *)
-  let busy () = Engine.pipeline_fill sim uid > 0 in
+  let busy () =
+    match Engine.pipeline_busy sim uid with
+    | Some (n, _) -> n > 0
+    | None -> false
+  in
   match flavor with
   | As_producer -> (
       match kind with
-      | Entry _ | Stub -> () (* a source: if exhausted, nothing can revive it *)
-      | Exit | Sink | Const _ | Buffer _ -> await 0
-      | Load _ -> if not (conservative && busy ()) then await 0
-      | Fork { lazy_ = false; _ } -> await 0
+      | Entry _ | Stub -> [] (* a source: if exhausted, nothing can revive it *)
+      | Exit | Sink | Const _ | Buffer _ -> await [ 0 ]
+      | Load _ -> if conservative && busy () then [] else await [ 0 ]
+      | Fork { lazy_ = false; _ } -> await [ 0 ]
       | Fork { lazy_ = true; _ } ->
           (* All-or-nothing: every sibling must be ready too. *)
-          if valid 0 then gated () else await 0
-      | Join { inputs; _ } -> await_n inputs
+          if valid 0 then gated () else await [ 0 ]
+      | Join { inputs; _ } -> await (iota inputs)
       | Operator { ports; _ } ->
-          if not (conservative && busy ()) then await_n ports
-      | Store _ -> if not (conservative && busy ()) then await2 0 1
+          if conservative && busy () then [] else await (iota ports)
+      | Store _ -> if conservative && busy () then [] else await [ 0; 1 ]
       | Merge { inputs } ->
           (* An OR-wait; but the circuit is quiesced, so an alternative
              producer that could fire would have — all branches are dead
              and the AND approximation is exact.  Mid-flight that
              reasoning fails, so a conservative probe stays silent. *)
-          if not conservative then await_n inputs
-      | Mux { inputs } -> mux_await inputs
-      | Branch _ -> await2 0 1
-      | Arbiter { inputs; policy } ->
+          if conservative then [] else await (iota inputs)
+      | Mux { inputs } -> await (mux_needs inputs)
+      | Branch _ -> await [ 0; 1 ]
+      | Arbiter { inputs; policy } -> (
           (* Producing on one output also needs the sibling output ready
              (they fire together). *)
-          arbiter_or_gated inputs policy
-      | Credit_counter _ ->
-          (* Kind already matched, so the raw per-uid slot is live. *)
-          if r.Engine.raw_credit.(uid) = 0 then await 0 (* credit to return *))
+          match await (arbiter_needs inputs policy) with
+          | [] -> gated ()
+          | starved -> starved)
+      | Credit_counter _ -> (
+          match Engine.credit_count sim uid with
+          | Some 0 -> await [ 0 ] (* waiting for a credit to return *)
+          | _ -> []))
   | As_consumer -> (
       (* Why is ready deasserted on an input presenting a token?  The
          firing condition: sibling operands for all-input-fire units,
@@ -200,36 +189,24 @@ let demanded_iter ?(conservative = false) sim g uid flavor ~f =
          whose refusal can only come from a downstream block need no
          edges here: the block is visible as a base edge already. *)
       match kind with
-      | Join { inputs; _ } -> await_n inputs
+      | Join { inputs; _ } -> await (iota inputs)
       | Operator { ports; _ } ->
           (* A busy pipeline may refuse an operand merely until a stage
              advances or its output drains — mid-flight that refusal
              resolves on its own, so a conservative probe stays silent. *)
-          if not (conservative && busy ()) then await_n ports
-      | Store _ -> if not (conservative && busy ()) then await2 0 1
-      | Mux { inputs } -> mux_await inputs
-      | Branch _ -> await2 0 1
-      | Arbiter { inputs; policy } -> arbiter_or_gated inputs policy
+          if conservative && busy () then [] else await (iota ports)
+      | Store _ -> if conservative && busy () then [] else await [ 0; 1 ]
+      | Mux { inputs } -> await (mux_needs inputs)
+      | Branch _ -> await [ 0; 1 ]
+      | Arbiter { inputs; policy } -> (
+          match await (arbiter_needs inputs policy) with
+          | [] -> gated ()
+          | starved -> starved)
       | Fork { lazy_ = true; _ } -> gated ()
       | Entry _ | Exit | Sink | Stub | Const _
       | Fork { lazy_ = false; _ }
       | Buffer _ | Load _ | Merge _ | Credit_counter _ ->
-          ())
-
-(** Record-building wrapper over {!demanded_iter} for the full report
-    path ({!wait_edges}); the probe fast path consumes the iterator
-    directly with its precomputed channel-endpoint arrays. *)
-let demanded_edges ?conservative sim g uid flavor =
-  let acc = ref [] in
-  demanded_iter ?conservative sim g uid flavor ~f:(fun cid reason ->
-      let c = Graph.channel_exn g cid in
-      let dst =
-        match reason with
-        | Awaiting_token -> c.Graph.src.Graph.unit_id
-        | Blocked_output -> c.Graph.dst.Graph.unit_id
-      in
-      acc := { src = uid; dst; channel = cid; reason } :: !acc);
-  List.rev !acc
+          [])
 
 (** The full wait-for graph of a quiesced simulator state (or, with
     [~conservative:true], a sound under-approximation of it mid-flight). *)
@@ -424,165 +401,6 @@ let analyze (outcome : Engine.outcome) =
     the sanitizer convict a wedged sharing wrapper long before global
     quiescence. *)
 let probe sim ~cycle = build_report ~conservative:true sim ~cycle
-
-(** Does the conservative probe find a cyclic core at all?  Same edge
-    set as {!probe} (the same [demanded_edges] fixpoint over the same
-    base facts), but builds only an adjacency array and answers
-    cycle-existence by one DFS — no hashtables, no SCC partition, no
-    notes, no report.  A directed cycle exists iff the probe's core
-    list is non-empty (a core is an SCC of size > 1 or a self-loop),
-    so [probe_core_exists sim = (probe sim ~cycle).cores <> []] for
-    every state.  This is the sanitizer's per-trigger fast path: most
-    wait-cycle probes come back clean, and a clean answer here costs a
-    fraction of a full report. *)
-
-(** Preallocated workspace for {!probe_core_exists}: per-unit adjacency
-    and coloring arrays sized to one graph, plus the static facts every
-    probe re-derives (channel endpoints by id, the Exit unit list).
-    Reused across thousands of probes per run; everything mutable is
-    reset after each call by walking only the units actually touched. *)
-type probe_scratch = {
-  ps_nu : int;
-  ps_succ : int list array;          (** per-unit successor lists *)
-  ps_demanded : Bytes.t;             (** 2 flags per unit, one per flavor *)
-  ps_color : Bytes.t;                (** DFS white/grey/black *)
-  mutable ps_touched : int list;     (** units with succ or demand flags *)
-  mutable ps_colored : int list;     (** units with a non-white color *)
-  ps_csrc : int array;               (** channel id -> producer unit *)
-  ps_cdst : int array;               (** channel id -> consumer unit *)
-  ps_exits : int array;              (** Exit unit ids *)
-}
-
-let probe_scratch sim =
-  let g = Engine.graph_of sim in
-  let nu = max 1 g.Graph.n_units in
-  let nc = max 1 g.Graph.n_channels in
-  let csrc = Array.make nc 0 and cdst = Array.make nc 0 in
-  Graph.iter_channels g (fun c ->
-      csrc.(c.Graph.id) <- c.Graph.src.Graph.unit_id;
-      cdst.(c.Graph.id) <- c.Graph.dst.Graph.unit_id);
-  let exits = ref [] in
-  Graph.iter_units g (fun u ->
-      if u.Graph.kind = Exit then exits := u.Graph.uid :: !exits);
-  {
-    ps_nu = nu;
-    ps_succ = Array.make nu [];
-    ps_demanded = Bytes.make (2 * nu) '\000';
-    ps_color = Bytes.make nu '\000';
-    ps_touched = [];
-    ps_colored = [];
-    ps_csrc = csrc;
-    ps_cdst = cdst;
-    ps_exits = Array.of_list !exits;
-  }
-
-let probe_core_exists ?scratch ?stalled sim =
-  let g = Engine.graph_of sim in
-  let ps = match scratch with Some ps -> ps | None -> probe_scratch sim in
-  let succ = ps.ps_succ and demanded = ps.ps_demanded in
-  let frontier = ref [] in
-  let touch u =
-    if
-      succ.(u) = []
-      && Bytes.get demanded (2 * u) = '\000'
-      && Bytes.get demanded ((2 * u) + 1) = '\000'
-    then ps.ps_touched <- u :: ps.ps_touched
-  in
-  let demand u flavor =
-    let i = (2 * u) + match flavor with As_producer -> 0 | As_consumer -> 1 in
-    if Bytes.get demanded i = '\000' then begin
-      touch u;
-      Bytes.set demanded i '\001';
-      frontier := (u, flavor) :: !frontier
-    end
-  in
-  (* Duplicate adjacency entries are harmless for cycle existence, so
-     edges need no dedup — only the demand expansion does. *)
-  let add_edge src dst reason =
-    touch src;
-    succ.(src) <- dst :: succ.(src);
-    demand dst
-      (match reason with
-      | Awaiting_token -> As_producer
-      | Blocked_output -> As_consumer)
-  in
-  (* Seed with the blocked channels: every [valid && not ready] channel.
-     A caller already maintaining that set (the {!Sanitizer} watchdog)
-     passes it in; otherwise scan. *)
-  (match stalled with
-  | Some (cids, n) ->
-      for i = 0 to n - 1 do
-        let cid = cids.(i) in
-        add_edge ps.ps_csrc.(cid) ps.ps_cdst.(cid) Blocked_output
-      done
-  | None ->
-      Graph.iter_channels g (fun c ->
-          let cid = c.Graph.id in
-          if
-            Engine.channel_valid sim cid
-            && not (Engine.channel_ready sim cid)
-          then
-            add_edge c.Graph.src.Graph.unit_id c.Graph.dst.Graph.unit_id
-              Blocked_output));
-  Array.iter (fun uid -> demand uid As_producer) ps.ps_exits;
-  let continue_ = ref true in
-  while !continue_ do
-    match !frontier with
-    | [] -> continue_ := false
-    | (u, flavor) :: rest ->
-        frontier := rest;
-        demanded_iter ~conservative:true sim g u flavor ~f:(fun cid reason ->
-            let dst =
-              match reason with
-              | Awaiting_token -> ps.ps_csrc.(cid)
-              | Blocked_output -> ps.ps_cdst.(cid)
-            in
-            add_edge u dst reason)
-  done;
-  (* Iterative DFS, white/grey/black: a grey hit is a back edge, i.e. a
-     directed cycle (self-loops included). *)
-  let color = ps.ps_color in
-  let shade u c =
-    if Bytes.get color u = '\000' then ps.ps_colored <- u :: ps.ps_colored;
-    Bytes.set color u c
-  in
-  let cycle_found = ref false in
-  List.iter
-    (fun s ->
-      if (not !cycle_found) && Bytes.get color s = '\000' && succ.(s) <> []
-      then begin
-        shade s '\001';
-        let stk = ref [ (s, succ.(s)) ] in
-        while (not !cycle_found) && !stk <> [] do
-          match !stk with
-          | [] -> ()
-          | (u, next) :: rest -> (
-              match next with
-              | [] ->
-                  shade u '\002';
-                  stk := rest
-              | v :: vs -> (
-                  stk := (u, vs) :: rest;
-                  match Bytes.get color v with
-                  | '\000' ->
-                      shade v '\001';
-                      stk := (v, succ.(v)) :: !stk
-                  | '\001' -> cycle_found := true
-                  | _ -> ()))
-        done
-      end)
-    ps.ps_touched;
-  (* Reset the scratch by undoing only what this probe touched. *)
-  List.iter
-    (fun u ->
-      succ.(u) <- [];
-      Bytes.set demanded (2 * u) '\000';
-      Bytes.set demanded ((2 * u) + 1) '\000')
-    ps.ps_touched;
-  List.iter (fun u -> Bytes.set color u '\000') ps.ps_colored;
-  ps.ps_touched <- [];
-  ps.ps_colored <- [];
-  !cycle_found
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)

@@ -1,0 +1,528 @@
+(* Frozen pre-rewrite reference sanitizer, the oracle counterpart of
+   Oracle_engine: the per-cycle rescanning monitors the incremental
+   ledgers must agree with verdict-for-verdict.  Unmodified
+   lib/sim/sanitizer.ml apart from this header and the aliases. *)
+
+module Engine = Oracle_engine
+module Forensics = Oracle_forensics
+
+(** Always-on-able runtime monitors of the elastic protocol.  See the
+    interface for the invariant catalogue; this file is organized as one
+    [check_*] function per invariant family, driven from the engine's
+    monitor hook at the two phase boundaries of every cycle. *)
+
+open Dataflow
+open Types
+
+type config = {
+  stall_threshold : int;
+  check_priority : bool;
+}
+
+let default = { stall_threshold = 8; check_priority = true }
+
+type violation = {
+  cycle : int;
+  unit_label : string;
+  invariant : string;
+  detail : string;
+}
+
+exception Violation of violation
+
+let pp_violation ppf v =
+  Fmt.pf ppf "sanitizer: %s violated at cycle %d by %s: %s" v.invariant
+    v.cycle v.unit_label v.detail
+
+let () =
+  Printexc.register_printer (function
+    | Violation v -> Some (Fmt.str "%a" pp_violation v)
+    | _ -> None)
+
+let fail ~cycle ~unit_label ~invariant detail =
+  raise (Violation { cycle; unit_label; invariant; detail })
+
+(* ------------------------------------------------------------------ *)
+(* Monitor state                                                       *)
+
+(** Everything is precomputed from the graph on the first monitor call:
+    per-cycle checks then only walk flat arrays of the units they are
+    about, never the full unit table (except the two O(channels) scans:
+    the conservation recount and the stalled-channel watchdog). *)
+type state = {
+  sim : Engine.t;
+  g : Graph.t;
+  cfg : config;
+  chaos : bool;
+  joins : (int * int) array;  (** uid, inputs *)
+  arbiters : (int * int * arbiter_policy) array;  (** uid, inputs, policy *)
+  buffers : (int * int) array;  (** uid, slots *)
+  credits : (int * int) array;  (** uid, init *)
+  pipelines : int array;  (** uids with internal stages *)
+  eq1_pairs : (int * int * int * int) array;
+      (** cc uid, cc init, ob uid, ob slots — wrapper pairs by label *)
+  persistent_out : int array;
+      (** output channels of units whose valid must persist until fired *)
+  (* per-cycle pre-transfer snapshot, captured at After_settle *)
+  pre_occ : int array;      (** per uid *)
+  pre_credit : int array;   (** per uid *)
+  pre_busy : int array;     (** per uid *)
+  (* previous-cycle unconsumed-token snapshot (valid-persistence) *)
+  pend : bool array;        (** per cid: offered a token nobody took *)
+  pend_data : value array;  (** per cid: the offered payload *)
+  mutable have_prev : bool;
+  streak : int array;       (** per cid: consecutive valid-and-not-ready *)
+  mutable zero_fire : int;  (** consecutive cycles with no transfer *)
+}
+
+let string_has_prefix ~prefix s =
+  String.length s > String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let strip_prefix ~prefix s =
+  String.sub s (String.length prefix) (String.length s - String.length prefix)
+
+let init cfg sim =
+  let g = Engine.graph_of sim in
+  let n_units = max 1 g.Graph.n_units in
+  let n_channels = max 1 g.Graph.n_channels in
+  let joins = ref [] in
+  let arbiters = ref [] in
+  let buffers = ref [] in
+  let credits = ref [] in
+  let pipelines = ref [] in
+  let persistent = ref [] in
+  let cc_by_suffix = Hashtbl.create 7 in
+  let ob_by_suffix = Hashtbl.create 7 in
+  Graph.iter_units g (fun u ->
+      let uid = u.Graph.uid in
+      (match u.Graph.kind with
+      | Join { inputs; _ } -> joins := (uid, inputs) :: !joins
+      | Arbiter { inputs; policy } ->
+          arbiters := (uid, inputs, policy) :: !arbiters
+      | Buffer { slots; _ } -> buffers := (uid, slots) :: !buffers
+      | Credit_counter { init } -> credits := (uid, init) :: !credits
+      | _ -> ());
+      (match Engine.pipeline_busy sim uid with
+      | Some _ -> pipelines := uid :: !pipelines
+      | None -> ());
+      (* Units whose output valid comes from registered internal state:
+         once offered, a token cannot be retracted or replaced before a
+         consumer takes it.  Combinational kinds (forks, joins, muxes,
+         transparent buffers, ...) merely propagate, so their outputs
+         legitimately follow whatever their inputs do. *)
+      (match u.Graph.kind with
+      | Entry _ | Buffer { transparent = false; _ } | Load _ | Store _
+      | Credit_counter _ ->
+          persistent := uid :: !persistent
+      | Operator { latency; _ } when latency > 0 -> persistent := uid :: !persistent
+      | _ -> ());
+      (* Sharing-wrapper pairs are matched by the label convention of
+         {!Crush.Wrapper}: cc_<op><i> guards ob_<op><i>. *)
+      (match u.Graph.kind with
+      | Credit_counter { init }
+        when string_has_prefix ~prefix:"cc_" u.Graph.label ->
+          Hashtbl.replace cc_by_suffix
+            (strip_prefix ~prefix:"cc_" u.Graph.label)
+            (uid, init)
+      | Buffer { slots; _ } when string_has_prefix ~prefix:"ob_" u.Graph.label
+        ->
+          Hashtbl.replace ob_by_suffix
+            (strip_prefix ~prefix:"ob_" u.Graph.label)
+            (uid, slots)
+      | _ -> ()));
+  let eq1_pairs =
+    Hashtbl.fold
+      (fun sfx (cc, init) acc ->
+        match Hashtbl.find_opt ob_by_suffix sfx with
+        | Some (ob, slots) -> (cc, init, ob, slots) :: acc
+        | None -> acc)
+      cc_by_suffix []
+    |> List.sort compare
+  in
+  let persistent_out =
+    List.filter_map
+      (fun uid ->
+        Option.map (fun c -> c.Graph.id) (Graph.out_channel g uid 0))
+      !persistent
+    |> List.sort compare
+  in
+  let sorted l = List.sort compare l in
+  {
+    sim;
+    g;
+    cfg;
+    chaos = Engine.has_chaos sim;
+    joins = Array.of_list (sorted !joins);
+    arbiters = Array.of_list (sorted !arbiters);
+    buffers = Array.of_list (sorted !buffers);
+    credits = Array.of_list (sorted !credits);
+    pipelines = Array.of_list (sorted !pipelines);
+    eq1_pairs = Array.of_list eq1_pairs;
+    persistent_out = Array.of_list persistent_out;
+    pre_occ = Array.make n_units 0;
+    pre_credit = Array.make n_units 0;
+    pre_busy = Array.make n_units 0;
+    pend = Array.make n_channels false;
+    pend_data = Array.make n_channels VUnit;
+    have_prev = false;
+    streak = Array.make n_channels 0;
+    zero_fire = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+
+let label s uid = Graph.label_of s.g uid
+
+let producer_label s cid =
+  let c = Graph.channel_exn s.g cid in
+  label s c.Graph.src.Graph.unit_id
+
+let in_fired s uid p =
+  match Graph.in_channel s.g uid p with
+  | Some c -> Engine.channel_fired s.sim c.Graph.id
+  | None -> false
+
+let out_fired s uid p =
+  match Graph.out_channel s.g uid p with
+  | Some c -> Engine.channel_fired s.sim c.Graph.id
+  | None -> false
+
+let in_valid s uid p =
+  match Graph.in_channel s.g uid p with
+  | Some c -> Engine.channel_valid s.sim c.Graph.id
+  | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* After_settle checks: signals are final, state is pre-transfer       *)
+
+(** The engine's incremental transfer counter against an independent
+    recount over every channel. *)
+let check_conservation s ~cycle =
+  let n = ref 0 in
+  Graph.iter_channels s.g (fun c ->
+      if Engine.channel_fired s.sim c.Graph.id then incr n);
+  let engine_n = Engine.fired_count s.sim in
+  if !n <> engine_n then
+    fail ~cycle ~unit_label:"<engine>" ~invariant:"token-conservation"
+      (Fmt.str
+         "incremental transfer count says %d channel(s) fire this cycle, \
+          an independent recount finds %d"
+         engine_n !n)
+
+(** A registered producer that offered a token nobody took must keep
+    offering the same token. *)
+let check_persistence s ~cycle =
+  if s.have_prev then
+    Array.iter
+      (fun cid ->
+        if s.pend.(cid) then
+          if not (Engine.channel_valid s.sim cid) then
+            fail ~cycle ~unit_label:(producer_label s cid)
+              ~invariant:"valid-persistence"
+              (Fmt.str
+                 "retracted valid on channel %d before the pending token \
+                  (%s) was consumed"
+                 cid
+                 (value_to_string s.pend_data.(cid)))
+          else if
+            compare (Engine.channel_data s.sim cid) s.pend_data.(cid) <> 0
+          then
+            fail ~cycle ~unit_label:(producer_label s cid)
+              ~invariant:"valid-persistence"
+              (Fmt.str
+                 "replaced the pending token on channel %d: offered %s, now \
+                  %s"
+                 cid
+                 (value_to_string s.pend_data.(cid))
+                 (value_to_string (Engine.channel_data s.sim cid))))
+      s.persistent_out
+
+(** A join fires all inputs and its output together, or nothing. *)
+let check_joins s ~cycle =
+  Array.iter
+    (fun (uid, inputs) ->
+      let fired_in = ref 0 in
+      for p = 0 to inputs - 1 do
+        if in_fired s uid p then incr fired_in
+      done;
+      let out = out_fired s uid 0 in
+      if (out && !fired_in <> inputs) || ((not out) && !fired_in > 0) then
+        fail ~cycle ~unit_label:(label s uid) ~invariant:"join-partial-fire"
+          (Fmt.str
+             "%d of %d input(s) fire while the output %s — a join must \
+              consume all operands and emit in the same cycle"
+             !fired_in inputs
+             (if out then "fires" else "does not fire")))
+    s.joins
+
+(** An arbiter grants at most one request per cycle, both outputs fire
+    together with the grant, and — without chaos — a priority arbiter
+    serves the earliest valid request of its declared order. *)
+let check_arbiters s ~cycle =
+  Array.iter
+    (fun (uid, inputs, policy) ->
+      let granted = ref [] in
+      for p = inputs - 1 downto 0 do
+        if in_fired s uid p then granted := p :: !granted
+      done;
+      (match !granted with
+      | _ :: _ :: _ ->
+          fail ~cycle ~unit_label:(label s uid) ~invariant:"arbiter-one-hot"
+            (Fmt.str "granted inputs %a in one cycle"
+               Fmt.(list ~sep:comma int)
+               !granted)
+      | _ -> ());
+      let o0 = out_fired s uid 0 and o1 = out_fired s uid 1 in
+      if o0 <> o1 || (!granted <> [] && not o0) || (!granted = [] && o0) then
+        fail ~cycle ~unit_label:(label s uid) ~invariant:"arbiter-output-sync"
+          (Fmt.str
+             "grant=%a but operand output %s and index output %s — the two \
+              outputs must accompany every grant"
+             Fmt.(list ~sep:comma int)
+             !granted
+             (if o0 then "fires" else "holds")
+             (if o1 then "fires" else "holds"));
+      match (policy, !granted) with
+      | Priority order, [ p ] when s.cfg.check_priority && not s.chaos ->
+          let rec earlier = function
+            | [] | [ _ ] -> ()
+            | q :: rest ->
+                if q = p then ()
+                else if in_valid s uid q then
+                  fail ~cycle ~unit_label:(label s uid)
+                    ~invariant:"arbiter-priority-order"
+                    (Fmt.str
+                       "granted input %d while higher-priority input %d was \
+                        requesting"
+                       p q)
+                else earlier rest
+          in
+          earlier order
+      | _ -> ())
+    s.arbiters
+
+(** A credit spent this cycle must come from the pre-cycle balance: a
+    credit returned in cycle [t] is usable from [t+1] only. *)
+let check_credit_grants s ~cycle =
+  Array.iter
+    (fun (uid, _init) ->
+      if out_fired s uid 0 then
+        match Engine.credit_count s.sim uid with
+        | Some c when c <= 0 ->
+            fail ~cycle ~unit_label:(label s uid)
+              ~invariant:"credit-same-cycle-return"
+              (Fmt.str
+                 "granted a credit with a balance of %d — a return landing \
+                  this cycle must only become spendable next cycle"
+                 c)
+        | _ -> ())
+    s.credits
+
+(** Stalled-channel watchdog.  Channels frozen at valid-and-not-ready
+    for [stall_threshold] consecutive cycles — or any cycle in which no
+    token moves at all — trigger a conservative {!Forensics.probe}; a
+    cyclic core in that probe is a deadlock already sustained, however
+    much of the rest of the circuit is still moving.  A clean probe
+    re-arms the watchdog. *)
+let check_wait_cycles s ~cycle =
+  let trigger = ref (Engine.fired_count s.sim = 0 && s.zero_fire > 0) in
+  Graph.iter_channels s.g (fun c ->
+      let cid = c.Graph.id in
+      if Engine.channel_valid s.sim cid && not (Engine.channel_ready s.sim cid)
+      then begin
+        s.streak.(cid) <- s.streak.(cid) + 1;
+        if s.streak.(cid) >= s.cfg.stall_threshold then trigger := true
+      end
+      else s.streak.(cid) <- 0);
+  s.zero_fire <-
+    (if Engine.fired_count s.sim = 0 then s.zero_fire + 1 else 0);
+  if !trigger then begin
+    let r = Forensics.probe s.sim ~cycle in
+    match r.Forensics.cores with
+    | core :: _ ->
+        let member_note (n : Forensics.note) =
+          match n.Forensics.state with
+          | Some st -> Fmt.str "%s [%s]" n.Forensics.label st
+          | None -> n.Forensics.label
+        in
+        let head =
+          match core.Forensics.notes with
+          | n :: _ -> n.Forensics.label
+          | [] -> "<core>"
+        in
+        fail ~cycle ~unit_label:head ~invariant:"deadlock-wait-cycle"
+          (Fmt.str "sustained wait cycle through %a"
+             Fmt.(list ~sep:(any " -> ") string)
+             (List.map member_note core.Forensics.notes))
+    | [] -> Array.fill s.streak 0 (Array.length s.streak) 0
+  end
+
+(** Snapshot the pre-transfer state the [After_step] checks diff
+    against, and the offered-but-unconsumed tokens the next cycle's
+    persistence check compares with. *)
+let snapshot s =
+  Array.iter
+    (fun (uid, _) ->
+      s.pre_occ.(uid) <-
+        (match Engine.buffer_occupancy s.sim uid with
+        | Some (occ, _) -> occ
+        | None -> 0))
+    s.buffers;
+  Array.iter
+    (fun (uid, _) ->
+      s.pre_credit.(uid) <-
+        Option.value (Engine.credit_count s.sim uid) ~default:0)
+    s.credits;
+  Array.iter
+    (fun uid ->
+      s.pre_busy.(uid) <-
+        (match Engine.pipeline_busy s.sim uid with
+        | Some (busy, _) -> busy
+        | None -> 0))
+    s.pipelines;
+  Array.iter
+    (fun cid ->
+      let pending =
+        Engine.channel_valid s.sim cid
+        && not (Engine.channel_ready s.sim cid)
+      in
+      s.pend.(cid) <- pending;
+      if pending then s.pend_data.(cid) <- Engine.channel_data s.sim cid)
+    s.persistent_out;
+  s.have_prev <- true
+
+(* ------------------------------------------------------------------ *)
+(* After_step checks: state advanced, signals still show the transfers *)
+
+(** Buffer occupancy obeys the exact per-cycle token ledger and never
+    exceeds capacity. *)
+let check_buffers s ~cycle =
+  Array.iter
+    (fun (uid, slots) ->
+      match Engine.buffer_occupancy s.sim uid with
+      | None -> ()
+      | Some (occ, _) ->
+          if occ > slots then
+            fail ~cycle ~unit_label:(label s uid) ~invariant:"buffer-overflow"
+              (Fmt.str "%d token(s) in a %d-slot buffer" occ slots);
+          let din = if in_fired s uid 0 then 1 else 0 in
+          let dout = if out_fired s uid 0 then 1 else 0 in
+          let expected = s.pre_occ.(uid) + din - dout in
+          (* A transparent buffer bypasses an arriving token straight to a
+             firing output, so in+out with an empty queue nets to zero —
+             which the ledger equation already says. *)
+          if occ <> expected then
+            fail ~cycle ~unit_label:(label s uid)
+              ~invariant:
+                (if expected > occ then "buffer-underflow"
+                 else "buffer-overflow")
+              (Fmt.str
+                 "occupancy %d after a cycle with %d in / %d out of %d — \
+                  expected %d"
+                 occ din dout s.pre_occ.(uid) expected))
+    s.buffers
+
+(** Credits obey the exact ledger and stay within [0, init]: a balance
+    above [init] means a credit was returned twice. *)
+let check_credit_ledger s ~cycle =
+  Array.iter
+    (fun (uid, init) ->
+      match Engine.credit_count s.sim uid with
+      | None -> ()
+      | Some c ->
+          let dret = if in_fired s uid 0 then 1 else 0 in
+          let dgrant = if out_fired s uid 0 then 1 else 0 in
+          let expected = s.pre_credit.(uid) + dret - dgrant in
+          if c <> expected then
+            fail ~cycle ~unit_label:(label s uid)
+              ~invariant:"credit-conservation"
+              (Fmt.str
+                 "balance %d after %d return(s) / %d grant(s) on %d — \
+                  expected %d"
+                 c dret dgrant s.pre_credit.(uid) expected);
+          if c < 0 || c > init then
+            fail ~cycle ~unit_label:(label s uid)
+              ~invariant:"credit-conservation"
+              (Fmt.str
+                 "balance %d outside [0, %d] — %s"
+                 c init
+                 (if c > init then "a credit was returned twice"
+                  else "a grant was issued without a credit")))
+    s.credits
+
+(** Pipeline fill obeys the token ledger (all operand ports of a
+    pipelined unit fire together, so port 0 stands for the intake). *)
+let check_pipelines s ~cycle =
+  Array.iter
+    (fun uid ->
+      match Engine.pipeline_busy s.sim uid with
+      | None -> ()
+      | Some (busy, depth) ->
+          let din = if in_fired s uid 0 then 1 else 0 in
+          let dout = if out_fired s uid 0 then 1 else 0 in
+          let expected = s.pre_busy.(uid) + din - dout in
+          if busy <> expected || busy > depth then
+            fail ~cycle ~unit_label:(label s uid)
+              ~invariant:"token-conservation"
+              (Fmt.str
+                 "pipeline holds %d/%d token(s) after a cycle with %d in / \
+                  %d out of %d — expected %d"
+                 busy depth din dout s.pre_busy.(uid) expected))
+    s.pipelines
+
+(** The Eq. 1 sizing discipline, checked dynamically per wrapper pair:
+    credits in flight (granted, not yet returned) may never outnumber
+    the output-buffer slots guaranteed to receive their results.  The
+    two credit-sizing faults of {!Crush.Faults} cross this line many
+    cycles before the circuit wedges. *)
+let check_eq1 s ~cycle =
+  Array.iter
+    (fun (cc, init, ob, slots) ->
+      match Engine.credit_count s.sim cc with
+      | None -> ()
+      | Some c ->
+          let in_flight = init - c in
+          if in_flight > slots then
+            fail ~cycle ~unit_label:(label s cc)
+              ~invariant:"eq1-credit-capacity"
+              (Fmt.str
+                 "%d credit(s) in flight against %d slot(s) in %s — Eq. 1 \
+                  requires every circulating credit to have a guaranteed \
+                  landing slot"
+                 in_flight slots (label s ob)))
+    s.eq1_pairs
+
+(* ------------------------------------------------------------------ *)
+(* The monitor                                                         *)
+
+let after_settle s ~cycle =
+  check_conservation s ~cycle;
+  check_persistence s ~cycle;
+  check_joins s ~cycle;
+  check_arbiters s ~cycle;
+  check_credit_grants s ~cycle;
+  check_wait_cycles s ~cycle;
+  snapshot s
+
+let after_step s ~cycle =
+  check_buffers s ~cycle;
+  check_credit_ledger s ~cycle;
+  check_pipelines s ~cycle;
+  check_eq1 s ~cycle
+
+let monitor ?(config = default) () =
+  let st = ref None in
+  fun sim ~cycle phase ->
+    let s =
+      match !st with
+      | Some s -> s
+      | None ->
+          let s = init config sim in
+          st := Some s;
+          s
+    in
+    match phase with
+    | Engine.After_settle -> after_settle s ~cycle
+    | Engine.After_step -> after_step s ~cycle

@@ -20,6 +20,7 @@ let () =
       ("robustness", Test_robustness.suite);
       ("exec", Test_exec.suite);
       ("sanitize", Test_sanitize.suite);
+      ("differential", Test_differential.suite);
       ("obs", Test_obs.suite);
       ("shard", Test_shard.suite);
     ]
