@@ -7,7 +7,7 @@
 DUNE ?= dune
 
 .PHONY: all build test chaos chaos-supervised crash-chaos sanitize-smoke \
-  bench-smoke fmt check clean
+  bench-smoke serve-smoke fmt check clean
 
 all: build
 
@@ -39,12 +39,14 @@ chaos-supervised: build
 # sweep must complete every task, then the CLI re-runs the same tasks
 # serially (--jobs 1) and byte-compares the merged shard journal
 # against the serial one — any divergence, missed kill or unpreempted
-# hang exits nonzero.  Journals are left in place for CI artifacts.
+# hang exits nonzero.  Journals land under _build/crash-chaos/ (never
+# the source tree) and are left in place for CI artifacts.
 crash-chaos: build
-	rm -f crash-chaos.jsonl crash-chaos.jsonl.*
+	rm -rf _build/crash-chaos
+	mkdir -p _build/crash-chaos
 	$(DUNE) exec bin/crush_cli.exe -- chaos --kernel atax --trials 4 \
 	  --shards 3 --crash-workers 2 --seed 1 --timeout-s 30 --retries 1 \
-	  --heartbeat-s 2 --fsync --journal crash-chaos.jsonl
+	  --heartbeat-s 2 --fsync --journal _build/crash-chaos/crash-chaos.jsonl
 
 # Elastic-protocol sanitizer smoke: the three Eq. 1 fault circuits must
 # each be convicted strictly earlier than quiescence deadlock detection,
@@ -62,6 +64,17 @@ sanitize-smoke: build
 bench-smoke: build
 	$(DUNE) exec bench/main.exe -- smoke --jobs 4
 
+# Serving-layer smoke: boot a private `crush serve` daemon, drive it
+# with concurrent clients over a mixed workload (cache hits/misses,
+# malformed bodies, zero deadlines), protocol-chaos clients
+# (slow-loris, oversized payloads, mid-request disconnects) and one
+# mid-run worker SIGKILL, then SIGTERM it and gate on a clean drain:
+# zero leaked fds, zero surviving workers, correct API codes, and a
+# nonzero cache hit rate.  Metrics land in BENCH_serve.json.
+serve-smoke: build
+	$(DUNE) exec bin/crush_cli.exe -- bench-serve --clients 4 --requests 8 \
+	  --chaos-clients 2 --kill-workers 1 --out BENCH_serve.json
+
 # Reformat the tree with the ocamlformat version pinned in .ocamlformat.
 # Requires `opam install ocamlformat.0.27.0`; CI runs the check-only
 # variant (`dune build @fmt`) as an advisory job.
@@ -69,8 +82,7 @@ fmt:
 	$(DUNE) build @fmt --auto-promote
 
 check: build test chaos chaos-supervised crash-chaos sanitize-smoke \
-  bench-smoke
+  bench-smoke serve-smoke
 
 clean:
 	$(DUNE) clean
-	rm -f crash-chaos.jsonl crash-chaos.jsonl.*

@@ -788,7 +788,8 @@ let run_chaos_task ?poll_every ~sanitize ~auto_reduce ~repro_dir ~deadline task
     atomically so a kill mid-report never leaves a torn file.  [results]
     are (journal key, outcome) pairs so the in-process and sharded
     sweeps share one writer; [shards = 0] means in-process. *)
-let write_chaos_report path ~trials ~seed ~jobs ~shards summary results =
+let write_chaos_report path ~trials ~seed ~jobs ~shards ~journal_dups summary
+    results =
   let open Exec.Jsonl in
   let task_json (key, o) =
     Obj
@@ -810,6 +811,7 @@ let write_chaos_report path ~trials ~seed ~jobs ~shards summary results =
         ("seed", Int seed);
         ("jobs", Int jobs);
         ("shards", Int shards);
+        ("journal_duplicates", Int journal_dups);
         ( "counts",
           Obj
             [
@@ -847,11 +849,18 @@ let chaos_supervised ?poll_every ~jobs ~trials ~seed ~sup ~inject_faults
     @ (if inject_faults then List.map (fun f -> Fault f) Crush.Faults.all
        else [])
   in
-  let pending = Exec.Campaign.pending_count ~sup ~key:chaos_key tasks in
+  let pending, journal_dups =
+    Exec.Campaign.pending_and_dups ~sup ~key:chaos_key tasks
+  in
   if pending < List.length tasks then
     Fmt.pr "resuming: %d/%d tasks already journalled, %d to run@."
       (List.length tasks - pending)
       (List.length tasks) pending;
+  if journal_dups > 0 then
+    Fmt.pr
+      "warning: journal carried %d superseded duplicate record(s) — a \
+       replayed or merged sweep; latest record wins@."
+      journal_dups;
   let results =
     Exec.Campaign.map_outcomes ~jobs ~sup ~key:chaos_key ~encode:chaos_encode
       ~decode:chaos_decode
@@ -904,9 +913,21 @@ let chaos_supervised ?poll_every ~jobs ~trials ~seed ~sup ~inject_faults
      | _ -> ());
   Option.iter
     (fun path ->
-      write_chaos_report path ~trials ~seed ~jobs ~shards:0 summary
+      write_chaos_report path ~trials ~seed ~jobs ~shards:0 ~journal_dups
+        summary
         (List.map (fun (t, o) -> (chaos_key t, o)) results))
     report;
+  if Exec.Interrupt.triggered () then begin
+    (match sup.Exec.Campaign.journal with
+    | Some j ->
+        Fmt.pr "interrupted: journal flushed — rerun with --journal %s to \
+                resume@."
+          j
+    | None ->
+        Fmt.pr "interrupted: partial sweep (no --journal, a rerun starts \
+                over)@.");
+    exit Exec.Interrupt.exit_code
+  end;
   if !wrong > 0 || !missed > 0 then exit 1;
   if code <> 0 then exit code
 
@@ -1141,9 +1162,15 @@ let chaos_sharded ~shards ~trials ~seed ~timeout_s ~retries ~journal ~fsync
   let st : Exec.Supervisor.stats = r.Exec.Supervisor.stats in
   Fmt.pr
     "shards: %d worker(s), %d resumed, %d chaos kill(s), %d preempted, %d \
-     lost, %d respawn(s), %d retired, %d poisoned, %d merged dup(s)@."
+     lost, %d respawn(s), %d retired, %d poisoned, %d merged dup(s), %d \
+     resume dup(s)@."
     shards st.n_resumed st.n_chaos_kills st.n_preempted st.n_lost
-    st.n_respawns st.n_retired st.n_poisoned st.merged_dups;
+    st.n_respawns st.n_retired st.n_poisoned st.merged_dups st.n_resume_dups;
+  if st.n_resume_dups > 0 then
+    Fmt.pr
+      "warning: resume superseded %d duplicate journal record(s) — a \
+       replayed or merged sweep; latest record wins@."
+      st.n_resume_dups;
   let self_test_failed = ref false in
   if self_test then begin
     Fmt.pr "crash-chaos: serial rerun for the byte-identity check...@.";
@@ -1194,9 +1221,15 @@ let chaos_sharded ~shards ~trials ~seed ~timeout_s ~retries ~journal ~fsync
          (Exec.Journal.quarantine_path journal_path));
   Option.iter
     (fun path ->
-      write_chaos_report path ~trials ~seed ~jobs:shards ~shards summary
-        decoded)
+      write_chaos_report path ~trials ~seed ~jobs:shards ~shards
+        ~journal_dups:(st.merged_dups + st.n_resume_dups) summary decoded)
     report;
+  if Exec.Interrupt.triggered () then begin
+    Fmt.pr
+      "interrupted: journal flushed — rerun with --journal %s to resume@."
+      journal_path;
+    exit Exec.Interrupt.exit_code
+  end;
   if !wrong > 0 || !missed > 0 || !self_test_failed then exit 1;
   if code <> 0 then exit code
 
@@ -1215,6 +1248,7 @@ let chaos_cmd =
   let run trials seed kernel report jobs keep_going timeout_s retries journal
       inject_faults sanitize auto_reduce repro_dir profile trace shards
       crash_workers fsync poll_every heartbeat_s =
+    Exec.Interrupt.install ();
     (match report with
     | Some path -> if Sys.file_exists path then Sys.remove path
     | None -> ());
@@ -1555,13 +1589,636 @@ let reduce_cmd =
     Term.(
       const run $ fault_arg $ out_arg $ budget_arg $ replay_arg $ timeout_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve: the fault-tolerant compile-and-simulate daemon               *)
+
+let serve_cmd =
+  let doc =
+    "Long-lived compile-and-simulate daemon: POST mini-C, a registry \
+     kernel or a circuit JSON to /v1/submit and get the classified \
+     outcome back over HTTP.  Every request carries a deadline that \
+     propagates into the simulator's cooperative watchdog; per-tenant \
+     token buckets (requests/s and simulation fuel/s) and a bounded \
+     dispatch queue shed overload with 429 + Retry-After; results are \
+     cached by content hash with single-flight dedup; each job runs in \
+     a separate worker process so a crash or SIGKILL costs exactly one \
+     request (503, worker-lost).  SIGTERM/SIGINT drains gracefully: \
+     in-flight requests finish, workers shut down, and the exit line \
+     reports leaked fds and surviving workers."
+  in
+  let host_arg =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Listen port; 0 picks an ephemeral port (printed at boot).")
+  in
+  let workers_arg =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker process pool size.")
+  in
+  let max_conns_arg =
+    Arg.(
+      value
+      & opt int 32
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:"Concurrent connection cap; excess connections get 429.")
+  in
+  let queue_depth_arg =
+    Arg.(
+      value
+      & opt int 16
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Dispatch-queue watermark: requests waiting for a worker past \
+             $(docv) are shed with 429 + Retry-After.")
+  in
+  let cache_arg =
+    Arg.(
+      value
+      & opt int 256
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"Content-hash result cache entries (FIFO eviction).")
+  in
+  let req_rate_arg =
+    Arg.(
+      value
+      & opt float 50.0
+      & info [ "req-rate" ] ~docv:"R"
+          ~doc:"Per-tenant request tokens per second (burst 2x).")
+  in
+  let fuel_rate_arg =
+    Arg.(
+      value
+      & opt float 5e6
+      & info [ "fuel-rate" ] ~docv:"R"
+          ~doc:
+            "Per-tenant simulation-fuel tokens per second; each request \
+             charges its max_cycles (burst 4x).")
+  in
+  let header_timeout_arg =
+    Arg.(
+      value
+      & opt float 2.0
+      & info [ "header-timeout-s" ] ~docv:"S"
+          ~doc:"Slow-loris bound: whole request must arrive within $(docv).")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt float 10.0
+      & info [ "deadline-s" ] ~docv:"S"
+          ~doc:"Default request deadline when the client sends no \
+                deadline_ms.")
+  in
+  let serve_heartbeat_arg =
+    Arg.(
+      value
+      & opt float 5.0
+      & info [ "heartbeat-s" ] ~docv:"S"
+          ~doc:"SIGKILL a worker silent for longer than $(docv); 0 \
+                disables.")
+  in
+  let serve_journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Append every completed request (key, attempts, outcome) to \
+             $(docv); preexisting duplicate-key records are counted and \
+             surfaced in /v1/stats.")
+  in
+  let serve_seed_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "seed" ] ~docv:"N" ~doc:"Retry-After jitter seed.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Log per-connection errors.")
+  in
+  let run host port workers max_conns queue_depth cache_capacity req_rate
+      fuel_rate header_timeout_s default_deadline_s heartbeat_s journal seed
+      verbose =
+    Exec.Interrupt.install ();
+    let cfg =
+      {
+        (Serve.Server.default_config ~binary:Sys.executable_name) with
+        Serve.Server.host;
+        port;
+        workers;
+        max_conns;
+        queue_depth;
+        cache_capacity;
+        req_rate;
+        req_burst = 2.0 *. req_rate;
+        fuel_rate;
+        fuel_burst = 4.0 *. fuel_rate;
+        header_timeout_s;
+        default_deadline_s;
+        heartbeat_s;
+        journal;
+        seed;
+        verbose;
+      }
+    in
+    let t = Serve.Server.create cfg in
+    Fmt.pr "crush serve: listening on %s:%d (%d workers, queue %d)@." host
+      (Serve.Server.port t) workers queue_depth;
+    let d = Serve.Server.run t in
+    Fmt.pr
+      "crush serve: drained conns_left=%d workers_alive=%d leaked_fds=%d@."
+      d.Serve.Server.conns_left d.Serve.Server.workers_alive
+      d.Serve.Server.leaked_fds;
+    if
+      d.Serve.Server.conns_left > 0
+      || d.Serve.Server.workers_alive > 0
+      || d.Serve.Server.leaked_fds > 0
+    then exit 1
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ host_arg $ port_arg $ workers_arg $ max_conns_arg
+      $ queue_depth_arg $ cache_arg $ req_rate_arg $ fuel_rate_arg
+      $ header_timeout_arg $ deadline_arg $ serve_heartbeat_arg
+      $ serve_journal_arg $ serve_seed_arg $ verbose_arg)
+
+(* ------------------------------------------------------------------ *)
+(* bench-serve: load + chaos harness for the daemon                    *)
+
+(** One HTTP exchange against the local daemon.  Opens a fresh
+    connection (the server is one-request-per-connection by design). *)
+let serve_post ~port ~path ?(headers = []) ~timeout_s body =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Serve.Http.write_request fd ~meth:"POST" ~path ~headers body;
+      Serve.Http.read_response ~deadline:(Unix.gettimeofday () +. timeout_s) fd)
+
+let serve_get ~port ~path ~timeout_s =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Serve.Http.write_request fd ~meth:"GET" ~path "";
+      Serve.Http.read_response ~deadline:(Unix.gettimeofday () +. timeout_s) fd)
+
+(** Spawn [crush serve] as a child with its stdout piped back; returns
+    (pid, stdout fd, port) once the listening line arrives. *)
+let spawn_serve ~workers ~queue_depth ~req_rate ~seed =
+  let r, w = Unix.pipe ~cloexec:true () in
+  let argv =
+    [|
+      Sys.executable_name; "serve"; "--port"; "0"; "--workers";
+      string_of_int workers; "--queue-depth"; string_of_int queue_depth;
+      "--req-rate"; Fmt.str "%g" req_rate; "--seed"; string_of_int seed;
+      "--header-timeout-s"; "1";
+    |]
+  in
+  let pid = Unix.create_process Sys.executable_name argv Unix.stdin w Unix.stderr in
+  Unix.close w;
+  let buf = Bytes.create 4096 in
+  let acc = Buffer.create 256 in
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  let rec wait_line () =
+    let s = Buffer.contents acc in
+    match String.index_opt s '\n' with
+    | Some i -> String.sub s 0 i
+    | None ->
+        if Unix.gettimeofday () >= deadline then
+          failwith "bench-serve: server never printed its listening line"
+        else begin
+          (match Unix.select [ r ] [] [] 0.25 with
+          | [], _, _ -> ()
+          | _ -> (
+              match Unix.read r buf 0 (Bytes.length buf) with
+              | 0 -> failwith "bench-serve: server exited before listening"
+              | k -> Buffer.add_subbytes acc buf 0 k));
+          wait_line ()
+        end
+  in
+  let line = wait_line () in
+  let port =
+    (* "... listening on 127.0.0.1:PORT (...)" *)
+    match String.split_on_char ':' line with
+    | _ :: _ ->
+        let after =
+          List.nth (String.split_on_char ':' line)
+            (List.length (String.split_on_char ':' line) - 1)
+        in
+        (match String.split_on_char ' ' (String.trim after) with
+        | p :: _ -> int_of_string_opt p
+        | [] -> None)
+    | [] -> None
+  in
+  match port with
+  | Some p -> (pid, r, p)
+  | None -> failwith ("bench-serve: cannot parse listening line: " ^ line)
+
+(** Drain the child's remaining stdout (the drain summary) and reap. *)
+let reap_serve pid r =
+  let buf = Bytes.create 4096 in
+  let acc = Buffer.create 256 in
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  let rec go () =
+    if Unix.gettimeofday () < deadline then
+      match Unix.select [ r ] [] [] 0.25 with
+      | [], _, _ -> go ()
+      | _ -> (
+          match Unix.read r buf 0 (Bytes.length buf) with
+          | 0 -> ()
+          | k ->
+              Buffer.add_subbytes acc buf 0 k;
+              go ())
+  in
+  go ();
+  (try Unix.close r with Unix.Unix_error _ -> ());
+  let status =
+    match Unix.waitpid [] pid with
+    | _, Unix.WEXITED c -> c
+    | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) -> 128
+    | exception Unix.Unix_error _ -> 128
+  in
+  (status, Buffer.contents acc)
+
+(** Pull "k=v" integer fields out of the drain summary line. *)
+let drain_field out k =
+  let marker = k ^ "=" in
+  let rec find i =
+    if i + String.length marker > String.length out then None
+    else if String.sub out i (String.length marker) = marker then begin
+      let j = ref (i + String.length marker) in
+      let start = !j in
+      while
+        !j < String.length out
+        && (out.[!j] = '-' || (out.[!j] >= '0' && out.[!j] <= '9'))
+      do
+        incr j
+      done;
+      int_of_string_opt (String.sub out start (!j - start))
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0 else sorted.(min (n - 1) (p * n / 100))
+
+let bench_serve_cmd =
+  let doc =
+    "Load-and-chaos harness for $(b,crush serve): boots a private daemon \
+     on an ephemeral port, drives it with N concurrent clients over a \
+     mixed workload (cache-hit, cache-miss, malformed, deadline-0), \
+     optionally SIGKILLs live workers mid-run and runs protocol-chaos \
+     clients (slow-loris, oversized payloads, mid-request disconnects), \
+     then SIGTERMs the daemon and checks the drain: no leaked fds, no \
+     surviving workers, correct API codes throughout.  Writes \
+     schema-versioned latency/shed/cache metrics to BENCH_serve.json."
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client threads.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests per client.")
+  in
+  let kill_workers_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "kill-workers" ] ~docv:"N"
+          ~doc:
+            "SIGKILL $(docv) live worker processes mid-run; the affected \
+             requests must classify worker-lost (503) and the daemon must \
+             keep serving.")
+  in
+  let chaos_clients_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "chaos-clients" ] ~docv:"N"
+          ~doc:
+            "Run $(docv) protocol-chaos clients alongside the load: \
+             slow-loris headers, oversized payloads, mid-request \
+             disconnects.  The daemon must survive without leaking fds or \
+             workers.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "BENCH_serve.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Metrics report path.")
+  in
+  let bench_workers_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N" ~doc:"Daemon worker pool size.")
+  in
+  let run clients requests kill_workers chaos_clients out workers =
+    Exec.Interrupt.install ();
+    (* Chaos clients write into sockets the server may already have
+       reset; that must surface as EPIPE, not kill the harness. *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let pid, child_out, port =
+      spawn_serve ~workers ~queue_depth:16 ~req_rate:500.0 ~seed:1
+    in
+    Fmt.pr "bench-serve: daemon pid %d on port %d@." pid port;
+    let m = Mutex.create () in
+    let results : (float * int * string) list ref = ref [] in
+    let record lat status code =
+      Mutex.lock m;
+      results := (lat, status, code) :: !results;
+      Mutex.unlock m
+    in
+    let code_of_body body =
+      match Exec.Jsonl.parse body with
+      | Ok j ->
+          Option.value ~default:"?"
+            (Option.bind (Exec.Jsonl.member "code" j) Exec.Jsonl.to_str)
+      | Error _ -> "?"
+    in
+    let cache_of_body body =
+      match Exec.Jsonl.parse body with
+      | Ok j -> Option.bind (Exec.Jsonl.member "cache" j) Exec.Jsonl.to_str
+      | Error _ -> None
+    in
+    let hot_body =
+      {|{"kernel":"gsum","seed":1,"max_cycles":200000,"deadline_ms":30000}|}
+    in
+    let cold_body i =
+      Fmt.str
+        {|{"kernel":"gsum","seed":%d,"max_cycles":200000,"deadline_ms":30000}|}
+        (1000 + i)
+    in
+    let poison_body = {|{"kernel":"no-such-kernel"}|} in
+    let deadline0_body =
+      {|{"kernel":"gsum","seed":1,"max_cycles":200000,"deadline_ms":0}|}
+    in
+    let cache_hits = ref 0 and cache_misses = ref 0 in
+    let client c =
+      for i = 0 to requests - 1 do
+        if not (Exec.Interrupt.triggered ()) then begin
+          let idx = (c * requests) + i in
+          let body =
+            match idx mod 8 with
+            | 6 -> poison_body
+            | 7 -> deadline0_body
+            | 3 -> cold_body idx
+            | _ -> hot_body
+          in
+          let t0 = Unix.gettimeofday () in
+          match
+            serve_post ~port ~path:"/v1/submit"
+              ~headers:[ ("X-Tenant", Fmt.str "client-%d" (c mod 2)) ]
+              ~timeout_s:60.0 body
+          with
+          | Ok (status, _, rbody) ->
+              let lat = (Unix.gettimeofday () -. t0) *. 1000.0 in
+              (match cache_of_body rbody with
+              | Some "hit" ->
+                  Mutex.lock m;
+                  incr cache_hits;
+                  Mutex.unlock m
+              | Some "miss" ->
+                  Mutex.lock m;
+                  incr cache_misses;
+                  Mutex.unlock m
+              | _ -> ());
+              record lat status (code_of_body rbody)
+          | Error _ ->
+              record ((Unix.gettimeofday () -. t0) *. 1000.0) 0 "transport"
+        end
+      done
+    in
+    (* Protocol chaos: each round must end with the connection cleanly
+       refused or timed out server-side, never a daemon crash. *)
+    let chaos_client _c =
+      let rounds = 3 in
+      for _r = 1 to rounds do
+        if not (Exec.Interrupt.triggered ()) then begin
+          (* slow-loris: partial headers, then silence past the 1 s
+             header timeout. *)
+          (let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+           (try
+              Unix.connect fd
+                (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+              let partial = "POST /v1/submit HTTP/1.1\r\nCon" in
+              ignore
+                (Unix.write_substring fd partial 0 (String.length partial));
+              Thread.delay 1.4;
+              ignore
+                (Serve.Http.read_response
+                   ~deadline:(Unix.gettimeofday () +. 5.0)
+                   fd)
+            with Unix.Unix_error _ -> ());
+           try Unix.close fd with Unix.Unix_error _ -> ());
+          (* oversized payload: honest Content-Length over the cap. *)
+          (let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+           (try
+              Unix.connect fd
+                (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+              let hdr =
+                "POST /v1/submit HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n"
+              in
+              ignore (Unix.write_substring fd hdr 0 (String.length hdr));
+              ignore
+                (Serve.Http.read_response
+                   ~deadline:(Unix.gettimeofday () +. 5.0)
+                   fd)
+            with Unix.Unix_error _ -> ());
+           try Unix.close fd with Unix.Unix_error _ -> ());
+          (* mid-request disconnect: half a body, then hang up. *)
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          (try
+             Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+             let hdr =
+               "POST /v1/submit HTTP/1.1\r\nContent-Length: 400\r\n\r\n{\"ker"
+             in
+             ignore (Unix.write_substring fd hdr 0 (String.length hdr))
+           with Unix.Unix_error _ -> ());
+          try Unix.close fd with Unix.Unix_error _ -> ()
+        end
+      done
+    in
+    (* Worker chaos: SIGKILL live workers once the daemon is warm. *)
+    let killer () =
+      if kill_workers > 0 then begin
+        Thread.delay 0.6;
+        match serve_get ~port ~path:"/v1/stats" ~timeout_s:10.0 with
+        | Ok (_, _, body) -> (
+            match Exec.Jsonl.parse body with
+            | Ok j ->
+                let pids =
+                  Option.bind (Exec.Jsonl.member "workers" j) (fun w ->
+                      Option.bind (Exec.Jsonl.member "pids" w)
+                        Exec.Jsonl.to_list)
+                  |> Option.value ~default:[]
+                  |> List.filter_map Exec.Jsonl.to_int
+                in
+                List.iteri
+                  (fun i p ->
+                    if i < kill_workers then begin
+                      Fmt.pr "bench-serve: SIGKILL worker %d@." p;
+                      try Unix.kill p Sys.sigkill
+                      with Unix.Unix_error _ -> ()
+                    end)
+                  pids;
+                (* Probe the wounded pool: cold submissions (cache can't
+                   absorb them) must either classify worker-lost on the
+                   dead slot or complete on a healthy one — both count
+                   as "only the affected request pays". *)
+                for i = 0 to kill_workers do
+                  let t0 = Unix.gettimeofday () in
+                  match
+                    serve_post ~port ~path:"/v1/submit"
+                      ~headers:[ ("X-Tenant", "killer") ] ~timeout_s:60.0
+                      (cold_body (900_000 + i))
+                  with
+                  | Ok (status, _, rbody) ->
+                      record
+                        ((Unix.gettimeofday () -. t0) *. 1000.0)
+                        status (code_of_body rbody)
+                  | Error _ ->
+                      record
+                        ((Unix.gettimeofday () -. t0) *. 1000.0)
+                        0 "transport"
+                done
+            | Error _ -> ())
+        | Error _ -> ()
+      end
+    in
+    let threads =
+      List.init clients (fun c -> Thread.create client c)
+      @ List.init chaos_clients (fun c -> Thread.create chaos_client c)
+      @ [ Thread.create killer () ]
+    in
+    List.iter Thread.join threads;
+    let interrupted = Exec.Interrupt.triggered () in
+    (* Graceful shutdown + drain audit. *)
+    (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+    let server_exit, child_tail = reap_serve pid child_out in
+    let all = !results in
+    let total = List.length all in
+    let lats =
+      List.filter_map
+        (fun (l, s, _) -> if s > 0 then Some l else None)
+        all
+      |> Array.of_list
+    in
+    Array.sort compare lats;
+    let p50 = percentile lats 50 and p99 = percentile lats 99 in
+    let count pred = List.length (List.filter pred all) in
+    let n_ok = count (fun (_, s, _) -> s = 200) in
+    let n_shed = count (fun (_, s, _) -> s = 429) in
+    let n_lost = count (fun (_, _, c) -> c = "worker-lost" || c = "worker-killed") in
+    let n_400 = count (fun (_, s, _) -> s = 400) in
+    let n_504 = count (fun (_, s, _) -> s = 504) in
+    let shed_rate = if total = 0 then 0.0 else float_of_int n_shed /. float_of_int total in
+    let hit_rate =
+      let h = !cache_hits and ms = !cache_misses in
+      if h + ms = 0 then 0.0 else float_of_int h /. float_of_int (h + ms)
+    in
+    let drained k = Option.value ~default:(-1) (drain_field child_tail k) in
+    let conns_left = drained "conns_left"
+    and workers_alive = drained "workers_alive"
+    and leaked_fds = drained "leaked_fds" in
+    let open Exec.Jsonl in
+    let report =
+      Obj
+        [
+          ("schema_version", Int Exec.Journal.schema_version);
+          ("bench", String "serve");
+          ("clients", Int clients);
+          ("requests_per_client", Int requests);
+          ("chaos_clients", Int chaos_clients);
+          ("killed_workers", Int kill_workers);
+          ("total", Int total);
+          ("ok", Int n_ok);
+          ("bad_request", Int n_400);
+          ("deadline_exceeded", Int n_504);
+          ("worker_lost", Int n_lost);
+          ("shed", Int n_shed);
+          ("p50_ms", Float p50);
+          ("p99_ms", Float p99);
+          ("shed_rate", Float shed_rate);
+          ("cache_hit_rate", Float hit_rate);
+          ("interrupted", Bool interrupted);
+          ( "drain",
+            Obj
+              [
+                ("server_exit", Int server_exit);
+                ("conns_left", Int conns_left);
+                ("workers_alive", Int workers_alive);
+                ("leaked_fds", Int leaked_fds);
+              ] );
+        ]
+    in
+    Exec.Journal.write_atomic out (fun oc ->
+        output_string oc (to_string report);
+        output_string oc "\n");
+    Fmt.pr
+      "bench-serve: %d requests — %d ok, %d bad-request, %d deadline, %d \
+       worker-lost, %d shed@."
+      total n_ok n_400 n_504 n_lost n_shed;
+    Fmt.pr "bench-serve: p50 %.1f ms, p99 %.1f ms, shed rate %.2f, cache hit \
+            rate %.2f@."
+      p50 p99 shed_rate hit_rate;
+    Fmt.pr "bench-serve: drain server_exit=%d conns_left=%d workers_alive=%d \
+            leaked_fds=%d@."
+      server_exit conns_left workers_alive leaked_fds;
+    Fmt.pr "wrote %s@." out;
+    if interrupted then begin
+      Fmt.pr "bench-serve: interrupted — partial report written@.";
+      exit Exec.Interrupt.exit_code
+    end;
+    (* The smoke gate. *)
+    let fail = ref [] in
+    let gate cond msg = if not cond then fail := msg :: !fail in
+    gate (server_exit = 0) "server exited nonzero";
+    gate (workers_alive = 0) "workers survived the drain";
+    gate (conns_left = 0) "connections survived the drain";
+    gate (leaked_fds <= 0) "fds leaked across the daemon lifetime";
+    gate (n_ok > 0) "no successful requests";
+    gate (hit_rate > 0.0) "cache hit rate was zero";
+    gate (n_400 > 0) "malformed submissions never classified bad-request";
+    gate (n_504 > 0) "deadline-0 submissions never classified deadline-exceeded";
+    if kill_workers > 0 then
+      gate
+        (n_lost > 0 || n_ok > clients)
+        "worker kill neither classified worker-lost nor survived";
+    match !fail with
+    | [] -> Fmt.pr "bench-serve: smoke gate ok@."
+    | msgs ->
+        List.iter (fun s -> Fmt.pr "bench-serve: GATE FAILED: %s@." s) msgs;
+        exit 1
+  in
+  Cmd.v (Cmd.info "bench-serve" ~doc)
+    Term.(
+      const run $ clients_arg $ requests_arg $ kill_workers_arg
+      $ chaos_clients_arg $ out_arg $ bench_workers_arg)
+
 let main =
   let doc = "CRUSH: credit-based functional-unit sharing for dataflow circuits" in
   Cmd.group
     (Cmd.info "crush" ~version:"1.0.0" ~doc)
     [
       list_cmd; compile_cmd; analyze_cmd; run_cmd; stats_cmd; trace_cmd;
-      profile_cmd; chaos_cmd; sanitize_cmd; reduce_cmd;
+      profile_cmd; chaos_cmd; sanitize_cmd; reduce_cmd; serve_cmd;
+      bench_serve_cmd;
     ]
 
 let usage_line = "usage: crush COMMAND [OPTION]…  (try crush --help)"
@@ -1579,6 +2236,8 @@ let () =
     match opts.Exec.Supervisor.kind with
     | "chaos" ->
         Exec.Supervisor.worker_main ~opts ~run:(chaos_worker_run opts) ()
+    | "serve" ->
+        Exec.Supervisor.worker_main ~opts ~run:(Serve.Job.worker_run opts) ()
     | k ->
         Fmt.epr "crush __worker: unknown kind %s@." k;
         exit 2
@@ -1589,7 +2248,9 @@ let () =
        subcommand, with a one-line usage pointer), 125 for an escaped
        exception; 10..17 are the per-class failure codes the subcommands
        exit with themselves ({!Exec.Outcome.exit_code}), 17 being a lost
-       or preemptively killed worker process. *)
+       or preemptively killed worker process; 18
+       ({!Exec.Interrupt.exit_code}) is a SIGTERM/SIGINT-interrupted but
+       resumable sweep (rerun with the same --journal to continue). *)
     match Cmd.eval_value main with
     | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit 0
     | Error (`Parse | `Term) ->

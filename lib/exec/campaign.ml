@@ -107,6 +107,9 @@ let map_outcomes ?jobs ?(sup = no_supervision) ~key
     | Some path -> Journal.load path
     | None -> Hashtbl.create 1
   in
+  (* An interrupted campaign finishes what is in flight, skips the rest.
+     [None] marks a task skipped by the interrupt: never run, never
+     journalled, so a rerun with the same journal picks it up. *)
   let writer = Option.map (Journal.open_append ~fsync:sup.fsync) sup.journal in
   let checkpoint k attempts outcome =
     match writer with
@@ -135,41 +138,59 @@ let map_outcomes ?jobs ?(sup = no_supervision) ~key
       | None -> None
     in
     match resumed with
-    | Some r -> r
+    | Some (o, attempts, _) -> Some (o, attempts)
+    | None when Interrupt.triggered () -> None
     | None ->
         let o, attempts =
           run_with_retries ?timeout_s:sup.timeout_s ~retries:sup.retries
             (fun ~deadline -> f ~deadline x)
         in
         checkpoint k attempts o;
-        (o, attempts, false)
+        Some (o, attempts)
   in
   let results =
     Fun.protect
       ~finally:(fun () -> Option.iter Journal.close writer)
       (fun () -> map ?jobs run_one xs)
   in
+  let completed =
+    List.concat_map
+      (fun (x, r) -> match r with Some (o, a) -> [ (x, o, a) ] | None -> [])
+      (List.combine xs results)
+  in
   (match sup.journal with
   | Some journal ->
       let failed =
         List.concat_map
-          (fun (x, (o, attempts, _)) ->
+          (fun (x, o, attempts) ->
             if Outcome.is_ok o then []
             else [ (key x, attempts, Outcome.class_name o) ])
-          (List.combine xs results)
+          completed
       in
-      Journal.write_quarantine ~journal ~batch:(List.map key xs) failed
+      (* Quarantine bookkeeping covers only the keys this run actually
+         resolved: tasks skipped by an interrupt keep whatever manifest
+         entries they already had, exactly as if they were never part of
+         the batch. *)
+      Journal.write_quarantine ~journal
+        ~batch:(List.map (fun (x, _, _) -> key x) completed)
+        failed
   | None -> ());
-  List.map2 (fun x (o, _, _) -> (x, o)) xs results
+  List.map (fun (x, o, _) -> (x, o)) completed
 
-(** How many of [xs] a fresh [map_outcomes] run would actually execute
-    (i.e. are not yet recorded in the supervision's journal). *)
-let pending_count ?(sup = no_supervision) ~key xs =
+(** How many of [xs] a fresh [map_outcomes] run would actually execute,
+    plus how many superseded duplicate-key records the journal holds —
+    the replay/merge anomaly count that summaries surface so operators
+    can see it after the fact (it used to be printed to stderr at load
+    time and lost). *)
+let pending_and_dups ?(sup = no_supervision) ~key xs =
   match sup.journal with
-  | None -> List.length xs
+  | None -> (List.length xs, 0)
   | Some path ->
-      let prior = Journal.load path in
-      List.length (List.filter (fun x -> not (Hashtbl.mem prior (key x))) xs)
+      let prior, dups = Journal.load_with_duplicates path in
+      ( List.length (List.filter (fun x -> not (Hashtbl.mem prior (key x))) xs),
+        dups )
+
+let pending_count ?sup ~key xs = fst (pending_and_dups ?sup ~key xs)
 
 let run_sims_supervised ?jobs ?(sup = no_supervision)
     ?(key = fun i _ -> Fmt.str "task-%04d" i) tasks =

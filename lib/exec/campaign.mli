@@ -127,7 +127,15 @@ val run_with_retries :
     non-simulation work).  [key] must be stable across runs and unique
     within the campaign — it is the journal's resume identity.
     [encode]/[decode] serialize the [Ok] payload for the journal; a
-    journalled record whose payload no longer decodes is re-run. *)
+    journalled record whose payload no longer decodes is re-run.
+
+    Graceful interruption: when {!Interrupt.triggered} becomes true
+    (the CLI installs the handlers via {!Interrupt.install}), tasks
+    already in flight finish and are journalled normally, tasks not yet
+    started are skipped — neither run nor journalled — and the result
+    list contains only the resolved tasks, still in submission order.
+    A rerun with the same journal resumes exactly where the interrupt
+    landed.  Without an interrupt the result covers every task. *)
 val map_outcomes :
   ?jobs:int ->
   ?sup:supervision ->
@@ -141,6 +149,13 @@ val map_outcomes :
 (** How many of [xs] a fresh {!map_outcomes} run would actually execute
     (not yet recorded in the supervision's journal). *)
 val pending_count : ?sup:supervision -> key:('a -> string) -> 'a list -> int
+
+(** Like {!pending_count}, but also returns the journal's superseded
+    duplicate-key record count ({!Journal.load_with_duplicates}) so
+    campaign summaries can surface replay/merge anomalies instead of
+    losing them in a load-time stderr line. *)
+val pending_and_dups :
+  ?sup:supervision -> key:('a -> string) -> 'a list -> int * int
 
 (** Supervised {!run_sims}: every simulation becomes an
     {!Outcome.of_sim_run} classification, with stats journalled via the

@@ -1,0 +1,25 @@
+(** Cooperative SIGTERM/SIGINT handling; see the interface. *)
+
+let flag = Atomic.make false
+let installed = ref false
+let exit_code = 18
+
+let handle _signo =
+  (* First signal: request a graceful drain.  Second signal: the drain
+     is taking too long (or is itself wedged) — exit now with the
+     shell's interrupted-process convention. *)
+  if Atomic.exchange flag true then exit 130
+
+let install () =
+  if not !installed then begin
+    installed := true;
+    let set s =
+      try Sys.set_signal s (Sys.Signal_handle handle)
+      with Invalid_argument _ | Sys_error _ -> ()
+    in
+    set Sys.sigterm;
+    set Sys.sigint
+  end
+
+let triggered () = Atomic.get flag
+let reset () = Atomic.set flag false

@@ -1,0 +1,33 @@
+(** Cooperative SIGTERM/SIGINT handling for long-running campaigns.
+
+    A chaos or bench sweep killed with Ctrl-C used to die wherever the
+    signal landed: the journal survived (it is flushed per record) but
+    the run ended torn — no summary, no quarantine manifest, a partial
+    report left behind only by accident of the torn-line-tolerant
+    loaders.  With {!install}, the first SIGTERM/SIGINT merely raises a
+    flag; the campaign loop finishes the tasks already in flight, skips
+    everything not yet started, flushes its journal and reports
+    atomically, and exits with {!exit_code} — a distinct, documented
+    code that says "interrupted but resumable: rerun with the same
+    journal to continue".
+
+    A second signal while the first drain is still in progress exits
+    immediately (code 130, the shell convention), so a wedged drain can
+    always be escaped. *)
+
+(** Install the SIGTERM/SIGINT handlers (idempotent).  Must be called
+    from the main thread before the campaign starts.  On platforms
+    without these signals the call is a no-op. *)
+val install : unit -> unit
+
+(** Whether a termination signal has been received since {!install}.
+    Safe to poll from any domain or thread. *)
+val triggered : unit -> bool
+
+(** Clear the flag (tests only). *)
+val reset : unit -> unit
+
+(** Process exit code of a gracefully interrupted, resumable campaign:
+    18 — directly after the taxonomy's 10..17, clear of the shell's and
+    cmdliner's reserved codes. *)
+val exit_code : int

@@ -13,6 +13,7 @@ type stats = {
   n_retired : int;
   n_poisoned : int;
   merged_dups : int;
+  n_resume_dups : int;
 }
 
 type result = { outcomes : (string * int * Jsonl.t) list; stats : stats }
@@ -187,7 +188,7 @@ let run ?(shards = 2) ?hard_timeout_s ?(heartbeat_s = 10.0) ?(retries = 1)
   (* Resume: a key already recorded in the merged journal or any shard
      journal of a previous (crashed) run is not re-run — mirroring the
      serial campaign's resume-from-journal. *)
-  let prior, _ =
+  let prior, n_resume_dups =
     match journal with
     | None -> (Hashtbl.create 1, 0)
     | Some j -> Shard.collect (j :: shard_paths)
@@ -648,5 +649,6 @@ let run ?(shards = 2) ?hard_timeout_s ?(heartbeat_s = 10.0) ?(retries = 1)
         n_retired = !n_retired;
         n_poisoned = List.length !poisoned;
         merged_dups = !merged_dups;
+        n_resume_dups;
       };
   }

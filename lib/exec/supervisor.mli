@@ -60,6 +60,11 @@ type stats = {
   n_retired : int;      (** workers retired over the respawn budget *)
   n_poisoned : int;     (** keys quarantined after the retry budget *)
   merged_dups : int;    (** duplicate records superseded by the merge *)
+  n_resume_dups : int;
+      (** duplicate-key records superseded while loading the prior
+          journals at resume — a replay/merge anomaly count surfaced in
+          campaign summaries (a handful is a normal crashed-and-resumed
+          run; many means two live campaigns share one journal) *)
 }
 
 type result = {
@@ -103,6 +108,19 @@ val run :
   tasks:task list ->
   unit ->
   result
+
+(** {2 Backoff math}
+
+    Exposed for reuse by other schedulers (the serve layer derives its
+    [Retry-After] overload hints from the same formula, so client
+    backoff and worker respawn decorrelate the same way). *)
+
+(** Deterministic jitter in [0, 1): a pure hash of (seed, shard, n). *)
+val jitter01 : seed:int -> shard:int -> n:int -> float
+
+(** Exponential backoff with seeded jitter: [backoff_s * 2^(min 6 (n-1))]
+    scaled by a deterministic factor in [0.75, 1.25). *)
+val backoff_delay : backoff_s:float -> seed:int -> shard:int -> n:int -> float
 
 (** {2 Worker side} *)
 

@@ -1,0 +1,188 @@
+(** Serve API surface; see the interface for the stability contract. *)
+
+module J = Exec.Jsonl
+
+type payload =
+  | Kernel of { name : string }
+  | Source of { text : string }
+  | Circuit of { graph : J.t }
+
+type job = {
+  payload : payload;
+  strategy : string;
+  technique : string;
+  seed : int;
+  max_cycles : int;
+  sanitize : bool;
+}
+
+let max_fuel = 10_000_000
+
+let strategies = [ "bb"; "fast" ]
+let techniques = [ "naive"; "crush"; "inorder" ]
+
+let job_of_json j =
+  let ( let* ) = Result.bind in
+  let str k = Option.bind (J.member k j) J.to_str in
+  let int_def k d =
+    match J.member k j with
+    | None | Some J.Null -> Ok d
+    | Some v -> (
+        match J.to_int v with
+        | Some n -> Ok n
+        | None -> Error (Fmt.str "field %s: expected an integer" k))
+  in
+  let bool_def k d =
+    match J.member k j with
+    | None | Some J.Null -> Ok d
+    | Some v -> (
+        match J.to_bool v with
+        | Some b -> Ok b
+        | None -> Error (Fmt.str "field %s: expected a boolean" k))
+  in
+  let* payload =
+    match (str "kernel", str "source", J.member "circuit" j) with
+    | Some name, None, None -> Ok (Kernel { name })
+    | None, Some text, None -> Ok (Source { text })
+    | None, None, Some graph -> Ok (Circuit { graph })
+    | None, None, None ->
+        Error "provide exactly one of kernel, source or circuit"
+    | _ -> Error "kernel, source and circuit are mutually exclusive"
+  in
+  let* () =
+    match payload with
+    | Kernel { name } -> (
+        match Kernels.Registry.find name with
+        | _ -> Ok ()
+        | exception Invalid_argument _ ->
+            Error (Fmt.str "unknown kernel %s" name))
+    | Source _ | Circuit _ -> Ok ()
+  in
+  let enum k allowed default =
+    match str k with
+    | None -> Ok default
+    | Some v when List.mem v allowed -> Ok v
+    | Some v ->
+        Error
+          (Fmt.str "field %s: unknown value %s (use %s)" k v
+             (String.concat " | " allowed))
+  in
+  let* strategy = enum "strategy" strategies "bb" in
+  let* technique = enum "technique" techniques "crush" in
+  let* seed = int_def "seed" 1 in
+  let* max_cycles = int_def "max_cycles" 200_000 in
+  let* () =
+    if max_cycles < 0 then Error "field max_cycles: negative"
+    else if max_cycles > max_fuel then
+      Error (Fmt.str "field max_cycles: %d exceeds the %d cap" max_cycles max_fuel)
+    else Ok ()
+  in
+  let* sanitize = bool_def "sanitize" false in
+  Ok { payload; strategy; technique; seed; max_cycles; sanitize }
+
+let job_to_json t =
+  let payload_fields =
+    match t.payload with
+    | Kernel { name } -> [ ("kernel", J.String name) ]
+    | Source { text } -> [ ("source", J.String text) ]
+    | Circuit { graph } -> [ ("circuit", graph) ]
+  in
+  J.Obj
+    (payload_fields
+    @ [
+        ("strategy", J.String t.strategy);
+        ("technique", J.String t.technique);
+        ("seed", J.Int t.seed);
+        ("max_cycles", J.Int t.max_cycles);
+        ("sanitize", J.Bool t.sanitize);
+      ])
+
+let digest t = Digest.to_hex (Digest.string (J.to_string (job_to_json t)))
+
+(* The authoritative Outcome -> HTTP mapping.  No wildcard: extending
+   the taxonomy without choosing a status here must not compile. *)
+let status_of_outcome (o : 'a Exec.Outcome.t) =
+  match o with
+  | Ok _ -> 200
+  | Frontend_error _ -> 400
+  | Validation_error _ -> 422
+  | Sim_deadlock _ -> 422
+  | Out_of_fuel _ -> 422
+  | Job_timeout _ -> 504
+  | Worker_crash _ -> 500
+  | Sanitizer_violation _ -> 422
+  | Worker_lost _ -> 503
+  | Worker_killed _ -> 503
+
+let code_of_outcome = Exec.Outcome.class_name
+
+type reject =
+  | Bad_request of string
+  | Payload_too_large
+  | Header_timeout
+  | Route_not_found
+  | Method_not_allowed
+  | Queue_full
+  | Quota_requests
+  | Quota_fuel
+  | Shutting_down
+  | Deadline_exceeded
+  | Internal of string
+
+let reject_status = function
+  | Bad_request _ -> 400
+  | Payload_too_large -> 413
+  | Header_timeout -> 408
+  | Route_not_found -> 404
+  | Method_not_allowed -> 405
+  | Queue_full | Quota_requests | Quota_fuel -> 429
+  | Shutting_down -> 503
+  | Deadline_exceeded -> 504
+  | Internal _ -> 500
+
+let reject_code = function
+  | Bad_request _ -> "bad-request"
+  | Payload_too_large -> "payload-too-large"
+  | Header_timeout -> "header-timeout"
+  | Route_not_found -> "not-found"
+  | Method_not_allowed -> "method-not-allowed"
+  | Queue_full -> "queue-full"
+  | Quota_requests -> "quota-requests"
+  | Quota_fuel -> "quota-fuel"
+  | Shutting_down -> "shutting-down"
+  | Deadline_exceeded -> "deadline-exceeded"
+  | Internal _ -> "internal-error"
+
+let reject_message = function
+  | Bad_request m -> m
+  | Payload_too_large -> "request body exceeds the configured limit"
+  | Header_timeout -> "request headers incomplete at the header deadline"
+  | Route_not_found -> "no such route"
+  | Method_not_allowed -> "method not allowed on this route"
+  | Queue_full -> "admission queue full, retry later"
+  | Quota_requests -> "tenant request quota exhausted, retry later"
+  | Quota_fuel -> "tenant fuel quota exhausted, retry later"
+  | Shutting_down -> "server is draining"
+  | Deadline_exceeded -> "request deadline elapsed before dispatch"
+  | Internal _ -> "internal server error"
+
+let reject_sheddable = function
+  | Queue_full | Quota_requests | Quota_fuel | Shutting_down -> true
+  | Bad_request _ | Payload_too_large | Header_timeout | Route_not_found
+  | Method_not_allowed | Deadline_exceeded | Internal _ ->
+      false
+
+let all_rejects =
+  [
+    Bad_request "x";
+    Payload_too_large;
+    Header_timeout;
+    Route_not_found;
+    Method_not_allowed;
+    Queue_full;
+    Quota_requests;
+    Quota_fuel;
+    Shutting_down;
+    Deadline_exceeded;
+    Internal "x";
+  ]

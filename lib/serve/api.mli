@@ -1,0 +1,88 @@
+(** The serve API surface: job specification codec, the stable mapping
+    from the {!Exec.Outcome} taxonomy onto HTTP statuses, and the
+    serve-side rejection classes (admission, parsing, overload).
+
+    Stability contract: every [code] slug and HTTP status in this module
+    is part of the wire API.  Clients match on [code], never on message
+    text.  The test suite pins the full table; adding an {!Exec.Outcome}
+    variant without extending {!status_of_outcome} is a compile error by
+    design (the match has no wildcard). *)
+
+(** {2 Job specification} *)
+
+(** What to compile and simulate — exactly one input form per job. *)
+type payload =
+  | Kernel of { name : string }   (** a registry benchmark *)
+  | Source of { text : string }   (** raw mini-C *)
+  | Circuit of { graph : Exec.Jsonl.t }
+      (** a circuit in {!Exec.Reduce.graph_to_json} form, decoded (and
+          validated) worker-side *)
+
+type job = {
+  payload : payload;
+  strategy : string;   (** ["bb"] | ["fast"] *)
+  technique : string;  (** ["naive"] | ["crush"] | ["inorder"] *)
+  seed : int;
+  max_cycles : int;    (** simulation fuel; doubles as the admission
+                           fuel cost of the request *)
+  sanitize : bool;     (** attach the elastic-protocol sanitizers *)
+}
+
+(** Hard ceiling on [max_cycles] a request may ask for. *)
+val max_fuel : int
+
+(** Parse a submit body.  [Error] carries a client-facing reason (maps
+    to 400 [bad-request]).  Rejects unknown fields' absence gracefully
+    but enforces: exactly one of [kernel]/[source]/[circuit]; known
+    [strategy]/[technique]; [0 <= max_cycles <= max_fuel]. *)
+val job_of_json : Exec.Jsonl.t -> (job, string) result
+
+(** Canonical re-encoding: fixed field order and defaults filled in, so
+    equal jobs digest equally however the client formatted them. *)
+val job_to_json : job -> Exec.Jsonl.t
+
+(** Content hash of the canonical encoding (hex): the result-cache key. *)
+val digest : job -> string
+
+(** {2 Outcome -> HTTP} *)
+
+(** The one authoritative mapping.  Exhaustive on purpose: a new
+    {!Exec.Outcome} variant will not compile until a status is chosen
+    here. *)
+val status_of_outcome : 'a Exec.Outcome.t -> int
+
+(** Stable API code of an outcome — {!Exec.Outcome.class_name}. *)
+val code_of_outcome : 'a Exec.Outcome.t -> string
+
+(** {2 Serve-side rejections} — failures that never reach a worker. *)
+
+type reject =
+  | Bad_request of string      (** unparseable body / bad job spec *)
+  | Payload_too_large          (** body over the configured cap *)
+  | Header_timeout             (** slow-loris: headers incomplete at the
+                                   header deadline *)
+  | Route_not_found
+  | Method_not_allowed
+  | Queue_full                 (** admission queue over the watermark *)
+  | Quota_requests             (** tenant request token bucket empty *)
+  | Quota_fuel                 (** tenant fuel token bucket empty *)
+  | Shutting_down              (** drain in progress *)
+  | Deadline_exceeded          (** request deadline elapsed before a
+                                   worker could take the job *)
+  | Internal of string         (** server bug; message is logged, not
+                                   echoed *)
+
+val reject_status : reject -> int
+
+(** Stable API code slug, e.g. ["queue-full"]. *)
+val reject_code : reject -> string
+
+(** Client-facing message (safe to echo). *)
+val reject_message : reject -> string
+
+(** Overload rejections that should carry a [Retry-After] hint:
+    [Queue_full], [Quota_requests], [Quota_fuel], [Shutting_down]. *)
+val reject_sheddable : reject -> bool
+
+(** Every serve-side rejection, for table tests and docs. *)
+val all_rejects : reject list

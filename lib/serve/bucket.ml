@@ -1,0 +1,35 @@
+type t = {
+  rate : float;
+  burst : float;
+  mutable tokens : float;
+  mutable last : float;
+}
+
+let create ~rate ~burst ~now =
+  if rate <= 0.0 || burst <= 0.0 then
+    invalid_arg (Fmt.str "Bucket.create: rate %g, burst %g" rate burst);
+  { rate; burst; tokens = burst; last = now }
+
+let refill t ~now =
+  (* A clock that steps backwards (NTP) must not mint tokens. *)
+  if now > t.last then begin
+    t.tokens <- Float.min t.burst (t.tokens +. ((now -. t.last) *. t.rate));
+    t.last <- now
+  end
+
+let take t ~now ~cost =
+  refill t ~now;
+  if t.tokens >= cost then begin
+    t.tokens <- t.tokens -. cost;
+    true
+  end
+  else false
+
+let wait_s t ~now ~cost =
+  refill t ~now;
+  let want = Float.min cost t.burst in
+  if t.tokens >= want then 0.0 else (want -. t.tokens) /. t.rate
+
+let level t ~now =
+  refill t ~now;
+  t.tokens

@@ -1,0 +1,28 @@
+(** Token bucket for per-tenant admission quotas.
+
+    Pure arithmetic over an explicit clock: every operation takes [now]
+    (seconds, any monotone-enough base), so the refill law is exactly
+    testable without sleeping.  Not thread-safe by itself — the server
+    holds one lock around its tenant table. *)
+
+type t
+
+(** [create ~rate ~burst ~now]: starts full.  [rate] tokens/second
+    refill, capacity [burst].  @raise Invalid_argument unless both are
+    positive. *)
+val create : rate:float -> burst:float -> now:float -> t
+
+(** Refill to [now], then take [cost] tokens if available.  [cost] may
+    exceed a single token ([fuel] buckets charge the whole simulation
+    budget); a cost over [burst] can never succeed and always returns
+    [false]. *)
+val take : t -> now:float -> cost:float -> bool
+
+(** Seconds until [cost] tokens will be available (0 if already); the
+    base of the [Retry-After] hint.  A cost over [burst] reports the
+    time to fill the whole bucket — the honest "never at this size"
+    floor. *)
+val wait_s : t -> now:float -> cost:float -> float
+
+(** Current level after refilling to [now] (diagnostics). *)
+val level : t -> now:float -> float

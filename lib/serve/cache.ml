@@ -1,0 +1,83 @@
+type entry = Pending | Ready of Exec.Jsonl.t
+
+type t = {
+  m : Mutex.t;
+  tbl : (string, entry) Hashtbl.t;
+  order : string Queue.t;  (** completed keys, insertion order *)
+  capacity : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable joins : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Cache.create: capacity < 1";
+  {
+    m = Mutex.create ();
+    tbl = Hashtbl.create 64;
+    order = Queue.create ();
+    capacity;
+    hits = 0;
+    misses = 0;
+    joins = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+type admission = Hit of Exec.Jsonl.t | Lead | Join
+
+let admit t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some (Ready v) ->
+          t.hits <- t.hits + 1;
+          Hit v
+      | Some Pending ->
+          t.joins <- t.joins + 1;
+          Join
+      | None ->
+          t.misses <- t.misses + 1;
+          Hashtbl.replace t.tbl key Pending;
+          Lead)
+
+(** Evict oldest completed entries past capacity.  Pending entries are
+    not in [order] and so never evicted out from under their joiners. *)
+let evict_over_capacity t =
+  while Queue.length t.order > t.capacity do
+    let victim = Queue.pop t.order in
+    (match Hashtbl.find_opt t.tbl victim with
+    | Some (Ready _) ->
+        Hashtbl.remove t.tbl victim;
+        t.evictions <- t.evictions + 1
+    | Some Pending | None ->
+        (* Re-led after an abandon: the key re-enters [order] on its
+           next fulfill; dropping this stale ticket is correct. *)
+        ())
+  done
+
+let fulfill t key v =
+  locked t (fun () ->
+      Hashtbl.replace t.tbl key (Ready v);
+      Queue.push key t.order;
+      evict_over_capacity t)
+
+let abandon t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some Pending -> Hashtbl.remove t.tbl key
+      | Some (Ready _) | None -> ())
+
+let peek t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some (Ready v) -> `Ready v
+      | Some Pending -> `Pending
+      | None -> `Absent)
+
+let stats t =
+  locked t (fun () ->
+      (t.hits, t.misses, t.joins, t.evictions, Hashtbl.length t.tbl))

@@ -1,0 +1,37 @@
+(** Content-hash result cache with single-flight deduplication.
+
+    Keyed by {!Api.digest} of the canonical job encoding.  When several
+    requests for the same digest arrive together, exactly one leads (runs
+    the job); the rest join and wait for the leader's result.  A leader
+    whose outcome is transient — worker lost, timeout — {e abandons} the
+    entry instead of caching it: joiners observe the abandonment and
+    re-admit, so a crash poisons nobody else's cache line and the next
+    request simply retries.
+
+    Thread-safe.  Joiners wait by polling {!peek} (stdlib [Condition]
+    has no timed wait and every joiner carries its own deadline);
+    capacity eviction is FIFO over completed entries. *)
+
+type t
+
+val create : capacity:int -> t
+
+type admission =
+  | Hit of Exec.Jsonl.t  (** cached value, returned immediately *)
+  | Lead                 (** this caller runs the job and must
+                             {!fulfill} or {!abandon} *)
+  | Join                 (** another caller is leading; poll {!peek} *)
+
+val admit : t -> string -> admission
+
+(** Store the leader's value and wake joiners. *)
+val fulfill : t -> string -> Exec.Jsonl.t -> unit
+
+(** Drop the pending entry (transient outcome): joiners see [`Absent]
+    and re-admit. *)
+val abandon : t -> string -> unit
+
+val peek : t -> string -> [ `Ready of Exec.Jsonl.t | `Pending | `Absent ]
+
+(** (hits, misses, joins, evictions, live entries). *)
+val stats : t -> int * int * int * int * int

@@ -1,0 +1,269 @@
+(** Minimal HTTP/1.1 reader/writer; see the interface for the bounds
+    and deadline discipline. *)
+
+type request = {
+  meth : string;
+  path : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+type read_error = Closed | Timeout | Too_large | Malformed of string
+
+(* ------------------------------------------------------------------ *)
+(* Deadline-bounded raw reads *)
+
+(** Read at most [n] more bytes into [buf], waiting no later than
+    [deadline].  [Ok 0] is EOF. *)
+let read_some fd buf n ~deadline =
+  let rec wait () =
+    let left = deadline -. Unix.gettimeofday () in
+    if left <= 0.0 then Error Timeout
+    else
+      match Unix.select [ fd ] [] [] left with
+      | [], _, _ -> Error Timeout
+      | _ -> (
+          match Unix.read fd buf 0 n with
+          | k -> Ok k
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)
+            ->
+              Ok 0)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+  in
+  wait ()
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+let lowercase = String.lowercase_ascii
+
+let split_headers block =
+  match String.split_on_char '\n' block with
+  | [] -> Error (Malformed "empty header block")
+  | req_line :: rest ->
+      let strip s =
+        let s =
+          if String.length s > 0 && s.[String.length s - 1] = '\r' then
+            String.sub s 0 (String.length s - 1)
+          else s
+        in
+        String.trim s
+      in
+      let headers =
+        List.filter_map
+          (fun line ->
+            let line = strip line in
+            if line = "" then None
+            else
+              match String.index_opt line ':' with
+              | None -> None
+              | Some i ->
+                  Some
+                    ( lowercase (String.trim (String.sub line 0 i)),
+                      String.trim
+                        (String.sub line (i + 1) (String.length line - i - 1))
+                    ))
+          rest
+      in
+      Ok (strip req_line, headers)
+
+let parse_request_line line =
+  match String.split_on_char ' ' line with
+  | [ meth; target; version ]
+    when version = "HTTP/1.1" || version = "HTTP/1.0" ->
+      let path =
+        match String.index_opt target '?' with
+        | Some i -> String.sub target 0 i
+        | None -> target
+      in
+      Ok (meth, path)
+  | _ -> Error (Malformed "bad request line")
+
+let header r name = List.assoc_opt (lowercase name) r.headers
+
+let find_header headers name = List.assoc_opt name headers
+
+(** Locate the end of the header block ("\r\n\r\n" or "\n\n") in [s];
+    returns (block_end, body_start). *)
+let header_end s len =
+  let rec go i =
+    if i >= len then None
+    else if s.[i] = '\n' then
+      if i + 1 < len && s.[i + 1] = '\n' then Some (i, i + 2)
+      else if i + 2 < len && s.[i + 1] = '\r' && s.[i + 2] = '\n' then
+        Some (i, i + 3)
+      else go (i + 1)
+    else go (i + 1)
+  in
+  go 0
+
+let read_request ?(max_header = 8192) ?(max_body = 1 lsl 20) ~deadline fd =
+  let ( let* ) = Result.bind in
+  let chunk = Bytes.create 4096 in
+  let acc = Buffer.create 512 in
+  (* Phase 1: accumulate until the blank line, bounded by [max_header]. *)
+  let rec headers_loop () =
+    let s = Buffer.contents acc in
+    match header_end s (String.length s) with
+    | Some (he, bs) -> Ok (String.sub s 0 he, String.sub s bs (String.length s - bs))
+    | None ->
+        if Buffer.length acc > max_header then Error Too_large
+        else
+          let* k = read_some fd chunk (Bytes.length chunk) ~deadline in
+          if k = 0 then Error (if Buffer.length acc = 0 then Closed else Malformed "eof in headers")
+          else begin
+            Buffer.add_subbytes acc chunk 0 k;
+            headers_loop ()
+          end
+  in
+  let* block, body0 = headers_loop () in
+  let* req_line, headers = split_headers block in
+  let* meth, path = parse_request_line req_line in
+  if find_header headers "transfer-encoding" <> None then
+    Error (Malformed "chunked transfer encoding unsupported")
+  else
+    let* want =
+      match find_header headers "content-length" with
+      | None -> Ok 0
+      | Some v -> (
+          match int_of_string_opt (String.trim v) with
+          | Some n when n >= 0 -> Ok n
+          | _ -> Error (Malformed "bad content-length"))
+    in
+    if want > max_body then Error Too_large
+    else if String.length body0 > want then
+      Error (Malformed "body longer than content-length")
+    else begin
+      (* Phase 2: the body, length known up front. *)
+      let buf = Buffer.create want in
+      Buffer.add_string buf body0;
+      let rec body_loop () =
+        if Buffer.length buf >= want then
+          Ok { meth; path; headers; body = Buffer.contents buf }
+        else
+          let* k = read_some fd chunk (Bytes.length chunk) ~deadline in
+          if k = 0 then Error (Malformed "eof in body")
+          else begin
+            Buffer.add_subbytes buf chunk 0 k;
+            if Buffer.length buf > want then
+              Error (Malformed "body longer than content-length")
+            else body_loop ()
+          end
+      in
+      body_loop ()
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Writing *)
+
+let reason = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 413 -> "Payload Too Large"
+  | 422 -> "Unprocessable Entity"
+  | 429 -> "Too Many Requests"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | 504 -> "Gateway Timeout"
+  | _ -> "Status"
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  (* A vanished client is not a server fault: drop the bytes. *)
+  try go 0
+  with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+    ()
+
+let write_response fd ~status ?(headers = []) body =
+  let b = Buffer.create (String.length body + 128) in
+  Buffer.add_string b (Fmt.str "HTTP/1.1 %d %s\r\n" status (reason status));
+  Buffer.add_string b "Content-Type: application/json\r\n";
+  Buffer.add_string b (Fmt.str "Content-Length: %d\r\n" (String.length body));
+  Buffer.add_string b "Connection: close\r\n";
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Fmt.str "%s: %s\r\n" k v))
+    headers;
+  Buffer.add_string b "\r\n";
+  Buffer.add_string b body;
+  write_all fd (Buffer.contents b)
+
+(* ------------------------------------------------------------------ *)
+(* Client side *)
+
+let write_request fd ~meth ~path ?(headers = []) body =
+  let b = Buffer.create (String.length body + 128) in
+  Buffer.add_string b (Fmt.str "%s %s HTTP/1.1\r\n" meth path);
+  Buffer.add_string b "Host: crush-serve\r\n";
+  Buffer.add_string b (Fmt.str "Content-Length: %d\r\n" (String.length body));
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Fmt.str "%s: %s\r\n" k v))
+    headers;
+  Buffer.add_string b "Connection: close\r\n\r\n";
+  Buffer.add_string b body;
+  write_all fd (Buffer.contents b)
+
+let read_response ~deadline fd =
+  let ( let* ) = Result.bind in
+  let chunk = Bytes.create 4096 in
+  let acc = Buffer.create 512 in
+  let rec headers_loop () =
+    let s = Buffer.contents acc in
+    match header_end s (String.length s) with
+    | Some (he, bs) ->
+        Ok (String.sub s 0 he, String.sub s bs (String.length s - bs))
+    | None ->
+        if Buffer.length acc > 65536 then Error Too_large
+        else
+          let* k = read_some fd chunk (Bytes.length chunk) ~deadline in
+          if k = 0 then
+            Error
+              (if Buffer.length acc = 0 then Closed
+               else Malformed "eof in response headers")
+          else begin
+            Buffer.add_subbytes acc chunk 0 k;
+            headers_loop ()
+          end
+  in
+  let* block, body0 = headers_loop () in
+  let* status_line, headers = split_headers block in
+  let* status =
+    match String.split_on_char ' ' status_line with
+    | _ :: code :: _ -> (
+        match int_of_string_opt code with
+        | Some c -> Ok c
+        | None -> Error (Malformed "bad status code"))
+    | _ -> Error (Malformed "bad status line")
+  in
+  let want =
+    Option.bind (find_header headers "content-length") (fun v ->
+        int_of_string_opt (String.trim v))
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf body0;
+  let rec body_loop () =
+    match want with
+    | Some w when Buffer.length buf >= w ->
+        Ok (status, headers, String.sub (Buffer.contents buf) 0 w)
+    | _ -> (
+        let* k = read_some fd chunk (Bytes.length chunk) ~deadline in
+        if k = 0 then
+          match want with
+          | None -> Ok (status, headers, Buffer.contents buf)
+          | Some _ -> Error (Malformed "eof in response body")
+        else begin
+          Buffer.add_subbytes buf chunk 0 k;
+          body_loop ()
+        end)
+  in
+  body_loop ()

@@ -1,0 +1,68 @@
+(** Hand-rolled HTTP/1.1, just enough for the serve API.
+
+    One request per connection ([Connection: close] on every response):
+    the daemon's unit of work is a submit, not a session, and
+    single-shot connections keep the fault domain per request — a
+    slow-loris client or a mid-body disconnect costs one fd, never a
+    parser state machine wedged across requests.
+
+    All reads are [select]-bounded against an absolute deadline, so a
+    byte-at-a-time client cannot pin a connection thread past the
+    configured header timeout.  Header and body sizes are capped before
+    any allocation proportional to claimed length. *)
+
+type request = {
+  meth : string;
+  path : string;   (** path only; the query string (if any) is split off
+                       and discarded by routing-irrelevant design *)
+  headers : (string * string) list;  (** names lowercased *)
+  body : string;
+}
+
+type read_error =
+  | Closed           (** EOF before a complete message *)
+  | Timeout          (** deadline elapsed mid-read *)
+  | Too_large        (** header block or body over its cap *)
+  | Malformed of string
+
+(** Read one request.  [deadline] is an absolute [Unix.gettimeofday]
+    instant bounding the {e whole} read (headers and body).  Never
+    raises on peer misbehaviour. *)
+val read_request :
+  ?max_header:int ->
+  ?max_body:int ->
+  deadline:float ->
+  Unix.file_descr ->
+  (request, read_error) result
+
+val header : request -> string -> string option
+
+(** Write a full response (status line, headers, body) and flush.
+    Adds [Content-Length], [Content-Type: application/json] and
+    [Connection: close].  Swallows [EPIPE]-class errors: the client may
+    already be gone, and that is its problem, not the server's. *)
+val write_response :
+  Unix.file_descr ->
+  status:int ->
+  ?headers:(string * string) list ->
+  string ->
+  unit
+
+val reason : int -> string
+
+(** {2 Client side} — used by [bench-serve], the chaos clients and the
+    tests.  Same deadline discipline as the server side. *)
+
+val write_request :
+  Unix.file_descr ->
+  meth:string ->
+  path:string ->
+  ?headers:(string * string) list ->
+  string ->
+  unit
+
+(** [Ok (status, headers, body)]. *)
+val read_response :
+  deadline:float ->
+  Unix.file_descr ->
+  (int * (string * string) list * string, read_error) result

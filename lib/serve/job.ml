@@ -1,0 +1,131 @@
+(** Worker-side serve job execution; see the interface. *)
+
+module J = Exec.Jsonl
+module Outcome = Exec.Outcome
+
+let strategy_of_string = function
+  | "fast" -> Minic.Codegen.Fast_token
+  | _ -> Minic.Codegen.Bb_ordered
+
+(** Apply a sharing technique in place, discarding its report (the API
+    returns simulation results, not optimization logs). *)
+let apply_technique technique (c : Minic.Codegen.compiled) =
+  match technique with
+  | "crush" ->
+      ignore
+        (Crush.Share.crush c.Minic.Codegen.graph
+           ~critical_loops:c.Minic.Codegen.critical_loops)
+  | "inorder" ->
+      ignore
+        (Crush.Inorder.share c.Minic.Codegen.graph
+           ~critical_loops:c.Minic.Codegen.critical_loops
+           ~conditional_bbs:c.Minic.Codegen.conditional_bbs)
+  | _ -> ()
+
+let status_string (s : Sim.Engine.status) =
+  match s with
+  | Sim.Engine.Completed _ -> "completed"
+  | Sim.Engine.Deadlock _ -> "deadlock"
+  | Sim.Engine.Out_of_fuel _ -> "out-of-fuel"
+
+let stats_result (stats : Sim.Engine.stats) =
+  J.Obj
+    [
+      ("kind", J.String "stats");
+      ("status", J.String (status_string stats.Sim.Engine.status));
+      ("cycles", J.Int stats.Sim.Engine.cycles);
+      ("transfers", J.Int stats.Sim.Engine.transfers);
+    ]
+
+let verdict_result (v : Kernels.Harness.verdict) =
+  J.Obj
+    [
+      ("kind", J.String "verdict");
+      ("status", J.String (status_string v.Kernels.Harness.status));
+      ("cycles", J.Int v.Kernels.Harness.cycles);
+      ("correct", J.Bool v.Kernels.Harness.functionally_correct);
+      ("mismatches", J.Int (List.length v.Kernels.Harness.mismatches));
+    ]
+
+(** [of_sim_run] yields a [stats Outcome.t]; re-seat its payload as API
+    JSON.  Exhaustive so a taxonomy extension is a compile error here
+    too. *)
+let with_json_payload (o : Sim.Engine.stats Outcome.t) : J.t Outcome.t =
+  match o with
+  | Ok stats -> Ok (stats_result stats)
+  | Frontend_error e -> Frontend_error e
+  | Validation_error e -> Validation_error e
+  | Sim_deadlock e -> Sim_deadlock e
+  | Out_of_fuel e -> Out_of_fuel e
+  | Job_timeout e -> Job_timeout e
+  | Worker_crash e -> Worker_crash e
+  | Sanitizer_violation e -> Sanitizer_violation e
+  | Worker_lost e -> Worker_lost e
+  | Worker_killed e -> Worker_killed e
+
+let run ?poll_every ~deadline (job : Api.job) : J.t Outcome.t =
+  let strategy = strategy_of_string job.Api.strategy in
+  let monitor =
+    if job.Api.sanitize then Some (Sim.Sanitizer.monitor ()) else None
+  in
+  match job.Api.payload with
+  | Api.Kernel { name } ->
+      let b = Kernels.Registry.find name in
+      let c =
+        Minic.Codegen.compile_source ~strategy b.Kernels.Registry.source
+      in
+      apply_technique job.Api.technique c;
+      let eng, verdict =
+        Kernels.Harness.run_circuit_full ~seed:job.Api.seed
+          ~max_cycles:job.Api.max_cycles ?poll_every ~deadline ?monitor b
+          c.Minic.Codegen.graph
+      in
+      (match Outcome.of_sim_run eng with
+      | Outcome.Ok _ -> Outcome.Ok (verdict_result verdict)
+      | o -> with_json_payload o)
+  | Api.Source { text } ->
+      let c = Minic.Codegen.compile_source ~strategy text in
+      apply_technique job.Api.technique c;
+      with_json_payload
+        (Outcome.of_sim_run
+           (Sim.Engine.run ~max_cycles:job.Api.max_cycles ?poll_every
+              ~deadline ?monitor c.Minic.Codegen.graph))
+  | Api.Circuit { graph = gj } -> (
+      if job.Api.technique <> "naive" then
+        Outcome.Validation_error
+          {
+            message =
+              "sharing techniques need compiled loop structure; submit \
+               circuits with technique=naive";
+          }
+      else
+        match Exec.Reduce.graph_of_json gj with
+        | None ->
+            Outcome.Validation_error { message = "undecodable circuit JSON" }
+        | Some g ->
+            with_json_payload
+              (Outcome.of_sim_run
+                 (Sim.Engine.run ~max_cycles:job.Api.max_cycles ?poll_every
+                    ~deadline ?monitor g)))
+
+let worker_run (opts : Exec.Supervisor.worker_opts) =
+  let poll_every = Exec.Supervisor.flag_int opts "poll-every" in
+  fun ~(ctx : Exec.Supervisor.job_ctx) spec ->
+    let encode = Fun.id in
+    match Api.job_of_json spec with
+    | Error m ->
+        ( Outcome.to_json encode
+            (Outcome.Validation_error { message = m } : J.t Outcome.t),
+          1 )
+    | Ok job ->
+        let timeout_s = Option.bind (J.member "timeout_s" spec) J.to_float in
+        let o, attempts =
+          Exec.Campaign.run_with_retries ?timeout_s ~retries:0
+            (fun ~deadline ->
+              let deadline () =
+                ctx.Exec.Supervisor.heartbeat ();
+                deadline ()
+              in
+              run ?poll_every ~deadline job)
+        in
+        (Outcome.to_json encode o, attempts)

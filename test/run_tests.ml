@@ -23,4 +23,5 @@ let () =
       ("differential", Test_differential.suite);
       ("obs", Test_obs.suite);
       ("shard", Test_shard.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -57,7 +57,15 @@ let worker_run _opts ~ctx spec =
 let worker_main_if_requested () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "__worker" then begin
     let opts = Exec.Supervisor.worker_opts_of_argv Sys.argv in
-    Exec.Supervisor.worker_main ~opts ~run:(worker_run opts) ()
+    let run =
+      (* The test binary doubles as both the shard-test worker and the
+         serve worker, so Test_serve can boot a real in-process daemon
+         whose pool execs this same executable. *)
+      match opts.Exec.Supervisor.kind with
+      | "serve" -> Serve.Job.worker_run opts
+      | _ -> worker_run opts
+    in
+    Exec.Supervisor.worker_main ~opts ~run ()
   end
 
 (* ------------------------------------------------------------------ *)
