@@ -7,7 +7,7 @@
 DUNE ?= dune
 
 .PHONY: all build test chaos chaos-supervised crash-chaos sanitize-smoke \
-  bench-smoke serve-smoke fmt check clean
+  bench-smoke serve-smoke faultfs-smoke fmt check clean
 
 all: build
 
@@ -75,6 +75,23 @@ serve-smoke: build
 	$(DUNE) exec bin/crush_cli.exe -- bench-serve --clients 4 --requests 8 \
 	  --chaos-clients 2 --kill-workers 1 --out BENCH_serve.json
 
+# I/O fault-schedule exploration: every durability scenario (journal
+# append, atomic replace, shard merge, supervised campaign) re-run once
+# per (I/O op, fault class) — EIO, ENOSPC, short write, EINTR,
+# crash-after-op — gating on zero recovery-invariant violations, zero
+# .tmp residue and zero leaked fds.  The per-injection-point verdict
+# table lands in _build/faultfs/verdicts.jsonl for CI artifacts.  A
+# second leg boots the serve daemon with the injector armed against its
+# request journal and gates on 503 journal-lost classification,
+# degraded-mode survival and a clean drain.
+faultfs-smoke: build
+	rm -rf _build/faultfs
+	mkdir -p _build/faultfs
+	$(DUNE) exec bin/crush_cli.exe -- faultfs --root _build/faultfs/scratch \
+	  --out _build/faultfs/verdicts.jsonl
+	$(DUNE) exec bin/crush_cli.exe -- bench-serve --clients 2 --requests 6 \
+	  --faultfs --out _build/faultfs/BENCH_serve_faultfs.json
+
 # Reformat the tree with the ocamlformat version pinned in .ocamlformat.
 # Requires `opam install ocamlformat.0.27.0`; CI runs the check-only
 # variant (`dune build @fmt`) as an advisory job.
@@ -82,7 +99,7 @@ fmt:
 	$(DUNE) build @fmt --auto-promote
 
 check: build test chaos chaos-supervised crash-chaos sanitize-smoke \
-  bench-smoke serve-smoke
+  bench-smoke serve-smoke faultfs-smoke
 
 clean:
 	$(DUNE) clean

@@ -1233,6 +1233,42 @@ let chaos_sharded ~shards ~trials ~seed ~timeout_s ~retries ~journal ~fsync
   if !wrong > 0 || !missed > 0 || !self_test_failed then exit 1;
   if code <> 0 then exit code
 
+(** Run the fault-schedule explorer over [scenarios]; returns
+    (rows, runs, violations) where [rows] is the JSONL verdict table. *)
+let faultfs_explore ?faults ?only_op ~root scenarios =
+  let rows = ref [] in
+  let runs = ref 0 in
+  let bad = ref 0 in
+  List.iter
+    (fun (s : Exec.Faultfs.scenario) ->
+      let r = Exec.Faultfs.explore ?faults ?only_op ~root s in
+      let viol = Exec.Faultfs.violations r in
+      runs := !runs + List.length r.Exec.Faultfs.verdicts;
+      bad := !bad + List.length viol;
+      List.iter
+        (fun v ->
+          rows :=
+            Exec.Faultfs.verdict_to_json ~scenario_name:s.Exec.Faultfs.name v
+            :: !rows)
+        r.Exec.Faultfs.verdicts;
+      Fmt.pr "faultfs: %-9s %3d ops, %4d injected runs, %d violation(s)@."
+        s.Exec.Faultfs.name r.Exec.Faultfs.total_ops
+        (List.length r.Exec.Faultfs.verdicts)
+        (List.length viol);
+      List.iter
+        (fun (v : Exec.Faultfs.verdict) ->
+          List.iter
+            (fun msg ->
+              Fmt.pr "  VIOLATION %s op %d %s (%s): %s@."
+                s.Exec.Faultfs.name v.Exec.Faultfs.op
+                (Exec.Fio.fault_to_string v.Exec.Faultfs.fault)
+                (Exec.Faultfs.outcome_to_string v.Exec.Faultfs.outcome)
+                msg)
+            v.Exec.Faultfs.violations)
+        viol)
+    scenarios;
+  (List.rev !rows, !runs, !bad)
+
 let chaos_cmd =
   let doc =
     "Adversarial robustness check: fuzz CRUSH-shared kernels with seeded \
@@ -1247,8 +1283,22 @@ let chaos_cmd =
   in
   let run trials seed kernel report jobs keep_going timeout_s retries journal
       inject_faults sanitize auto_reduce repro_dir profile trace shards
-      crash_workers fsync poll_every heartbeat_s =
+      crash_workers fsync poll_every heartbeat_s faultfs =
     Exec.Interrupt.install ();
+    if faultfs then begin
+      (* The durability counterpart of the circuit chaos below: explore
+         every I/O fault schedule before trusting the journals the sweep
+         itself leans on. *)
+      let _, runs, bad =
+        faultfs_explore ~root:"_build/faultfs" (Exec.Faultfs.builtin ())
+      in
+      if bad > 0 then begin
+        Fmt.pr "chaos: faultfs found %d violation(s) across %d runs@." bad
+          runs;
+        exit 1
+      end;
+      Fmt.pr "chaos: faultfs clean (%d injected runs)@." runs
+    end;
     (match report with
     | Some path -> if Sys.file_exists path then Sys.remove path
     | None -> ());
@@ -1344,13 +1394,23 @@ let chaos_cmd =
             "Sharded mode: SIGKILL a worker silent for longer than $(docv) \
              (no heartbeat, no result).  0 disables the silence watchdog.")
   in
+  let chaos_faultfs_arg =
+    Arg.(
+      value & flag
+      & info [ "faultfs" ]
+          ~doc:
+            "Run the exhaustive I/O fault-schedule explorer (see \
+             $(b,crush faultfs)) over the built-in durability scenarios \
+             before the sweep; exit 1 on any recovery-invariant \
+             violation.")
+  in
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const run $ trials_arg $ seed_arg $ kernel_arg $ report_arg $ jobs_arg
       $ keep_going_arg $ timeout_arg $ retries_arg $ journal_arg
       $ inject_faults_arg $ sanitize_arg $ auto_reduce_arg $ repro_dir_arg
       $ chaos_profile_arg $ chaos_trace_arg $ shards_arg $ crash_workers_arg
-      $ fsync_arg $ poll_every_arg $ heartbeat_arg)
+      $ fsync_arg $ poll_every_arg $ heartbeat_arg $ chaos_faultfs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sanitize: sanitizer self-test + clean-circuit zero-violation sweep  *)
@@ -1706,10 +1766,49 @@ let serve_cmd =
   let verbose_arg =
     Arg.(value & flag & info [ "verbose" ] ~doc:"Log per-connection errors.")
   in
+  let serve_faultfs_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faultfs" ] ~docv:"PLAN"
+          ~doc:
+            "Robustness self-test: arm the I/O fault injector against the \
+             request journal (requires $(b,--journal)) with $(docv), e.g. \
+             $(b,eio:every=2) or $(b,enospc:every=3).  Affected requests \
+             classify 503 journal-lost; after 3 consecutive failures the \
+             daemon degrades to serving un-audited.  Only error-class \
+             faults (eio, enospc, eintr) are allowed — crash classes \
+             would simulate daemon death, not survive it.")
+  in
   let run host port workers max_conns queue_depth cache_capacity req_rate
       fuel_rate header_timeout_s default_deadline_s heartbeat_s journal seed
-      verbose =
+      verbose faultfs =
     Exec.Interrupt.install ();
+    let faultfs_plan =
+      match faultfs with
+      | None -> None
+      | Some spec -> (
+          match Exec.Fio.plan_of_string spec with
+          | Error msg ->
+              Fmt.epr "crush serve: --faultfs: %s@." msg;
+              exit 2
+          | Ok plan -> (
+              let fault =
+                match plan with
+                | Exec.Fio.At { fault; _ } | Exec.Fio.Every { fault; _ } ->
+                    fault
+              in
+              match (fault, journal) with
+              | (Exec.Fio.Short_write | Exec.Fio.Crash_after), _ ->
+                  Fmt.epr
+                    "crush serve: --faultfs: crash-class faults are for the \
+                     offline explorer (crush faultfs), not a live daemon@.";
+                  exit 2
+              | _, None ->
+                  Fmt.epr "crush serve: --faultfs requires --journal@.";
+                  exit 2
+              | _, Some jpath -> Some (jpath, plan)))
+    in
     let cfg =
       {
         (Serve.Server.default_config ~binary:Sys.executable_name) with
@@ -1731,10 +1830,29 @@ let serve_cmd =
         verbose;
       }
     in
+    (* Armed before the journal is opened so the channel registers with
+       the injector; boot-time journal I/O is in scope on purpose (a
+       plan that kills the open fails the daemon fast and loud). *)
+    (match faultfs_plan with
+    | Some (jpath, plan) -> Exec.Fio.arm ~path_filter:jpath plan
+    | None -> ());
     let t = Serve.Server.create cfg in
     Fmt.pr "crush serve: listening on %s:%d (%d workers, queue %d)@." host
       (Serve.Server.port t) workers queue_depth;
+    (* After the listening line, which harnesses parse first. *)
+    (match faultfs_plan with
+    | Some (jpath, plan) ->
+        Fmt.pr "crush serve: faultfs armed (%s) against %s@."
+          (Exec.Fio.plan_to_string plan) jpath
+    | None -> ());
     let d = Serve.Server.run t in
+    (match faultfs_plan with
+    | Some _ ->
+        let injected = Exec.Fio.fired () in
+        let ops = Exec.Fio.disarm () in
+        Fmt.pr "crush serve: faultfs injected %d fault(s) across %d ops@."
+          injected ops
+    | None -> ());
     Fmt.pr
       "crush serve: drained conns_left=%d workers_alive=%d leaked_fds=%d@."
       d.Serve.Server.conns_left d.Serve.Server.workers_alive
@@ -1750,7 +1868,7 @@ let serve_cmd =
       const run $ host_arg $ port_arg $ workers_arg $ max_conns_arg
       $ queue_depth_arg $ cache_arg $ req_rate_arg $ fuel_rate_arg
       $ header_timeout_arg $ deadline_arg $ serve_heartbeat_arg
-      $ serve_journal_arg $ serve_seed_arg $ verbose_arg)
+      $ serve_journal_arg $ serve_seed_arg $ verbose_arg $ serve_faultfs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bench-serve: load + chaos harness for the daemon                    *)
@@ -1777,15 +1895,17 @@ let serve_get ~port ~path ~timeout_s =
 
 (** Spawn [crush serve] as a child with its stdout piped back; returns
     (pid, stdout fd, port) once the listening line arrives. *)
-let spawn_serve ~workers ~queue_depth ~req_rate ~seed =
+let spawn_serve ?(extra_argv = []) ~workers ~queue_depth ~req_rate ~seed () =
   let r, w = Unix.pipe ~cloexec:true () in
   let argv =
-    [|
-      Sys.executable_name; "serve"; "--port"; "0"; "--workers";
-      string_of_int workers; "--queue-depth"; string_of_int queue_depth;
-      "--req-rate"; Fmt.str "%g" req_rate; "--seed"; string_of_int seed;
-      "--header-timeout-s"; "1";
-    |]
+    Array.of_list
+      ([
+         Sys.executable_name; "serve"; "--port"; "0"; "--workers";
+         string_of_int workers; "--queue-depth"; string_of_int queue_depth;
+         "--req-rate"; Fmt.str "%g" req_rate; "--seed"; string_of_int seed;
+         "--header-timeout-s"; "1";
+       ]
+      @ extra_argv)
   in
   let pid = Unix.create_process Sys.executable_name argv Unix.stdin w Unix.stderr in
   Unix.close w;
@@ -1928,13 +2048,41 @@ let bench_serve_cmd =
       value & opt int 2
       & info [ "workers" ] ~docv:"N" ~doc:"Daemon worker pool size.")
   in
-  let run clients requests kill_workers chaos_clients out workers =
+  let bench_faultfs_arg =
+    Arg.(
+      value & flag
+      & info [ "faultfs" ]
+          ~doc:
+            "Journal-fault leg: boot the daemon with a request journal and \
+             $(b,--faultfs eio:every=2), so every other journal append \
+             fails.  The gate then also requires journal errors in \
+             /v1/stats, at least one 503 journal-lost or a degraded \
+             journal, and the usual clean drain.")
+  in
+  let run clients requests kill_workers chaos_clients out workers faultfs =
     Exec.Interrupt.install ();
     (* Chaos clients write into sockets the server may already have
        reset; that must surface as EPIPE, not kill the harness. *)
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let faultfs_journal =
+      if not faultfs then None
+      else
+        Some
+          (Filename.concat
+             (Filename.get_temp_dir_name ())
+             (Fmt.str "crush-bench-faultfs-%d.jsonl" (Unix.getpid ())))
+    in
+    (match faultfs_journal with
+    | Some j when Sys.file_exists j -> Sys.remove j
+    | _ -> ());
+    let extra_argv =
+      match faultfs_journal with
+      | None -> []
+      | Some j -> [ "--journal"; j; "--faultfs"; "eio:every=2" ]
+    in
     let pid, child_out, port =
-      spawn_serve ~workers ~queue_depth:16 ~req_rate:500.0 ~seed:1
+      spawn_serve ~extra_argv ~workers ~queue_depth:16 ~req_rate:500.0 ~seed:1
+        ()
     in
     Fmt.pr "bench-serve: daemon pid %d on port %d@." pid port;
     let m = Mutex.create () in
@@ -2108,6 +2256,26 @@ let bench_serve_cmd =
     in
     List.iter Thread.join threads;
     let interrupted = Exec.Interrupt.triggered () in
+    (* Journal-fault leg: read the injection counters while the daemon
+       is still up. *)
+    let journal_errors, journal_degraded =
+      if not faultfs then (0, false)
+      else
+        match serve_get ~port ~path:"/v1/stats" ~timeout_s:10.0 with
+        | Ok (_, _, body) -> (
+            match Exec.Jsonl.parse body with
+            | Ok j ->
+                ( Option.value ~default:0
+                    (Option.bind
+                       (Exec.Jsonl.member "journal_errors" j)
+                       Exec.Jsonl.to_int),
+                  Option.value ~default:false
+                    (Option.bind
+                       (Exec.Jsonl.member "journal_degraded" j)
+                       Exec.Jsonl.to_bool) )
+            | Error _ -> (0, false))
+        | Error _ -> (0, false)
+    in
     (* Graceful shutdown + drain audit. *)
     (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
     let server_exit, child_tail = reap_serve pid child_out in
@@ -2127,6 +2295,7 @@ let bench_serve_cmd =
     let n_lost = count (fun (_, _, c) -> c = "worker-lost" || c = "worker-killed") in
     let n_400 = count (fun (_, s, _) -> s = 400) in
     let n_504 = count (fun (_, s, _) -> s = 504) in
+    let n_journal_lost = count (fun (_, _, c) -> c = "journal-lost") in
     let shed_rate = if total = 0 then 0.0 else float_of_int n_shed /. float_of_int total in
     let hit_rate =
       let h = !cache_hits and ms = !cache_misses in
@@ -2157,6 +2326,14 @@ let bench_serve_cmd =
           ("shed_rate", Float shed_rate);
           ("cache_hit_rate", Float hit_rate);
           ("interrupted", Bool interrupted);
+          ( "faultfs",
+            Obj
+              [
+                ("enabled", Bool faultfs);
+                ("journal_errors", Int journal_errors);
+                ("journal_lost_responses", Int n_journal_lost);
+                ("journal_degraded", Bool journal_degraded);
+              ] );
           ( "drain",
             Obj
               [
@@ -2200,6 +2377,18 @@ let bench_serve_cmd =
       gate
         (n_lost > 0 || n_ok > clients)
         "worker kill neither classified worker-lost nor survived";
+    if faultfs then begin
+      Fmt.pr
+        "bench-serve: faultfs journal_errors=%d journal-lost=%d degraded=%b@."
+        journal_errors n_journal_lost journal_degraded;
+      gate (journal_errors >= 1) "faultfs injected no journal append failure";
+      gate
+        (n_journal_lost > 0 || journal_degraded)
+        "journal faults neither classified journal-lost nor degraded";
+      match faultfs_journal with
+      | Some j when Sys.file_exists j -> Sys.remove j
+      | _ -> ()
+    end;
     match !fail with
     | [] -> Fmt.pr "bench-serve: smoke gate ok@."
     | msgs ->
@@ -2209,7 +2398,105 @@ let bench_serve_cmd =
   Cmd.v (Cmd.info "bench-serve" ~doc)
     Term.(
       const run $ clients_arg $ requests_arg $ kill_workers_arg
-      $ chaos_clients_arg $ out_arg $ bench_workers_arg)
+      $ chaos_clients_arg $ out_arg $ bench_workers_arg $ bench_faultfs_arg)
+
+(* ------------------------------------------------------------------ *)
+(* faultfs: exhaustive I/O fault-schedule exploration                  *)
+
+let faultfs_cmd =
+  let doc =
+    "Deterministic I/O fault-schedule exploration of every durability \
+     path: each scenario (journal append, atomic replace, shard merge, \
+     supervised campaign) first runs fault-free to count its I/O ops, \
+     then re-runs once per (op, fault class) pair — EIO, ENOSPC, short \
+     write, EINTR, crash-after-op — and is checked for recovery-invariant \
+     violations, stale $(b,.tmp.) residue and leaked fds.  A failing run \
+     is fully named by (scenario, op, fault) and replayed with \
+     $(b,--scenario), $(b,--op) and $(b,--fault).  Exits nonzero on any \
+     violation."
+  in
+  let scenario_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:"Explore only $(docv) (journal|atomic|merge|campaign).")
+  in
+  let root_arg =
+    Arg.(
+      value
+      & opt string "_build/faultfs"
+      & info [ "root" ] ~docv:"DIR"
+          ~doc:"Scratch directory for scenario state (recreated per run).")
+  in
+  let faultfs_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the per-injection-point verdict table to $(docv) \
+                as JSONL (one row per (scenario, op, fault) run).")
+  in
+  let op_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "op" ] ~docv:"K"
+          ~doc:"Replay only injection point $(docv) (1-based op number).")
+  in
+  let fault_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault" ] ~docv:"FAULT"
+          ~doc:"Restrict to one fault class \
+                (eio|enospc|short-write|eintr|crash).")
+  in
+  let run scenario root out op fault =
+    let scenarios =
+      match scenario with
+      | None -> Exec.Faultfs.builtin ()
+      | Some name -> (
+          match Exec.Faultfs.find name with
+          | Some s -> [ s ]
+          | None ->
+              Fmt.epr "crush faultfs: unknown scenario %s@." name;
+              exit 2)
+    in
+    let faults =
+      match fault with
+      | None -> None
+      | Some f -> (
+          match Exec.Fio.fault_of_string f with
+          | Ok f -> Some [ f ]
+          | Error msg ->
+              Fmt.epr "crush faultfs: %s@." msg;
+              exit 2)
+    in
+    let rows, runs, bad = faultfs_explore ?faults ?only_op:op ~root scenarios in
+    (match out with
+    | None -> ()
+    | Some path ->
+        Exec.Journal.write_atomic path (fun oc ->
+            List.iter
+              (fun row ->
+                output_string oc (Exec.Jsonl.to_string row);
+                output_string oc "\n")
+              rows);
+        Fmt.pr "wrote %s@." path);
+    if bad = 0 then
+      Fmt.pr "faultfs: %d scenarios x every (op, fault) — %d runs, 0 \
+              violations@."
+        (List.length scenarios) runs
+    else begin
+      Fmt.pr "faultfs: %d violation(s) across %d runs@." bad runs;
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "faultfs" ~doc)
+    Term.(
+      const run $ scenario_arg $ root_arg $ faultfs_out_arg $ op_arg
+      $ fault_arg)
 
 let main =
   let doc = "CRUSH: credit-based functional-unit sharing for dataflow circuits" in
@@ -2218,7 +2505,7 @@ let main =
     [
       list_cmd; compile_cmd; analyze_cmd; run_cmd; stats_cmd; trace_cmd;
       profile_cmd; chaos_cmd; sanitize_cmd; reduce_cmd; serve_cmd;
-      bench_serve_cmd;
+      bench_serve_cmd; faultfs_cmd;
     ]
 
 let usage_line = "usage: crush COMMAND [OPTION]…  (try crush --help)"

@@ -1,0 +1,406 @@
+(** Exhaustive fault-schedule exploration; see the interface for the
+    contract. *)
+
+type stage = Post_fault | Recovered
+
+type scenario = {
+  name : string;
+  prepare : dir:string -> unit;
+  run : dir:string -> unit;
+  recover : dir:string -> unit;
+  check :
+    dir:string -> stage:stage -> golden:(string * string) list -> string list;
+}
+
+type outcome = Completed | Died | Errored of string
+
+type verdict = {
+  op : int;
+  fault : Fio.fault;
+  outcome : outcome;
+  violations : string list;
+}
+
+type report = { scenario : string; total_ops : int; verdicts : verdict list }
+
+let outcome_to_string = function
+  | Completed -> "completed"
+  | Died -> "crashed"
+  | Errored e -> "error: " ^ e
+
+let violations r = List.filter (fun v -> v.violations <> []) r.verdicts
+
+let verdict_to_json ~scenario_name v =
+  Jsonl.Obj
+    [
+      ("scenario", Jsonl.String scenario_name);
+      ("op", Jsonl.Int v.op);
+      ("fault", Jsonl.String (Fio.fault_to_string v.fault));
+      ("outcome", Jsonl.String (outcome_to_string v.outcome));
+      ( "violations",
+        Jsonl.List (List.map (fun m -> Jsonl.String m) v.violations) );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Filesystem helpers (engine-internal: never fault-numbered, always
+   executed disarmed) *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir)
+  then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let rec rm_rf p =
+  match Unix.lstat p with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat p e)) (Sys.readdir p);
+      Unix.rmdir p
+  | _ -> Sys.remove p
+
+let reset dir =
+  rm_rf dir;
+  mkdir_p dir
+
+let read_file p = In_channel.with_open_bin p In_channel.input_all
+
+let write_file p s =
+  Out_channel.with_open_bin p (fun oc -> Out_channel.output_string oc s)
+
+let snapshot dir =
+  let rec walk acc d rel =
+    Array.fold_left
+      (fun acc e ->
+        let p = Filename.concat d e in
+        let r = if rel = "" then e else rel ^ "/" ^ e in
+        if Sys.is_directory p then walk acc p r else (r, read_file p) :: acc)
+      acc (Sys.readdir d)
+  in
+  List.sort compare (walk [] dir "")
+
+let count_fds () =
+  match Sys.readdir "/proc/self/fd" with
+  | entries -> Array.length entries
+  | exception Sys_error _ -> -1
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  if m = 0 then true
+  else
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+
+(* ------------------------------------------------------------------ *)
+(* The explorer                                                        *)
+
+let explore ?(faults = Fio.all_faults) ?only_op ~root (s : scenario) =
+  let dir = Filename.concat root s.name in
+  (* Fault-free reference run, counting ops. *)
+  reset dir;
+  s.prepare ~dir;
+  Fio.arm_count ();
+  let total_ops =
+    Fun.protect
+      ~finally:(fun () -> ignore (Fio.abandon_all ()))
+      (fun () ->
+        match s.run ~dir with
+        | () -> Fio.disarm ()
+        | exception e ->
+            ignore (Fio.disarm ());
+            failwith
+              (Fmt.str "faultfs %s: fault-free run raised: %s" s.name
+                 (Printexc.to_string e)))
+  in
+  s.recover ~dir;
+  let golden = snapshot dir in
+  (match s.check ~dir ~stage:Recovered ~golden with
+  | [] -> ()
+  | vs ->
+      failwith
+        (Fmt.str "faultfs %s: fault-free run violates its own invariants: %s"
+           s.name (String.concat "; " vs)));
+  let baseline_fds = count_fds () in
+  let ops =
+    match only_op with
+    | Some k -> [ k ]
+    | None -> List.init total_ops (fun i -> i + 1)
+  in
+  let one op fault =
+    reset dir;
+    s.prepare ~dir;
+    Fio.arm (Fio.At { op; fault });
+    let outcome =
+      match s.run ~dir with
+      | () -> Completed
+      | exception e when Fio.is_crash e -> Died
+      | exception e -> Errored (Printexc.to_string e)
+    in
+    let nfired = Fio.fired () in
+    ignore (Fio.disarm ());
+    ignore (Fio.abandon_all ());
+    let v = ref [] in
+    let add m = v := m :: !v in
+    if nfired = 0 then
+      add "engine: fault never fired (op sequence not deterministic?)";
+    (match (fault, outcome) with
+    | Fio.Eintr, Completed -> ()
+    | Fio.Eintr, _ ->
+        add "EINTR not retried: scenario failed on a transient interrupt"
+    | _ -> ());
+    (match outcome with
+    | Errored e when not (contains e "Unix.Unix_error" || contains e "Sys_error")
+      ->
+        add ("unexpected exception class: " ^ e)
+    | _ -> ());
+    List.iter add (s.check ~dir ~stage:Post_fault ~golden);
+    (match s.recover ~dir with
+    | () -> ()
+    | exception e -> add ("recovery raised: " ^ Printexc.to_string e));
+    List.iter add (s.check ~dir ~stage:Recovered ~golden);
+    (* Engine-level audits: temp residue must not survive recovery, and
+       every descriptor opened along the way must be back. *)
+    List.iter
+      (fun (p, _) -> if contains p ".tmp." then add ("temp residue: " ^ p))
+      (snapshot dir);
+    (let n = count_fds () in
+     if baseline_fds >= 0 && n >= 0 && n <> baseline_fds then
+       add (Fmt.str "fd leak: %d open fds vs baseline %d" n baseline_fds));
+    { op; fault; outcome; violations = List.rev !v }
+  in
+  let verdicts = List.concat_map (fun k -> List.map (one k) faults) ops in
+  { scenario = s.name; total_ops; verdicts }
+
+(* ------------------------------------------------------------------ *)
+(* Built-in scenarios                                                  *)
+
+let journal_scenario () =
+  let keys = [ "alpha"; "bravo"; "charlie"; "delta" ] in
+  let entry k =
+    {
+      Journal.key = k;
+      attempts = 1;
+      outcome = Jsonl.Obj [ ("class", Jsonl.String "ok"); ("k", Jsonl.String k) ];
+    }
+  in
+  let acked = ref [] in
+  let jpath dir = Filename.concat dir "journal.jsonl" in
+  {
+    name = "journal";
+    prepare = (fun ~dir:_ -> acked := []);
+    run =
+      (fun ~dir ->
+        let w = Journal.open_append ~fsync:true (jpath dir) in
+        List.iter
+          (fun k ->
+            Journal.record w (entry k);
+            acked := k :: !acked)
+          keys;
+        Journal.close w);
+    recover =
+      (fun ~dir ->
+        let prior = Journal.load (jpath dir) in
+        let missing = List.filter (fun k -> not (Hashtbl.mem prior k)) keys in
+        if missing <> [] then begin
+          let w = Journal.open_append ~fsync:true (jpath dir) in
+          Fun.protect
+            ~finally:(fun () -> Journal.close w)
+            (fun () -> List.iter (fun k -> Journal.record w (entry k)) missing)
+        end);
+    check =
+      (fun ~dir ~stage ~golden:_ ->
+        match Journal.load (jpath dir) with
+        | exception e -> [ "journal load raised: " ^ Printexc.to_string e ]
+        | tbl ->
+            let v = ref [] in
+            let add m = v := m :: !v in
+            List.iter
+              (fun k ->
+                if not (Hashtbl.mem tbl k) then add ("acked record lost: " ^ k))
+              !acked;
+            let missing_started = ref false in
+            List.iter
+              (fun k ->
+                if Hashtbl.mem tbl k then begin
+                  if !missing_started then
+                    add ("journal not prefix-closed: " ^ k ^ " follows a gap")
+                end
+                else missing_started := true)
+              keys;
+            (match stage with
+            | Post_fault -> ()
+            | Recovered ->
+                List.iter
+                  (fun k ->
+                    if not (Hashtbl.mem tbl k) then
+                      add ("record missing after recovery: " ^ k))
+                  keys);
+            List.rev !v);
+  }
+
+let atomic_scenario () =
+  let target dir = Filename.concat dir "state.json" in
+  let payload c = Fmt.str "{\"gen\":%c,\"payload\":%S}\n" c (String.make 64 c) in
+  let old_bytes = payload '1' in
+  let new_bytes = payload '2' in
+  let wr dir =
+    Journal.write_atomic ~fsync:true (target dir) (fun oc ->
+        Stdlib.output_string oc new_bytes)
+  in
+  {
+    name = "atomic";
+    prepare = (fun ~dir -> write_file (target dir) old_bytes);
+    run = (fun ~dir -> wr dir);
+    recover = (fun ~dir -> wr dir);
+    check =
+      (fun ~dir ~stage ~golden:_ ->
+        match read_file (target dir) with
+        | exception _ -> [ "atomic target unreadable: old bytes lost" ]
+        | s -> (
+            match stage with
+            | Post_fault ->
+                if s = old_bytes || s = new_bytes then []
+                else [ "atomic target torn: neither old nor new bytes" ]
+            | Recovered ->
+                if s = new_bytes then []
+                else [ "atomic target is not the new bytes after recovery" ]));
+  }
+
+let merge_scenario () =
+  let shards = 3 in
+  let keys = List.init 9 (fun i -> Fmt.str "task-%02d" i) in
+  let base dir = Filename.concat dir "merged.jsonl" in
+  let entry k =
+    {
+      Journal.key = k;
+      attempts = 1;
+      outcome = Jsonl.Obj [ ("class", Jsonl.String "ok"); ("k", Jsonl.String k) ];
+    }
+  in
+  let shard_paths dir = List.init shards (Shard.shard_journal (base dir)) in
+  let merge dir =
+    let tbl, _dups = Shard.collect (shard_paths dir) in
+    ignore (Shard.write_merged ~fsync:true ~into:(base dir) ~keys tbl)
+  in
+  {
+    name = "merge";
+    prepare =
+      (fun ~dir ->
+        List.iteri
+          (fun s chunk ->
+            write_file
+              (Shard.shard_journal (base dir) s)
+              (String.concat ""
+                 (List.map
+                    (fun k -> Journal.entry_to_line (entry k) ^ "\n")
+                    chunk)))
+          (Shard.deal ~shards keys));
+    run = (fun ~dir -> merge dir);
+    recover = (fun ~dir -> merge dir);
+    check =
+      (fun ~dir ~stage ~golden ->
+        match List.assoc_opt "merged.jsonl" golden with
+        | None -> [ "engine: golden merged journal missing" ]
+        | Some expect -> (
+            match read_file (base dir) with
+            | exception _ -> (
+                match stage with
+                | Post_fault -> [] (* absent = "old" state: never written *)
+                | Recovered -> [ "merged journal missing after recovery" ])
+            | got ->
+                if got = expect then []
+                else
+                  [
+                    (match stage with
+                    | Post_fault -> "merged journal torn: neither absent nor serial bytes"
+                    | Recovered -> "merged journal differs from serial run");
+                  ]));
+  }
+
+let campaign_scenario ?(n_tasks = 3) () =
+  let keys = List.init n_tasks (fun i -> Fmt.str "task-%04d" i) in
+  let started = ref [] in
+  let completed = ref false in
+  let jpath dir = Filename.concat dir "campaign.jsonl" in
+  let merged dir = Filename.concat dir "campaign.merged.jsonl" in
+  let run_campaign dir =
+    let sup = Campaign.supervision ~journal:(jpath dir) ~fsync:true () in
+    ignore
+      (Campaign.map_outcomes ~jobs:1 ~sup
+         ~key:(fun k -> k)
+         ~encode:(fun n -> Jsonl.Int n)
+         ~decode:Jsonl.to_int
+         (fun ~deadline:_ k ->
+           started := k :: !started;
+           Outcome.Ok (String.length k * 7))
+         keys)
+  in
+  let write_canonical dir =
+    let tbl, _ = Shard.collect [ jpath dir ] in
+    ignore (Shard.write_merged ~fsync:true ~into:(merged dir) ~keys tbl)
+  in
+  (* A record is provably acked once the next task started (checkpoints
+     happen between tasks) — or all of them, if the campaign returned. *)
+  let acked () =
+    if !completed then keys
+    else match !started with [] -> [] | _ :: earlier -> List.rev earlier
+  in
+  {
+    name = "campaign";
+    prepare =
+      (fun ~dir:_ ->
+        started := [];
+        completed := false);
+    run =
+      (fun ~dir ->
+        run_campaign dir;
+        completed := true);
+    recover =
+      (fun ~dir ->
+        run_campaign dir;
+        write_canonical dir);
+    check =
+      (fun ~dir ~stage ~golden ->
+        let v = ref [] in
+        let add m = v := m :: !v in
+        (match Journal.load (jpath dir) with
+        | exception e -> add ("journal load raised: " ^ Printexc.to_string e)
+        | tbl ->
+            List.iter
+              (fun k ->
+                if not (Hashtbl.mem tbl k) then add ("acked record lost: " ^ k))
+              (acked ());
+            let missing_started = ref false in
+            List.iter
+              (fun k ->
+                if Hashtbl.mem tbl k then begin
+                  if !missing_started then
+                    add ("journal not prefix-closed: " ^ k ^ " follows a gap")
+                end
+                else missing_started := true)
+              keys);
+        (match stage with
+        | Post_fault -> ()
+        | Recovered -> (
+            match List.assoc_opt "campaign.merged.jsonl" golden with
+            | None -> add "engine: golden merged journal missing"
+            | Some expect -> (
+                match read_file (merged dir) with
+                | exception _ -> add "merged journal missing after recovery"
+                | got ->
+                    if got <> expect then
+                      add "merged journal differs from fault-free serial run")));
+        List.rev !v);
+  }
+
+let builtin () =
+  [
+    journal_scenario ();
+    atomic_scenario ();
+    merge_scenario ();
+    campaign_scenario ();
+  ]
+
+let find name =
+  List.find_opt (fun (s : scenario) -> s.name = name) (builtin ())

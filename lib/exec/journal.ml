@@ -50,13 +50,13 @@ let load_with_duplicates path =
   let tbl : (string, entry) Hashtbl.t = Hashtbl.create 64 in
   let dups = ref 0 in
   (if Sys.file_exists path then
-     let ic = open_in path in
+     let ic = Fio.open_in path in
      Fun.protect
-       ~finally:(fun () -> close_in ic)
+       ~finally:(fun () -> Fio.close_in_noerr ic)
        (fun () ->
          try
            while true do
-             match entry_of_line (input_line ic) with
+             match entry_of_line (Fio.input_line ic) with
              | Some e ->
                  if Hashtbl.mem tbl e.key then incr dups;
                  Hashtbl.replace tbl e.key e
@@ -78,27 +78,49 @@ let load path =
 
 type t = { oc : out_channel; lock : Mutex.t; fsync : bool }
 
+(** Does [path] end mid-line?  A writer that died between a record's
+    bytes and its newline leaves a tail that would otherwise
+    concatenate with the next append — corrupting a record the resumed
+    run {e does} ack.  Terminating the tail turns it into a standalone
+    garbage line that {!load} skips. *)
+let torn_tail path =
+  match Unix.stat path with
+  | exception Unix.Unix_error (_, _, _) -> false
+  | { Unix.st_size = 0; _ } -> false
+  | _ -> (
+      let ic = Fio.open_in path in
+      Fun.protect
+        ~finally:(fun () -> Fio.close_in_noerr ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          seek_in ic (len - 1);
+          match input_char ic with
+          | '\n' -> false
+          | _ -> true
+          | exception End_of_file -> false))
+
 let open_append ?(fsync = false) path =
-  {
-    oc = open_out_gen [ Open_append; Open_creat ] 0o644 path;
-    lock = Mutex.create ();
-    fsync;
-  }
+  let needs_nl = torn_tail path in
+  let oc = Fio.open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  if needs_nl then Fio.output_string oc "\n";
+  { oc; lock = Mutex.create (); fsync }
 
 (** Append one record and flush; safe to call from any worker domain.
     With [fsync] the record also survives the {e machine} dying, not
-    just the process — the price is one [fsync(2)] per record. *)
+    just the process — the price is one [fsync(2)] per record.  The
+    line and its newline go down as a single write, so a torn write
+    can only lose the tail of this record, never split it. *)
 let record t e =
   Mutex.lock t.lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.lock)
     (fun () ->
-      output_string t.oc (entry_to_line e);
-      output_char t.oc '\n';
-      flush t.oc;
-      if t.fsync then Unix.fsync (Unix.descr_of_out_channel t.oc))
+      Fio.output_string t.oc (entry_to_line e ^ "\n");
+      Fio.flush t.oc;
+      if t.fsync then Fio.fsync_out t.oc)
 
-let close t = close_out t.oc
+let close t = Fio.close_out t.oc
+let close_noerr t = Fio.close_out_noerr t.oc
 
 (* ------------------------------------------------------------------ *)
 (* Atomic whole-file writes                                            *)
@@ -109,19 +131,48 @@ let close t = close_out t.oc
     file or the new complete file — never a torn report.  Torn {e lines}
     in the append-only journal are tolerated by {!load}; torn {e whole
     reports} are what this prevents. *)
+let cleanup_stale_tmp path =
+  let dir = Filename.dirname path in
+  let prefix = Filename.basename path ^ ".tmp." in
+  let plen = String.length prefix in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | entries ->
+      Array.iter
+        (fun e ->
+          if String.length e >= plen && String.sub e 0 plen = prefix then
+            try Fio.remove (Filename.concat dir e)
+            with Sys_error _ | Unix.Unix_error _ -> ())
+        entries
+
 let write_atomic ?(fsync = false) path write =
+  (* Sweep residue left by a previous writer that crashed between
+     creating its temp file and renaming it: the single-writer-per-
+     target contract makes any surviving temp file stale. *)
+  cleanup_stale_tmp path;
   let tmp = Fmt.str "%s.tmp.%d" path (Unix.getpid ()) in
-  let oc = open_out tmp in
-  (match write oc with
-  | () ->
-      flush oc;
-      if fsync then Unix.fsync (Unix.descr_of_out_channel oc);
-      close_out oc
-  | exception e ->
-      close_out_noerr oc;
-      (try Sys.remove tmp with Sys_error _ -> ());
-      raise e);
-  Sys.rename tmp path
+  let oc = Fio.open_out tmp in
+  let committed = ref false in
+  Fio.protect
+    ~finally:(fun () ->
+      (* Any failure — in [write], the flush, the fsync, the close or
+         the rename itself — leaves no temp residue.  A simulated
+         crash skips this, exactly as a dead process would; the sweep
+         above is what cleans up after *that* on the next run. *)
+      if not !committed then begin
+        Fio.close_out_noerr oc;
+        try Fio.remove tmp with Sys_error _ | Unix.Unix_error _ -> ()
+      end)
+    (fun () ->
+      write oc;
+      Fio.flush oc;
+      if fsync then Fio.fsync_out oc;
+      Fio.close_out oc;
+      Fio.rename tmp path;
+      committed := true);
+  (* rename(2) alone is not durable across power loss: the new
+     directory entry must reach disk too. *)
+  if fsync then Fio.fsync_dir (Filename.dirname path)
 
 (* ------------------------------------------------------------------ *)
 (* Quarantine manifest                                                 *)
@@ -131,14 +182,14 @@ let quarantine_path journal = journal ^ ".quarantine"
 let load_quarantine path =
   if not (Sys.file_exists path) then []
   else begin
-    let ic = open_in path in
+    let ic = Fio.open_in path in
     let lines = ref [] in
     Fun.protect
-      ~finally:(fun () -> close_in ic)
+      ~finally:(fun () -> Fio.close_in_noerr ic)
       (fun () ->
         try
           while true do
-            (match Jsonl.parse (input_line ic) with
+            (match Jsonl.parse (Fio.input_line ic) with
             | Error _ -> ()
             | Ok j -> (
                 let field f name = Option.bind (Jsonl.member name j) f in
@@ -172,7 +223,7 @@ let write_quarantine ~journal ~batch failed =
   in
   let entries = kept @ failed in
   if entries = [] then begin
-    if Sys.file_exists path then Sys.remove path
+    if Sys.file_exists path then Fio.remove path
   end
   else
     write_atomic path (fun oc ->

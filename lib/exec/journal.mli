@@ -49,6 +49,10 @@ val record : t -> entry -> unit
 
 val close : t -> unit
 
+(** Close swallowing write errors: for shutdown paths where the fd must
+    be released even if the final flush cannot land. *)
+val close_noerr : t -> unit
+
 (** [write_atomic path f] writes a whole file atomically: [f] produces
     the content into a temp file in the same directory, which is then
     renamed over [path].  A kill mid-write leaves the old complete file

@@ -592,11 +592,11 @@ let write_repro path meta g =
 let load_repro path =
   if not (Sys.file_exists path) then None
   else begin
-    let ic = open_in path in
+    let ic = Fio.open_in path in
     let content =
       Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
+        ~finally:(fun () -> Fio.close_in_noerr ic)
+        (fun () -> Fio.really_input_string ic (in_channel_length ic))
     in
     match Jsonl.parse (String.trim content) with
     | Error _ -> None

@@ -92,7 +92,9 @@ let worker_main ~opts ~run () =
     Option.iter Journal.close jw;
     exit 0
   in
-  let send msg = try Wire.write out msg with Sys_error _ -> bye () in
+  let send msg =
+    try Wire.write out msg with Sys_error _ | Unix.Unix_error _ -> bye ()
+  in
   send (Wire.Hello { pid = Unix.getpid (); shard = opts.shard });
   let rec loop () =
     match Wire.read stdin with
@@ -277,7 +279,9 @@ let run ?(shards = 2) ?hard_timeout_s ?(heartbeat_s = 10.0) ?(retries = 1)
     w.kill_mark <- None;
     say "supervisor: shard %02d spawned (pid %d)@." w.shard pid
   in
-  let send w msg = try Wire.write w.oc msg with Sys_error _ -> () in
+  let send w msg =
+    try Wire.write w.oc msg with Sys_error _ | Unix.Unix_error _ -> ()
+  in
   let dispatch (w : worker) =
     match w.queue with
     | [] -> ()
@@ -457,8 +461,11 @@ let run ?(shards = 2) ?hard_timeout_s ?(heartbeat_s = 10.0) ?(retries = 1)
   in
   let buf = Bytes.create 65536 in
   let pump (w : worker) =
-    match Unix.read w.from_fd buf 0 (Bytes.length buf) with
+    (* [Fio.read] retries EINTR internally; any other read error on the
+       pipe is as final as EOF — the worker is gone. *)
+    match Fio.read w.from_fd buf 0 (Bytes.length buf) with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> worker_died w
     | 0 -> worker_died w
     | n -> (
         Wire.feed w.dec buf ~len:n;

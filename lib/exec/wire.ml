@@ -85,11 +85,11 @@ let of_json j =
 
 let write oc msg =
   let payload = Jsonl.to_string (to_json msg) in
-  output_string oc (string_of_int (String.length payload));
-  output_char oc '\n';
-  output_string oc payload;
-  output_char oc '\n';
-  flush oc
+  (* One write for the whole frame: a crash mid-frame can only truncate
+     it, never interleave with another writer's header. *)
+  Fio.output_string oc
+    (Fmt.str "%d\n%s\n" (String.length payload) payload);
+  Fio.flush oc
 
 (* Frames over a pipe are not adversarial — the peer is our own binary —
    but a dying worker can truncate one, so every malformed shape maps to
@@ -97,16 +97,16 @@ let write oc msg =
 let max_frame_bytes = 16 * 1024 * 1024
 
 let read ic =
-  match input_line ic with
-  | exception End_of_file -> None
+  match Fio.input_line ic with
+  | exception (End_of_file | Sys_error _) -> None
   | header -> (
       match int_of_string_opt (String.trim header) with
       | None -> None
       | Some len when len < 0 || len > max_frame_bytes -> None
       | Some len -> (
           (* +1 swallows the trailing newline of the frame. *)
-          match really_input_string ic (len + 1) with
-          | exception End_of_file -> None
+          match Fio.really_input_string ic (len + 1) with
+          | exception (End_of_file | Sys_error _) -> None
           | s -> (
               match Jsonl.parse (String.sub s 0 len) with
               | Error _ -> None

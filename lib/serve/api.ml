@@ -127,6 +127,7 @@ type reject =
   | Quota_fuel
   | Shutting_down
   | Deadline_exceeded
+  | Journal_lost
   | Internal of string
 
 let reject_status = function
@@ -138,6 +139,7 @@ let reject_status = function
   | Queue_full | Quota_requests | Quota_fuel -> 429
   | Shutting_down -> 503
   | Deadline_exceeded -> 504
+  | Journal_lost -> 503
   | Internal _ -> 500
 
 let reject_code = function
@@ -151,6 +153,7 @@ let reject_code = function
   | Quota_fuel -> "quota-fuel"
   | Shutting_down -> "shutting-down"
   | Deadline_exceeded -> "deadline-exceeded"
+  | Journal_lost -> "journal-lost"
   | Internal _ -> "internal-error"
 
 let reject_message = function
@@ -164,10 +167,12 @@ let reject_message = function
   | Quota_fuel -> "tenant fuel quota exhausted, retry later"
   | Shutting_down -> "server is draining"
   | Deadline_exceeded -> "request deadline elapsed before dispatch"
+  | Journal_lost -> "request completed but its outcome could not be journalled"
   | Internal _ -> "internal server error"
 
 let reject_sheddable = function
-  | Queue_full | Quota_requests | Quota_fuel | Shutting_down -> true
+  | Queue_full | Quota_requests | Quota_fuel | Shutting_down | Journal_lost ->
+      true
   | Bad_request _ | Payload_too_large | Header_timeout | Route_not_found
   | Method_not_allowed | Deadline_exceeded | Internal _ ->
       false
@@ -184,5 +189,6 @@ let all_rejects =
     Quota_fuel;
     Shutting_down;
     Deadline_exceeded;
+    Journal_lost;
     Internal "x";
   ]

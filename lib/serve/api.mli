@@ -69,6 +69,10 @@ type reject =
   | Shutting_down              (** drain in progress *)
   | Deadline_exceeded          (** request deadline elapsed before a
                                    worker could take the job *)
+  | Journal_lost               (** the job ran but its outcome could not
+                                   be appended to the request journal;
+                                   the result is withheld rather than
+                                   served un-audited *)
   | Internal of string         (** server bug; message is logged, not
                                    echoed *)
 
@@ -81,7 +85,8 @@ val reject_code : reject -> string
 val reject_message : reject -> string
 
 (** Overload rejections that should carry a [Retry-After] hint:
-    [Queue_full], [Quota_requests], [Quota_fuel], [Shutting_down]. *)
+    [Queue_full], [Quota_requests], [Quota_fuel], [Shutting_down],
+    [Journal_lost]. *)
 val reject_sheddable : reject -> bool
 
 (** Every serve-side rejection, for table tests and docs. *)

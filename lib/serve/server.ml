@@ -78,6 +78,12 @@ type t = {
   jm : Mutex.t;  (** request journal writes *)
   jw : Exec.Journal.t option;
   journal_dups : int;
+  mutable n_journal_errors : int;
+  mutable journal_failstreak : int;  (** consecutive append failures *)
+  mutable journal_degraded : bool;
+      (** after 3 consecutive append failures the journal is declared
+          lost: requests keep serving (un-audited) instead of paying a
+          doomed syscall + 503 each *)
 }
 
 let locked t f =
@@ -145,6 +151,9 @@ let create cfg =
     jm = Mutex.create ();
     jw;
     journal_dups;
+    n_journal_errors = 0;
+    journal_failstreak = 0;
+    journal_degraded = false;
   }
 
 let port t = t.bound_port
@@ -159,15 +168,37 @@ let count_code t code =
       Hashtbl.replace t.codes code
         (1 + Option.value ~default:0 (Hashtbl.find_opt t.codes code)))
 
+(** Append to the request journal.  [`Ok] also covers "no journal
+    configured" and "journal already declared lost" (degraded mode);
+    [`Failed] means this request's outcome was not durably recorded and
+    the response must say so. *)
 let journal_record t ~key ~attempts ~outcome =
   match t.jw with
-  | None -> ()
+  | None -> `Ok
   | Some w ->
       Mutex.lock t.jm;
       Fun.protect
         ~finally:(fun () -> Mutex.unlock t.jm)
         (fun () ->
-          Exec.Journal.record w { Exec.Journal.key; attempts; outcome })
+          if t.journal_degraded then `Ok
+          else
+            match
+              Exec.Journal.record w { Exec.Journal.key; attempts; outcome }
+            with
+            | () ->
+                t.journal_failstreak <- 0;
+                `Ok
+            | exception (Sys_error _ | Unix.Unix_error _) ->
+                t.n_journal_errors <- t.n_journal_errors + 1;
+                t.journal_failstreak <- t.journal_failstreak + 1;
+                if t.journal_failstreak >= 3 then begin
+                  t.journal_degraded <- true;
+                  Fmt.epr
+                    "crush serve: journal lost after %d consecutive append \
+                     failures; serving un-audited@."
+                    t.journal_failstreak
+                end;
+                `Failed)
 
 let tenant_of t name =
   locked t (fun () ->
@@ -218,7 +249,7 @@ let respond_reject t fd ?retry_after (r : Api.reject) =
   in
   (match r with
   | Api.Queue_full | Api.Quota_requests | Api.Quota_fuel | Api.Shutting_down
-    ->
+  | Api.Journal_lost ->
       locked t (fun () -> t.n_shed <- t.n_shed + 1)
   | _ -> ());
   respond_json fd ~status:(Api.reject_status r) ~headers
@@ -294,16 +325,27 @@ let lead_and_run t ~digest ~deadline (job : Api.job) =
             ~finally:(fun () -> Workers.release t.pool id)
             (fun () -> Workers.run_job t.pool id ~key ~spec ~deadline)
         in
-        journal_record t ~key:(key ^ ":" ^ digest) ~attempts
-          ~outcome:(Outcome.to_json Fun.id o);
-        let status, fields = outcome_body ~digest ~cache:"miss" ~attempts o in
-        (* Deterministic outcomes are cacheable; transient infrastructure
-           failures must not poison the digest for the next caller. *)
-        if Outcome.is_transient o then Cache.abandon t.cache digest
-        else
-          Cache.fulfill t.cache digest
-            (J.Obj [ ("status", J.Int status); ("body", J.Obj fields) ]);
-        Ok (status, fields, Api.code_of_outcome o)
+        match
+          journal_record t ~key:(key ^ ":" ^ digest) ~attempts
+            ~outcome:(Outcome.to_json Fun.id o)
+        with
+        | `Failed ->
+            (* The result exists but its audit record does not: withhold
+               it rather than serve an un-journalled answer, and never
+               cache what was never recorded. *)
+            shed Api.Journal_lost
+        | `Ok ->
+            let status, fields =
+              outcome_body ~digest ~cache:"miss" ~attempts o
+            in
+            (* Deterministic outcomes are cacheable; transient
+               infrastructure failures must not poison the digest for the
+               next caller. *)
+            if Outcome.is_transient o then Cache.abandon t.cache digest
+            else
+              Cache.fulfill t.cache digest
+                (J.Obj [ ("status", J.Int status); ("body", J.Obj fields) ]);
+            Ok (status, fields, Api.code_of_outcome o)
   end
 
 let cached_response ~v =
@@ -447,6 +489,8 @@ let stats_json t =
             ("jobs", J.Int jobs);
           ] );
       ("journal_duplicates", J.Int t.journal_dups);
+      ("journal_errors", J.Int (locked t (fun () -> t.n_journal_errors)));
+      ("journal_degraded", J.Bool (locked t (fun () -> t.journal_degraded)));
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -554,7 +598,13 @@ let run t =
       ~timeout_s:(Float.max 0.5 (deadline -. now ()))
   in
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-  Option.iter Exec.Journal.close t.jw;
+  (* A journal that died mid-run may fail its final flush too; the
+     drain audit must still complete. *)
+  Option.iter
+    (fun w ->
+      try Exec.Journal.close w
+      with Sys_error _ | Unix.Unix_error _ -> Exec.Journal.close_noerr w)
+    t.jw;
   let leaked_fds =
     if t.baseline_fds < 0 then 0
     else

@@ -156,7 +156,7 @@ let run_job t id ~key ~spec ~deadline =
   | None -> lost t s "spawn failed"
   | Some p -> (
       match Wire.write p.oc (Wire.Job { key; spec }) with
-      | exception Sys_error _ ->
+      | exception (Sys_error _ | Unix.Unix_error _) ->
           let reason = dispose s in
           lost t s reason
       | () ->
@@ -205,7 +205,7 @@ let run_job t id ~key ~spec ~deadline =
               match Unix.select [ p.from_fd ] [] [] wait with
               | [], _, _ -> loop ()
               | _ -> (
-                  match Unix.read p.from_fd buf 0 (Bytes.length buf) with
+                  match Exec.Fio.read p.from_fd buf 0 (Bytes.length buf) with
                   | 0 ->
                       let reason = dispose s in
                       lost t s reason
@@ -217,7 +217,11 @@ let run_job t id ~key ~spec ~deadline =
                       | `Corrupt _ ->
                           ignore (kill_and_dispose s);
                           lost t s "corrupt frame")
-                  | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ())
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+                  | exception Unix.Unix_error _ ->
+                      (* A broken pipe read is as final as EOF. *)
+                      let reason = dispose s in
+                      lost t s reason)
               | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
             end
           in
@@ -241,7 +245,9 @@ let shutdown t ~timeout_s =
     |> List.filter_map (fun s -> Option.map (fun p -> (s, p)) s.proc)
   in
   List.iter
-    (fun (_, p) -> try Wire.write p.oc Wire.Shutdown with Sys_error _ -> ())
+    (fun (_, p) ->
+      try Wire.write p.oc Wire.Shutdown
+      with Sys_error _ | Unix.Unix_error _ -> ())
     live;
   let deadline = Unix.gettimeofday () +. timeout_s in
   let rec wait_exit (p : proc) =

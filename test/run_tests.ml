@@ -24,4 +24,5 @@ let () =
       ("obs", Test_obs.suite);
       ("shard", Test_shard.suite);
       ("serve", Test_serve.suite);
+      ("faultfs", Test_faultfs.suite);
     ]

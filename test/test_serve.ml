@@ -69,6 +69,7 @@ let reject_table =
     (Api.Quota_fuel, 429, "quota-fuel", true);
     (Api.Shutting_down, 503, "shutting-down", true);
     (Api.Deadline_exceeded, 504, "deadline-exceeded", false);
+    (Api.Journal_lost, 503, "journal-lost", true);
     (Api.Internal "x", 500, "internal-error", false);
   ]
 
