@@ -68,12 +68,16 @@ bench-smoke: build
 # with concurrent clients over a mixed workload (cache hits/misses,
 # malformed bodies, zero deadlines), protocol-chaos clients
 # (slow-loris, oversized payloads, mid-request disconnects) and one
-# mid-run worker SIGKILL, then SIGTERM it and gate on a clean drain:
-# zero leaked fds, zero surviving workers, correct API codes, and a
-# nonzero cache hit rate.  Metrics land in BENCH_serve.json.
+# mid-run worker SIGKILL, then a high-concurrency scale leg (8
+# connections, alternating batch-tier and worker-tier cache-warm jobs),
+# then SIGTERM it and gate on a clean drain: zero leaked fds, zero
+# surviving workers, correct API codes, a nonzero cache hit rate,
+# batch-tier p50 strictly below worker-tier p50, and a nonzero
+# image-cache hit rate.  Metrics land in BENCH_serve.json.
 serve-smoke: build
 	$(DUNE) exec bin/crush_cli.exe -- bench-serve --clients 4 --requests 8 \
-	  --chaos-clients 2 --kill-workers 1 --out BENCH_serve.json
+	  --chaos-clients 2 --kill-workers 1 --connections 8 --duration 5 \
+	  --out BENCH_serve.json
 
 # I/O fault-schedule exploration: every durability scenario (journal
 # append, atomic replace, shard merge, supervised campaign) re-run once

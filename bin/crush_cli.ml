@@ -1766,6 +1766,38 @@ let serve_cmd =
   let verbose_arg =
     Arg.(value & flag & info [ "verbose" ] ~doc:"Log per-connection errors.")
   in
+  let batch_domains_arg =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "batch-domains" ] ~docv:"N"
+          ~doc:
+            "In-process batch tier: $(docv) domains replay cache-warm, \
+             unmonitored, short-deadline jobs over compiled engine images \
+             without a worker round-trip.  0 disables the tier (every job \
+             runs in a worker process).")
+  in
+  let image_cache_mb_arg =
+    Arg.(
+      value
+      & opt int 256
+      & info [ "image-cache-mb" ] ~docv:"MB"
+          ~doc:
+            "Byte budget for the compiled-image cache (LRU, single-flight; \
+             keyed by circuit digest, so jobs differing only in seed, fuel \
+             or sanitize share one image).")
+  in
+  let batch_deadline_arg =
+    Arg.(
+      value
+      & opt float 15.0
+      & info [ "batch-deadline-s" ] ~docv:"S"
+          ~doc:
+            "Jobs with more than $(docv) of deadline left stay on the \
+             worker tier: a batch domain is only cooperatively \
+             preemptible, so the in-process tier admits only bounded \
+             occupancy.")
+  in
   let serve_faultfs_arg =
     Arg.(
       value
@@ -1782,7 +1814,7 @@ let serve_cmd =
   in
   let run host port workers max_conns queue_depth cache_capacity req_rate
       fuel_rate header_timeout_s default_deadline_s heartbeat_s journal seed
-      verbose faultfs =
+      verbose batch_domains image_cache_mb batch_deadline_s faultfs =
     Exec.Interrupt.install ();
     let faultfs_plan =
       match faultfs with
@@ -1828,6 +1860,9 @@ let serve_cmd =
         journal;
         seed;
         verbose;
+        batch_domains;
+        image_cache_bytes = max 1 (image_cache_mb * 1024 * 1024);
+        batch_long_deadline_s = batch_deadline_s;
       }
     in
     (* Armed before the journal is opened so the channel registers with
@@ -1868,7 +1903,8 @@ let serve_cmd =
       const run $ host_arg $ port_arg $ workers_arg $ max_conns_arg
       $ queue_depth_arg $ cache_arg $ req_rate_arg $ fuel_rate_arg
       $ header_timeout_arg $ deadline_arg $ serve_heartbeat_arg
-      $ serve_journal_arg $ serve_seed_arg $ verbose_arg $ serve_faultfs_arg)
+      $ serve_journal_arg $ serve_seed_arg $ verbose_arg $ batch_domains_arg
+      $ image_cache_mb_arg $ batch_deadline_arg $ serve_faultfs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bench-serve: load + chaos harness for the daemon                    *)
@@ -2059,7 +2095,28 @@ let bench_serve_cmd =
              /v1/stats, at least one 503 journal-lost or a degraded \
              journal, and the usual clean drain.")
   in
-  let run clients requests kill_workers chaos_clients out workers faultfs =
+  let connections_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "connections" ] ~docv:"N"
+          ~doc:
+            "High-concurrency scale leg: after the mixed-workload legs, \
+             drive $(docv) concurrent connections for $(b,--duration) \
+             seconds, alternating short-deadline (batch-tier) and \
+             long-deadline (worker-tier) cache-warm jobs with fresh seeds \
+             (so every request runs, none is absorbed by the result \
+             cache).  Reports per-tier p50/p99 and throughput plus the \
+             image-cache hit rate, and gates batch-tier p50 strictly \
+             below worker-tier p50.  0 disables the leg.")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "duration" ] ~docv:"S"
+          ~doc:"Scale-leg duration in seconds (with $(b,--connections)).")
+  in
+  let run clients requests kill_workers chaos_clients out workers faultfs
+      connections duration =
     Exec.Interrupt.install ();
     (* Chaos clients write into sockets the server may already have
        reset; that must surface as EPIPE, not kill the harness. *)
@@ -2076,9 +2133,13 @@ let bench_serve_cmd =
     | Some j when Sys.file_exists j -> Sys.remove j
     | _ -> ());
     let extra_argv =
-      match faultfs_journal with
+      (match faultfs_journal with
       | None -> []
-      | Some j -> [ "--journal"; j; "--faultfs"; "eio:every=2" ]
+      | Some j -> [ "--journal"; j; "--faultfs"; "eio:every=2" ])
+      @
+      (* The scale leg measures tier latency, not tenant quotas: with
+         the default fuel rate a fast batch tier would shed itself. *)
+      if connections > 0 then [ "--fuel-rate"; "1e9" ] else []
     in
     let pid, child_out, port =
       spawn_serve ~extra_argv ~workers ~queue_depth:16 ~req_rate:500.0 ~seed:1
@@ -2276,6 +2337,103 @@ let bench_serve_cmd =
             | Error _ -> (0, false))
         | Error _ -> (0, false)
     in
+    (* High-concurrency scale leg: per-tier latency under load.  Every
+       request uses a fresh seed, so the result cache absorbs nothing
+       and each 200 reports the tier that actually ran it; the circuit
+       digest is seed-independent, so after one warm-up on the worker
+       tier the compiled image serves every batch-tier run. *)
+    let scale =
+      if connections <= 0 || Exec.Interrupt.triggered () then None
+      else begin
+        let seedc = Atomic.make 5_000_000 in
+        let fresh_body ~deadline_ms =
+          Fmt.str
+            {|{"kernel":"gsum","seed":%d,"max_cycles":200000,"deadline_ms":%d}|}
+            (Atomic.fetch_and_add seedc 1) deadline_ms
+        in
+        (match
+           serve_post ~port ~path:"/v1/submit"
+             ~headers:[ ("X-Tenant", "scale-warm") ] ~timeout_s:60.0
+             (fresh_body ~deadline_ms:30_000)
+         with
+        | Ok (200, _, _) -> ()
+        | Ok (st, _, _) -> Fmt.pr "bench-serve: scale warm-up returned %d@." st
+        | Error _ -> Fmt.pr "bench-serve: scale warm-up transport error@.");
+        let sm = Mutex.create () in
+        let tiers : (string * float * int) list ref = ref [] in
+        let tier_of_body body =
+          match Exec.Jsonl.parse body with
+          | Ok j ->
+              Option.value ~default:"?"
+                (Option.bind (Exec.Jsonl.member "tier" j) Exec.Jsonl.to_str)
+          | Error _ -> "?"
+        in
+        let stop_at = Unix.gettimeofday () +. duration in
+        (* Even connections hammer the batch tier (short deadline), odd
+           ones the worker tier (long deadline): same window, same
+           circuit, same fuel — only the tier differs. *)
+        let conn_thread c =
+          let deadline_ms = if c mod 2 = 0 then 10_000 else 30_000 in
+          while
+            Unix.gettimeofday () < stop_at
+            && not (Exec.Interrupt.triggered ())
+          do
+            let t0 = Unix.gettimeofday () in
+            match
+              serve_post ~port ~path:"/v1/submit"
+                ~headers:[ ("X-Tenant", Fmt.str "scale-%d" c) ]
+                ~timeout_s:60.0
+                (fresh_body ~deadline_ms)
+            with
+            | Ok (status, _, rbody) ->
+                let lat = (Unix.gettimeofday () -. t0) *. 1000.0 in
+                Mutex.lock sm;
+                tiers := (tier_of_body rbody, lat, status) :: !tiers;
+                Mutex.unlock sm
+            | Error _ ->
+                Mutex.lock sm;
+                tiers := ("transport", 0.0, 0) :: !tiers;
+                Mutex.unlock sm
+          done
+        in
+        let threads =
+          List.init connections (fun c -> Thread.create conn_thread c)
+        in
+        List.iter Thread.join threads;
+        let all = !tiers in
+        let lats tier =
+          List.filter_map
+            (fun (t, l, s) -> if t = tier && s = 200 then Some l else None)
+            all
+          |> Array.of_list
+        in
+        let blats = lats "batch" and wlats = lats "worker" in
+        Array.sort compare blats;
+        Array.sort compare wlats;
+        Some (connections, duration, blats, wlats)
+      end
+    in
+    (* Image-cache counters, read while the daemon is still up. *)
+    let image_hits, image_misses, image_entries =
+      match serve_get ~port ~path:"/v1/stats" ~timeout_s:10.0 with
+      | Ok (_, _, body) -> (
+          match Exec.Jsonl.parse body with
+          | Ok j ->
+              let ic = Exec.Jsonl.member "image_cache" j in
+              let f k =
+                Option.value ~default:0
+                  (Option.bind
+                     (Option.bind ic (Exec.Jsonl.member k))
+                     Exec.Jsonl.to_int)
+              in
+              (f "hits", f "misses", f "entries")
+          | Error _ -> (0, 0, 0))
+      | Error _ -> (0, 0, 0)
+    in
+    let image_hit_rate =
+      if image_hits + image_misses = 0 then 0.0
+      else float_of_int image_hits /. float_of_int (image_hits + image_misses)
+    in
     (* Graceful shutdown + drain audit. *)
     (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
     let server_exit, child_tail = reap_serve pid child_out in
@@ -2325,6 +2483,37 @@ let bench_serve_cmd =
           ("p99_ms", Float p99);
           ("shed_rate", Float shed_rate);
           ("cache_hit_rate", Float hit_rate);
+          ( "image_cache",
+            Obj
+              [
+                ("hits", Int image_hits);
+                ("misses", Int image_misses);
+                ("entries", Int image_entries);
+                ("hit_rate", Float image_hit_rate);
+              ] );
+          ( "scale",
+            match scale with
+            | None -> Obj [ ("enabled", Bool false) ]
+            | Some (conns, dur, blats, wlats) ->
+                let tier_obj lats =
+                  Obj
+                    [
+                      ("requests", Int (Array.length lats));
+                      ("p50_ms", Float (percentile lats 50));
+                      ("p99_ms", Float (percentile lats 99));
+                      ( "throughput_rps",
+                        Float (float_of_int (Array.length lats) /. dur) );
+                    ]
+                in
+                Obj
+                  [
+                    ("enabled", Bool true);
+                    ("connections", Int conns);
+                    ("duration_s", Float dur);
+                    ("batch", tier_obj blats);
+                    ("worker", tier_obj wlats);
+                    ("image_hit_rate", Float image_hit_rate);
+                  ] );
           ("interrupted", Bool interrupted);
           ( "faultfs",
             Obj
@@ -2354,6 +2543,16 @@ let bench_serve_cmd =
     Fmt.pr "bench-serve: p50 %.1f ms, p99 %.1f ms, shed rate %.2f, cache hit \
             rate %.2f@."
       p50 p99 shed_rate hit_rate;
+    (match scale with
+    | None -> ()
+    | Some (conns, dur, blats, wlats) ->
+        Fmt.pr
+          "bench-serve: scale %d conns x %.1fs — batch %d reqs p50 %.1f ms \
+           p99 %.1f ms; worker %d reqs p50 %.1f ms p99 %.1f ms; image hit \
+           rate %.2f@."
+          conns dur (Array.length blats) (percentile blats 50)
+          (percentile blats 99) (Array.length wlats) (percentile wlats 50)
+          (percentile wlats 99) image_hit_rate);
     Fmt.pr "bench-serve: drain server_exit=%d conns_left=%d workers_alive=%d \
             leaked_fds=%d@."
       server_exit conns_left workers_alive leaked_fds;
@@ -2377,6 +2576,17 @@ let bench_serve_cmd =
       gate
         (n_lost > 0 || n_ok > clients)
         "worker kill neither classified worker-lost nor survived";
+    (match scale with
+    | None -> ()
+    | Some (_, _, blats, wlats) ->
+        gate (Array.length blats > 0) "scale leg: no batch-tier successes";
+        gate (Array.length wlats > 0) "scale leg: no worker-tier successes";
+        gate
+          (Array.length blats = 0
+          || Array.length wlats = 0
+          || percentile blats 50 < percentile wlats 50)
+          "scale leg: batch-tier p50 not below worker-tier p50";
+        gate (image_hit_rate > 0.0) "scale leg: image-cache hit rate was zero");
     if faultfs then begin
       Fmt.pr
         "bench-serve: faultfs journal_errors=%d journal-lost=%d degraded=%b@."
@@ -2398,7 +2608,8 @@ let bench_serve_cmd =
   Cmd.v (Cmd.info "bench-serve" ~doc)
     Term.(
       const run $ clients_arg $ requests_arg $ kill_workers_arg
-      $ chaos_clients_arg $ out_arg $ bench_workers_arg $ bench_faultfs_arg)
+      $ chaos_clients_arg $ out_arg $ bench_workers_arg $ bench_faultfs_arg
+      $ connections_arg $ duration_arg)
 
 (* ------------------------------------------------------------------ *)
 (* faultfs: exhaustive I/O fault-schedule exploration                  *)

@@ -20,8 +20,14 @@
     submitting domain.  The simulation layer guarantees this by building
     one graph + memory image per task.
 
-    The pool is NOT itself thread-safe for concurrent [run_batch] calls
-    from different domains; one coordinator domain drives it. *)
+    Concurrent [run_batch] calls are supported: each call carries its
+    own completion latch and first-error slot, and the shared queues are
+    only touched under the pool lock, so any number of submitting
+    threads may overlap their batches (the serve batch tier submits
+    single-task batches from every connection thread).  Each call
+    returns when {e its own} tasks have drained; the deterministic
+    first-error guarantee is per call.  [shutdown] still requires the
+    pool to be idle — no [run_batch] in flight. *)
 
 type t
 

@@ -62,6 +62,35 @@ let run_circuit_full ?(seed = 42) ?(max_cycles = 2_000_000) ?poll_every ?deadlin
       mismatches;
     } )
 
+(** Like {!run_circuit_full} but over a pre-compiled execution image
+    ({!Sim.Engine.image}): fresh inputs, fresh memory, cloned run state —
+    the simulation is cycle-for-cycle identical to compiling the image's
+    graph and calling {!run_circuit_full}, minus validation and graph
+    compilation.  No [chaos] (images are chaos-free by construction). *)
+let run_image_full ?(seed = 42) ?(max_cycles = 2_000_000) ?poll_every
+    ?deadline ?monitor ?sink (bench : Registry.bench) image =
+  let graph = Sim.Engine.image_graph image in
+  let inputs = Registry.fresh_inputs ~seed bench in
+  let expected = Registry.copy_arrays inputs in
+  bench.reference expected;
+  let memory = Sim.Memory.of_graph graph in
+  Hashtbl.iter (fun name data -> Sim.Memory.set_floats memory name data) inputs;
+  let out =
+    Sim.Engine.run_image ~max_cycles ?poll_every ?deadline ?monitor ?sink
+      ~memory image
+  in
+  let mismatches =
+    if Sim.Engine.is_completed out then compare_arrays bench expected memory
+    else []
+  in
+  ( out,
+    {
+      status = out.stats.status;
+      cycles = out.stats.cycles;
+      functionally_correct = Sim.Engine.is_completed out && mismatches = [];
+      mismatches;
+    } )
+
 let run_circuit ?seed ?max_cycles ?poll_every ?deadline ?monitor ?chaos ?sink bench graph =
   snd
     (run_circuit_full ?seed ?max_cycles ?poll_every ?deadline ?monitor ?chaos ?sink bench

@@ -47,6 +47,21 @@ val run_circuit_full :
   Dataflow.Graph.t ->
   Sim.Engine.outcome * verdict
 
+(** Like {!run_circuit_full} but over a pre-compiled execution image
+    ({!Sim.Engine.image}), skipping validation and graph compilation.
+    Cycle-for-cycle identical to running the image's graph; no [chaos]
+    (images are chaos-free by construction). *)
+val run_image_full :
+  ?seed:int ->
+  ?max_cycles:int ->
+  ?poll_every:int ->
+  ?deadline:(unit -> bool) ->
+  ?monitor:(Sim.Engine.t -> cycle:int -> Sim.Engine.monitor_phase -> unit) ->
+  ?sink:Sim.Engine.sink ->
+  Registry.bench ->
+  Sim.Engine.image ->
+  Sim.Engine.outcome * verdict
+
 (** Compile the benchmark, post-process with [transform] (e.g. a sharing
     pass mutating the graph), then simulate and verify. *)
 val compile_and_run :

@@ -97,7 +97,42 @@ let job_to_json t =
         ("sanitize", J.Bool t.sanitize);
       ])
 
-let digest t = Digest.to_hex (Digest.string (J.to_string (job_to_json t)))
+(* The job digest splits into a circuit half and a run half: two jobs
+   with equal circuit digests elaborate to the same dataflow graph (same
+   payload, codegen strategy and sharing technique), so they can share
+   one compiled engine image even when their run parameters differ.  The
+   full digest hashes both halves, so it still keys exact result-cache
+   identity. *)
+
+let circuit_to_json t =
+  let payload_fields =
+    match t.payload with
+    | Kernel { name } -> [ ("kernel", J.String name) ]
+    | Source { text } -> [ ("source", J.String text) ]
+    | Circuit { graph } -> [ ("circuit", graph) ]
+  in
+  J.Obj
+    (payload_fields
+    @ [
+        ("strategy", J.String t.strategy);
+        ("technique", J.String t.technique);
+      ])
+
+let circuit_digest t =
+  Digest.to_hex (Digest.string (J.to_string (circuit_to_json t)))
+
+let run_to_json t =
+  J.Obj
+    [
+      ("seed", J.Int t.seed);
+      ("max_cycles", J.Int t.max_cycles);
+      ("sanitize", J.Bool t.sanitize);
+    ]
+
+let run_digest t = Digest.to_hex (Digest.string (J.to_string (run_to_json t)))
+
+let digest t =
+  Digest.to_hex (Digest.string (J.to_string (job_to_json t)))
 
 (* The authoritative Outcome -> HTTP mapping.  No wildcard: extending
    the taxonomy without choosing a status here must not compile. *)

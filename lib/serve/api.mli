@@ -41,8 +41,20 @@ val job_of_json : Exec.Jsonl.t -> (job, string) result
     equal jobs digest equally however the client formatted them. *)
 val job_to_json : job -> Exec.Jsonl.t
 
-(** Content hash of the canonical encoding (hex): the result-cache key. *)
+(** Content hash of the canonical encoding (hex): the result-cache key.
+    Two jobs digest equally iff both their {!circuit_digest} and
+    {!run_digest} agree. *)
 val digest : job -> string
+
+(** Content hash of the circuit half of the job — payload + codegen
+    strategy + sharing technique, the inputs that determine the
+    elaborated dataflow graph.  Jobs with equal circuit digests can
+    share one compiled engine image even when seeds, fuel or sanitize
+    flags differ: the image-cache key. *)
+val circuit_digest : job -> string
+
+(** Content hash of the run half — seed, fuel and sanitize flag. *)
+val run_digest : job -> string
 
 (** {2 Outcome -> HTTP} *)
 

@@ -185,6 +185,43 @@ let write_all fd s =
   with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
     ()
 
+(* Checked variant for streaming responses: a vanished client must stop
+   the producer loop, so EPIPE-class errors surface as [false] instead of
+   being swallowed. *)
+let write_all_checked fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off >= n then true
+    else
+      match Unix.write fd b off (n - off) with
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  try go 0
+  with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+    false
+
+let write_chunked_head fd ~status ?(headers = []) () =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Fmt.str "HTTP/1.1 %d %s\r\n" status (reason status));
+  Buffer.add_string b "Content-Type: application/x-ndjson\r\n";
+  Buffer.add_string b "Transfer-Encoding: chunked\r\n";
+  Buffer.add_string b "Connection: close\r\n";
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Fmt.str "%s: %s\r\n" k v))
+    headers;
+  Buffer.add_string b "\r\n";
+  write_all_checked fd (Buffer.contents b)
+
+let write_chunk fd s =
+  (* An empty chunk is the terminator in the wire format; writing one by
+     accident would end the stream, so skip it. *)
+  if String.length s = 0 then true
+  else write_all_checked fd (Fmt.str "%x\r\n%s\r\n" (String.length s) s)
+
+let write_chunked_end fd = write_all_checked fd "0\r\n\r\n"
+
 let write_response fd ~status ?(headers = []) body =
   let b = Buffer.create (String.length body + 128) in
   Buffer.add_string b (Fmt.str "HTTP/1.1 %d %s\r\n" status (reason status));

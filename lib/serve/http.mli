@@ -50,6 +50,28 @@ val write_response :
 
 val reason : int -> string
 
+(** {2 Chunked streaming} — the [/v1/stats/stream] push channel.
+
+    Unlike {!write_response}, these report client departure: every call
+    returns [false] once the peer is gone (EPIPE-class), so the
+    producing loop can stop instead of shovelling bytes into a closed
+    socket forever. *)
+
+(** Status line + [Transfer-Encoding: chunked] headers, no body yet. *)
+val write_chunked_head :
+  Unix.file_descr ->
+  status:int ->
+  ?headers:(string * string) list ->
+  unit ->
+  bool
+
+(** One chunk.  The empty string is skipped (it would terminate the
+    stream in the wire format) and reports [true]. *)
+val write_chunk : Unix.file_descr -> string -> bool
+
+(** The zero-length terminator chunk. *)
+val write_chunked_end : Unix.file_descr -> bool
+
 (** {2 Client side} — used by [bench-serve], the chaos clients and the
     tests.  Same deadline discipline as the server side. *)
 

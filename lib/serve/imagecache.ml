@@ -1,0 +1,138 @@
+type entry =
+  | Pending
+  | Ready of {
+      image : Sim.Engine.image;
+      bytes : int;
+      mutable stamp : int;  (** last-touch tick, for LRU eviction *)
+    }
+
+type t = {
+  m : Mutex.t;
+  tbl : (string, entry) Hashtbl.t;
+  max_bytes : int;
+  mutable bytes : int;    (** sum of Ready entry sizes *)
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable joins : int;
+  mutable evictions : int;
+}
+
+let create ~max_bytes =
+  if max_bytes < 1 then invalid_arg "Imagecache.create: max_bytes < 1";
+  {
+    m = Mutex.create ();
+    tbl = Hashtbl.create 64;
+    max_bytes;
+    bytes = 0;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    joins = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+type admission = Hit of Sim.Engine.image | Lead | Join
+
+let admit t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some (Ready e) ->
+          t.hits <- t.hits + 1;
+          t.clock <- t.clock + 1;
+          e.stamp <- t.clock;
+          Hit e.image
+      | Some Pending ->
+          t.joins <- t.joins + 1;
+          Join
+      | None ->
+          t.misses <- t.misses + 1;
+          Hashtbl.replace t.tbl key Pending;
+          Lead)
+
+let lookup t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some (Ready e) ->
+          t.hits <- t.hits + 1;
+          t.clock <- t.clock + 1;
+          e.stamp <- t.clock;
+          Some e.image
+      | Some Pending | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+(* Evict least-recently-touched Ready entries until the byte budget
+   holds, never evicting [keep] (the entry just fulfilled: a key larger
+   than every other resident entry must still land, else a hot oversized
+   circuit would thrash forever) and never Pending entries (joiners are
+   waiting on them).  O(entries) scan per victim — the cache holds at
+   most a few hundred compiled circuits, not millions. *)
+let evict_over_budget t ~keep =
+  let continue_ = ref true in
+  while t.bytes > t.max_bytes && !continue_ do
+    let victim = ref None in
+    Hashtbl.iter
+      (fun k e ->
+        match e with
+        | Ready r when k <> keep -> (
+            match !victim with
+            | Some (_, best_stamp, _) when best_stamp <= r.stamp -> ()
+            | _ -> victim := Some (k, r.stamp, r.bytes))
+        | Ready _ | Pending -> ())
+      t.tbl;
+    match !victim with
+    | None -> continue_ := false
+    | Some (k, _, vbytes) ->
+        Hashtbl.remove t.tbl k;
+        t.bytes <- t.bytes - vbytes;
+        t.evictions <- t.evictions + 1
+  done
+
+let fulfill t key image =
+  let bytes = Sim.Engine.image_bytes image in
+  locked t (fun () ->
+      (match Hashtbl.find_opt t.tbl key with
+      | Some (Ready old) -> t.bytes <- t.bytes - old.bytes
+      | Some Pending | None -> ());
+      t.clock <- t.clock + 1;
+      Hashtbl.replace t.tbl key (Ready { image; bytes; stamp = t.clock });
+      t.bytes <- t.bytes + bytes;
+      evict_over_budget t ~keep:key)
+
+let abandon t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some Pending -> Hashtbl.remove t.tbl key
+      | Some (Ready _) | None -> ())
+
+let peek t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some (Ready e) -> `Ready e.image
+      | Some Pending -> `Pending
+      | None -> `Absent)
+
+type counters = {
+  hits : int;
+  misses : int;
+  joins : int;
+  evictions : int;
+  entries : int;
+  bytes : int;
+}
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        joins = t.joins;
+        evictions = t.evictions;
+        entries = Hashtbl.length t.tbl;
+        bytes = t.bytes;
+      })

@@ -1,0 +1,63 @@
+(** Compiled-engine-image cache: circuit digest -> pre-compiled
+    {!Sim.Engine.image}, so repeat circuits skip the mini-C frontend,
+    validation and graph compilation entirely and only pay the cheap
+    per-run state clone.
+
+    Keyed by {!Api.circuit_digest} (payload + strategy + technique —
+    everything that determines the elaborated graph), so jobs that
+    differ only in seed, fuel or sanitize flag share one image.
+
+    Single-flight like {!Cache}: one concurrent compiler per key leads,
+    the rest join and poll {!peek}.  A leader whose compile fails
+    transiently must {!abandon}, not poison — joiners observe [`Absent]
+    and re-admit.  Eviction is least-recently-touched over completed
+    entries, bounded by total {!Sim.Engine.image_bytes} rather than
+    entry count (circuit images vary by orders of magnitude in size);
+    Pending entries and the just-fulfilled key are never evicted.
+
+    Thread-safe. *)
+
+type t
+
+(** [create ~max_bytes] bounds the sum of resident image sizes. *)
+val create : max_bytes:int -> t
+
+type admission =
+  | Hit of Sim.Engine.image  (** cached image, LRU-touched *)
+  | Lead                     (** this caller compiles and must
+                                 {!fulfill} or {!abandon} *)
+  | Join                     (** another caller is compiling; poll
+                                 {!peek} *)
+
+val admit : t -> string -> admission
+
+(** Counting, non-leading probe — the tier-routing check.  [Some image]
+    touches the entry and counts a hit; [None] (absent or still
+    compiling) counts a miss and, unlike {!admit}, does {e not} insert a
+    Pending entry: routing a request must not make the next request
+    believe a compile is in flight. *)
+val lookup : t -> string -> Sim.Engine.image option
+
+(** Store the leader's image and wake joiners; evicts cold entries over
+    the byte budget. *)
+val fulfill : t -> string -> Sim.Engine.image -> unit
+
+(** Drop the pending entry (compile failed transiently): joiners see
+    [`Absent] and re-admit. *)
+val abandon : t -> string -> unit
+
+(** Non-counting, non-touching probe. *)
+val peek : t -> string -> [ `Ready of Sim.Engine.image | `Pending | `Absent ]
+
+type counters = {
+  hits : int;
+  misses : int;       (** lookups/admits that found no ready image *)
+  joins : int;
+  evictions : int;
+  entries : int;      (** resident entries, Pending included *)
+  bytes : int;        (** resident Ready bytes, <= max_bytes after every
+                          fulfill unless a single image exceeds the
+                          budget on its own *)
+}
+
+val stats : t -> counters

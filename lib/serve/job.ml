@@ -63,11 +63,13 @@ let with_json_payload (o : Sim.Engine.stats Outcome.t) : J.t Outcome.t =
   | Worker_lost e -> Worker_lost e
   | Worker_killed e -> Worker_killed e
 
-let run ?poll_every ~deadline (job : Api.job) : J.t Outcome.t =
+(** Elaborate the job's circuit: payload -> technique-applied dataflow
+    graph.  This is the compile half of {!run} — frontend exceptions
+    escape exactly as they do from [run] (the caller's
+    {!Exec.Campaign.run_with_retries} classifies them); spec-level
+    problems return the outcome as a value. *)
+let compile (job : Api.job) : (Dataflow.Graph.t, J.t Outcome.t) result =
   let strategy = strategy_of_string job.Api.strategy in
-  let monitor =
-    if job.Api.sanitize then Some (Sim.Sanitizer.monitor ()) else None
-  in
   match job.Api.payload with
   | Api.Kernel { name } ->
       let b = Kernels.Registry.find name in
@@ -75,38 +77,72 @@ let run ?poll_every ~deadline (job : Api.job) : J.t Outcome.t =
         Minic.Codegen.compile_source ~strategy b.Kernels.Registry.source
       in
       apply_technique job.Api.technique c;
+      Ok c.Minic.Codegen.graph
+  | Api.Source { text } ->
+      let c = Minic.Codegen.compile_source ~strategy text in
+      apply_technique job.Api.technique c;
+      Ok c.Minic.Codegen.graph
+  | Api.Circuit { graph = gj } -> (
+      if job.Api.technique <> "naive" then
+        Error
+          (Outcome.Validation_error
+             {
+               message =
+                 "sharing techniques need compiled loop structure; submit \
+                  circuits with technique=naive";
+             })
+      else
+        match Exec.Reduce.graph_of_json gj with
+        | None ->
+            Error
+              (Outcome.Validation_error
+                 { message = "undecodable circuit JSON" })
+        | Some g -> Ok g)
+
+(** The simulate half, over either a freshly compiled graph or a cached
+    execution image.  The two targets are cycle-for-cycle the same
+    simulation ({!Sim.Engine.run_image}), so batch-tier (image) and
+    worker-tier (graph) runs of one job classify identically. *)
+let simulate ?poll_every ~deadline (job : Api.job) target : J.t Outcome.t =
+  let monitor =
+    if job.Api.sanitize then Some (Sim.Sanitizer.monitor ()) else None
+  in
+  match job.Api.payload with
+  | Api.Kernel { name } ->
+      let b = Kernels.Registry.find name in
       let eng, verdict =
-        Kernels.Harness.run_circuit_full ~seed:job.Api.seed
-          ~max_cycles:job.Api.max_cycles ?poll_every ~deadline ?monitor b
-          c.Minic.Codegen.graph
+        match target with
+        | `Graph g ->
+            Kernels.Harness.run_circuit_full ~seed:job.Api.seed
+              ~max_cycles:job.Api.max_cycles ?poll_every ~deadline ?monitor b
+              g
+        | `Image img ->
+            Kernels.Harness.run_image_full ~seed:job.Api.seed
+              ~max_cycles:job.Api.max_cycles ?poll_every ~deadline ?monitor b
+              img
       in
       (match Outcome.of_sim_run eng with
       | Outcome.Ok _ -> Outcome.Ok (verdict_result verdict)
       | o -> with_json_payload o)
-  | Api.Source { text } ->
-      let c = Minic.Codegen.compile_source ~strategy text in
-      apply_technique job.Api.technique c;
-      with_json_payload
-        (Outcome.of_sim_run
-           (Sim.Engine.run ~max_cycles:job.Api.max_cycles ?poll_every
-              ~deadline ?monitor c.Minic.Codegen.graph))
-  | Api.Circuit { graph = gj } -> (
-      if job.Api.technique <> "naive" then
-        Outcome.Validation_error
-          {
-            message =
-              "sharing techniques need compiled loop structure; submit \
-               circuits with technique=naive";
-          }
-      else
-        match Exec.Reduce.graph_of_json gj with
-        | None ->
-            Outcome.Validation_error { message = "undecodable circuit JSON" }
-        | Some g ->
-            with_json_payload
-              (Outcome.of_sim_run
-                 (Sim.Engine.run ~max_cycles:job.Api.max_cycles ?poll_every
-                    ~deadline ?monitor g)))
+  | Api.Source _ | Api.Circuit _ ->
+      let out =
+        match target with
+        | `Graph g ->
+            Sim.Engine.run ~max_cycles:job.Api.max_cycles ?poll_every
+              ~deadline ?monitor g
+        | `Image img ->
+            Sim.Engine.run_image ~max_cycles:job.Api.max_cycles ?poll_every
+              ~deadline ?monitor img
+      in
+      with_json_payload (Outcome.of_sim_run out)
+
+let run ?poll_every ~deadline (job : Api.job) : J.t Outcome.t =
+  match compile job with
+  | Error o -> o
+  | Ok g -> simulate ?poll_every ~deadline job (`Graph g)
+
+let run_on_image ?poll_every ~deadline (job : Api.job) image : J.t Outcome.t =
+  simulate ?poll_every ~deadline job (`Image image)
 
 let worker_run (opts : Exec.Supervisor.worker_opts) =
   let poll_every = Exec.Supervisor.flag_int opts "poll-every" in

@@ -18,6 +18,25 @@ val run :
   Api.job ->
   Exec.Jsonl.t Exec.Outcome.t
 
+(** The compile half of {!run} alone: payload -> technique-applied
+    dataflow graph, ready for {!Sim.Engine.image}.  Frontend exceptions
+    escape exactly as from {!run}; job-spec problems (non-naive circuit
+    submissions, undecodable circuit JSON) come back as the outcome
+    value.  Used by the in-process batch tier to fill the image cache. *)
+val compile :
+  Api.job -> (Dataflow.Graph.t, Exec.Jsonl.t Exec.Outcome.t) result
+
+(** The simulate half of {!run} over a cached execution image instead of
+    a freshly compiled graph.  Cycle-for-cycle identical to [run] on the
+    image's graph ({!Sim.Engine.run_image}), so batch-tier and
+    worker-tier runs of the same job classify identically. *)
+val run_on_image :
+  ?poll_every:int ->
+  deadline:(unit -> bool) ->
+  Api.job ->
+  Sim.Engine.image ->
+  Exec.Jsonl.t Exec.Outcome.t
+
 (** The [run] callback for {!Exec.Supervisor.worker_main} when launched
     as [__worker --kind serve].  The job spec is the canonical
     {!Api.job_to_json} object, optionally extended with a server-side

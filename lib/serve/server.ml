@@ -27,6 +27,12 @@ type config = {
   poll_every : int option;
   journal : string option;
   verbose : bool;
+  batch_domains : int;
+  batch_watermark : int;
+  image_cache_bytes : int;
+  batch_long_deadline_s : float;
+  stream_period_s : float;
+  stream_history : int;
 }
 
 let default_config ~binary =
@@ -54,6 +60,12 @@ let default_config ~binary =
     poll_every = None;
     journal = None;
     verbose = false;
+    batch_domains = 2;
+    batch_watermark = 8;
+    image_cache_bytes = 256 * 1024 * 1024;
+    batch_long_deadline_s = 15.0;
+    stream_period_s = 1.0;
+    stream_history = 120;
   }
 
 type tenant = { req : Bucket.t; fuel : Bucket.t; mutable sheds : int }
@@ -63,6 +75,8 @@ type t = {
   listen_fd : Unix.file_descr;
   bound_port : int;
   pool : Workers.t;
+  batch : Batch.t option;  (** in-process tier; [None] = disabled *)
+  stream : Statstream.t;
   cache : Cache.t;
   m : Mutex.t;  (** tenants, counters, seq *)
   tenants : (string, tenant) Hashtbl.t;
@@ -129,6 +143,20 @@ let create cfg =
     | Some n -> [ "--opt"; Fmt.str "poll-every=%d" n ]
     | None -> []
   in
+  (* The batch tier spawns its domains now, before the fd baseline is
+     read, so any runtime bookkeeping they allocate is baselined. *)
+  let batch =
+    if cfg.batch_domains <= 0 then None
+    else
+      Some
+        (Batch.create
+           {
+             Batch.domains = cfg.batch_domains;
+             watermark = cfg.batch_watermark;
+             image_cache_bytes = cfg.image_cache_bytes;
+             long_deadline_s = cfg.batch_long_deadline_s;
+           })
+  in
   {
     cfg;
     listen_fd = fd;
@@ -136,6 +164,8 @@ let create cfg =
     pool =
       Workers.create ~binary:cfg.binary ~argv_tail
         ~heartbeat_s:cfg.heartbeat_s ~grace_s:cfg.grace_s ~n:cfg.workers;
+    batch;
+    stream = Statstream.create ~capacity:(max 1 cfg.stream_history);
     cache = Cache.create ~capacity:cfg.cache_capacity;
     m = Mutex.create ();
     tenants = Hashtbl.create 16;
@@ -288,9 +318,39 @@ let deadline_of_body t body_json =
   in
   now () +. s
 
-(** Run the job as cache leader on a borrowed worker; returns the
-    response fields.  Always resolves the pending cache entry. *)
-let lead_and_run t ~digest ~deadline (job : Api.job) =
+let next_key t ~digest =
+  locked t (fun () ->
+      t.seq <- t.seq + 1;
+      Fmt.str "req-%08d" t.seq)
+  ^ ":" ^ digest
+
+(** Shared tail of both execution tiers: journal append, result-cache
+    resolution, response fields.  The [Outcome] -> HTTP table stays the
+    single authority whichever tier ran the job; the tier only adds a
+    diagnostic field to the body. *)
+let finish t ~digest ~tier ~key ~attempts (o : J.t Outcome.t) =
+  match
+    journal_record t ~key ~attempts ~outcome:(Outcome.to_json Fun.id o)
+  with
+  | `Failed ->
+      (* The result exists but its audit record does not: withhold it
+         rather than serve an un-journalled answer, and never cache what
+         was never recorded. *)
+      Cache.abandon t.cache digest;
+      Error Api.Journal_lost
+  | `Ok ->
+      let status, fields = outcome_body ~digest ~cache:"miss" ~attempts o in
+      let fields = fields @ [ ("tier", J.String tier) ] in
+      (* Deterministic outcomes are cacheable; transient infrastructure
+         failures must not poison the digest for the next caller. *)
+      if Outcome.is_transient o then Cache.abandon t.cache digest
+      else
+        Cache.fulfill t.cache digest
+          (J.Obj [ ("status", J.Int status); ("body", J.Obj fields) ]);
+      Ok (status, fields, Api.code_of_outcome o, tier)
+
+(** Worker tier: dispatch queue watermark, borrow a process slot, run. *)
+let run_on_worker t ~digest ~deadline (job : Api.job) =
   let shed reject =
     Cache.abandon t.cache digest;
     Error reject
@@ -313,7 +373,7 @@ let lead_and_run t ~digest ~deadline (job : Api.job) =
           (if locked t (fun () -> t.stopping) then Api.Shutting_down
            else Api.Deadline_exceeded)
     | Some id ->
-        let key = locked t (fun () -> t.seq <- t.seq + 1; Fmt.str "req-%08d" t.seq) in
+        let key = next_key t ~digest in
         let timeout_s = Float.max 0.0 (deadline -. now ()) in
         let spec =
           match Api.job_to_json job with
@@ -325,28 +385,37 @@ let lead_and_run t ~digest ~deadline (job : Api.job) =
             ~finally:(fun () -> Workers.release t.pool id)
             (fun () -> Workers.run_job t.pool id ~key ~spec ~deadline)
         in
-        match
-          journal_record t ~key:(key ^ ":" ^ digest) ~attempts
-            ~outcome:(Outcome.to_json Fun.id o)
-        with
-        | `Failed ->
-            (* The result exists but its audit record does not: withhold
-               it rather than serve an un-journalled answer, and never
-               cache what was never recorded. *)
-            shed Api.Journal_lost
-        | `Ok ->
-            let status, fields =
-              outcome_body ~digest ~cache:"miss" ~attempts o
-            in
-            (* Deterministic outcomes are cacheable; transient
-               infrastructure failures must not poison the digest for the
-               next caller. *)
-            if Outcome.is_transient o then Cache.abandon t.cache digest
-            else
-              Cache.fulfill t.cache digest
-                (J.Obj [ ("status", J.Int status); ("body", J.Obj fields) ]);
-            Ok (status, fields, Api.code_of_outcome o)
+        finish t ~digest ~tier:"worker" ~key ~attempts o
   end
+
+(** Batch tier: run in process on the already-held batch slot over the
+    cached image ({!Batch.admit} reserved the slot; {!Batch.run}
+    releases it). *)
+let run_on_batch t b ~digest ~deadline image (job : Api.job) =
+  let key = next_key t ~digest in
+  let o =
+    Batch.run b ?poll_every:t.cfg.poll_every ~deadline_at:deadline image job
+  in
+  finish t ~digest ~tier:"batch" ~key ~attempts:1 o
+
+(** Run the job as cache leader; returns the response fields.  Always
+    resolves the pending cache entry.  Tier routing is {!Batch.tier_of}
+    via {!Batch.admit}: cache-warm, unmonitored, short-deadline jobs run
+    in process; everything else (and the spill past the batch watermark)
+    goes to the worker-process pool. *)
+let lead_and_run t ~digest ~deadline (job : Api.job) =
+  let decision =
+    match t.batch with
+    | None -> Batch.Run_worker
+    | Some b ->
+        Batch.admit b ~sanitize:job.Api.sanitize
+          ~deadline_left_s:(deadline -. now ())
+          (Api.circuit_digest job)
+  in
+  match (decision, t.batch) with
+  | Batch.Run_batch image, Some b ->
+      run_on_batch t b ~digest ~deadline image job
+  | _ -> run_on_worker t ~digest ~deadline job
 
 let cached_response ~v =
   match (J.member "status" v, J.member "body" v) with
@@ -369,9 +438,14 @@ let rec submit_job t fd ~digest ~deadline ~tenant_name job =
         | None -> respond_reject t fd (Api.Internal "corrupt cache entry"))
     | Cache.Lead -> (
         match lead_and_run t ~digest ~deadline job with
-        | Ok (status, fields, code) ->
+        | Ok (status, fields, code, tier) ->
             count_code t code;
-            respond_json fd ~status fields
+            respond_json fd ~status fields;
+            (* Warm the image cache only after a worker process proved
+               the circuit out end to end — and after responding, so the
+               in-process compile never sits on the response path. *)
+            if code = "ok" && tier = "worker" then
+              Option.iter (fun b -> Batch.prime b job) t.batch
         | Error reject ->
             let tenant = tenant_of t tenant_name in
             let retry_after =
@@ -488,10 +562,113 @@ let stats_json t =
             ("killed", J.Int killed);
             ("jobs", J.Int jobs);
           ] );
+      ( "batch",
+        match t.batch with
+        | None -> J.Obj [ ("enabled", J.Bool false) ]
+        | Some b ->
+            let s = Batch.stats b in
+            J.Obj
+              [
+                ("enabled", J.Bool true);
+                ("domains", J.Int t.cfg.batch_domains);
+                ("watermark", J.Int t.cfg.batch_watermark);
+                ("long_deadline_s", J.Float t.cfg.batch_long_deadline_s);
+                ("in_flight", J.Int s.Batch.in_flight_now);
+                ("runs", J.Int s.Batch.runs);
+                ("spills", J.Int s.Batch.spills);
+                ("primes", J.Int s.Batch.primes);
+                ("prime_failures", J.Int s.Batch.prime_failures);
+              ] );
+      ( "image_cache",
+        match t.batch with
+        | None -> J.Obj [ ("enabled", J.Bool false) ]
+        | Some b ->
+            let ic = Imagecache.stats (Batch.images b) in
+            J.Obj
+              [
+                ("enabled", J.Bool true);
+                ("hits", J.Int ic.Imagecache.hits);
+                ("misses", J.Int ic.Imagecache.misses);
+                ("joins", J.Int ic.Imagecache.joins);
+                ("evictions", J.Int ic.Imagecache.evictions);
+                ("entries", J.Int ic.Imagecache.entries);
+                ("bytes", J.Int ic.Imagecache.bytes);
+              ] );
       ("journal_duplicates", J.Int t.journal_dups);
       ("journal_errors", J.Int (locked t (fun () -> t.n_journal_errors)));
       ("journal_degraded", J.Bool (locked t (fun () -> t.journal_degraded)));
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Streaming stats *)
+
+(** One per-second aggregate for the stream ring: tier occupancy, hit
+    rates, shed and journal counters.  Cheap enough to build at 1 Hz. *)
+let stream_sample t =
+  let conns, waiting, received, shed, jerrs =
+    locked t (fun () ->
+        (t.conns, t.waiting, t.n_received, t.n_shed, t.n_journal_errors))
+  in
+  let ch, cm, _, _, _ = Cache.stats t.cache in
+  let _, _, _, _, wjobs = Workers.stats t.pool in
+  let rate h m =
+    if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)
+  in
+  let batch_fields =
+    match t.batch with
+    | None ->
+        [
+          ("batch_in_flight", J.Int 0);
+          ("batch_runs", J.Int 0);
+          ("batch_spills", J.Int 0);
+          ("image_hit_rate", J.Float 0.0);
+        ]
+    | Some b ->
+        let s = Batch.stats b in
+        let ic = Imagecache.stats (Batch.images b) in
+        [
+          ("batch_in_flight", J.Int s.Batch.in_flight_now);
+          ("batch_runs", J.Int s.Batch.runs);
+          ("batch_spills", J.Int s.Batch.spills);
+          ("image_hit_rate", J.Float (rate ic.Imagecache.hits ic.Imagecache.misses));
+        ]
+  in
+  J.Obj
+    ([
+       ("t", J.Float (now ()));
+       ("uptime_s", J.Float (now () -. t.started_at));
+       ("conns", J.Int conns);
+       ("waiting", J.Int waiting);
+       ("received", J.Int received);
+       ("shed", J.Int shed);
+       ("worker_jobs", J.Int wjobs);
+       ("result_hit_rate", J.Float (rate ch cm));
+       ("journal_errors", J.Int jerrs);
+     ]
+    @ batch_fields)
+
+(** Tail the sample ring down a chunked response: one NDJSON line per
+    sample, backlog first, then live until the client hangs up or the
+    server drains.  Holds its connection slot like any other request. *)
+let stats_stream t fd =
+  if Http.write_chunked_head fd ~status:200 () then begin
+    let rec loop seq =
+      let next, samples, closed = Statstream.read_from t.stream ~seq in
+      let alive =
+        List.for_all
+          (fun s -> Http.write_chunk fd (J.to_string s ^ "\n"))
+          samples
+      in
+      if not alive then () (* client gone: its problem, not ours *)
+      else if closed || locked t (fun () -> t.stopping) then
+        ignore (Http.write_chunked_end fd)
+      else begin
+        Thread.delay 0.05;
+        loop next
+      end
+    in
+    loop 0
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Routing and the accept loop *)
@@ -501,13 +678,14 @@ let route t fd (req : Http.request) =
   | "POST", "/v1/submit" -> submit t fd req
   | "GET", "/v1/stats" ->
       Http.write_response fd ~status:200 (J.to_string (stats_json t))
+  | "GET", "/v1/stats/stream" -> stats_stream t fd
   | "GET", "/v1/healthz" ->
       respond_json fd ~status:200
         [
           ("ok", J.Bool true);
           ("draining", J.Bool (locked t (fun () -> t.stopping)));
         ]
-  | _, ("/v1/submit" | "/v1/stats" | "/v1/healthz") ->
+  | _, ("/v1/submit" | "/v1/stats" | "/v1/stats/stream" | "/v1/healthz") ->
       respond_reject t fd Api.Method_not_allowed
   | _ -> respond_reject t fd Api.Route_not_found
 
@@ -540,6 +718,23 @@ type drain = { conns_left : int; workers_alive : int; leaked_fds : int }
 
 let run t =
   let stop () = locked t (fun () -> t.stopping) || Exec.Interrupt.triggered () in
+  (* The sampler feeds the stream ring one aggregate per period and
+     closes it on drain so stream handlers terminate their chunked
+     responses. *)
+  let sampler =
+    Thread.create
+      (fun () ->
+        let rec go () =
+          if not (stop ()) then begin
+            Statstream.push t.stream (stream_sample t);
+            Thread.delay t.cfg.stream_period_s;
+            go ()
+          end
+        in
+        go ();
+        Statstream.close t.stream)
+      ()
+  in
   let rec accept_loop () =
     if not (stop ()) then begin
       (match Unix.select [ t.listen_fd ] [] [] 0.1 with
@@ -593,6 +788,13 @@ let run t =
     end
   in
   let conns_left = wait_conns () in
+  Thread.join sampler;
+  (* The batch tier joins its domains only once every connection thread
+     is gone: {!Exec.Pool.shutdown} requires an idle pool, and a wedged
+     connection could still hold a batch slot. *)
+  (match t.batch with
+  | Some b when conns_left = 0 -> Batch.shutdown b
+  | Some _ | None -> ());
   let workers_alive =
     Workers.shutdown t.pool
       ~timeout_s:(Float.max 0.5 (deadline -. now ()))

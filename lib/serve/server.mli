@@ -6,9 +6,15 @@
     Accept -> deadline-bounded header/body read ({!Http.read_request})
     -> route -> job decode ({!Api.job_of_json}) -> admission (drain
     check, request deadline, per-tenant token buckets, queue watermark)
-    -> content-hash cache ({!Cache}, single-flight) -> dispatch onto a
-    borrowed {!Workers} slot -> outcome mapped to HTTP via
-    {!Api.status_of_outcome} -> journal append -> respond.
+    -> content-hash cache ({!Cache}, single-flight) -> tier routing
+    ({!Batch.admit}: cache-warm, unmonitored, short-deadline jobs run in
+    process over a compiled {!Sim.Engine.image}; everything else
+    dispatches onto a borrowed {!Workers} slot) -> outcome mapped to
+    HTTP via {!Api.status_of_outcome} -> journal append -> respond.
+    After a worker-tier success the server primes the
+    {!Imagecache} in process, so repeat circuits graduate to the batch
+    tier.  [/v1/stats/stream] tails a bounded ring of per-second
+    aggregates ({!Statstream}) down a chunked response.
 
     {2 Fault domains}
 
@@ -56,6 +62,14 @@ type config = {
   poll_every : int option;    (** engine watchdog poll interval *)
   journal : string option;    (** request journal (JSONL append) *)
   verbose : bool;
+  batch_domains : int;        (** in-process batch tier domains; 0 disables *)
+  batch_watermark : int;      (** batch in-flight cap before spilling *)
+  image_cache_bytes : int;    (** compiled-image cache byte budget *)
+  batch_long_deadline_s : float;
+      (** jobs with more deadline left than this stay on the worker
+          tier (a pool domain is only cooperatively preemptible) *)
+  stream_period_s : float;    (** [/v1/stats/stream] sample period *)
+  stream_history : int;       (** stream ring capacity (samples) *)
 }
 
 val default_config : binary:string -> config

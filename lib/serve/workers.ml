@@ -147,6 +147,13 @@ let release t id = locked t (fun () -> Queue.push id t.free)
 
 let lost t (s : slot) reason =
   locked t (fun () -> t.n_lost <- t.n_lost + 1);
+  (* Respawn eagerly: the slot re-enters the free queue the moment the
+     caller releases it, so the next job admitted to it must not pay
+     spawn latency serially behind the loss.  A failed respawn leaves
+     [proc = None]; the next [run_job]'s [ensure] retries. *)
+  (try
+     if (not (locked t (fun () -> t.closing))) && s.proc = None then spawn t s
+   with _ -> ());
   (Outcome.Worker_lost { shard = s.id; reason }, 1)
 
 let run_job t id ~key ~spec ~deadline =
@@ -157,7 +164,7 @@ let run_job t id ~key ~spec ~deadline =
   | Some p -> (
       match Wire.write p.oc (Wire.Job { key; spec }) with
       | exception (Sys_error _ | Unix.Unix_error _) ->
-          let reason = dispose s in
+          let reason = kill_and_dispose s in
           lost t s reason
       | () ->
           let started = Unix.gettimeofday () in
@@ -207,7 +214,13 @@ let run_job t id ~key ~spec ~deadline =
               | _ -> (
                   match Exec.Fio.read p.from_fd buf 0 (Bytes.length buf) with
                   | 0 ->
-                      let reason = dispose s in
+                      (* Pipe EOF: the worker is gone (or wedged with
+                         its stdout closed).  SIGKILL before reaping —
+                         [dispose] alone would block in [waitpid] for as
+                         long as a wedged-but-alive worker cares to
+                         linger, keeping this slot borrowed far past the
+                         deadline+grace window. *)
+                      let reason = kill_and_dispose s in
                       lost t s reason
                   | k -> (
                       Wire.feed p.dec buf ~len:k;
@@ -220,7 +233,7 @@ let run_job t id ~key ~spec ~deadline =
                   | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
                   | exception Unix.Unix_error _ ->
                       (* A broken pipe read is as final as EOF. *)
-                      let reason = dispose s in
+                      let reason = kill_and_dispose s in
                       lost t s reason)
               | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
             end

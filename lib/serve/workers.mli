@@ -9,8 +9,15 @@
     owns a request acquires a slot, runs exactly one job on it
     synchronously (watching heartbeats and the request deadline), and
     releases it.  A worker SIGKILLed or crashed mid-job therefore costs
-    exactly that request ([Worker_lost] / 503); the slot respawns
-    lazily on next acquire.
+    exactly that request ([Worker_lost] / 503).
+
+    Loss is prompt by contract: on pipe-EOF (or a broken write/corrupt
+    frame) the dead pid is SIGKILLed {e before} being reaped — never a
+    bare blocking [waitpid], which a wedged-but-alive worker with a
+    closed stdout could stall for the whole deadline+grace window while
+    the slot stayed borrowed — the slot's replacement worker is respawned
+    eagerly on the loss path, and the slot is released immediately, so
+    the next job is admitted without waiting on any grace timer.
 
     Thread-safe; one job per slot at a time by construction. *)
 

@@ -1448,16 +1448,14 @@ let chaos_prologue t ch ~cycle ~quiet =
      every priority arbiter must be re-evaluated every cycle. *)
   if t.chaos_permute then Array.iter (fun u -> enqueue t u) t.chaos_arbiters
 
-(** Simulate until quiescence or [max_cycles].  Completion means every
-    Exit unit received at least one token before the circuit went quiet;
-    quiescence without completion is a deadlock.  [chaos] perturbs the
-    run adversarially (see {!Chaos}); a valid elastic circuit must
-    produce the same exit values and still complete under any seed. *)
-let run ?(max_cycles = 2_000_000) ?(poll_every = deadline_poll_period)
-    ?deadline ?observer ?monitor ?chaos ?memory ?sink g =
+(** Simulate an already-created execution image until quiescence or
+    [max_cycles].  Shared verbatim between {!run} (create-then-run) and
+    {!run_image} (instantiate-a-cached-template-then-run), so both paths
+    are cycle-for-cycle the same simulation. *)
+let run_created ?(max_cycles = 2_000_000) ?(poll_every = deadline_poll_period)
+    ?deadline ?observer ?monitor t =
   if poll_every < 1 then
     invalid_arg (Fmt.str "Engine.run: poll_every %d < 1" poll_every);
-  let t = create ?chaos ?memory ?sink g in
   Fun.protect ~finally:(fun () -> release_arena t) @@ fun () ->
   (* The dirty channel set is only maintained for monitored runs: the
      sanitizers consume it, nothing else does. *)
@@ -1554,6 +1552,151 @@ let run ?(max_cycles = 2_000_000) ?(poll_every = deadline_poll_period)
       };
     sim = t;
   }
+
+(** Simulate until quiescence or [max_cycles].  Completion means every
+    Exit unit received at least one token before the circuit went quiet;
+    quiescence without completion is a deadlock.  [chaos] perturbs the
+    run adversarially (see {!Chaos}); a valid elastic circuit must
+    produce the same exit values and still complete under any seed. *)
+let run ?max_cycles ?poll_every ?deadline ?observer ?monitor ?chaos ?memory
+    ?sink g =
+  let t = create ?chaos ?memory ?sink g in
+  run_created ?max_cycles ?poll_every ?deadline ?observer ?monitor t
+
+(* ------------------------------------------------------------------ *)
+(* Compiled execution images                                           *)
+
+(* A pristine, reusable execution image: the output of [create] with the
+   domain arena released (a cached image must not pin run-transient
+   buffers) plus the scratch width needed to re-acquire one per run.
+   The template is never simulated; [instantiate] clones the mutable run
+   state and shares the immutable topology, so many concurrent runs (one
+   per domain) can execute over one image. *)
+type image = { i_tpl : t; i_scratch : int }
+
+let image g =
+  let t = create g in
+  release_arena t;
+  let max_ports =
+    Graph.fold_units g
+      (fun m u ->
+        match u.Graph.kind with
+        | Operator { ports; _ } -> max m ports
+        | _ -> m)
+      4
+  in
+  { i_tpl = t; i_scratch = max_ports }
+
+let image_graph { i_tpl; _ } = i_tpl.g
+
+(** Rough retained size: every per-unit and per-channel word of the
+    struct-of-arrays image plus the buffer/pipeline token slots, at 8
+    bytes a word, with a fixed overhead floor.  Used only to byte-bound
+    caches — it must be stable and monotone in graph size, not exact. *)
+let image_bytes { i_tpl = p; _ } =
+  let nu = Array.length p.kcode and nc = Bytes.length p.cvalid in
+  let slots = ref 0 in
+  Array.iter (fun r -> slots := !slots + Array.length r) p.buf_ring;
+  Array.iter (fun r -> slots := !slots + Array.length r) p.pipe_val;
+  (8 * ((24 * nu) + (8 * nc) + (2 * !slots))) + 4096
+
+(* Clone the mutable run state; share the immutable compiled topology.
+   Field-by-field this mirrors the record built by [create]: anything
+   [create] computes from the graph alone is shared, anything a run
+   mutates is copied from the pristine template (initial buffer tokens
+   and credits included), and the two environment-dependent pieces — the
+   memory backing arrays and the domain arena buffers — are re-resolved
+   fresh.  Chaos is deliberately absent: [create] bakes chaos extra
+   latency into pipeline depths, so a perturbed run can never share a
+   cached image. *)
+let instantiate ?memory ?sink { i_tpl = p; i_scratch } =
+  let g = p.g in
+  let memory = match memory with Some m -> m | None -> Memory.of_graph g in
+  let nu = Array.length p.kcode and nc = Bytes.length p.cvalid in
+  let mem_arr = Array.make nu None in
+  Array.iteri
+    (fun uid k ->
+      if k = k_load || k = k_store then
+        mem_arr.(uid) <- Memory.backing memory p.mem_name.(uid))
+    p.kcode;
+  let arena, bufs =
+    acquire_arena ~n_units:nu ~n_channels:nc ~n_scratch:i_scratch
+  in
+  {
+    g;
+    memory;
+    live_units = p.live_units;
+    step_units = p.step_units;
+    live_cids = p.live_cids;
+    cvalid = Bytes.make nc '\000';
+    cready = Bytes.make nc '\000';
+    cdata = Array.make nc VUnit;
+    csrc = p.csrc;
+    cdst = p.cdst;
+    cdst_port = p.cdst_port;
+    iof = p.iof;
+    oof = p.oof;
+    kcode = p.kcode;
+    u_n = p.u_n;
+    u_value = p.u_value;
+    u_op = p.u_op;
+    entry_fired = Bytes.make nu '\000';
+    fork_sent = Array.map Bytes.copy p.fork_sent;
+    join_kept = p.join_kept;
+    buf_ring = Array.map Array.copy p.buf_ring;
+    buf_head = Array.copy p.buf_head;
+    buf_len = Array.copy p.buf_len;
+    buf_slots = p.buf_slots;
+    buf_high = Array.copy p.buf_high;
+    buf_transp = p.buf_transp;
+    pipe_val = Array.map Array.copy p.pipe_val;
+    pipe_has = Array.map Bytes.copy p.pipe_has;
+    credit = Array.copy p.credit;
+    rot_order = p.rot_order;
+    prio_list = p.prio_list;
+    prio_arr = p.prio_arr;
+    phased_cl = p.phased_cl;
+    phased_turns = Array.map Array.copy p.phased_turns;
+    arb_turn = Array.copy p.arb_turn;
+    mem_name = p.mem_name;
+    mem_arr;
+    port_idx = p.port_idx;
+    port_pos = p.port_pos;
+    ports = Array.map (fun pr -> { pr with rr = 0; joff = 0 }) p.ports;
+    requesting = Bytes.make nu '\000';
+    step_active = Bytes.make nu '\001';
+    wl = bufs.b_wl;
+    wl_head = 0;
+    wl_tail = 0;
+    queued = bufs.b_queued;
+    recent = bufs.b_recent;
+    scratch = bufs.b_scratch;
+    track_dirty = false;
+    dirty_flag = bufs.b_dirty_flag;
+    dirty_list = bufs.b_dirty_list;
+    dirty_n = 0;
+    n_fired = 0;
+    n_exits = p.n_exits;
+    n_exit_received = 0;
+    exit_values = [];
+    transfers = 0;
+    last_fire = Array.make nu (-1);
+    sink;
+    chaos = None;
+    chaos_stall = false;
+    chaos_jitter = false;
+    chaos_permute = false;
+    chaos_stalled = Bytes.make nu '\000';
+    chaos_sinks = p.chaos_sinks;
+    chaos_arbiters = p.chaos_arbiters;
+    chaos_suspended = false;
+    arena;
+  }
+
+let run_image ?max_cycles ?poll_every ?deadline ?observer ?monitor ?memory
+    ?sink img =
+  let t = instantiate ?memory ?sink img in
+  run_created ?max_cycles ?poll_every ?deadline ?observer ?monitor t
 
 let memory_of outcome = outcome.sim.memory
 

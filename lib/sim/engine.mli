@@ -133,6 +133,48 @@ val run :
   Dataflow.Graph.t ->
   outcome
 
+(** {2 Compiled execution images}
+
+    [image g] validates and compiles [g] once into a pristine, reusable
+    execution image — the same struct-of-arrays form {!run} builds
+    internally — and [run_image] simulates over it by cloning only the
+    mutable run state (handshake bitmaps, buffer rings, pipeline slots,
+    credits, arbiter turns) while sharing the compiled topology.  Repeat
+    runs of the same circuit therefore skip validation and graph
+    compilation entirely; a [run_image] is cycle-for-cycle identical to
+    a {!run} of the same graph.  Images are immutable after creation and
+    safe to share across domains.  Chaos is deliberately unsupported:
+    chaos perturbation inflates pipeline depths at compile time, so a
+    perturbed run can never share a cached image. *)
+
+type image
+
+(** Compile [g] into a reusable image.
+    @raise Dataflow.Validate.Invalid if the graph fails validation. *)
+val image : Dataflow.Graph.t -> image
+
+(** The elaborated graph the image was compiled from. *)
+val image_graph : image -> Dataflow.Graph.t
+
+(** Approximate retained bytes, for byte-bounded caches: stable and
+    monotone in graph size, not exact. *)
+val image_bytes : image -> int
+
+(** Exactly {!run} minus [chaos], over a pre-compiled image.  [memory]
+    defaults to fresh zeroed memories sized from the graph.
+    @raise Timeout if [deadline] fires.
+    @raise Invalid_argument if [poll_every < 1]. *)
+val run_image :
+  ?max_cycles:int ->
+  ?poll_every:int ->
+  ?deadline:(unit -> bool) ->
+  ?observer:(int -> Dataflow.Graph.channel -> Dataflow.Types.value -> unit) ->
+  ?monitor:(t -> cycle:int -> monitor_phase -> unit) ->
+  ?memory:Memory.t ->
+  ?sink:sink ->
+  image ->
+  outcome
+
 (** Channels presenting a token their consumer refuses — the deadlock
     diagnostic. *)
 val stalled_channels : t -> int list

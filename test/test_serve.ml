@@ -302,6 +302,249 @@ let test_cache_eviction () =
   | _ -> Alcotest.fail "newest entry must survive"
 
 (* ------------------------------------------------------------------ *)
+(* Digest split: the circuit half keys the image cache                 *)
+
+let mk_job ?(kernel = "gsum") ?(strategy = "bb") ?(technique = "crush")
+    ?(seed = 1) ?(max_cycles = 200_000) ?(sanitize = false) () =
+  {
+    Api.payload = Api.Kernel { name = kernel };
+    strategy;
+    technique;
+    seed;
+    max_cycles;
+    sanitize;
+  }
+
+let test_digest_split () =
+  let a = mk_job ~seed:1 () and b = mk_job ~seed:2 () in
+  (* Seed changes the run half only: one compiled image serves both. *)
+  checks "circuit digest seed-invariant" (Api.circuit_digest a)
+    (Api.circuit_digest b);
+  checkb "run digest seed-sensitive" false
+    (Api.run_digest a = Api.run_digest b);
+  checkb "full digest seed-sensitive" false (Api.digest a = Api.digest b);
+  (* Technique changes the elaborated graph: a different image. *)
+  let c = mk_job ~technique:"naive" () in
+  checkb "circuit digest technique-sensitive" false
+    (Api.circuit_digest a = Api.circuit_digest c);
+  (* Sanitize is a run property: monitored and unmonitored runs of one
+     circuit could share an image (routing keeps them apart anyway). *)
+  let d = mk_job ~sanitize:true () in
+  checks "circuit digest sanitize-invariant" (Api.circuit_digest a)
+    (Api.circuit_digest d);
+  checkb "run digest sanitize-sensitive" false
+    (Api.run_digest a = Api.run_digest d)
+
+(* ------------------------------------------------------------------ *)
+(* Image cache: single-flight, abandonment, byte-bounded LRU           *)
+
+let compile_image job =
+  match Serve.Job.compile job with
+  | Ok g -> Sim.Engine.image g
+  | Error _ -> Alcotest.fail "image compile failed"
+
+let test_imagecache_single_flight () =
+  let c = Serve.Imagecache.create ~max_bytes:(64 * 1024 * 1024) in
+  (match Serve.Imagecache.admit c "k" with
+  | Serve.Imagecache.Lead -> ()
+  | _ -> Alcotest.fail "first caller must lead");
+  (match Serve.Imagecache.admit c "k" with
+  | Serve.Imagecache.Join -> ()
+  | _ -> Alcotest.fail "second caller must join");
+  (* A routing probe must not see the pending compile as warm, and must
+     not plant a Pending entry of its own. *)
+  (match Serve.Imagecache.lookup c "k" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "pending compile must not read as warm");
+  (match Serve.Imagecache.lookup c "other" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "absent key must miss");
+  (match Serve.Imagecache.peek c "other" with
+  | `Absent -> ()
+  | _ -> Alcotest.fail "lookup must not insert pending entries");
+  let img = compile_image (mk_job ()) in
+  Serve.Imagecache.fulfill c "k" img;
+  (match Serve.Imagecache.admit c "k" with
+  | Serve.Imagecache.Hit _ -> ()
+  | _ -> Alcotest.fail "fulfilled entry must hit");
+  (match Serve.Imagecache.peek c "k" with
+  | `Ready _ -> ()
+  | _ -> Alcotest.fail "peek must see the image");
+  let s = Serve.Imagecache.stats c in
+  checkb "hit counted" true (s.Serve.Imagecache.hits >= 1);
+  checkb "join counted" true (s.Serve.Imagecache.joins >= 1);
+  checki "resident entries" 1 s.Serve.Imagecache.entries;
+  checki "resident bytes" (Sim.Engine.image_bytes img)
+    s.Serve.Imagecache.bytes
+
+let test_imagecache_abandon () =
+  let c = Serve.Imagecache.create ~max_bytes:1024 in
+  (match Serve.Imagecache.admit c "k" with
+  | Serve.Imagecache.Lead -> ()
+  | _ -> Alcotest.fail "lead");
+  ignore (Serve.Imagecache.admit c "k");
+  Serve.Imagecache.abandon c "k";
+  (* A transiently failed compile poisons nothing: joiners observe the
+     abandonment and the next admit re-leads. *)
+  (match Serve.Imagecache.peek c "k" with
+  | `Absent -> ()
+  | _ -> Alcotest.fail "abandoned entry must be absent");
+  match Serve.Imagecache.admit c "k" with
+  | Serve.Imagecache.Lead -> ()
+  | _ -> Alcotest.fail "abandoned key must re-lead"
+
+let test_imagecache_eviction () =
+  let ia = compile_image (mk_job ()) in
+  let ib = compile_image (mk_job ~technique:"naive" ()) in
+  let ic = compile_image (mk_job ~kernel:"gsumif" ()) in
+  let bytes = Sim.Engine.image_bytes in
+  (* All three cannot be resident at once; any two can. *)
+  let budget = bytes ia + bytes ib + bytes ic - 1 in
+  let c = Serve.Imagecache.create ~max_bytes:budget in
+  let fill k img =
+    (match Serve.Imagecache.admit c k with
+    | Serve.Imagecache.Lead -> ()
+    | _ -> Alcotest.fail "lead");
+    Serve.Imagecache.fulfill c k img
+  in
+  fill "a" ia;
+  fill "b" ib;
+  (* Touch [a]: [b] becomes least-recently-used. *)
+  (match Serve.Imagecache.lookup c "a" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "resident image must hit");
+  fill "c" ic;
+  let s = Serve.Imagecache.stats c in
+  checkb "eviction happened" true (s.Serve.Imagecache.evictions >= 1);
+  checkb "bytes within budget" true (s.Serve.Imagecache.bytes <= budget);
+  (match Serve.Imagecache.peek c "b" with
+  | `Absent -> ()
+  | _ -> Alcotest.fail "least-recently-touched entry must be evicted");
+  (match Serve.Imagecache.peek c "c" with
+  | `Ready _ -> ()
+  | _ -> Alcotest.fail "just-fulfilled image must never be the victim");
+  match Serve.Imagecache.peek c "a" with
+  | `Ready _ -> ()
+  | _ -> Alcotest.fail "recently-touched image must survive"
+
+(* ------------------------------------------------------------------ *)
+(* Tier routing: the pinned admission table                            *)
+
+let test_tier_routing () =
+  let module B = Serve.Batch in
+  let row ~warm ~sanitize ~deadline_left_s ~queue expect label =
+    checks label (B.tier_name expect)
+      (B.tier_name
+         (B.tier_of ~warm ~sanitize ~deadline_left_s ~long_deadline_s:15.0
+            ~queue ~watermark:8))
+  in
+  (* The one batch-admissible combination... *)
+  row ~warm:true ~sanitize:false ~deadline_left_s:5.0 ~queue:0 B.Batch_tier
+    "warm unmonitored short under-watermark -> batch";
+  (* ...and each isolation reason, alone, forcing the worker tier. *)
+  row ~warm:false ~sanitize:false ~deadline_left_s:5.0 ~queue:0 B.Worker_tier
+    "cold (no compiled image) -> worker";
+  row ~warm:true ~sanitize:true ~deadline_left_s:5.0 ~queue:0 B.Worker_tier
+    "sanitized (monitored) -> worker";
+  row ~warm:true ~sanitize:false ~deadline_left_s:30.0 ~queue:0 B.Worker_tier
+    "long deadline -> worker";
+  row ~warm:true ~sanitize:false ~deadline_left_s:5.0 ~queue:8 B.Worker_tier
+    "at watermark -> worker (spill)";
+  (* Boundaries: the deadline threshold itself is still admissible; the
+     watermark itself is not. *)
+  row ~warm:true ~sanitize:false ~deadline_left_s:15.0 ~queue:7 B.Batch_tier
+    "deadline exactly at threshold -> batch";
+  row ~warm:true ~sanitize:false ~deadline_left_s:15.001 ~queue:0
+    B.Worker_tier "deadline just over threshold -> worker";
+  row ~warm:true ~sanitize:false ~deadline_left_s:5.0 ~queue:9 B.Worker_tier
+    "over watermark -> worker"
+
+(* Batch tier == worker tier: the same job over a cached image must
+   classify identically to a fresh compile-and-run — same API code,
+   same payload JSON, byte for byte.  This is the property that lets
+   the router pick a tier on load grounds alone. *)
+let prop_tier_equivalence =
+  let gen =
+    QCheck2.Gen.(
+      triple
+        (oneofl [ "gsum"; "gsumif" ])
+        (oneofl
+           [
+             ("bb", "naive");
+             ("bb", "crush");
+             ("bb", "inorder");
+             ("fast", "crush");
+           ])
+        (int_range 0 10_000))
+  in
+  let print (k, (s, t), seed) = Fmt.str "%s/%s/%s seed=%d" k s t seed in
+  Helpers.qtest ~count:12 ~print "batch/worker tier equivalence" gen
+    (fun (kernel, (strategy, technique), seed) ->
+      let job = mk_job ~kernel ~strategy ~technique ~seed () in
+      let deadline () = false in
+      let worker = Serve.Job.run ~deadline job in
+      let batch =
+        match Serve.Job.compile job with
+        | Ok g -> Serve.Job.run_on_image ~deadline job (Sim.Engine.image g)
+        | Error o -> o
+      in
+      let render o = J.to_string (Outcome.to_json Fun.id o) in
+      Api.code_of_outcome worker = Api.code_of_outcome batch
+      && render worker = render batch)
+
+(* ------------------------------------------------------------------ *)
+(* Workers: a lost worker frees its slot promptly                      *)
+
+(* A SIGKILLed worker must cost exactly its own request, promptly: the
+   loss path SIGKILLs-then-reaps the dead pid and releases the slot
+   immediately, never serializing the next admission behind the
+   deadline+grace window.  grace_s is set prohibitively high so a
+   regression shows up as this test blowing its wall-clock bound. *)
+let test_workers_prompt_release () =
+  let w =
+    Serve.Workers.create ~binary:Sys.executable_name
+      ~argv_tail:[ "__worker"; "--kind"; "serve" ]
+      ~heartbeat_s:0.0 ~grace_s:60.0 ~n:1
+  in
+  Fun.protect
+    ~finally:(fun () -> ignore (Serve.Workers.shutdown w ~timeout_s:5.0))
+    (fun () ->
+      let deadline = Unix.gettimeofday () +. 60.0 in
+      let spec seed = Api.job_to_json (mk_job ~seed ()) in
+      let take () =
+        match Serve.Workers.acquire w ~deadline with
+        | Some s -> s
+        | None -> Alcotest.fail "no slot"
+      in
+      (* Warm the slot so there is a live worker to kill. *)
+      let slot = take () in
+      let o, _ =
+        Serve.Workers.run_job w slot ~key:"warm" ~spec:(spec 1) ~deadline
+      in
+      checks "warm run" "ok" (Api.code_of_outcome o);
+      Serve.Workers.release w slot;
+      (match Serve.Workers.pids w with
+      | pid :: _ -> Unix.kill pid Sys.sigkill
+      | [] -> Alcotest.fail "no live worker to kill");
+      let t0 = Unix.gettimeofday () in
+      let slot = take () in
+      let o, _ =
+        Serve.Workers.run_job w slot ~key:"lost" ~spec:(spec 2) ~deadline
+      in
+      checks "killed worker classifies" "worker-lost" (Api.code_of_outcome o);
+      Serve.Workers.release w slot;
+      (* The very next job is admitted and completes without waiting on
+         any part of the 60 s deadline or the 60 s grace. *)
+      let slot = take () in
+      let o, _ =
+        Serve.Workers.run_job w slot ~key:"next" ~spec:(spec 3) ~deadline
+      in
+      checks "next job admitted after loss" "ok" (Api.code_of_outcome o);
+      Serve.Workers.release w slot;
+      let dt = Unix.gettimeofday () -. t0 in
+      checkb "prompt release (no deadline+grace stall)" true (dt < 20.0))
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end: a real daemon, in process                               *)
 
 let post ~port ?(headers = []) body =
@@ -330,6 +573,11 @@ let field j k = J.member k j
 
 let str_field j k = Option.bind (field j k) J.to_str
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
 let test_daemon_end_to_end () =
   (* This test binary is its own serve worker (see
      {!Test_shard.worker_main_if_requested}). *)
@@ -339,6 +587,7 @@ let test_daemon_end_to_end () =
       Serve.Server.workers = 1;
       heartbeat_s = 0.0 (* timing-free under CI load *);
       header_timeout_s = 1.0;
+      stream_period_s = 0.2 (* fast samples for the stream check *);
     }
   in
   let t = Serve.Server.create cfg in
@@ -365,6 +614,26 @@ let test_daemon_end_to_end () =
       checks "digest stable"
         (Option.value ~default:"a" (str_field j1 "digest"))
         (Option.value ~default:"b" (str_field j2 "digest"));
+      checks "cold run tier" "worker"
+        (Option.value ~default:"?" (str_field j1 "tier"));
+      (* The worker-tier success primed the image cache, so a fresh
+         seed on the same circuit with a short deadline routes to the
+         in-process batch tier.  Priming happens after the response is
+         on the wire, so poll briefly. *)
+      let rec try_batch seed tries =
+        let body =
+          Fmt.str {|{"kernel":"gsum","seed":%d,"deadline_ms":10000}|} seed
+        in
+        let s, j = post ~port body in
+        checki "batch-tier status" 200 s;
+        let tier = Option.value ~default:"?" (str_field j "tier") in
+        if tier <> "batch" && tries > 0 then (
+          Unix.sleepf 0.05;
+          try_batch (seed + 1) (tries - 1))
+        else checks "warm short-deadline job runs on the batch tier" "batch"
+            tier
+      in
+      try_batch 100 50;
       (* Unparseable body. *)
       let s, j = post ~port "{" in
       checki "bad body status" 400 s;
@@ -427,6 +696,42 @@ let test_daemon_end_to_end () =
       in
       checkb "stats: a worker was lost" true (int_at [ "workers"; "lost" ] >= 1);
       checkb "stats: cache hits" true (int_at [ "cache"; "hits" ] >= 1);
+      checkb "stats: batch tier ran" true (int_at [ "batch"; "runs" ] >= 1);
+      checkb "stats: image-cache hit" true
+        (int_at [ "image_cache"; "hits" ] >= 1);
+      (* Live stats stream: the chunked NDJSON tail carries samples. *)
+      let sfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close sfd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect sfd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          Http.write_request sfd ~meth:"GET" ~path:"/v1/stats/stream" "";
+          let buf = Buffer.create 1024 in
+          let chunk = Bytes.create 4096 in
+          let stop_at = Unix.gettimeofday () +. 10.0 in
+          let rec pump () =
+            if
+              Unix.gettimeofday () < stop_at
+              && not (contains (Buffer.contents buf) "image_hit_rate")
+            then
+              match Unix.select [ sfd ] [] [] 0.25 with
+              | [ _ ], _, _ ->
+                  let n =
+                    try Unix.read sfd chunk 0 (Bytes.length chunk)
+                    with Unix.Unix_error _ -> 0
+                  in
+                  if n > 0 then (
+                    Buffer.add_subbytes buf chunk 0 n;
+                    pump ())
+              | _ -> pump ()
+          in
+          pump ();
+          let got = Buffer.contents buf in
+          checkb "stream: chunked transfer" true
+            (contains got "Transfer-Encoding: chunked");
+          checkb "stream: sample observed" true
+            (contains got "image_hit_rate"));
       (* Graceful drain: ask the accept loop to stop and join. *)
       Serve.Server.request_stop t);
   match !drain with
@@ -454,5 +759,17 @@ let suite =
     Alcotest.test_case "cache single-flight" `Quick test_cache_single_flight;
     Alcotest.test_case "cache abandonment" `Quick test_cache_abandon;
     Alcotest.test_case "cache eviction" `Quick test_cache_eviction;
+    Alcotest.test_case "digest split (circuit vs run)" `Quick
+      test_digest_split;
+    Alcotest.test_case "image cache single-flight" `Quick
+      test_imagecache_single_flight;
+    Alcotest.test_case "image cache abandonment" `Quick
+      test_imagecache_abandon;
+    Alcotest.test_case "image cache byte-bounded eviction" `Quick
+      test_imagecache_eviction;
+    Alcotest.test_case "batch tier routing table" `Quick test_tier_routing;
+    prop_tier_equivalence;
+    Alcotest.test_case "workers: prompt release on loss" `Slow
+      test_workers_prompt_release;
     Alcotest.test_case "daemon end-to-end" `Slow test_daemon_end_to_end;
   ]
